@@ -1,0 +1,34 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Scale knobs (environment variables):
+
+  REPRO_BENCH_SCALE       corpus scale vs the paper's counts (default 0.02)
+  REPRO_BENCH_TIMEOUT_MS  virtual fuzzing budget per contract (default 20000)
+  REPRO_FIG3_CONTRACTS    number of RQ1 contracts (default 12; paper: 100)
+  REPRO_RQ4_SCALE         wild-corpus scale (default 0.05; paper: 991 contracts)
+
+Each benchmark prints the same rows the paper reports, alongside the
+pytest-benchmark timing of the underlying pipeline.
+"""
+
+import os
+
+import pytest
+
+
+def env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return env_float("REPRO_BENCH_SCALE", 0.02)
+
+
+@pytest.fixture(scope="session")
+def bench_timeout_ms() -> float:
+    return env_float("REPRO_BENCH_TIMEOUT_MS", 20_000.0)

@@ -1,0 +1,88 @@
+"""Ablation (§5): the solver/throughput resource trade-off.
+
+The paper caps solver resources for throughput and notes the FNs come
+from unsolved branches: "we can get better results by extending the
+fuzzing time, while it is a trade-off between scalability and
+efficiency."  Two sweeps reproduce that trade:
+
+* **fuzzing time** — recall on deep-maze Rollback contracts rises with
+  the virtual budget;
+* **flips per round** — rationing solver queries per feedback round
+  slows branch resolution at a fixed time budget.
+"""
+
+import random
+
+import pytest
+
+from repro import ContractConfig, generate_contract
+from repro.engine import WasaiFuzzer, deploy_target, setup_chain
+from repro.scanner import scan_report
+
+TIME_BUDGETS = (1_500.0, 6_000.0, 40_000.0)
+FLIP_BUDGETS = (1, 4)
+CONTRACTS = 6
+
+
+def deep_contract(seed: int):
+    return generate_contract(ContractConfig(
+        seed=seed * 131 + 7, reward_scheme="inline", maze_depth=5))
+
+
+def detection_rate(timeout_ms: float, flips_per_round: int) -> float:
+    detected = 0
+    for seed in range(CONTRACTS):
+        generated = deep_contract(seed)
+        chain = setup_chain()
+        target = deploy_target(chain, "victim", generated.module,
+                               generated.abi)
+        fuzzer = WasaiFuzzer(chain, target, rng=random.Random(seed),
+                             timeout_ms=timeout_ms,
+                             max_flips_per_round=flips_per_round)
+        report = fuzzer.run()
+        if scan_report(report, target).detected("rollback"):
+            detected += 1
+    return detected / CONTRACTS
+
+
+@pytest.fixture(scope="module")
+def time_sweep():
+    return {budget: detection_rate(budget, 4) for budget in TIME_BUDGETS}
+
+
+@pytest.fixture(scope="module")
+def flip_sweep():
+    return {flips: detection_rate(TIME_BUDGETS[1], flips)
+            for flips in FLIP_BUDGETS}
+
+
+def test_ablation_budgets(benchmark, time_sweep, flip_sweep):
+    benchmark.pedantic(lambda: detection_rate(TIME_BUDGETS[0], 4),
+                       rounds=1, iterations=1)
+    print("\nAblation: fuzzing budget vs detection rate on deep-maze "
+          "Rollback contracts")
+    for budget, rate in time_sweep.items():
+        print(f"  timeout={budget / 1000:5.1f}s  detection {rate:.0%}")
+    print("Ablation: solver queries per feedback round "
+          f"(at {TIME_BUDGETS[1] / 1000:.0f}s)")
+    for flips, rate in flip_sweep.items():
+        print(f"  flips/round={flips}  detection {rate:.0%}")
+    rates = [time_sweep[b] for b in TIME_BUDGETS]
+    assert rates == sorted(rates), (
+        f"more fuzzing time must not hurt recall: {time_sweep}")
+    assert time_sweep[TIME_BUDGETS[-1]] >= 0.8
+
+
+def test_ablation_time_monotone(time_sweep):
+    rates = [time_sweep[b] for b in TIME_BUDGETS]
+    assert rates == sorted(rates), (
+        f"more fuzzing time must not hurt recall: {time_sweep}")
+
+
+def test_ablation_generous_budget_resolves(time_sweep):
+    assert time_sweep[TIME_BUDGETS[-1]] >= 0.8
+
+
+def test_ablation_starved_budget_misses(time_sweep):
+    assert time_sweep[TIME_BUDGETS[0]] < time_sweep[TIME_BUDGETS[-1]], (
+        "the trade-off should be visible at the starved end")

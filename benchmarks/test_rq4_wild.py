@@ -1,0 +1,79 @@
+"""RQ4 (§4.4): vulnerabilities in the wild.
+
+Applies WASAI to the profitable wild-contract corpus (991 contracts at
+scale 1).  Expected shape: over 70% flagged vulnerable; MissAuth the
+most common class and BlockinfoDep the rarest; ~58% of flagged
+contracts still operating, only a sliver patched.
+"""
+
+import os
+
+import pytest
+
+from repro import build_wild_corpus, run_wasai
+from repro.scanner import VULN_TITLES
+
+
+@pytest.fixture(scope="module")
+def study(bench_timeout_ms):
+    scale = float(os.environ.get("REPRO_RQ4_SCALE", 0.05))
+    wild = build_wild_corpus(scale=scale)
+    results = []
+    for index, entry in enumerate(wild):
+        run = run_wasai(entry.contract.module, entry.contract.abi,
+                        timeout_ms=bench_timeout_ms,
+                        rng_seed=3000 + index)
+        results.append((entry, run.scan))
+    return wild, results
+
+
+def test_rq4(benchmark, study, bench_timeout_ms):
+    wild, results = study
+    entry = wild[0]
+    benchmark.pedantic(
+        lambda: run_wasai(entry.contract.module, entry.contract.abi,
+                          timeout_ms=bench_timeout_ms),
+        rounds=1, iterations=1)
+    flagged = [(e, s) for e, s in results if s.is_vulnerable()]
+    print(f"\nRQ4: {len(wild)} profitable contracts "
+          f"(paper: 991); flagged {len(flagged)} "
+          f"({len(flagged) / len(wild):.1%}; paper: 71.3%)")
+    for vuln_type in VULN_TITLES:
+        count = sum(1 for _, s in results if s.detected(vuln_type))
+        print(f"  {vuln_type:<13} {count:4d} flagged")
+    operating = [e for e, _ in flagged if e.still_operating]
+    patched = [e for e in operating if e.patched_later]
+    exposed = len(operating) - len(patched)
+    print(f"  still operating: {len(operating)} "
+          f"({len(operating) / max(len(flagged), 1):.1%}; paper: 58.4%)")
+    print(f"  patched later:   {len(patched)}")
+    print(f"  still exposed:   {exposed} (paper: 341)")
+    assert len(flagged) / len(wild) >= 0.60
+
+
+def test_rq4_majority_vulnerable(study):
+    wild, results = study
+    flagged = sum(1 for _, s in results if s.is_vulnerable())
+    assert flagged / len(wild) >= 0.60, (
+        f"paper: 71.3% vulnerable, got {flagged / len(wild):.1%}")
+
+
+def test_rq4_missauth_most_common(study):
+    _, results = study
+    counts = {t: sum(1 for _, s in results if s.detected(t))
+              for t in VULN_TITLES}
+    assert counts["missauth"] == max(counts.values())
+    assert counts["blockinfodep"] == min(counts.values())
+
+
+def test_rq4_detection_matches_ground_truth(study):
+    """Accuracy holds in the wild too: flag decisions should track the
+    per-contract ground truth closely."""
+    _, results = study
+    agree = 0
+    total = 0
+    for entry, scan in results:
+        for vuln_type, truth in entry.ground_truth.items():
+            agree += int(scan.detected(vuln_type) == truth)
+            total += 1
+    assert agree / total >= 0.93

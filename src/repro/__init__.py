@@ -1,0 +1,56 @@
+"""WASAI reproduction: a concolic fuzzer for Wasm smart contracts.
+
+This package reproduces "WASAI: Uncovering Vulnerabilities in Wasm
+Smart Contracts" (ISSTA'22; poster at ICDCS'23) as a self-contained
+Python library:
+
+* :mod:`repro.wasm` - a WebAssembly toolchain (codec, validator,
+  interpreter, assembler),
+* :mod:`repro.eosio` - a deterministic local EOSIO chain with the
+  library APIs, the token contract and the notification semantics the
+  five vulnerability classes rely on,
+* :mod:`repro.smt` - a pure-Python bitvector SMT solver (the offline
+  stand-in for Z3),
+* :mod:`repro.instrument` - Wasabi-style contract-level tracing hooks,
+* :mod:`repro.symbolic` - Symback: the trace-replaying EOSVM simulator,
+* :mod:`repro.engine` / :mod:`repro.scanner` - the fuzzing loop and
+  the five vulnerability oracles,
+* :mod:`repro.baselines` - EOSFuzzer and EOSAFE as the paper models
+  them,
+* :mod:`repro.benchgen` - the benchmark corpus generator (Tables 4-6,
+  Figure 3, RQ4).
+
+Quickstart::
+
+    from repro import ContractConfig, generate_contract, run_wasai, format_report
+
+    contract = generate_contract(ContractConfig(fake_eos_guard=False))
+    run = run_wasai(contract.module, contract.abi)
+    print(format_report(run.scan))
+"""
+
+from .benchgen import (ContractConfig, GeneratedContract, VULN_TYPES,
+                       build_rq1_contracts, build_table4_corpus,
+                       build_wild_corpus, generate_contract,
+                       obfuscated_variant, verification_variant)
+from .engine import (FuzzReport, FuzzTarget, VirtualClock, WasaiFuzzer,
+                     deploy_target, setup_chain)
+from .harness import (DEFAULT_TIMEOUT_MS, WasaiRun, evaluate_corpus,
+                      run_eosafe, run_eosfuzzer, run_wasai)
+from .metrics import Confusion, MetricsTable
+from .scanner import ScanResult, format_report, scan_report
+from .study import WildStudyResult, format_wild_study, run_wild_study
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ContractConfig", "GeneratedContract", "VULN_TYPES",
+    "build_rq1_contracts", "build_table4_corpus", "build_wild_corpus",
+    "generate_contract", "obfuscated_variant", "verification_variant",
+    "FuzzReport", "FuzzTarget", "VirtualClock", "WasaiFuzzer",
+    "deploy_target", "setup_chain", "DEFAULT_TIMEOUT_MS", "WasaiRun",
+    "evaluate_corpus", "run_eosafe", "run_eosfuzzer", "run_wasai",
+    "Confusion", "MetricsTable", "ScanResult", "format_report",
+    "scan_report", "__version__",
+    "WildStudyResult", "format_wild_study", "run_wild_study",
+]

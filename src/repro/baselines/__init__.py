@@ -1,0 +1,7 @@
+"""repro.baselines — the comparison tools of §4 (EOSFuzzer, EOSAFE)."""
+
+from .eosafe import EosafeAnalyzer, EosafeResult
+from .eosfuzzer import EosfuzzerCampaign, eosfuzzer_scan
+
+__all__ = ["EosafeAnalyzer", "EosafeResult", "EosfuzzerCampaign",
+           "eosfuzzer_scan"]

@@ -1,0 +1,18 @@
+"""repro.benchgen — benchmark corpus construction (§4.2, §4.3, §4.4)."""
+
+from .contracts import (ContractConfig, GeneratedContract, VULN_TYPES,
+                        generate_contract)
+from .corpus import (BenchmarkSample, PAPER_COUNTS, WildContract,
+                     build_rq1_contracts, build_table4_corpus, build_wild_corpus,
+                     obfuscated_variant, verification_variant)
+from .export import MANIFEST_NAME, export_corpus, load_corpus
+from .obfuscate import obfuscate_module, popcount_encode_constant
+from .verification import VerificationSpec, inject_verification
+
+__all__ = ["ContractConfig", "GeneratedContract", "VULN_TYPES",
+           "generate_contract", "BenchmarkSample", "PAPER_COUNTS",
+           "WildContract", "build_rq1_contracts", "build_table4_corpus", "build_wild_corpus",
+           "obfuscated_variant", "verification_variant",
+           "obfuscate_module", "popcount_encode_constant",
+           "VerificationSpec", "inject_verification",
+           "MANIFEST_NAME", "export_corpus", "load_corpus"]

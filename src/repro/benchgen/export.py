@@ -1,0 +1,70 @@
+"""Corpus (de)serialisation: release the benchmark as files on disk.
+
+The paper publishes its 3,340-sample benchmark; this module writes a
+generated corpus in the same spirit — one ``.wasm`` + ``.abi.json``
+pair per sample plus a ``manifest.json`` with the ground-truth labels —
+and loads it back for evaluation, so corpora can be pinned, shared and
+re-analysed without regenerating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..eosio.abi import Abi
+from ..wasm import encode_module, parse_module
+from .contracts import ContractConfig, GeneratedContract
+from .corpus import BenchmarkSample
+
+__all__ = ["export_corpus", "load_corpus", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "manifest.json"
+
+
+def export_corpus(samples: list[BenchmarkSample],
+                  directory: "str | Path") -> Path:
+    """Write a labelled corpus; returns the manifest path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    entries = []
+    for index, sample in enumerate(samples):
+        stem = f"sample-{index:05d}"
+        (directory / f"{stem}.wasm").write_bytes(
+            encode_module(sample.module))
+        (directory / f"{stem}.abi.json").write_text(
+            sample.contract.abi.to_json())
+        entries.append({
+            "stem": stem,
+            "vuln_type": sample.vuln_type,
+            "label": sample.label,
+            "variant": sample.variant,
+            "account": sample.contract.config.account,
+            "ground_truth": sample.contract.ground_truth,
+            "maze_witness": sample.contract.maze_witness,
+        })
+    manifest_path = directory / MANIFEST_NAME
+    manifest_path.write_text(json.dumps(
+        {"version": 1, "samples": entries}, indent=2))
+    return manifest_path
+
+
+def load_corpus(directory: "str | Path") -> list[BenchmarkSample]:
+    """Load a corpus previously written by :func:`export_corpus`."""
+    directory = Path(directory)
+    manifest = json.loads((directory / MANIFEST_NAME).read_text())
+    if manifest.get("version") != 1:
+        raise ValueError("unsupported corpus manifest version")
+    samples: list[BenchmarkSample] = []
+    for entry in manifest["samples"]:
+        stem = entry["stem"]
+        module = parse_module((directory / f"{stem}.wasm").read_bytes())
+        abi = Abi.from_json((directory / f"{stem}.abi.json").read_text())
+        config = ContractConfig(account=entry["account"])
+        contract = GeneratedContract(
+            config, module, abi, dict(entry["ground_truth"]),
+            entry.get("maze_witness"))
+        samples.append(BenchmarkSample(
+            entry["vuln_type"], bool(entry["label"]), contract,
+            variant=entry.get("variant", "plain")))
+    return samples

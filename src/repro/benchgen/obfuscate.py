@@ -1,0 +1,120 @@
+"""Bytecode obfuscation (RQ3, §4.3).
+
+Two transformations, mirroring the paper's purpose-built obfuscator:
+
+1. **Data-flow**: 64-bit constants are encoded through the popcount
+   algorithm — ``i64.const C`` becomes ``i64.const X; i64.popcnt;
+   i64.const (C - popcnt(X)); i64.add``.  Literal name constants
+   disappear from the binary, defeating static pattern matching, while
+   dynamic tools observe identical runtime values.
+2. **Control-flow**: a recursive decoy function whose entry condition
+   is unsatisfiable is added, and identity calls to it are threaded
+   through the original code, inflating the static path count.
+
+Both operate on (a copy of) the module, after parsing — no source
+access required, exactly like the paper's tool.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..wasm.module import Function, Module
+from ..wasm.opcodes import Instr
+from ..wasm.types import FuncType, I64
+
+__all__ = ["obfuscate_module", "popcount_encode_constant"]
+
+
+def popcount_encode_constant(value: int, rng: random.Random) -> list[Instr]:
+    """The popcount data-flow encoding of one i64 constant."""
+    x = rng.getrandbits(63)
+    pop = bin(x).count("1")
+    rest = (value - pop) & 0xFFFFFFFFFFFFFFFF
+    return [
+        Instr("i64.const", _signed64(x)),
+        Instr("i64.popcnt"),
+        Instr("i64.const", _signed64(rest)),
+        Instr("i64.add"),
+    ]
+
+
+def obfuscate_module(module: Module, seed: int = 0,
+                     const_threshold: int = 1 << 32,
+                     decoy_density: float = 0.25) -> Module:
+    """Return an obfuscated copy of ``module``.
+
+    ``const_threshold`` selects which i64 constants get popcount
+    encoding (name constants are large); ``decoy_density`` is the
+    probability of wrapping an encoded constant in a decoy-recursion
+    call.
+    """
+    rng = random.Random(seed)
+    out = _copy_module(module)
+    decoy_index = _append_decoy(out, rng)
+    for func in out.functions[:-1]:  # skip the decoy itself
+        new_body: list[Instr] = []
+        for instr in func.body:
+            if (instr.op == "i64.const"
+                    and abs(instr.args[0]) >= const_threshold):
+                new_body.extend(popcount_encode_constant(
+                    instr.args[0] & 0xFFFFFFFFFFFFFFFF, rng))
+                if rng.random() < decoy_density:
+                    new_body.append(Instr("call", decoy_index))
+            else:
+                new_body.append(instr)
+        func.body = new_body
+    return out
+
+
+def _append_decoy(module: Module, rng: random.Random) -> int:
+    """Add ``i64 decoy(i64 x)``: recurses only under an impossible
+    condition (x equals two different constants), else returns x."""
+    type_index = module.add_type(FuncType((I64,), (I64,)))
+    c1 = rng.getrandbits(62) | 1
+    c2 = c1 + 1 + rng.getrandbits(16)
+    func_index = module.num_imported_functions + len(module.functions)
+    body = [
+        Instr("local.get", 0),
+        Instr("i64.const", _signed64(c1)),
+        Instr("i64.eq"),
+        Instr("if", None),
+        Instr("local.get", 0),
+        Instr("i64.const", _signed64(c2)),
+        Instr("i64.eq"),
+        Instr("if", None),
+        # Unreachable in practice: the impossible recursion.
+        Instr("local.get", 0),
+        Instr("call", func_index),
+        Instr("drop"),
+        Instr("end"),
+        Instr("end"),
+        Instr("local.get", 0),
+    ]
+    module.functions.append(Function(type_index, [], body))
+    return func_index
+
+
+def _copy_module(module: Module) -> Module:
+    from ..wasm.module import DataSegment, Element, Export, Global, Import
+    out = Module()
+    out.types = list(module.types)
+    out.imports = [Import(i.module, i.name, i.kind, i.desc)
+                   for i in module.imports]
+    out.functions = [Function(f.type_index, list(f.locals), list(f.body))
+                     for f in module.functions]
+    out.tables = list(module.tables)
+    out.memories = list(module.memories)
+    out.globals = [Global(g.type, list(g.init)) for g in module.globals]
+    out.exports = [Export(e.name, e.kind, e.index) for e in module.exports]
+    out.start = module.start
+    out.elements = [Element(e.table_index, list(e.offset),
+                            list(e.func_indices)) for e in module.elements]
+    out.data_segments = [DataSegment(d.memory_index, list(d.offset), d.data)
+                         for d in module.data_segments]
+    return out
+
+
+def _signed64(value: int) -> int:
+    value &= 0xFFFFFFFFFFFFFFFF
+    return value - (1 << 64) if value >= 1 << 63 else value

@@ -1,0 +1,194 @@
+"""Command-line interface: ``wasai scan | fuzz | gen | bench``.
+
+Examples::
+
+    # Generate a vulnerable contract and write contract.wasm + ABI
+    wasai gen --no-fake-eos-guard --out victim
+
+    # Scan a contract binary (concolic fuzz + the five detectors)
+    wasai scan victim.wasm --abi victim.abi.json
+
+    # Run the Table 4 evaluation at a small scale
+    wasai bench table4 --scale 0.02
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .benchgen import (ContractConfig, build_table4_corpus,
+                       generate_contract, obfuscated_variant,
+                       verification_variant)
+from .eosio.abi import Abi
+from .harness import (DEFAULT_TIMEOUT_MS, evaluate_corpus, run_eosafe,
+                      run_eosfuzzer, run_wasai)
+from .scanner import format_report
+from .wasm import encode_module, parse_module
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="wasai",
+        description="WASAI: concolic fuzzing of Wasm smart contracts")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="fuzz + scan one contract binary")
+    scan.add_argument("wasm", type=Path, help="contract .wasm file")
+    scan.add_argument("--abi", type=Path, required=True,
+                      help="ABI JSON file")
+    scan.add_argument("--timeout-ms", type=float,
+                      default=DEFAULT_TIMEOUT_MS,
+                      help="virtual fuzzing budget (default 30000)")
+    scan.add_argument("--tool", choices=("wasai", "eosfuzzer", "eosafe"),
+                      default="wasai")
+    scan.add_argument("--seed", type=int, default=1)
+    scan.add_argument("--json", action="store_true",
+                      help="emit the report as JSON")
+    scan.add_argument("--exploits", action="store_true",
+                      help="print replayable exploit payloads for "
+                           "every confirmed finding")
+    scan.add_argument("--address-pool", action="store_true",
+                      help="mine bytecode constants for caller "
+                           "identities (resolves admin-gated FNs)")
+
+    gen = sub.add_parser("gen", help="generate a benchmark contract")
+    gen.add_argument("--out", type=Path, default=Path("victim"),
+                     help="output prefix (<out>.wasm, <out>.abi.json)")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--maze-depth", type=int, default=2)
+    gen.add_argument("--reward", choices=("inline", "defer", "none"),
+                     default="defer")
+    for flag, attr in (("fake-eos-guard", "fake_eos_guard"),
+                       ("fake-notif-guard", "fake_notif_guard"),
+                       ("auth-check", "auth_check")):
+        gen.add_argument(f"--no-{flag}", dest=attr, action="store_false")
+    gen.add_argument("--blockinfo", dest="use_blockinfo",
+                     action="store_true")
+    gen.add_argument("--obfuscate", action="store_true")
+    gen.add_argument("--verification", action="store_true")
+
+    bench = sub.add_parser("bench", help="run a paper experiment")
+    bench.add_argument("experiment",
+                       choices=("table4", "table5", "table6"))
+    bench.add_argument("--scale", type=float, default=0.02)
+    bench.add_argument("--timeout-ms", type=float, default=20_000.0)
+
+    corpus = sub.add_parser("gen-corpus",
+                            help="write a labelled benchmark corpus "
+                                 "(.wasm + ABI + manifest) to disk")
+    corpus.add_argument("directory", type=Path)
+    corpus.add_argument("--scale", type=float, default=0.02)
+    corpus.add_argument("--variant",
+                        choices=("plain", "obfuscated", "verified"),
+                        default="plain")
+
+    args = parser.parse_args(argv)
+    if args.command == "scan":
+        return _cmd_scan(args)
+    if args.command == "gen":
+        return _cmd_gen(args)
+    if args.command == "gen-corpus":
+        return _cmd_gen_corpus(args)
+    return _cmd_bench(args)
+
+
+def _cmd_scan(args) -> int:
+    module = parse_module(args.wasm.read_bytes())
+    abi = Abi.from_json(args.abi.read_text())
+    run = None
+    if args.tool == "eosafe":
+        result = run_eosafe(module)
+    else:
+        runner = run_wasai if args.tool == "wasai" else run_eosfuzzer
+        kwargs = {}
+        if args.tool == "wasai" and args.address_pool:
+            kwargs["address_pool"] = True
+        run = runner(module, abi, timeout_ms=args.timeout_ms,
+                     rng_seed=args.seed, **kwargs)
+        result = run.scan
+        if not args.json:
+            print(f"# iterations: {run.report.iterations}, "
+                  f"distinct branches covered: {len(run.report.covered)}")
+    if args.json:
+        from .scanner import report_to_json
+        print(report_to_json(result))
+    else:
+        print(format_report(result))
+    if args.exploits and run is not None:
+        from .scanner import synthesize_exploits, verify_exploit
+        exploits = synthesize_exploits(run.report, result)
+        if exploits:
+            print("\nSynthesised exploit payloads:")
+        for exploit in exploits:
+            verified = verify_exploit(exploit, module, abi)
+            status = "verified on a fresh chain" if verified \
+                else "NOT reproducible"
+            print(f"  # {status}")
+            print("  " + exploit.summary().replace("\n", "\n  "))
+    return 1 if result.is_vulnerable() else 0
+
+
+def _cmd_gen(args) -> int:
+    config = ContractConfig(
+        seed=args.seed,
+        fake_eos_guard=args.fake_eos_guard,
+        fake_notif_guard=args.fake_notif_guard,
+        auth_check=args.auth_check,
+        use_blockinfo=args.use_blockinfo,
+        reward_scheme=args.reward,
+        maze_depth=args.maze_depth,
+    )
+    generated = generate_contract(config)
+    module = generated.module
+    if args.obfuscate:
+        from .benchgen import obfuscate_module
+        module = obfuscate_module(module, seed=args.seed)
+    if args.verification:
+        from .benchgen import inject_verification
+        module = inject_verification(module)
+    wasm_path = args.out.with_suffix(".wasm")
+    abi_path = args.out.with_suffix(".abi.json")
+    wasm_path.write_bytes(encode_module(module))
+    abi_path.write_text(generated.abi.to_json())
+    truth = {k: v for k, v in generated.ground_truth.items() if v}
+    print(f"wrote {wasm_path} ({wasm_path.stat().st_size} bytes) "
+          f"and {abi_path}")
+    print("ground truth:",
+          json.dumps(truth) if truth else "not vulnerable")
+    return 0
+
+
+def _cmd_gen_corpus(args) -> int:
+    from .benchgen import export_corpus
+    samples = build_table4_corpus(scale=args.scale)
+    if args.variant == "obfuscated":
+        samples = [obfuscated_variant(s) for s in samples]
+    elif args.variant == "verified":
+        samples = [verification_variant(s) for s in samples]
+    manifest = export_corpus(samples, args.directory)
+    print(f"wrote {len(samples)} samples to {args.directory} "
+          f"(manifest: {manifest})")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    samples = build_table4_corpus(scale=args.scale)
+    if args.experiment == "table5":
+        samples = [obfuscated_variant(s) for s in samples]
+    elif args.experiment == "table6":
+        samples = [verification_variant(s) for s in samples]
+    print(f"# {args.experiment}: {len(samples)} samples "
+          f"(scale {args.scale})")
+    tables = evaluate_corpus(samples, timeout_ms=args.timeout_ms)
+    for table in tables.values():
+        print(table.format())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

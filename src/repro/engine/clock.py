@@ -1,0 +1,59 @@
+"""A deterministic virtual clock for timed fuzzing campaigns.
+
+The paper's experiments run with a wall-clock 5-minute timeout and a
+3,000 ms SMT cap.  Wall time is not reproducible across machines, so
+the harness charges calibrated *virtual* milliseconds per unit of
+work.  The relative costs — a transaction execution is cheap, an SMT
+query is expensive — are what produce Figure 3's early crossover
+(WASAI pays solver time up front, then overtakes on coverage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["VirtualClock", "CostModel"]
+
+
+@dataclass
+class CostModel:
+    """Virtual milliseconds charged per unit of work.
+
+    Defaults are calibrated against the paper's setup: Nodeos executes
+    an instrumented transaction in tens of milliseconds (tracing I/O
+    dominates), one SMT query is capped at 3,000 ms and averages a few
+    hundred, and replaying a trace symbolically costs roughly one
+    transaction.
+    """
+
+    transaction_ms: float = 40.0       # execute + capture traces
+    replay_ms: float = 25.0            # Symback trace simulation
+    smt_query_ms: float = 420.0        # average solver query
+    smt_cap_ms: float = 3000.0         # the paper's per-query cap
+    iteration_overhead_ms: float = 3.0
+
+
+class VirtualClock:
+    def __init__(self, cost_model: CostModel | None = None):
+        self.costs = cost_model or CostModel()
+        self.now_ms = 0.0
+
+    def charge(self, milliseconds: float) -> None:
+        self.now_ms += milliseconds
+
+    def charge_transaction(self) -> None:
+        self.charge(self.costs.transaction_ms)
+
+    def charge_replay(self) -> None:
+        self.charge(self.costs.replay_ms)
+
+    def charge_smt(self, queries: int = 1, capped: bool = False) -> None:
+        per_query = (self.costs.smt_cap_ms if capped
+                     else self.costs.smt_query_ms)
+        self.charge(per_query * queries)
+
+    def charge_iteration(self) -> None:
+        self.charge(self.costs.iteration_overhead_ms)
+
+    def expired(self, timeout_ms: float) -> bool:
+        return self.now_ms >= timeout_ms

@@ -1,0 +1,75 @@
+"""The database dependency graph (DBG, §3.3.2).
+
+Records which action functions read and write which database tables;
+the Engine uses it to resolve transaction dependency: when a seed's
+action read a table it found empty (or asserted on), schedule a writer
+of that table first.
+
+The paper notes (§5) that the table-level granularity is deliberately
+coarse; the FN mechanism that follows from it (multi-table actions) is
+reproduced by the benchmark generator.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..eosio.database import DbOperation
+
+__all__ = ["DatabaseDependencyGraph"]
+
+
+class DatabaseDependencyGraph:
+    """A bipartite graph between action names and table keys."""
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+
+    @staticmethod
+    def _table_node(table_key: tuple) -> tuple:
+        return ("table", table_key)
+
+    @staticmethod
+    def _action_node(action_name: str) -> tuple:
+        return ("action", action_name)
+
+    def record(self, action_name: str, ops: list[DbOperation]) -> None:
+        """Update the graph with one execution's database journal."""
+        action = self._action_node(action_name)
+        self.graph.add_node(action)
+        for op in ops:
+            table = self._table_node(op.table_key)
+            self.graph.add_node(table)
+            if op.kind == "write":
+                # action -> table: the action can populate the table.
+                self.graph.add_edge(action, table, kind="write")
+            else:
+                # table -> action: the action depends on the table.
+                self.graph.add_edge(table, action, kind="read")
+
+    def writers_of(self, table_key: tuple) -> list[str]:
+        table = self._table_node(table_key)
+        if table not in self.graph:
+            return []
+        return sorted(name for kind, name in self.graph.predecessors(table)
+                      if kind == "action")
+
+    def tables_read_by(self, action_name: str) -> list[tuple]:
+        action = self._action_node(action_name)
+        if action not in self.graph:
+            return []
+        return sorted(key for kind, key in self.graph.predecessors(action)
+                      if kind == "table")
+
+    def dependency_writers(self, action_name: str) -> list[str]:
+        """Actions that write any table ``action_name`` reads — the
+        φ2 candidates of §3.3.2."""
+        writers: set[str] = set()
+        for table_key in self.tables_read_by(action_name):
+            writers.update(self.writers_of(table_key))
+        writers.discard(action_name)
+        return sorted(writers)
+
+    def known_actions(self) -> list[str]:
+        return sorted(name for kind, name in self.graph.nodes
+                      if kind == "action")

@@ -1,0 +1,64 @@
+"""Deployment helper: wire a contract binary into the local chain.
+
+Mirrors the paper's *Initiation* stage (Algorithm 1, L2): instrument
+the target binary (bin -> bin'), deploy it together with the auxiliary
+contracts (``eosio.token`` and the adversary-oracle agents), and keep
+the artefacts Symback needs (original module, site table, ABI, the
+``apply`` function index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..eosio.abi import Abi
+from ..eosio.chain import Chain, WasmContract
+from ..eosio.name import N, Name
+from ..eosio.token import deploy_token, issue_to
+from ..instrument import SiteTable, instrument_module
+from ..wasm.module import Module
+
+__all__ = ["FuzzTarget", "deploy_target", "setup_chain"]
+
+
+@dataclass
+class FuzzTarget:
+    """Everything the fuzzer needs to know about a deployed target."""
+
+    account: int
+    module: Module          # the ORIGINAL (uninstrumented) module
+    abi: Abi
+    site_table: SiteTable
+    apply_index: int        # function index of void apply() (original)
+    import_names: dict[int, str]
+
+    @property
+    def account_str(self) -> str:
+        from ..eosio.name import name_to_string
+        return name_to_string(self.account)
+
+
+def deploy_target(chain: Chain, account: "str | int", module: Module,
+                  abi: Abi) -> FuzzTarget:
+    """Instrument ``module`` and deploy it at ``account``."""
+    instrumented, site_table = instrument_module(module)
+    contract = WasmContract(instrumented, abi, site_table)
+    account_name = chain.set_contract(account, contract)
+    apply_index = module.export_index("apply", "func")
+    if apply_index is None:
+        raise ValueError("contract has no exported apply() dispatcher")
+    import_names = {i: imp.name
+                    for i, imp in enumerate(module.imported_functions())}
+    return FuzzTarget(account_name, module, abi, site_table, apply_index,
+                      import_names)
+
+
+def setup_chain(player_funds: str = "10000000.0000 EOS") -> Chain:
+    """A fresh local chain with eosio.token and standard test accounts
+    (the paper's local blockchain initiation)."""
+    chain = Chain()
+    deploy_token(chain, "eosio.token")
+    issue_to(chain, "eosio.token", "player", player_funds)
+    issue_to(chain, "eosio.token", "attacker", player_funds)
+    chain.create_account("bob")
+    return chain

@@ -1,0 +1,49 @@
+"""The seed pool: per-action circular queues (§3.3.2).
+
+"The seed pool is a mapping, where each key is an action name and each
+item is a circular queue saving the seed candidates.  Engine pops the
+head of the seed candidates of φ and then pushes it back to the queue
+tail."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .seeds import Seed
+
+__all__ = ["SeedPool"]
+
+
+class SeedPool:
+    def __init__(self, max_per_action: int = 256):
+        self._queues: dict[str, deque[Seed]] = {}
+        self.max_per_action = max_per_action
+
+    def add(self, seed: Seed) -> None:
+        queue = self._queues.setdefault(seed.action_name,
+                                        deque(maxlen=self.max_per_action))
+        queue.append(seed)
+
+    def add_front(self, seed: Seed) -> None:
+        """Adaptive seeds jump the queue: they are tried next."""
+        queue = self._queues.setdefault(seed.action_name,
+                                        deque(maxlen=self.max_per_action))
+        queue.appendleft(seed)
+
+    def next(self, action_name: str) -> Seed | None:
+        """Pop the head and push it back to the tail (circular)."""
+        queue = self._queues.get(action_name)
+        if not queue:
+            return None
+        seed = queue.popleft()
+        queue.append(seed)
+        return seed
+
+    def size(self, action_name: str | None = None) -> int:
+        if action_name is not None:
+            return len(self._queues.get(action_name, ()))
+        return sum(len(q) for q in self._queues.values())
+
+    def action_names(self) -> list[str]:
+        return sorted(self._queues)

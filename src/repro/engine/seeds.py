@@ -1,0 +1,78 @@
+"""Seeds Γ⟨φ, ρ⟩ and random seed generation (§3.1, Algorithm 1 L2).
+
+A seed names an action function and carries concrete parameter values.
+Random seeds are biased toward *plausible* values (known account names,
+EOS-denominated assets, short memos) the way the paper's oracles build
+payload templates; adaptive seeds later replace individual parameters
+with solver models.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..eosio.abi import AbiAction
+from ..eosio.asset import Asset, EOS_SYMBOL, Symbol
+from ..eosio.name import Name
+
+__all__ = ["Seed", "random_seed", "random_value"]
+
+_MEMO_WORDS = ("", "hi", "play", "action:buy", "bet", "reveal", "x")
+
+
+@dataclass
+class Seed:
+    """One fuzzing input: the action function name and its parameters."""
+
+    action_name: str
+    values: list = field(default_factory=list)
+    origin: str = "random"   # "random" | "adaptive" | "oracle"
+
+    def pack(self, action: AbiAction) -> bytes:
+        return action.pack(self.values)
+
+    def __repr__(self) -> str:
+        return f"Seed({self.action_name}, {self.values}, {self.origin})"
+
+
+def random_value(abi_type: str, rng: random.Random,
+                 known_names: list[str]) -> object:
+    """Draw a random value of an ABI type."""
+    if abi_type == "name":
+        if known_names and rng.random() < 0.7:
+            return Name(rng.choice(known_names))
+        return Name(rng.getrandbits(64))
+    if abi_type == "asset":
+        amount = rng.choice((0, 1, 10_000, 50_000,
+                             rng.randrange(0, 10_000_000),
+                             rng.randrange(0, 1 << 30),
+                             rng.randrange(0, 1 << 62)))
+        return Asset(amount, EOS_SYMBOL)
+    if abi_type == "symbol":
+        return EOS_SYMBOL if rng.random() < 0.8 else Symbol(0, "FAKE")
+    if abi_type == "string":
+        if rng.random() < 0.6:
+            return rng.choice(_MEMO_WORDS)
+        length = rng.randrange(1, 12)
+        return "".join(chr(rng.randrange(0x21, 0x7F)) for _ in range(length))
+    if abi_type == "bytes":
+        return bytes(rng.randrange(256) for _ in range(rng.randrange(0, 8)))
+    if abi_type == "bool":
+        return bool(rng.getrandbits(1))
+    if abi_type.startswith("uint") or abi_type.startswith("int"):
+        bits = int(abi_type.lstrip("uint").lstrip("int") or 64)
+        value = rng.getrandbits(min(bits, 64))
+        if abi_type.startswith("int") and rng.random() < 0.3:
+            value = -value
+        return value
+    if abi_type in ("float32", "float64"):
+        return rng.random() * 1000.0
+    raise ValueError(f"cannot generate random {abi_type!r}")
+
+
+def random_seed(action: AbiAction, rng: random.Random,
+                known_names: list[str]) -> Seed:
+    values = [random_value(p.type, rng, known_names)
+              for p in action.params]
+    return Seed(action.name, values, "random")

@@ -1,0 +1,32 @@
+"""repro.eosio — the EOSIO blockchain substrate.
+
+A deterministic local chain (accounts, transactions, notifications,
+inline/deferred actions, key-value database) plus the EOSVM library
+APIs, the name/asset/ABI codecs and the ``eosio.token`` system
+contract.  Together these replace the Nodeos + EOSVM deployment the
+paper instruments.
+"""
+
+from .abi import Abi, AbiAction, AbiParam, TRANSFER_SIGNATURE
+from .asset import Asset, EOS_SYMBOL, Symbol
+from .chain import (Action, ActionRecord, ApplyContext, Chain, Contract,
+                    NativeContract, TransactionResult, WasmContract)
+from .database import Database, DbOperation
+from .errors import (AssertionFailure, ChainError, MissingAuthorization,
+                     TransactionFailed, UnknownAccount)
+from .host import HOST_API_SIGNATURES, HostCall
+from .name import N, Name, name_to_string, string_to_name
+from .serialize import Decoder, Encoder, pack_values, unpack_values
+from .token import TokenContract, deploy_token, issue_to, token_balance
+
+__all__ = [
+    "Abi", "AbiAction", "AbiParam", "TRANSFER_SIGNATURE", "Asset",
+    "EOS_SYMBOL", "Symbol", "Action", "ActionRecord", "ApplyContext",
+    "Chain", "Contract", "NativeContract", "TransactionResult",
+    "WasmContract", "Database", "DbOperation", "AssertionFailure",
+    "ChainError", "MissingAuthorization", "TransactionFailed",
+    "UnknownAccount", "HOST_API_SIGNATURES", "HostCall", "N", "Name",
+    "name_to_string", "string_to_name", "Decoder", "Encoder",
+    "pack_values", "unpack_values", "TokenContract", "deploy_token",
+    "issue_to", "token_balance",
+]

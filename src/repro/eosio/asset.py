@@ -1,0 +1,129 @@
+"""EOSIO asset and symbol types.
+
+An ``asset`` is the 128-bit struct the paper's Table 2 describes: a
+signed 64-bit ``amount`` followed by a 64-bit ``symbol``.  The symbol
+packs the display precision in its low byte and up to seven ASCII
+characters of symbol code above it, so ``"1.0000 EOS"`` has amount
+10000 and symbol ``0x...534F4504``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Symbol", "Asset", "EOS_SYMBOL"]
+
+_MAX_AMOUNT = (1 << 62) - 1
+
+
+class Symbol:
+    """A token symbol: precision plus code (e.g. ``4,EOS``)."""
+
+    __slots__ = ("precision", "code")
+
+    def __init__(self, precision: int, code: str):
+        if not 0 <= precision <= 18:
+            raise ValueError("precision must be in [0, 18]")
+        if not 1 <= len(code) <= 7 or not code.isalpha() or not code.isupper():
+            raise ValueError(f"invalid symbol code {code!r}")
+        self.precision = precision
+        self.code = code
+
+    @property
+    def raw(self) -> int:
+        """The u64 encoding (precision low byte, code above)."""
+        value = self.precision
+        for i, char in enumerate(self.code):
+            value |= ord(char) << (8 * (i + 1))
+        return value
+
+    @staticmethod
+    def from_raw(raw: int) -> "Symbol":
+        precision = raw & 0xFF
+        code_chars = []
+        raw >>= 8
+        while raw:
+            code_chars.append(chr(raw & 0xFF))
+            raw >>= 8
+        return Symbol(precision, "".join(code_chars))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Symbol) and other.raw == self.raw
+
+    def __hash__(self) -> int:
+        return hash(self.raw)
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.precision},{self.code})"
+
+
+EOS_SYMBOL = Symbol(4, "EOS")
+
+
+class Asset:
+    """A token quantity: integer amount at the symbol's precision."""
+
+    __slots__ = ("amount", "symbol")
+
+    def __init__(self, amount: int, symbol: Symbol = EOS_SYMBOL):
+        if abs(amount) > _MAX_AMOUNT:
+            raise ValueError("asset amount magnitude too large")
+        self.amount = int(amount)
+        self.symbol = symbol
+
+    @staticmethod
+    def from_string(text: str) -> "Asset":
+        """Parse ``"10.0000 EOS"`` style quantities."""
+        number, _, code = text.strip().partition(" ")
+        if not code:
+            raise ValueError(f"asset string {text!r} missing symbol code")
+        whole, _, frac = number.partition(".")
+        precision = len(frac)
+        sign = -1 if whole.startswith("-") else 1
+        digits = (whole.lstrip("-") or "0") + (frac or "")
+        return Asset(sign * int(digits), Symbol(precision, code))
+
+    def __str__(self) -> str:
+        precision = self.symbol.precision
+        sign = "-" if self.amount < 0 else ""
+        magnitude = abs(self.amount)
+        if precision:
+            whole = magnitude // 10**precision
+            frac = magnitude % 10**precision
+            return f"{sign}{whole}.{frac:0{precision}d} {self.symbol.code}"
+        return f"{sign}{magnitude} {self.symbol.code}"
+
+    def __repr__(self) -> str:
+        return f"Asset({str(self)!r})"
+
+    def _check(self, other: "Asset") -> None:
+        if other.symbol != self.symbol:
+            raise ValueError("asset symbol mismatch")
+
+    def __add__(self, other: "Asset") -> "Asset":
+        self._check(other)
+        return Asset(self.amount + other.amount, self.symbol)
+
+    def __sub__(self, other: "Asset") -> "Asset":
+        self._check(other)
+        return Asset(self.amount - other.amount, self.symbol)
+
+    def __neg__(self) -> "Asset":
+        return Asset(-self.amount, self.symbol)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Asset) and other.amount == self.amount
+                and other.symbol == self.symbol)
+
+    def __lt__(self, other: "Asset") -> bool:
+        self._check(other)
+        return self.amount < other.amount
+
+    def __le__(self, other: "Asset") -> bool:
+        self._check(other)
+        return self.amount <= other.amount
+
+    def __hash__(self) -> int:
+        return hash((self.amount, self.symbol.raw))
+
+    @property
+    def is_positive(self) -> bool:
+        return self.amount > 0

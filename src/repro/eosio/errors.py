@@ -1,0 +1,38 @@
+"""Chain-level error types."""
+
+from __future__ import annotations
+
+__all__ = ["ChainError", "AssertionFailure", "MissingAuthorization",
+           "UnknownAccount", "TransactionFailed"]
+
+
+class ChainError(Exception):
+    """Base class for chain execution errors."""
+
+
+class AssertionFailure(ChainError):
+    """``eosio_assert`` fired; the transaction must revert."""
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+
+class MissingAuthorization(ChainError):
+    """``require_auth`` failed for the given account name."""
+
+    def __init__(self, account: int):
+        super().__init__(f"missing authority of account {account}")
+        self.account = account
+
+
+class UnknownAccount(ChainError):
+    pass
+
+
+class TransactionFailed(ChainError):
+    """Wraps the underlying failure after the rollback happened."""
+
+    def __init__(self, reason: Exception):
+        super().__init__(str(reason))
+        self.reason = reason

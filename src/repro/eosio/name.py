@@ -1,0 +1,86 @@
+"""EOSIO account/action name codec.
+
+EOSIO encodes names ("eosio.token", "transfer", ...) as 64-bit
+integers using a base-32 alphabet packed 5 bits per character (the
+13th character gets the top 4 bits).  The fuzzer, the oracles and the
+Fake Notif guard detection all compare these u64 values, so the codec
+must match the chain's exactly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Name", "string_to_name", "name_to_string", "N"]
+
+_ALPHABET = ".12345abcdefghijklmnopqrstuvwxyz"
+_CHAR_TO_VALUE = {c: i for i, c in enumerate(_ALPHABET)}
+
+
+def string_to_name(text: str) -> int:
+    """Encode a name string to its u64 (the SDK's ``N(...)`` macro)."""
+    if len(text) > 13:
+        raise ValueError(f"name {text!r} longer than 13 characters")
+    value = 0
+    for i, char in enumerate(text):
+        try:
+            symbol = _CHAR_TO_VALUE[char]
+        except KeyError:
+            raise ValueError(f"invalid name character {char!r}") from None
+        if i < 12:
+            value |= (symbol & 0x1F) << (64 - 5 * (i + 1))
+        else:
+            if symbol > 0x0F:
+                raise ValueError("13th character must be in [.1-5a-j]")
+            value |= symbol & 0x0F
+    return value
+
+
+def name_to_string(value: int) -> str:
+    """Decode a u64 back to its name string."""
+    out = []
+    for i in range(13):
+        if i < 12:
+            symbol = (value >> (64 - 5 * (i + 1))) & 0x1F
+        else:
+            symbol = value & 0x0F
+        out.append(_ALPHABET[symbol])
+    return "".join(out).rstrip(".")
+
+
+def N(text: str) -> int:
+    """The EOSIO SDK's name macro, as used throughout the paper."""
+    return string_to_name(text)
+
+
+class Name:
+    """A value-class wrapper around the u64 encoding."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: "int | str | Name"):
+        if isinstance(value, Name):
+            self.value = value.value
+        elif isinstance(value, str):
+            self.value = string_to_name(value)
+        else:
+            self.value = int(value) & 0xFFFFFFFFFFFFFFFF
+
+    def __str__(self) -> str:
+        return name_to_string(self.value)
+
+    def __repr__(self) -> str:
+        return f"Name({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Name):
+            return other.value == self.value
+        if isinstance(other, int):
+            return other == self.value
+        if isinstance(other, str):
+            return string_to_name(other) == self.value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __int__(self) -> int:
+        return self.value

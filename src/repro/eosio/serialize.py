@@ -1,0 +1,188 @@
+"""Byte-stream (de)serialisation of action data.
+
+EOSIO action data travels as a packed byte stream that the contract
+deserialises before calling the action function — the exact mechanism
+behind the paper's challenge C3 (the deserialiser's path explosion).
+This module implements the CDT wire format for the types the
+benchmark contracts use: fixed-width ints, ``name``, ``asset``,
+``symbol`` and length-prefixed ``string``/``bytes``.
+"""
+
+from __future__ import annotations
+
+from .asset import Asset, Symbol
+from .name import Name
+
+__all__ = ["Encoder", "Decoder", "pack_values", "unpack_values",
+           "SERIALIZABLE_TYPES"]
+
+SERIALIZABLE_TYPES = ("name", "asset", "symbol", "string", "bytes",
+                      "uint8", "uint16", "uint32", "uint64",
+                      "int8", "int16", "int32", "int64", "bool",
+                      "float32", "float64")
+
+
+class Encoder:
+    """Append-only packer producing the CDT byte stream."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+
+    def bytes(self) -> bytes:
+        return bytes(self._out)
+
+    def raw(self, data: bytes) -> "Encoder":
+        self._out.extend(data)
+        return self
+
+    def uint(self, value: int, size: int) -> "Encoder":
+        self._out.extend(int(value).to_bytes(size, "little", signed=False))
+        return self
+
+    def int(self, value: int, size: int) -> "Encoder":
+        self._out.extend(int(value).to_bytes(size, "little", signed=True))
+        return self
+
+    def varuint32(self, value: int) -> "Encoder":
+        if value < 0:
+            raise ValueError("varuint32 must be non-negative")
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            self._out.append(byte | (0x80 if value else 0))
+            if not value:
+                return self
+
+    def name(self, value: "Name | str | int") -> "Encoder":
+        return self.uint(int(Name(value)), 8)
+
+    def symbol(self, value: Symbol) -> "Encoder":
+        return self.uint(value.raw, 8)
+
+    def asset(self, value: Asset) -> "Encoder":
+        self.int(value.amount, 8)
+        return self.symbol(value.symbol)
+
+    def string(self, value: "str | bytes") -> "Encoder":
+        # EOSIO strings are raw byte vectors; accept bytes unchanged
+        # (fuzzer seeds may carry non-UTF-8 content).
+        data = value if isinstance(value, bytes) else value.encode("utf-8")
+        self.varuint32(len(data))
+        return self.raw(data)
+
+    def typed(self, type_name: str, value) -> "Encoder":
+        """Pack ``value`` according to an ABI type name."""
+        if type_name == "name":
+            return self.name(value)
+        if type_name == "asset":
+            if isinstance(value, str):
+                value = Asset.from_string(value)
+            return self.asset(value)
+        if type_name == "symbol":
+            return self.symbol(value)
+        if type_name == "string":
+            return self.string(value)
+        if type_name == "bytes":
+            self.varuint32(len(value))
+            return self.raw(value)
+        if type_name == "bool":
+            return self.uint(1 if value else 0, 1)
+        if type_name.startswith("uint"):
+            return self.uint(value, int(type_name[4:]) // 8)
+        if type_name.startswith("int"):
+            return self.int(value, int(type_name[3:]) // 8)
+        if type_name in ("float32", "float64"):
+            import struct
+            fmt = "<f" if type_name == "float32" else "<d"
+            return self.raw(struct.pack(fmt, value))
+        raise ValueError(f"unsupported ABI type {type_name!r}")
+
+
+class Decoder:
+    """Cursor-based unpacker mirroring :class:`Encoder`."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def raw(self, size: int) -> bytes:
+        if self._pos + size > len(self._data):
+            raise ValueError("byte stream underflow")
+        chunk = self._data[self._pos:self._pos + size]
+        self._pos += size
+        return chunk
+
+    def uint(self, size: int) -> int:
+        return int.from_bytes(self.raw(size), "little", signed=False)
+
+    def int(self, size: int) -> int:
+        return int.from_bytes(self.raw(size), "little", signed=True)
+
+    def varuint32(self) -> int:
+        value = 0
+        shift = 0
+        while True:
+            byte = self.raw(1)[0]
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 32:
+                raise ValueError("varuint32 too long")
+
+    def name(self) -> Name:
+        return Name(self.uint(8))
+
+    def symbol(self) -> Symbol:
+        return Symbol.from_raw(self.uint(8))
+
+    def asset(self) -> Asset:
+        amount = self.int(8)
+        return Asset(amount, self.symbol())
+
+    def string(self) -> str:
+        length = self.varuint32()
+        return self.raw(length).decode("utf-8", errors="replace")
+
+    def typed(self, type_name: str):
+        if type_name == "name":
+            return self.name()
+        if type_name == "asset":
+            return self.asset()
+        if type_name == "symbol":
+            return self.symbol()
+        if type_name == "string":
+            return self.string()
+        if type_name == "bytes":
+            return self.raw(self.varuint32())
+        if type_name == "bool":
+            return bool(self.uint(1))
+        if type_name.startswith("uint"):
+            return self.uint(int(type_name[4:]) // 8)
+        if type_name.startswith("int"):
+            return self.int(int(type_name[3:]) // 8)
+        if type_name in ("float32", "float64"):
+            import struct
+            fmt = "<f" if type_name == "float32" else "<d"
+            return struct.unpack(fmt, self.raw(8 if type_name == "float64"
+                                               else 4))[0]
+        raise ValueError(f"unsupported ABI type {type_name!r}")
+
+
+def pack_values(types: list[str], values: list) -> bytes:
+    """Pack parallel (types, values) lists into one byte stream."""
+    if len(types) != len(values):
+        raise ValueError("types/values length mismatch")
+    encoder = Encoder()
+    for type_name, value in zip(types, values):
+        encoder.typed(type_name, value)
+    return encoder.bytes()
+
+
+def unpack_values(types: list[str], data: bytes) -> list:
+    decoder = Decoder(data)
+    return [decoder.typed(t) for t in types]

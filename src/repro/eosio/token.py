@@ -1,0 +1,187 @@
+"""The ``eosio.token`` system contract (native implementation).
+
+Implements ``create`` / ``issue`` / ``transfer`` with the standard
+tables (``accounts`` scoped by owner, ``stat`` scoped by symbol code)
+through the shared :class:`~repro.eosio.database.Database`, and fires
+``require_recipient`` notifications to payer and payee — steps ② and ③
+of the paper's Figure 1, which the Fake EOS / Fake Notif oracles abuse.
+
+Deploying this same class under a different account (e.g.
+``fake.token``) yields the attacker-issued counterfeit token of
+§2.3.1: identical symbol, different ``code``.
+"""
+
+from __future__ import annotations
+
+from .abi import Abi, TRANSFER_SIGNATURE
+from .asset import Asset, Symbol
+from .chain import ApplyContext, Chain, NativeContract
+from .errors import AssertionFailure, MissingAuthorization
+from .name import N
+from .serialize import Decoder, Encoder
+
+__all__ = ["TokenContract", "deploy_token", "token_balance", "issue_to"]
+
+_ACCOUNTS_TABLE = N("accounts")
+_STAT_TABLE = N("stat")
+
+TOKEN_ABI = Abi.from_signatures({
+    "create": (("issuer", "name"), ("maximum_supply", "asset")),
+    "issue": (("to", "name"), ("quantity", "asset"), ("memo", "string")),
+    "transfer": TRANSFER_SIGNATURE,
+})
+
+
+class TokenContract(NativeContract):
+    """A standard eosio.token-compatible token contract."""
+
+    @property
+    def abi(self) -> Abi:
+        return TOKEN_ABI
+
+    def apply(self, chain: Chain, ctx: ApplyContext) -> None:
+        # Tokens only act when they are the executing code (they ignore
+        # notifications forwarded to them).
+        if ctx.receiver != ctx.code:
+            return
+        if ctx.action_name == N("create"):
+            self._create(chain, ctx)
+        elif ctx.action_name == N("issue"):
+            self._issue(chain, ctx)
+        elif ctx.action_name == N("transfer"):
+            self._transfer(chain, ctx)
+
+    # -- actions ------------------------------------------------------------
+    def _create(self, chain: Chain, ctx: ApplyContext) -> None:
+        decoder = Decoder(ctx.data)
+        issuer = int(decoder.name())
+        maximum = decoder.asset()
+        if not ctx.has_authorization(ctx.receiver):
+            raise MissingAuthorization(ctx.receiver)
+        key = _symbol_key(maximum.symbol)
+        if chain.db.get_row(ctx.receiver, key, _STAT_TABLE, key) is not None:
+            raise AssertionFailure("token with symbol already exists")
+        stat = (Encoder().asset(Asset(0, maximum.symbol)).asset(maximum)
+                .name(issuer).bytes())
+        chain.db.set_row(ctx.receiver, key, _STAT_TABLE, ctx.receiver,
+                         key, stat)
+
+    def _issue(self, chain: Chain, ctx: ApplyContext) -> None:
+        decoder = Decoder(ctx.data)
+        to = int(decoder.name())
+        quantity = decoder.asset()
+        key = _symbol_key(quantity.symbol)
+        raw = chain.db.get_row(ctx.receiver, key, _STAT_TABLE, key)
+        if raw is None:
+            raise AssertionFailure("token with symbol does not exist")
+        stat = Decoder(raw)
+        supply = stat.asset()
+        maximum = stat.asset()
+        issuer = int(stat.name())
+        if not ctx.has_authorization(issuer):
+            raise MissingAuthorization(issuer)
+        if not quantity.is_positive:
+            raise AssertionFailure("must issue positive quantity")
+        supply = supply + quantity
+        if supply.amount > maximum.amount:
+            raise AssertionFailure("quantity exceeds available supply")
+        updated = (Encoder().asset(supply).asset(maximum).name(issuer)
+                   .bytes())
+        chain.db.set_row(ctx.receiver, key, _STAT_TABLE, ctx.receiver,
+                         key, updated)
+        self._add_balance(chain, ctx.receiver, to, quantity)
+
+    def _transfer(self, chain: Chain, ctx: ApplyContext) -> None:
+        decoder = Decoder(ctx.data)
+        from_ = int(decoder.name())
+        to = int(decoder.name())
+        quantity = decoder.asset()
+        decoder.string()  # memo
+        if from_ == to:
+            raise AssertionFailure("cannot transfer to self")
+        if not ctx.has_authorization(from_):
+            raise MissingAuthorization(from_)
+        if not chain.is_account(to):
+            raise AssertionFailure("to account does not exist")
+        if not quantity.is_positive:
+            raise AssertionFailure("must transfer positive quantity")
+        self._sub_balance(chain, ctx.receiver, from_, quantity)
+        self._add_balance(chain, ctx.receiver, to, quantity)
+        # Figure 1 steps 2 and 3: notify payer and payee.
+        ctx.add_recipient(from_)
+        ctx.add_recipient(to)
+
+    # -- balances --------------------------------------------------------------
+    def _sub_balance(self, chain: Chain, code: int, owner: int,
+                     quantity: Asset) -> None:
+        key = _symbol_key(quantity.symbol)
+        raw = chain.db.get_row(code, owner, _ACCOUNTS_TABLE, key)
+        if raw is None:
+            raise AssertionFailure("no balance object found")
+        balance = Decoder(raw).asset()
+        if balance.amount < quantity.amount:
+            raise AssertionFailure("overdrawn balance")
+        updated = Encoder().asset(balance - quantity).bytes()
+        chain.db.set_row(code, owner, _ACCOUNTS_TABLE, owner, key, updated)
+
+    def _add_balance(self, chain: Chain, code: int, owner: int,
+                     quantity: Asset) -> None:
+        key = _symbol_key(quantity.symbol)
+        raw = chain.db.get_row(code, owner, _ACCOUNTS_TABLE, key)
+        balance = Decoder(raw).asset() if raw else Asset(0, quantity.symbol)
+        updated = Encoder().asset(balance + quantity).bytes()
+        chain.db.set_row(code, owner, _ACCOUNTS_TABLE, owner, key, updated)
+
+
+def _symbol_key(symbol: Symbol) -> int:
+    """Primary key of balance/stat rows: the symbol code bits."""
+    return symbol.raw >> 8
+
+
+# ---------------------------------------------------------------------------
+# Convenience helpers used throughout the fuzzer and tests
+# ---------------------------------------------------------------------------
+
+def deploy_token(chain: Chain, account: "int | str",
+                 maximum_supply: str = "1000000000.0000 EOS",
+                 issuer: "int | str | None" = None) -> int:
+    """Deploy a token contract and create its currency."""
+    from .name import Name
+    code = chain.set_contract(account, TokenContract())
+    issuer_name = int(Name(issuer)) if issuer is not None else code
+    chain.create_account(issuer_name)
+    data = (Encoder().name(issuer_name)
+            .asset(Asset.from_string(maximum_supply)).bytes())
+    result = chain.push_action(code, "create", [code], data)
+    if not result.success:
+        raise RuntimeError(f"token create failed: {result.error}")
+    return code
+
+
+def issue_to(chain: Chain, token_code: "int | str", to: "int | str",
+             quantity: str, issuer: "int | str | None" = None) -> None:
+    """Issue tokens to an account (creating it if necessary)."""
+    from .name import Name
+    code = int(Name(token_code))
+    recipient = chain.create_account(to)
+    issuer_name = int(Name(issuer)) if issuer is not None else code
+    data = (Encoder().name(recipient)
+            .asset(Asset.from_string(quantity)).string("issue").bytes())
+    result = chain.push_action(code, "issue", [issuer_name], data)
+    if not result.success:
+        raise RuntimeError(f"token issue failed: {result.error}")
+
+
+def token_balance(chain: Chain, token_code: "int | str",
+                  owner: "int | str", symbol: Symbol | None = None) -> Asset:
+    """Read an account's balance (zero if no row exists)."""
+    from .asset import EOS_SYMBOL
+    from .name import Name
+    symbol = symbol or EOS_SYMBOL
+    code = int(Name(token_code))
+    owner_name = int(Name(owner))
+    raw = chain.db.get_row(code, owner_name, _ACCOUNTS_TABLE,
+                           _symbol_key(symbol))
+    if raw is None:
+        return Asset(0, symbol)
+    return Decoder(raw).asset()

@@ -1,0 +1,102 @@
+"""The evaluation harness: run WASAI and the baselines on contracts.
+
+Shared by the example scripts, the test suite and the benchmark
+drivers for Tables 4-6, Figure 3 and RQ4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .baselines.eosafe import EosafeAnalyzer
+from .baselines.eosfuzzer import EosfuzzerCampaign, eosfuzzer_scan
+from .benchgen.corpus import BenchmarkSample
+from .engine import (FuzzReport, FuzzTarget, VirtualClock, WasaiFuzzer,
+                     deploy_target, setup_chain)
+from .eosio.abi import Abi
+from .metrics import MetricsTable
+from .scanner import ScanResult, scan_report
+from .wasm.module import Module
+
+__all__ = ["run_wasai", "run_eosfuzzer", "run_eosafe", "evaluate_corpus",
+            "WasaiRun", "DEFAULT_TIMEOUT_MS"]
+
+# Virtual five minutes would be over-generous for the small generated
+# contracts; 30 virtual seconds saturates coverage on them while
+# keeping the full corpus runnable in CI.  Benches can raise it.
+DEFAULT_TIMEOUT_MS = 30_000.0
+
+
+@dataclass
+class WasaiRun:
+    """A completed WASAI campaign and its scan."""
+
+    report: FuzzReport
+    scan: ScanResult
+    target: FuzzTarget
+
+
+def run_wasai(module: Module, abi: Abi, account: str = "victim",
+              timeout_ms: float = DEFAULT_TIMEOUT_MS, rng_seed: int = 1,
+              clock: VirtualClock | None = None,
+              smt_max_conflicts: int = 20_000,
+              address_pool: bool = False) -> WasaiRun:
+    """Fuzz one contract with WASAI and scan the observations."""
+    chain = setup_chain()
+    target = deploy_target(chain, account, module, abi)
+    fuzzer = WasaiFuzzer(chain, target, rng=random.Random(rng_seed),
+                         clock=clock, timeout_ms=timeout_ms,
+                         smt_max_conflicts=smt_max_conflicts,
+                         address_pool=address_pool)
+    report = fuzzer.run()
+    return WasaiRun(report, scan_report(report, target), target)
+
+
+def run_eosfuzzer(module: Module, abi: Abi, account: str = "victim",
+                  timeout_ms: float = DEFAULT_TIMEOUT_MS,
+                  rng_seed: int = 1,
+                  clock: VirtualClock | None = None) -> WasaiRun:
+    """Run the EOSFuzzer baseline on one contract."""
+    chain = setup_chain()
+    target = deploy_target(chain, account, module, abi)
+    campaign = EosfuzzerCampaign(chain, target,
+                                 rng=random.Random(rng_seed),
+                                 clock=clock, timeout_ms=timeout_ms)
+    report = campaign.run()
+    return WasaiRun(report, eosfuzzer_scan(report, target), target)
+
+
+def run_eosafe(module: Module, account: int = 0) -> ScanResult:
+    """Run the EOSAFE baseline (static, no chain needed)."""
+    return EosafeAnalyzer().analyze(module).to_scan_result(account)
+
+
+def evaluate_corpus(samples: list[BenchmarkSample],
+                    tools: tuple[str, ...] = ("wasai", "eosfuzzer",
+                                              "eosafe"),
+                    timeout_ms: float = DEFAULT_TIMEOUT_MS,
+                    rng_seed: int = 7,
+                    ) -> dict[str, MetricsTable]:
+    """Run the selected tools over a labelled corpus; returns one
+    metrics table per tool (the Table 4/5/6 rows)."""
+    vuln_types = tuple(sorted({s.vuln_type for s in samples}))
+    tables = {tool: MetricsTable(tool, vuln_types) for tool in tools}
+    for index, sample in enumerate(samples):
+        module = sample.module
+        abi = sample.contract.abi
+        if "wasai" in tools:
+            run = run_wasai(module, abi, timeout_ms=timeout_ms,
+                            rng_seed=rng_seed + index)
+            tables["wasai"].record(sample.vuln_type, sample.label,
+                                   run.scan.detected(sample.vuln_type))
+        if "eosfuzzer" in tools:
+            run = run_eosfuzzer(module, abi, timeout_ms=timeout_ms,
+                                rng_seed=rng_seed + index)
+            tables["eosfuzzer"].record(sample.vuln_type, sample.label,
+                                       run.scan.detected(sample.vuln_type))
+        if "eosafe" in tools:
+            scan = run_eosafe(module)
+            tables["eosafe"].record(sample.vuln_type, sample.label,
+                                    scan.detected(sample.vuln_type))
+    return tables

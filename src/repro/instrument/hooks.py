@@ -1,0 +1,98 @@
+"""Low-level hook definitions (§3.3.1, Table 1).
+
+Hooks are function imports under the ``wasabi`` module namespace that
+the instrumented bytecode calls with duplicated runtime operands.  Each
+distinct operand-type tuple gets its own import (the generalisation of
+the paper's ``logi``/``logsf``/``logdf`` Nodeos extensions, which the
+chain binds to the per-action trace buffer).
+
+Hook kinds:
+
+* ``trace[_t1[_t2[_t3]]]`` — fired *before* an instruction, carrying the
+  site id and the instruction's operands (this subsumes the paper's
+  ``call_pre``: for ``call``/``call_indirect`` the operands are the
+  invocation arguments).
+* ``post[_t1...]`` — fired *after* a call returns, carrying the returned
+  values (the paper's ``call_post``).
+* ``begin_function`` / ``end_function`` — function-body labels.
+"""
+
+from __future__ import annotations
+
+from ..wasm.types import F32, F64, FuncType, I32, I64, ValType
+
+__all__ = ["HOOK_MODULE", "trace_hook_name", "post_hook_name",
+           "BEGIN_FUNCTION", "END_FUNCTION", "hook_func_type",
+           "parse_hook_name", "HookEvent"]
+
+HOOK_MODULE = "wasabi"
+BEGIN_FUNCTION = "begin_function"
+END_FUNCTION = "end_function"
+
+_SUFFIX = {"i32": I32, "i64": I64, "f32": F32, "f64": F64}
+
+
+def trace_hook_name(operand_types: list[ValType]) -> str:
+    if not operand_types:
+        return "trace"
+    return "trace_" + "_".join(t.name for t in operand_types)
+
+
+def post_hook_name(result_types: list[ValType]) -> str:
+    if not result_types:
+        return "post"
+    return "post_" + "_".join(t.name for t in result_types)
+
+
+def hook_func_type(hook_name: str) -> FuncType:
+    """The Wasm signature of a hook import."""
+    if hook_name in (BEGIN_FUNCTION, END_FUNCTION):
+        return FuncType((I32,), ())
+    kind, types = parse_hook_name(hook_name)
+    return FuncType((I32, *types), ())
+
+
+def parse_hook_name(hook_name: str) -> tuple[str, tuple[ValType, ...]]:
+    """Split ``"trace_i32_i64"`` into ("trace", (I32, I64))."""
+    if hook_name in (BEGIN_FUNCTION, END_FUNCTION):
+        return (hook_name, ())
+    parts = hook_name.split("_")
+    kind = parts[0]
+    if kind not in ("trace", "post"):
+        raise ValueError(f"unknown hook {hook_name!r}")
+    types = tuple(_SUFFIX[p] for p in parts[1:])
+    return (kind, types)
+
+
+class HookEvent:
+    """A decoded trace event: one hook firing.
+
+    ``kind`` is "instr" (pre-instruction trace), "post" (call return),
+    "begin" or "end".  For "instr"/"post", ``site_id`` indexes the
+    instrumentation site table; for "begin"/"end" ``func_id`` is the
+    original function index.
+    """
+
+    __slots__ = ("kind", "site_id", "func_id", "operands")
+
+    def __init__(self, kind: str, site_id: int | None,
+                 func_id: int | None, operands: tuple):
+        self.kind = kind
+        self.site_id = site_id
+        self.func_id = func_id
+        self.operands = operands
+
+    def __repr__(self) -> str:
+        target = self.site_id if self.site_id is not None else self.func_id
+        return f"HookEvent({self.kind}, {target}, {self.operands})"
+
+    @staticmethod
+    def decode(hook_name: str, args: tuple) -> "HookEvent":
+        """Decode one raw ``(hook_name, args)`` trace entry."""
+        if hook_name == BEGIN_FUNCTION:
+            return HookEvent("begin", None, args[0], ())
+        if hook_name == END_FUNCTION:
+            return HookEvent("end", None, args[0], ())
+        kind, _ = parse_hook_name(hook_name)
+        label = "instr" if kind == "trace" else "post"
+        return HookEvent(label, args[0], None, tuple(args[1:]))

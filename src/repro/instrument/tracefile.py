@@ -1,0 +1,67 @@
+"""Offline trace files (§3.3.1).
+
+The paper redirects traces to offline files once an EOSVM thread
+finishes executing (``apply_context::finalize_trace``), so parallel
+contract executions never interleave.  :class:`TraceStore` reproduces
+that: per-execution buffers keyed by a thread/action token, flushed to
+per-token files on finalize, with a loader for Symback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from .hooks import HookEvent
+
+__all__ = ["TraceStore", "decode_raw_trace", "write_trace_file",
+           "read_trace_file"]
+
+
+def decode_raw_trace(raw: list[tuple]) -> list[HookEvent]:
+    """Decode the chain's raw ``(hook_name, args)`` buffer into events."""
+    return [HookEvent.decode(name, args) for name, args in raw]
+
+
+def write_trace_file(path: "str | Path", raw: list[tuple]) -> None:
+    """Persist one execution's trace (one JSON line per event)."""
+    with open(path, "w") as handle:
+        for name, args in raw:
+            handle.write(json.dumps([name, list(args)]) + "\n")
+
+
+def read_trace_file(path: "str | Path") -> list[HookEvent]:
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            name, args = json.loads(line)
+            events.append(HookEvent.decode(name, tuple(args)))
+    return events
+
+
+class TraceStore:
+    """Per-thread trace buffers with offline redirect on finalize."""
+
+    def __init__(self, directory: "str | Path"):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._buffers: dict[str, list[tuple]] = {}
+        self._sequence = 0
+
+    def append(self, token: str, hook_name: str, args: tuple) -> None:
+        self._buffers.setdefault(token, []).append((hook_name, args))
+
+    def finalize(self, token: str) -> Path:
+        """Flush one thread's buffer to its own offline file."""
+        raw = self._buffers.pop(token, [])
+        self._sequence += 1
+        path = self.directory / f"trace-{self._sequence:06d}-{token}.jsonl"
+        write_trace_file(path, raw)
+        return path
+
+    def pending_tokens(self) -> list[str]:
+        return sorted(self._buffers)

@@ -1,0 +1,85 @@
+"""Detection metrics: confusion counts, precision / recall / F1.
+
+Used by the Table 4-6 benches to print the same rows the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Confusion", "MetricsTable"]
+
+
+@dataclass
+class Confusion:
+    """A binary confusion matrix with the paper's P/R/F1 definitions."""
+
+    tp: int = 0
+    fp: int = 0
+    tn: int = 0
+    fn: int = 0
+
+    def record(self, label: bool, predicted: bool) -> None:
+        if label and predicted:
+            self.tp += 1
+        elif label and not predicted:
+            self.fn += 1
+        elif not label and predicted:
+            self.fp += 1
+        else:
+            self.tn += 1
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def precision(self) -> float:
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    def merged(self, other: "Confusion") -> "Confusion":
+        return Confusion(self.tp + other.tp, self.fp + other.fp,
+                         self.tn + other.tn, self.fn + other.fn)
+
+    def row(self) -> str:
+        return (f"P={self.precision:6.1%} R={self.recall:6.1%} "
+                f"F1={self.f1:6.1%}")
+
+
+class MetricsTable:
+    """Per-type confusion matrices for one tool, Table 4 style."""
+
+    def __init__(self, tool: str, vuln_types: tuple[str, ...]):
+        self.tool = tool
+        self.per_type: dict[str, Confusion] = {t: Confusion()
+                                               for t in vuln_types}
+
+    def record(self, vuln_type: str, label: bool, predicted: bool) -> None:
+        self.per_type[vuln_type].record(label, predicted)
+
+    def total(self) -> Confusion:
+        out = Confusion()
+        for confusion in self.per_type.values():
+            out = out.merged(confusion)
+        return out
+
+    def format(self) -> str:
+        lines = [f"--- {self.tool} ---"]
+        for vuln_type, confusion in self.per_type.items():
+            lines.append(f"  {vuln_type:<13} n={confusion.total:<5} "
+                         f"{confusion.row()}")
+        total = self.total()
+        lines.append(f"  {'Total':<13} n={total.total:<5} {total.row()}")
+        return "\n".join(lines)

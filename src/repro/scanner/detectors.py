@@ -1,0 +1,194 @@
+"""The vulnerability scanner: the five detectors of §3.5.
+
+Detectors run over the fuzzing campaign's observation log.  The
+function-call chain id⃗ comes from the ``begin_function`` labels of the
+instrumented traces; library-API invocations come from the chain's
+host-call journal (the call_pre/call_post view of Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..eosio.name import N
+from ..symbolic import locate_action_call
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine.fuzzer import FuzzReport, Observation
+
+__all__ = ["scan_report", "VulnerabilityFinding", "ScanResult",
+           "AUTH_APIS", "EFFECT_APIS", "BLOCKINFO_APIS"]
+
+AUTH_APIS = ("require_auth", "require_auth2", "has_auth")
+EFFECT_APIS = ("send_inline", "send_deferred", "db_store_i64",
+               "db_update_i64", "db_remove_i64")
+BLOCKINFO_APIS = ("tapos_block_num", "tapos_block_prefix")
+
+
+@dataclass
+class VulnerabilityFinding:
+    vuln_type: str
+    detected: bool
+    evidence: str = ""
+
+
+@dataclass
+class ScanResult:
+    """vul(τ⃗) for the five oracles, plus the exploit evidence."""
+
+    target_account: int
+    findings: dict[str, VulnerabilityFinding] = field(default_factory=dict)
+
+    def detected(self, vuln_type: str) -> bool:
+        finding = self.findings.get(vuln_type)
+        return bool(finding and finding.detected)
+
+    def detected_types(self) -> list[str]:
+        return sorted(t for t, f in self.findings.items() if f.detected)
+
+    def is_vulnerable(self) -> bool:
+        return any(f.detected for f in self.findings.values())
+
+
+class Detector:
+    """Base class for pluggable detectors (the §5 extension recipe:
+    "adding oracles and constructing the payload templates … analyzing
+    traces to confirm the exploit events").
+
+    Subclasses set ``vuln_type`` and implement :meth:`detect`, which
+    receives the campaign's observation log plus the resolved
+    eosponser id and returns a :class:`VulnerabilityFinding`.
+    """
+
+    vuln_type: str = "custom"
+
+    def detect(self, report: "FuzzReport", target,
+               eosponser_id: int | None) -> VulnerabilityFinding:
+        raise NotImplementedError
+
+
+def scan_report(report: "FuzzReport", target,
+                extra_detectors: list[Detector] = ()) -> ScanResult:
+    """Run the five built-in detectors (plus any extras) over a
+    finished campaign."""
+    result = ScanResult(target_account=report.target_account)
+    eosponser_id = _resolve_eosponser(report, target)
+    result.findings["fake_eos"] = _detect_fake_eos(report, eosponser_id)
+    result.findings["fake_notif"] = _detect_fake_notif(report, target,
+                                                       eosponser_id)
+    result.findings["missauth"] = _detect_missauth(report)
+    result.findings["blockinfodep"] = _detect_blockinfodep(report)
+    result.findings["rollback"] = _detect_rollback(report)
+    for detector in extra_detectors:
+        result.findings[detector.vuln_type] = detector.detect(
+            report, target, eosponser_id)
+    return result
+
+
+def _resolve_eosponser(report: "FuzzReport", target) -> int | None:
+    """id_e: located from a valid EOS transaction's traces (§3.5)."""
+    if report.eosponser_id is not None:
+        return report.eosponser_id
+    for obs in report.observations:
+        if obs.action_name != "transfer":
+            continue
+        located = locate_action_call(obs.events, target.site_table,
+                                     target.apply_index)
+        if located is not None:
+            return located[1]
+    return None
+
+
+def _eosponser_invoked(obs: "Observation", eosponser_id: int | None) -> bool:
+    """id_e ∈ id⃗ for one observation."""
+    if eosponser_id is None:
+        return False
+    return any(e.kind == "begin" and e.func_id == eosponser_id
+               for e in obs.events)
+
+
+def _detect_fake_eos(report: "FuzzReport",
+                     eosponser_id: int | None) -> VulnerabilityFinding:
+    """vul := id_e ∈ id⃗ after transferring fake EOS (§2.3.1)."""
+    for kind in ("direct", "fake_token"):
+        for obs in report.observations_of(kind):
+            if _eosponser_invoked(obs, eosponser_id):
+                return VulnerabilityFinding(
+                    "fake_eos", True,
+                    f"eosponser executed under the {kind} payload "
+                    f"(params {obs.executed_params})")
+    return VulnerabilityFinding("fake_eos", False)
+
+
+def _detect_fake_notif(report: "FuzzReport", target,
+                       eosponser_id: int | None) -> VulnerabilityFinding:
+    """vul := id_e ∈ id⃗ ∧ τ⃗ ∌ (i64.eq|i64.ne, (fake.notif, _self))."""
+    triggered = any(_eosponser_invoked(obs, eosponser_id)
+                    for obs in report.observations_of("fake_notif"))
+    if not triggered:
+        return VulnerabilityFinding("fake_notif", False)
+    # The guard comparison materialises while handling the forged
+    # notification itself: there `to` is fake.notif and `_self` the
+    # victim, so the operand pair is unambiguous.
+    guard_operands = {N("fake.notif"), report.target_account}
+    for obs in report.observations_of("fake_notif"):
+        for event in obs.events:
+            if event.kind != "instr" or len(event.operands) != 2:
+                continue
+            site = target.site_table[event.site_id]
+            if site.instr.op not in ("i64.eq", "i64.ne"):
+                continue
+            if set(event.operands) == guard_operands:
+                return VulnerabilityFinding(
+                    "fake_notif", False,
+                    "guard code executed: "
+                    f"{site.instr.op} at f{site.func_index}+{site.pc}")
+    return VulnerabilityFinding(
+        "fake_notif", True,
+        "eosponser executed on a forwarded notification and no "
+        "(i64.eq|i64.ne)(fake.notif, _self) guard was ever observed")
+
+
+def _detect_missauth(report: "FuzzReport") -> VulnerabilityFinding:
+    """vul := any(id⃗_{0→i} ∩ Auths = ∅ ∧ id_i ∈ Effects) over the
+    directly-invoked (non-eosponser) actions."""
+    for obs in report.observations:
+        if obs.action_name == "transfer" or obs.payload_kind != "direct":
+            continue
+        seen_auth = False
+        for call in obs.record.host_calls:
+            if call.api in AUTH_APIS:
+                seen_auth = True
+            elif call.api in EFFECT_APIS and not seen_auth:
+                return VulnerabilityFinding(
+                    "missauth", True,
+                    f"{call.api} reached in {obs.action_name} with no "
+                    "prior permission check")
+    return VulnerabilityFinding("missauth", False)
+
+
+def _detect_blockinfodep(report: "FuzzReport") -> VulnerabilityFinding:
+    """vul := id⃗ ∩ {#tapos_block_prefix, #tapos_block_num} ≠ ∅."""
+    for obs in report.observations:
+        for call in obs.record.host_calls:
+            if call.api in BLOCKINFO_APIS:
+                return VulnerabilityFinding(
+                    "blockinfodep", True,
+                    f"{call.api} used as a randomness source in "
+                    f"{obs.action_name}")
+    return VulnerabilityFinding("blockinfodep", False)
+
+
+def _detect_rollback(report: "FuzzReport") -> VulnerabilityFinding:
+    """vul := #send_inline ∈ id⃗ on the profitable (eosponser) path."""
+    for obs in report.observations:
+        if obs.action_name != "transfer":
+            continue
+        if any(call.api == "send_inline"
+               for call in obs.record.host_calls):
+            return VulnerabilityFinding(
+                "rollback", True,
+                "the eosponser answers payments with an inline action "
+                "the caller can revert")
+    return VulnerabilityFinding("rollback", False)

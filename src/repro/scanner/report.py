@@ -1,0 +1,54 @@
+"""Human-readable and JSON vulnerability reports."""
+
+from __future__ import annotations
+
+import json
+
+from ..eosio.name import name_to_string
+from .detectors import ScanResult
+
+__all__ = ["format_report", "report_to_json", "VULN_TITLES"]
+
+VULN_TITLES = {
+    "fake_eos": "Fake EOS (§2.3.1)",
+    "fake_notif": "Fake Notification (§2.3.2)",
+    "missauth": "Missing Authorization Verification (§2.3.3)",
+    "blockinfodep": "Blockinfo Dependency (§2.3.4)",
+    "rollback": "Rollback (§2.3.5)",
+}
+
+
+def format_report(result: ScanResult) -> str:
+    """Render a scan result the way the CLI prints it."""
+    account = name_to_string(result.target_account)
+    lines = [f"WASAI vulnerability report for {account}",
+             "=" * (32 + len(account))]
+    for vuln_type, title in VULN_TITLES.items():
+        finding = result.findings.get(vuln_type)
+        if finding is None:
+            continue
+        status = "VULNERABLE" if finding.detected else "ok"
+        lines.append(f"  [{status:>10}] {title}")
+        if finding.evidence:
+            lines.append(f"               {finding.evidence}")
+    verdict = ("VULNERABLE" if result.is_vulnerable()
+               else "no issues found")
+    lines.append(f"Overall: {verdict}")
+    return "\n".join(lines)
+
+
+def report_to_json(result: ScanResult) -> str:
+    """Machine-readable report (the CLI's ``--json`` output)."""
+    doc = {
+        "account": name_to_string(result.target_account),
+        "vulnerable": result.is_vulnerable(),
+        "findings": {
+            vuln_type: {
+                "detected": finding.detected,
+                "title": VULN_TITLES.get(vuln_type, vuln_type),
+                "evidence": finding.evidence,
+            }
+            for vuln_type, finding in result.findings.items()
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

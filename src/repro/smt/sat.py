@@ -1,0 +1,334 @@
+"""A CDCL SAT solver.
+
+This is the complete decision procedure at the bottom of
+:mod:`repro.smt`.  The WASAI paper hands its flipped path constraints to
+Z3; offline we bit-blast them (:mod:`repro.smt.bitblast`) and decide the
+resulting CNF here.
+
+The solver implements the standard modern recipe:
+
+* two watched literals per clause,
+* first-UIP conflict analysis with clause learning,
+* VSIDS-style variable activity with exponential decay,
+* geometric restarts,
+* optional conflict budget so callers can emulate the paper's
+  3,000 ms per-query solver cap deterministically.
+
+Literals use the DIMACS convention: variable ``v`` (a positive int) has
+literals ``v`` and ``-v``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["SatSolver", "SatResult", "SAT", "UNSAT", "UNKNOWN"]
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+class SatResult:
+    """Outcome of a :meth:`SatSolver.solve` call."""
+
+    __slots__ = ("status", "model", "conflicts")
+
+    def __init__(self, status: str, model: dict[int, bool] | None = None,
+                 conflicts: int = 0):
+        self.status = status
+        self.model = model or {}
+        self.conflicts = conflicts
+
+    def __bool__(self) -> bool:
+        return self.status == SAT
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SatResult({self.status}, conflicts={self.conflicts})"
+
+
+class SatSolver:
+    """CDCL solver over integer literals.
+
+    Typical use::
+
+        solver = SatSolver()
+        a = solver.new_var()
+        b = solver.new_var()
+        solver.add_clause([a, b])
+        solver.add_clause([-a])
+        result = solver.solve()
+        assert result.status == SAT and result.model[b] is True
+    """
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: list[list[int]] = []
+        # assignment[v] is True/False/None (unassigned).
+        self._assign: list[bool | None] = [None]
+        self._level: list[int] = [0]
+        self._reason: list[list[int] | None] = [None]
+        self._activity: list[float] = [0.0]
+        self._watches: dict[int, list[list[int]]] = {}
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._prop_head = 0
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._unsat = False
+
+    # -- construction ----------------------------------------------------
+    def new_var(self) -> int:
+        self._num_vars += 1
+        self._assign.append(None)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        return self._num_vars
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause; duplicates are removed and tautologies dropped."""
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in literals:
+            if lit == 0 or abs(lit) > self._num_vars:
+                raise ValueError(f"literal {lit} out of range")
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not clause:
+            self._unsat = True
+            return
+        # Drop literals already falsified at level 0; satisfied clauses
+        # at level 0 can be dropped entirely.
+        filtered: list[int] = []
+        for lit in clause:
+            value = self._lit_value(lit)
+            if value is True and self._level[abs(lit)] == 0:
+                return
+            if value is False and self._level[abs(lit)] == 0:
+                continue
+            filtered.append(lit)
+        clause = filtered
+        if not clause:
+            self._unsat = True
+            return
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._unsat = True
+            return
+        self._attach(clause)
+
+    def _attach(self, clause: list[int]) -> None:
+        self._clauses.append(clause)
+        self._watches.setdefault(clause[0], []).append(clause)
+        self._watches.setdefault(clause[1], []).append(clause)
+
+    # -- assignment helpers ----------------------------------------------
+    def _lit_value(self, lit: int) -> bool | None:
+        value = self._assign[abs(lit)]
+        if value is None:
+            return None
+        return value if lit > 0 else not value
+
+    def _enqueue(self, lit: int, reason: list[int] | None) -> bool:
+        value = self._lit_value(lit)
+        if value is not None:
+            return value
+        var = abs(lit)
+        self._assign[var] = lit > 0
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._prop_head < len(self._trail):
+            lit = self._trail[self._prop_head]
+            self._prop_head += 1
+            false_lit = -lit
+            watching = self._watches.get(false_lit)
+            if not watching:
+                continue
+            kept: list[list[int]] = []
+            idx = 0
+            while idx < len(watching):
+                clause = watching[idx]
+                idx += 1
+                # Normalise: watched literal in position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) is True:
+                    kept.append(clause)
+                    continue
+                # Look for a replacement watch.
+                replaced = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches.setdefault(clause[1], []).append(clause)
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                kept.append(clause)
+                if self._lit_value(first) is False:
+                    # Conflict: keep remaining watches before returning.
+                    kept.extend(watching[idx:])
+                    self._watches[false_lit] = kept
+                    return clause
+                self._enqueue(first, clause)
+            self._watches[false_lit] = kept
+        return None
+
+    # -- conflict analysis -------------------------------------------------
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP conflict analysis; returns (learnt clause, backjump
+        level).  learnt[0] is the asserting literal."""
+        current_level = len(self._trail_lim)
+        learnt: list[int] = []
+        seen: set[int] = set()
+        counter = 0
+        lit = None
+        reason: Sequence[int] = conflict
+        index = len(self._trail) - 1
+        while True:
+            for q in reason:
+                var = abs(q)
+                if var in seen or self._level[var] == 0:
+                    continue
+                seen.add(var)
+                self._bump(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learnt.append(q)
+            # Find the next literal to resolve on.
+            while abs(self._trail[index]) not in seen:
+                index -= 1
+            lit = self._trail[index]
+            index -= 1
+            counter -= 1
+            seen.discard(abs(lit))
+            if counter == 0:
+                break
+            clause_reason = self._reason[abs(lit)]
+            assert clause_reason is not None
+            reason = [q for q in clause_reason if q != lit]
+        learnt.insert(0, -lit)
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backjump to the second highest decision level in the clause.
+        max_i = 1
+        for i in range(2, len(learnt)):
+            if self._level[abs(learnt[i])] > self._level[abs(learnt[max_i])]:
+                max_i = i
+        learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, self._level[abs(learnt[1])]
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay(self) -> None:
+        self._var_inc /= self._var_decay
+
+    def _backjump(self, level: int) -> None:
+        while len(self._trail_lim) > level:
+            limit = self._trail_lim.pop()
+            while len(self._trail) > limit:
+                lit = self._trail.pop()
+                var = abs(lit)
+                self._assign[var] = None
+                self._reason[var] = None
+        self._prop_head = min(self._prop_head, len(self._trail))
+
+    def _decide(self) -> int | None:
+        """Pick the unassigned variable with the highest activity."""
+        best = None
+        best_activity = -1.0
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] is None and self._activity[var] > best_activity:
+                best = var
+                best_activity = self._activity[var]
+        if best is None:
+            return None
+        return -best  # negative-first polarity: small models for bitvectors
+
+    # -- main loop ---------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = (),
+              max_conflicts: int | None = None) -> SatResult:
+        """Decide satisfiability under the given assumption literals.
+
+        ``max_conflicts`` bounds the search; exceeding it yields
+        :data:`UNKNOWN` (mirrors the paper's per-query SMT budget).
+        """
+        if self._unsat:
+            return SatResult(UNSAT)
+        conflicts = 0
+        conflict = self._propagate()
+        if conflict is not None:
+            return SatResult(UNSAT)
+        for lit in assumptions:
+            if self._lit_value(lit) is False:
+                self._backjump(0)
+                return SatResult(UNSAT, conflicts=conflicts)
+            if self._lit_value(lit) is None:
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+                conflict = self._propagate()
+                if conflict is not None:
+                    self._backjump(0)
+                    return SatResult(UNSAT, conflicts=conflicts)
+        base_level = len(self._trail_lim)
+        restart_limit = 100
+        restart_conflicts = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflicts += 1
+                restart_conflicts += 1
+                if len(self._trail_lim) == base_level:
+                    self._backjump(0)
+                    return SatResult(UNSAT, conflicts=conflicts)
+                if max_conflicts is not None and conflicts > max_conflicts:
+                    self._backjump(0)
+                    return SatResult(UNKNOWN, conflicts=conflicts)
+                learnt, back_level = self._analyze(conflict)
+                self._backjump(max(back_level, base_level))
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self._backjump(0)
+                        return SatResult(UNSAT, conflicts=conflicts)
+                else:
+                    self._attach(learnt)
+                    self._enqueue(learnt[0], learnt)
+                self._decay()
+                if restart_conflicts >= restart_limit:
+                    restart_conflicts = 0
+                    restart_limit = int(restart_limit * 1.5)
+                    self._backjump(base_level)
+                continue
+            lit = self._decide()
+            if lit is None:
+                model = {v: bool(self._assign[v])
+                         for v in range(1, self._num_vars + 1)
+                         if self._assign[v] is not None}
+                # Unassigned vars (eliminated at level 0) default to False.
+                for v in range(1, self._num_vars + 1):
+                    model.setdefault(v, False)
+                self._backjump(0)
+                return SatResult(SAT, model, conflicts)
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)

@@ -1,0 +1,212 @@
+"""The layered constraint solver (the repo's Z3 substitute).
+
+:class:`Solver` exposes the z3py-flavoured ``add`` / ``check`` /
+``model`` interface the symbolic engine expects.  Internally it runs
+three layers, cheapest first:
+
+1. **Rewriting** — constraints are built through the simplifying
+   constructors in :mod:`repro.smt.terms`, so trivially true/false
+   branches never reach a search.
+2. **Propagation** — single-variable comparisons against constants are
+   decided in the unsigned interval domain
+   (:mod:`repro.smt.interval`), which covers most constraints WASAI
+   flips during fuzzing.
+3. **Bit-blasting + CDCL** — the complete fallback
+   (:mod:`repro.smt.bitblast` + :mod:`repro.smt.sat`), budgeted by a
+   conflict limit that plays the role of the paper's 3,000 ms cap.
+"""
+
+from __future__ import annotations
+
+from .bitblast import BitBlaster
+from .interval import Interval, propagate_comparison
+from .sat import SAT, UNKNOWN, UNSAT, SatSolver
+from .terms import (FALSE, TRUE, Term, evaluate, free_variables, mask)
+
+__all__ = ["Solver", "Model", "SolverStats", "SAT", "UNSAT", "UNKNOWN"]
+
+
+class Model:
+    """A satisfying assignment: variable name -> unsigned int value."""
+
+    def __init__(self, values: dict[str, int]):
+        self._values = dict(values)
+
+    def __getitem__(self, key: "Term | str") -> int:
+        name = key if isinstance(key, str) else key.payload[0]
+        return self._values.get(name, 0)
+
+    def __contains__(self, key: "Term | str") -> bool:
+        name = key if isinstance(key, str) else key.payload[0]
+        return name in self._values
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Model({inner})"
+
+
+class SolverStats:
+    """Counters for the ablation benchmarks."""
+
+    def __init__(self) -> None:
+        self.checks = 0
+        self.fast_path_hits = 0
+        self.sat_calls = 0
+        self.sat_conflicts = 0
+        self.unknowns = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "checks": self.checks,
+            "fast_path_hits": self.fast_path_hits,
+            "sat_calls": self.sat_calls,
+            "sat_conflicts": self.sat_conflicts,
+            "unknowns": self.unknowns,
+        }
+
+
+class Solver:
+    """Check satisfiability of a conjunction of boolean terms."""
+
+    def __init__(self, max_conflicts: int = 20_000,
+                 stats: SolverStats | None = None):
+        self._constraints: list[Term] = []
+        self._stack: list[int] = []
+        self.max_conflicts = max_conflicts
+        self._model: Model | None = None
+        self.stats = stats or SolverStats()
+
+    # -- z3py-flavoured interface ------------------------------------------
+    def add(self, *constraints: Term) -> None:
+        for c in constraints:
+            if not c.is_bool():
+                raise TypeError("constraints must be boolean terms")
+            self._constraints.append(c)
+
+    def push(self) -> None:
+        self._stack.append(len(self._constraints))
+
+    def pop(self) -> None:
+        size = self._stack.pop()
+        del self._constraints[size:]
+
+    def assertions(self) -> list[Term]:
+        return list(self._constraints)
+
+    def check(self, *extra: Term) -> str:
+        """Return "sat", "unsat" or "unknown"."""
+        self.stats.checks += 1
+        constraints = self._constraints + list(extra)
+        self._model = None
+        if any(c is FALSE for c in constraints):
+            return UNSAT
+        constraints = [c for c in constraints if c is not TRUE]
+        if not constraints:
+            self._model = Model({})
+            return SAT
+        result = self._try_fast_path(constraints)
+        if result is not None:
+            self.stats.fast_path_hits += 1
+            return result
+        return self._check_sat(constraints)
+
+    def model(self) -> Model:
+        if self._model is None:
+            raise RuntimeError("model() called without a sat check()")
+        return self._model
+
+    # -- layer 2: interval propagation ----------------------------------------
+    def _try_fast_path(self, constraints: list[Term]) -> str | None:
+        """Decide conjunctions of single-variable compares-to-constant.
+
+        Returns None when any constraint falls outside the supported
+        shape, punting to the SAT layer.
+        """
+        intervals: dict[str, Interval] = {}
+        widths: dict[str, int] = {}
+        for constraint in constraints:
+            parsed = _parse_atom(constraint)
+            if parsed is None:
+                return None
+            op, var, constant, var_on_left = parsed
+            name = var.payload[0]
+            widths[name] = var.width
+            interval = intervals.get(name, Interval(var.width))
+            refined = propagate_comparison(op, interval, constant, var_on_left)
+            if refined is None:
+                return None
+            intervals[name] = refined
+        values: dict[str, int] = {}
+        for name, interval in intervals.items():
+            if interval.is_empty():
+                return UNSAT
+            witness = interval.pick()
+            if witness is None:
+                return UNSAT
+            values[name] = witness
+        # Double-check the witness (holes interact with bounds).
+        assignment = dict(values)
+        for constraint in constraints:
+            if not evaluate(constraint, assignment):
+                return None  # fall through to SAT rather than mis-answer
+        self._model = Model(values)
+        return SAT
+
+    # -- layer 3: bit-blasting -----------------------------------------------
+    def _check_sat(self, constraints: list[Term]) -> str:
+        self.stats.sat_calls += 1
+        sat_solver = SatSolver()
+        blaster = BitBlaster(sat_solver)
+        # Pre-declare free variables so the model covers all of them.
+        for constraint in constraints:
+            for var in free_variables(constraint):
+                blaster.blast_bv(var)
+        try:
+            for constraint in constraints:
+                blaster.assert_term(constraint)
+        except ValueError:
+            self.stats.unknowns += 1
+            return UNKNOWN
+        result = sat_solver.solve(max_conflicts=self.max_conflicts)
+        self.stats.sat_conflicts += result.conflicts
+        if result.status == SAT:
+            self._model = Model(blaster.decode(result.model))
+            return SAT
+        if result.status == UNSAT:
+            return UNSAT
+        self.stats.unknowns += 1
+        return UNKNOWN
+
+
+def _parse_atom(term: Term) -> tuple[str, Term, int, bool] | None:
+    """Recognise ``var <op> const`` atoms (and negations / mirrored
+    forms).  Returns (op, var, constant, var_on_left) or None."""
+    negated = False
+    if term.op == "not":
+        negated = True
+        term = term.args[0]
+    op = term.op
+    if op not in ("eq", "bvult", "bvule", "bvslt", "bvsle"):
+        return None
+    lhs, rhs = term.args
+    if lhs.is_bool() or rhs.is_bool():
+        return None
+    if lhs.op == "bvvar" and rhs.is_const():
+        var, constant, var_on_left = lhs, rhs.const_value(), True
+    elif rhs.op == "bvvar" and lhs.is_const():
+        var, constant, var_on_left = rhs, lhs.const_value(), False
+    else:
+        return None
+    if negated:
+        if op == "eq":
+            return ("ne", var, constant, var_on_left)
+        flipped = {"bvult": "bvule", "bvule": "bvult",
+                   "bvslt": "bvsle", "bvsle": "bvslt"}[op]
+        # not (a < b)  ==  b <= a : mirror sides.
+        return (flipped, var, constant, not var_on_left)
+    if op == "eq":
+        return ("eq", var, constant, var_on_left)
+    return (op, var, constant, var_on_left)

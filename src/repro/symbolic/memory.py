@@ -1,0 +1,98 @@
+"""The symbolic memory model (challenge C2, §3.4.1).
+
+The paper's key trick: the EOSVM simulator replays *recorded* traces,
+so every memory instruction's address is available **concretely** even
+when the address expression is symbolic.  Memory is therefore a
+byte-addressed mapping from concrete addresses to symbolic byte
+expressions — stores split the value into bytes, loads concatenate
+them — with no need to merge overlapping symbolic address ranges the
+way EOSAFE's mapping structure must.
+
+Bytes that were never stored during the replayed window (the trace is
+simplified: it starts at the action function) are materialised as
+*symbolic load objects*: fresh variables carrying their ⟨address,
+size⟩ pair, which the solver is free to pick values for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..smt import BitVec, BitVecVal, Concat, Extract, Term
+
+__all__ = ["SymbolicMemory", "SymbolicLoad"]
+
+
+@dataclass(frozen=True)
+class SymbolicLoad:
+    """The ⟨a, s⟩ pair of §3.4.1: ``s`` bytes of unknown memory at
+    concrete offset ``a``, represented by the fresh variable ``var``."""
+
+    address: int
+    size: int
+    var: Term
+
+
+class SymbolicMemory:
+    """μ_m: concrete byte addresses -> symbolic byte expressions."""
+
+    def __init__(self) -> None:
+        self._bytes: dict[int, Term] = {}
+        self.symbolic_loads: list[SymbolicLoad] = []
+        self._fresh_counter = 0
+
+    def __len__(self) -> int:
+        return len(self._bytes)
+
+    def known(self, address: int) -> bool:
+        return address in self._bytes
+
+    # -- the paper's Δ.store ------------------------------------------------
+    def store(self, address: int, size: int, value: Term) -> None:
+        """Split ``value`` into little-endian bytes at ``address``."""
+        if value.width < size * 8:
+            raise ValueError(
+                f"store of {value.width} bits into {size} bytes")
+        for i in range(size):
+            self._bytes[address + i] = Extract(8 * i + 7, 8 * i, value)
+
+    def store_bytes(self, address: int, data: bytes) -> None:
+        """Store concrete bytes (used to seed known memory regions)."""
+        for i, byte in enumerate(data):
+            self._bytes[address + i] = BitVecVal(byte, 8)
+
+    def store_symbol(self, address: int, var: Term) -> None:
+        """Bind an input variable's bytes at a concrete address (the
+        calling-convention initialisation of Table 2)."""
+        self.store(address, var.width // 8, var)
+
+    # -- the paper's Δ.load --------------------------------------------------
+    def load(self, address: int, size: int) -> Term:
+        """Concatenate ``size`` bytes from ``address`` (little-endian).
+
+        Unknown bytes become one symbolic load object covering the
+        maximal unknown run, so ``i64.load`` of untouched memory yields
+        a single fresh 64-bit variable rather than eight byte vars.
+        """
+        if all(address + i not in self._bytes for i in range(size)):
+            return self._fresh_load(address, size)
+        parts: list[Term] = []  # most-significant first for Concat
+        for i in reversed(range(size)):
+            byte = self._bytes.get(address + i)
+            if byte is None:
+                byte = self._fresh_load(address + i, 1)
+            parts.append(byte)
+        return Concat(*parts)
+
+    def _fresh_load(self, address: int, size: int) -> Term:
+        self._fresh_counter += 1
+        var = BitVec(f"symload_{address}_{self._fresh_counter}", size * 8)
+        record = SymbolicLoad(address, size, var)
+        self.symbolic_loads.append(record)
+        # Remember the bytes so repeated loads see the same object.
+        self.store(address, size, var)
+        return var
+
+    def dump(self) -> dict[int, Term]:
+        """A copy of the byte map (for tests and debugging)."""
+        return dict(self._bytes)

@@ -1,0 +1,642 @@
+"""Trace replay: lifting runtime traces to symbolic machine states.
+
+Implements §3.4.3 (Table 3 operational semantics) on top of the hook
+events produced by the instrumented contract:
+
+* replay starts at the **action function** (the dispatcher prefix is
+  skipped, §3.4.2) with the Local section initialised from the
+  :class:`~repro.symbolic.calling.SeedLayout`,
+* memory instructions use the **concrete addresses** recorded in the
+  trace (§3.4.1),
+* returns of library APIs are taken from the ``call_post`` hooks, so
+  host function bodies are never simulated,
+* every conditional state (``br_if``/``if`` and ``eosio_assert``) is
+  recorded with its symbolic condition for the constraint flipper.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+
+from ..instrument.hooks import HookEvent
+from ..instrument.instrumenter import Site, SiteTable
+from ..smt import (BitVec, BitVecVal, Clz, Concat, Ctz, Eq, Extract, Ite, Ne,
+                   Not, Popcnt, Rotl, Rotr, SDiv, SGE, SGT, SLE, SLT, SRem,
+                   SignExt, Term, UDiv, UGE, UGT, ULE, ULT, URem, ZeroExt,
+                   AShr, to_signed)
+from ..wasm.module import Module
+from ..wasm.opcodes import Instr, is_load, is_store, memory_access_size
+from .calling import SeedLayout
+from .machine import Frame, MachineState
+
+__all__ = ["BranchRecord", "ReplayResult", "replay_action",
+           "locate_action_call", "branch_coverage_ids"]
+
+
+@dataclass
+class BranchRecord:
+    """One conditional state (§3.1) observed during replay."""
+
+    site: Site
+    kind: str                 # "br_if" | "if" | "br_table" | "assert"
+    condition: Term | None    # constraint of the taken direction
+    flipped: Term | None      # constraint of the unexplored direction
+    taken: int                # concrete outcome (0/1, or br_table index)
+    path_position: int        # how many path constraints precede it
+
+    @property
+    def branch_id(self) -> tuple:
+        return (self.site.func_index, self.site.pc, self.taken != 0)
+
+
+@dataclass
+class ReplayResult:
+    """Output of one symbolic replay."""
+
+    branches: list[BranchRecord] = field(default_factory=list)
+    path: list[Term] = field(default_factory=list)
+    covered: set[tuple] = field(default_factory=set)
+    layout: SeedLayout | None = None
+    state: MachineState | None = None
+    reached_action: bool = False
+    error: str | None = None
+
+
+def locate_action_call(events: list[HookEvent], sites: SiteTable,
+                       apply_index: int) -> tuple[int, int, list[int]] | None:
+    """Find the dispatcher's indirect call into the action function.
+
+    Returns ``(event index of the callee's begin, action function
+    index, concrete argument values)`` or None when the trace never
+    dispatches (e.g. the guard rejected the action).
+
+    This is the §3.4.2 pattern match: EOSIO SDK dispatchers reach the
+    action function through ``call_indirect`` inside ``apply``.
+    """
+    for i, event in enumerate(events):
+        if event.kind != "instr":
+            continue
+        site = sites[event.site_id]
+        if site.func_index != apply_index:
+            continue
+        if site.instr.op != "call_indirect":
+            continue  # §3.4.2: the SDK dispatch is an *indirect* call
+        # The next "begin" event (if any) is the callee.
+        for j in range(i + 1, len(events)):
+            nxt = events[j]
+            if nxt.kind == "begin":
+                return (j, nxt.func_id, list(event.operands[:-1]))
+            if nxt.kind == "instr":
+                break  # import call; keep scanning
+    return None
+
+
+def replay_action(module: Module, sites: SiteTable,
+                  events: list[HookEvent], layout: SeedLayout,
+                  apply_index: int,
+                  import_names: dict[int, str] | None = None) -> ReplayResult:
+    """Symbolically replay the action-function window of a trace."""
+    result = ReplayResult(layout=layout)
+    if import_names is None:
+        import_names = {
+            i: imp.name
+            for i, imp in enumerate(module.imported_functions())}
+    located = locate_action_call(events, sites, apply_index)
+    if located is None:
+        return result
+    begin_index, action_func, concrete_args = located
+    result.reached_action = True
+    state = MachineState()
+    result.state = state
+    frame = layout.init_frame(action_func, [int(a) for a in concrete_args],
+                              state.memory)
+    _extend_declared_locals(module, action_func, frame)
+    state.frames.append(frame)
+    replayer = _Replayer(module, sites, state, result, import_names)
+    for event in events[begin_index + 1:]:
+        try:
+            done = replayer.step(event)
+        except _ReplayAbort as abort:
+            result.error = str(abort)
+            break
+        if done:
+            break
+    return result
+
+
+def branch_coverage_ids(sites: SiteTable,
+                        events: list[HookEvent]) -> set[tuple]:
+    """Distinct-branch ids of a whole trace (used for RQ1 coverage,
+    independent of the symbolic window)."""
+    covered: set[tuple] = set()
+    for event in events:
+        if event.kind != "instr":
+            continue
+        site = sites[event.site_id]
+        op = site.instr.op
+        if op in ("br_if", "if"):
+            covered.add((site.func_index, site.pc,
+                         bool(event.operands[-1])))
+        elif op == "br_table":
+            covered.add((site.func_index, site.pc,
+                         int(event.operands[-1])))
+    return covered
+
+
+class _ReplayAbort(Exception):
+    """Internal: the replay cannot continue (malformed trace window)."""
+
+
+@dataclass
+class _PendingCall:
+    target: int
+    args: list
+    is_import: bool
+    entered: bool = False
+
+
+class _Replayer:
+    def __init__(self, module: Module, sites: SiteTable,
+                 state: MachineState, result: ReplayResult,
+                 import_names: dict[int, str]):
+        self.module = module
+        self.sites = sites
+        self.state = state
+        self.result = result
+        self.import_names = import_names
+        self.import_count = module.num_imported_functions
+        self.pending: list[_PendingCall] = []
+        self.base_depth = 1  # the action function's frame
+
+    # -- event dispatch ------------------------------------------------------
+    def step(self, event: HookEvent) -> bool:
+        """Process one event; returns True when the action function
+        window is complete."""
+        if event.kind == "begin":
+            self._on_begin(event)
+            return False
+        if event.kind == "end":
+            return self._on_end(event)
+        if event.kind == "post":
+            self._on_post(event)
+            return False
+        site = self.sites[event.site_id]
+        self._on_instr(site, event.operands)
+        return False
+
+    def _on_begin(self, event: HookEvent) -> None:
+        if self.pending and not self.pending[-1].entered:
+            call = self.pending[-1]
+            call.entered = True
+            frame = Frame(event.func_id, call.args)
+            _extend_declared_locals(self.module, event.func_id, frame)
+            self.state.frames.append(frame)
+        else:
+            # A begin with no pending call (should not happen inside
+            # the window); open an empty frame to stay balanced.
+            self.state.push_frame(event.func_id, [])
+
+    def _on_end(self, event: HookEvent) -> bool:
+        if self.state.depth <= self.base_depth:
+            return True  # the action function finished
+        frame = self.state.frames.pop()
+        arity = len(self.module.function_type(frame.func_index).results)
+        returns = frame.stack[-arity:] if arity else []
+        self.state.returns.append(returns)
+        return False
+
+    def _on_post(self, event: HookEvent) -> None:
+        if not self.pending:
+            return
+        call = self.pending.pop()
+        frame = self.state.frame
+        if call.is_import or not call.entered:
+            # Library API: take the concrete returns from the hook
+            # (§3.4.3: no simulation of host bodies).
+            results = self.module.function_type(call.target).results
+            for valtype, value in zip(results, event.operands):
+                frame.push(_concrete(valtype.name, value))
+        else:
+            for value in self.state.pop_returns():
+                frame.push(value)
+
+    # -- instruction semantics (Table 3) ------------------------------------------
+    def _on_instr(self, site: Site, operands: tuple) -> None:
+        instr = site.instr
+        op = instr.op
+        frame = self.state.frame
+        if op == "call" or op == "call_indirect":
+            self._on_call(site, operands)
+            return
+        handler_name = _HANDLERS.get(op)
+        if handler_name is not None:
+            getattr(self, handler_name)(site, instr, operands, frame)
+            return
+        prefix = op.split(".", 1)[0]
+        if prefix in ("i32", "i64"):
+            self._int_op(site, instr, operands, frame)
+        elif prefix in ("f32", "f64"):
+            self._float_op(site, instr, operands, frame)
+        else:
+            raise _ReplayAbort(f"no replay rule for {op}")
+
+    def _on_call(self, site: Site, operands: tuple) -> None:
+        instr = site.instr
+        frame = self.state.frame
+        if instr.op == "call_indirect":
+            frame.pop()  # the table slot expression
+            # Target resolves at the next begin; record a placeholder.
+            params = self.module.types[instr.args[0]].params
+            args = frame.pop_n(len(params))
+            self.pending.append(_PendingCall(-1, args, False))
+            return
+        target = instr.args[0]
+        func_type = self.module.function_type(target)
+        args = frame.pop_n(len(func_type.params))
+        if target < self.import_count:
+            name = self.import_names.get(target, "?")
+            self._on_import_call(site, name, args, operands)
+            self.pending.append(_PendingCall(target, args, True))
+        else:
+            self.pending.append(_PendingCall(target, args, False))
+
+    def _on_import_call(self, site: Site, name: str, args: list,
+                        operands: tuple) -> None:
+        if name == "eosio_assert":
+            condition = _as_bool(args[0])
+            passed = bool(operands[0])
+            position = len(self.result.path)
+            if passed:
+                self.result.path.append(condition)
+                self.result.branches.append(BranchRecord(
+                    site, "assert", condition, None, 1, position))
+            else:
+                # The paper's flip: require μ_ŝ[0] == 1.
+                self.result.branches.append(BranchRecord(
+                    site, "assert", Not(condition), condition,
+                    0, position))
+
+    # -- structured / variable instructions ------------------------------------------
+    def _h_const(self, site, instr, operands, frame):
+        op = instr.op
+        if op == "i32.const":
+            frame.push(BitVecVal(instr.args[0], 32))
+        elif op == "i64.const":
+            frame.push(BitVecVal(instr.args[0], 64))
+        elif op == "f32.const":
+            frame.push(BitVecVal(_f32_bits(instr.args[0]), 32))
+        else:
+            frame.push(BitVecVal(_f64_bits(instr.args[0]), 64))
+
+    def _h_local_get(self, site, instr, operands, frame):
+        frame.push(frame.local_get(instr.args[0]))
+
+    def _h_local_set(self, site, instr, operands, frame):
+        frame.local_set(instr.args[0], frame.pop())
+
+    def _h_local_tee(self, site, instr, operands, frame):
+        frame.local_set(instr.args[0], frame.top())
+
+    def _h_global_get(self, site, instr, operands, frame):
+        frame.push(self.state.global_get(instr.args[0]))
+
+    def _h_global_set(self, site, instr, operands, frame):
+        self.state.global_set(instr.args[0], frame.pop())
+
+    def _h_drop(self, site, instr, operands, frame):
+        frame.pop()
+
+    def _h_select(self, site, instr, operands, frame):
+        cond = frame.pop()
+        second = frame.pop()
+        first = frame.pop()
+        first, second = _harmonise(first, second)
+        frame.push(Ite(_as_bool(cond), first, second))
+
+    def _h_nop(self, site, instr, operands, frame):
+        pass
+
+    def _h_unreachable(self, site, instr, operands, frame):
+        pass  # the trace ends right after; nothing to update
+
+    def _h_return(self, site, instr, operands, frame):
+        pass  # end_function label follows and unwinds the frame
+
+    def _h_br(self, site, instr, operands, frame):
+        pass  # jump destinations are omitted (§3.4.3)
+
+    def _h_br_if(self, site, instr, operands, frame):
+        condition = frame.pop()
+        self._record_branch(site, "br_if", condition, bool(operands[-1]))
+
+    def _h_if(self, site, instr, operands, frame):
+        condition = frame.pop()
+        self._record_branch(site, "if", condition, bool(operands[-1]))
+
+    def _h_br_table(self, site, instr, operands, frame):
+        index = frame.pop()
+        taken = int(operands[-1])
+        position = len(self.result.path)
+        constraint = Eq(_fit(index, 32), BitVecVal(taken, 32))
+        if constraint.op not in ("true",):
+            self.result.path.append(constraint)
+        self.result.branches.append(BranchRecord(
+            site, "br_table", constraint, None, taken, position))
+        self.result.covered.add((site.func_index, site.pc, taken))
+
+    def _record_branch(self, site: Site, kind: str, condition,
+                       taken: bool) -> None:
+        boolean = _as_bool(condition)
+        taken_constraint = boolean if taken else Not(boolean)
+        flipped = Not(boolean) if taken else boolean
+        position = len(self.result.path)
+        self.result.path.append(taken_constraint)
+        self.result.branches.append(BranchRecord(
+            site, kind, taken_constraint, flipped, int(taken), position))
+        self.result.covered.add((site.func_index, site.pc, taken))
+
+    def _h_memory_size(self, site, instr, operands, frame):
+        frame.push(BitVecVal(4096, 32))  # the paper's constant (§3.4.3)
+
+    def _h_memory_grow(self, site, instr, operands, frame):
+        frame.pop()
+        frame.push(BitVecVal(4096, 32))
+
+    # -- memory (Δ.load / Δ.store, §3.4.1) ------------------------------------------------
+    def _h_load(self, site, instr, operands, frame):
+        frame.pop()  # the symbolic address expression
+        address = int(operands[0]) + instr.args[1]  # concrete + offset
+        size = memory_access_size(instr.op)
+        value = self.state.memory.load(address, size)
+        frame.push(_extend_loaded(instr.op, value))
+
+    def _h_store(self, site, instr, operands, frame):
+        value = frame.pop()
+        frame.pop()  # address expression
+        address = int(operands[0]) + instr.args[1]
+        size = memory_access_size(instr.op)
+        if isinstance(value, Term):
+            narrowed = Extract(size * 8 - 1, 0, _fit(value, max(
+                size * 8, value.width)))
+        else:
+            narrowed = BitVecVal(int(value), size * 8)
+        self.state.memory.store(address, size, narrowed)
+
+    # -- integer ALU --------------------------------------------------------------------------
+    def _int_op(self, site, instr, operands, frame):
+        op = instr.op
+        prefix, _, name = op.partition(".")
+        width = 32 if prefix == "i32" else 64
+        if name == "eqz":
+            x = _fit(frame.pop(), width)
+            frame.push(_bool_to_i32(Eq(x, BitVecVal(0, width))))
+            return
+        if name in _RELOPS:
+            rhs = _fit(frame.pop(), width)
+            lhs = _fit(frame.pop(), width)
+            frame.push(_bool_to_i32(_RELOPS[name](lhs, rhs)))
+            return
+        if name in _BINOPS:
+            rhs = _fit(frame.pop(), width)
+            lhs = _fit(frame.pop(), width)
+            frame.push(_BINOPS[name](lhs, rhs))
+            return
+        if name in ("clz", "ctz", "popcnt"):
+            x = _fit(frame.pop(), width)
+            fn = {"clz": Clz, "ctz": Ctz, "popcnt": Popcnt}[name]
+            frame.push(fn(x))
+            return
+        if name == "wrap_i64":
+            frame.push(Extract(31, 0, _fit(frame.pop(), 64)))
+            return
+        if name in ("extend_i32_s", "extend_i32_u"):
+            x = _fit(frame.pop(), 32)
+            frame.push(SignExt(32, x) if name.endswith("_s")
+                       else ZeroExt(32, x))
+            return
+        if name.startswith("trunc_") or name.startswith("reinterpret_"):
+            # Float source: compute concretely from the traced operand.
+            frame.pop()
+            frame.push(_concrete_convert(op, operands))
+            return
+        raise _ReplayAbort(f"no integer replay rule for {op}")
+
+    # -- floats: computed concretely from traced operands ----------------------------------------
+    def _float_op(self, site, instr, operands, frame):
+        op = instr.op
+        pops = _FLOAT_POPS.get(op.split(".", 1)[1], 2)
+        for _ in range(pops):
+            frame.pop()
+        frame.push(_concrete_float_result(op, operands))
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+_HANDLERS = {
+    "i32.const": "_h_const", "i64.const": "_h_const",
+    "f32.const": "_h_const", "f64.const": "_h_const",
+    "local.get": "_h_local_get", "local.set": "_h_local_set",
+    "local.tee": "_h_local_tee", "global.get": "_h_global_get",
+    "global.set": "_h_global_set", "drop": "_h_drop",
+    "select": "_h_select", "nop": "_h_nop",
+    "unreachable": "_h_unreachable", "return": "_h_return",
+    "br": "_h_br", "br_if": "_h_br_if", "if": "_h_if",
+    "br_table": "_h_br_table", "memory.size": "_h_memory_size",
+    "memory.grow": "_h_memory_grow",
+    "block": "_h_nop", "loop": "_h_nop",
+}
+for _op in ("i32.load", "i64.load", "f32.load", "f64.load",
+            "i32.load8_s", "i32.load8_u", "i32.load16_s", "i32.load16_u",
+            "i64.load8_s", "i64.load8_u", "i64.load16_s", "i64.load16_u",
+            "i64.load32_s", "i64.load32_u"):
+    _HANDLERS[_op] = "_h_load"
+for _op in ("i32.store", "i64.store", "f32.store", "f64.store",
+            "i32.store8", "i32.store16", "i64.store8", "i64.store16",
+            "i64.store32"):
+    _HANDLERS[_op] = "_h_store"
+
+_BINOPS = {
+    "add": lambda a, b: a + b, "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b, "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b, "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << b, "shr_u": lambda a, b: a >> b,
+    "shr_s": AShr, "rotl": Rotl, "rotr": Rotr,
+    "div_u": UDiv, "rem_u": URem, "div_s": SDiv, "rem_s": SRem,
+}
+_RELOPS = {
+    "eq": Eq, "ne": Ne, "lt_u": ULT, "gt_u": UGT, "le_u": ULE,
+    "ge_u": UGE, "lt_s": SLT, "gt_s": SGT, "le_s": SLE, "ge_s": SGE,
+}
+_FLOAT_POPS = {
+    "abs": 1, "neg": 1, "ceil": 1, "floor": 1, "trunc": 1, "nearest": 1,
+    "sqrt": 1, "demote_f64": 1, "promote_f32": 1,
+    "convert_i32_s": 1, "convert_i32_u": 1,
+    "convert_i64_s": 1, "convert_i64_u": 1,
+    "reinterpret_i32": 1, "reinterpret_i64": 1,
+}
+
+
+def _fit(value, width: int) -> Term:
+    """Coerce a value to a ``width``-bit term."""
+    if not isinstance(value, Term):
+        return BitVecVal(int(value), width)
+    if value.width == width:
+        return value
+    if value.width > width:
+        return Extract(width - 1, 0, value)
+    return ZeroExt(width - value.width, value)
+
+
+def _harmonise(first, second) -> tuple[Term, Term]:
+    first = first if isinstance(first, Term) else BitVecVal(int(first), 64)
+    second = second if isinstance(second, Term) else BitVecVal(int(second), 64)
+    width = max(first.width, second.width)
+    return _fit(first, width), _fit(second, width)
+
+
+def _bool_to_i32(condition: Term) -> Term:
+    return Ite(condition, BitVecVal(1, 32), BitVecVal(0, 32))
+
+
+def _as_bool(value) -> Term:
+    """Recover a boolean from an i32 truth value, simplifying the
+    common ``Ite(c, 1, 0)`` shape produced by comparisons."""
+    if not isinstance(value, Term):
+        from ..smt import BoolVal
+        return BoolVal(bool(value))
+    if value.is_bool():
+        return value
+    if (value.op == "ite" and value.args[1].is_const()
+            and value.args[2].is_const()):
+        then_v = value.args[1].const_value()
+        else_v = value.args[2].const_value()
+        if then_v == 1 and else_v == 0:
+            return value.args[0]
+        if then_v == 0 and else_v == 1:
+            return Not(value.args[0])
+    return Ne(value, BitVecVal(0, value.width))
+
+
+def _concrete(valtype_name: str, value) -> Term:
+    if valtype_name == "i32":
+        return BitVecVal(int(value), 32)
+    if valtype_name == "i64":
+        return BitVecVal(int(value), 64)
+    if valtype_name == "f32":
+        return BitVecVal(_f32_bits(float(value)), 32)
+    return BitVecVal(_f64_bits(float(value)), 64)
+
+
+def _extend_loaded(op: str, value: Term) -> Term:
+    """Apply the load's sign/zero extension to the target width."""
+    target = 64 if op.startswith("i64") or op.startswith("f64") else 32
+    if value.width == target:
+        return value
+    extra = target - value.width
+    return SignExt(extra, value) if op.endswith("_s") else ZeroExt(extra, value)
+
+
+def _f32_bits(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def _f64_bits(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def _bits_f32(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+
+
+def _bits_f64(bits: int) -> float:
+    return struct.unpack("<d", struct.pack(
+        "<Q", bits & 0xFFFFFFFFFFFFFFFF))[0]
+
+
+def _float_operand(op_prefix: str, raw) -> float:
+    """Interpret a traced float operand (the hooks deliver Python
+    floats for f32/f64 operands already)."""
+    return float(raw)
+
+
+def _concrete_float_result(op: str, operands: tuple) -> Term:
+    """Compute a float instruction's result from its traced operands.
+
+    WASAI proper carries Z3 FPVal expressions; our SMT layer has no FP
+    theory, so float data flow is concretised (documented in
+    DESIGN.md).  Conditional flips never involve float inputs in the
+    benchmark families.
+    """
+    prefix, _, name = op.partition(".")
+    values = [float(v) for v in operands]
+    if name in ("eq", "ne", "lt", "gt", "le", "ge"):
+        a, b = values
+        result = {"eq": a == b, "ne": a != b, "lt": a < b,
+                  "gt": a > b, "le": a <= b, "ge": a >= b}[name]
+        return BitVecVal(1 if result else 0, 32)
+    if name in ("convert_i32_s", "convert_i64_s"):
+        bits = 32 if name.endswith("i32_s") else 64
+        values = [to_signed(int(operands[0]), bits)]
+    elif name in ("convert_i32_u", "convert_i64_u"):
+        values = [int(operands[0])]
+    elif name == "reinterpret_i32":
+        values = [_bits_f32(int(operands[0]))]
+    elif name == "reinterpret_i64":
+        values = [_bits_f64(int(operands[0]))]
+    result = _FLOAT_EVAL[name](*values)
+    if prefix == "f32":
+        return BitVecVal(_f32_bits(result), 32)
+    return BitVecVal(_f64_bits(result), 64)
+
+
+_FLOAT_EVAL = {
+    "add": lambda a, b: a + b, "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b if b else math.copysign(math.inf, a or 1.0),
+    "min": min, "max": max,
+    "copysign": lambda a, b: math.copysign(a, b),
+    "abs": abs, "neg": lambda a: -a,
+    "ceil": lambda a: float(math.ceil(a)),
+    "floor": lambda a: float(math.floor(a)),
+    "trunc": lambda a: float(math.trunc(a)),
+    "nearest": lambda a: float(round(a)),
+    "sqrt": math.sqrt,
+    "demote_f64": lambda a: a, "promote_f32": lambda a: a,
+    "convert_i32_s": float, "convert_i32_u": float,
+    "convert_i64_s": float, "convert_i64_u": float,
+    "reinterpret_i32": lambda a: a, "reinterpret_i64": lambda a: a,
+}
+
+
+def _concrete_convert(op: str, operands: tuple) -> Term:
+    """i32/i64 results of float-source conversions, concretised."""
+    target = 64 if op.startswith("i64") else 32
+    name = op.split(".", 1)[1]
+    raw = operands[0]
+    if name.startswith("reinterpret"):
+        bits = _f32_bits(float(raw)) if target == 32 else _f64_bits(float(raw))
+        return BitVecVal(bits, target)
+    truncated = math.trunc(float(raw))
+    return BitVecVal(truncated, target)
+
+
+def _extend_declared_locals(module: Module, func_index: int,
+                            frame: Frame) -> None:
+    """Append the function's declared (non-param) locals as zeroes of
+    the right width."""
+    if module.is_imported_function(func_index):
+        return
+    func = module.local_function(func_index)
+    for valtype in func.locals:
+        frame.locals.append(BitVecVal(0, valtype.bits))
+    # Harmonise widths of parameter slots with the declared types.
+    params = module.types[func.type_index].params
+    for i, valtype in enumerate(params):
+        if i < len(frame.locals):
+            frame.locals[i] = _fit(frame.locals[i], valtype.bits)
+
+

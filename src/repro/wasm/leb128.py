@@ -1,0 +1,119 @@
+"""LEB128 integer codecs used by the Wasm binary format."""
+
+from __future__ import annotations
+
+__all__ = ["encode_unsigned", "encode_signed", "decode_unsigned",
+           "decode_signed", "Reader"]
+
+
+def encode_unsigned(value: int) -> bytes:
+    """Encode a non-negative int as unsigned LEB128."""
+    if value < 0:
+        raise ValueError("unsigned LEB128 requires a non-negative value")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def encode_signed(value: int) -> bytes:
+    """Encode a (possibly negative) int as signed LEB128."""
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        sign = byte & 0x40
+        if (value == 0 and not sign) or (value == -1 and sign):
+            out.append(byte)
+            return bytes(out)
+        out.append(byte | 0x80)
+
+
+def decode_unsigned(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode unsigned LEB128; returns (value, next offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated LEB128")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 70:
+            raise ValueError("LEB128 too long")
+
+
+def decode_signed(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode signed LEB128; returns (value, next offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated LEB128")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        shift += 7
+        if not byte & 0x80:
+            if byte & 0x40:
+                result -= 1 << shift
+            return result, offset
+        if shift > 70:
+            raise ValueError("LEB128 too long")
+
+
+class Reader:
+    """A cursor over bytes with LEB128 helpers for the parser."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int = 0):
+        self.data = data
+        self.pos = pos
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.data)
+
+    def byte(self) -> int:
+        if self.pos >= len(self.data):
+            raise ValueError("unexpected end of input")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def take(self, count: int) -> bytes:
+        if self.pos + count > len(self.data):
+            raise ValueError("unexpected end of input")
+        chunk = self.data[self.pos:self.pos + count]
+        self.pos += count
+        return chunk
+
+    def u32(self) -> int:
+        value, self.pos = decode_unsigned(self.data, self.pos)
+        if value >= 1 << 32:
+            raise ValueError("u32 out of range")
+        return value
+
+    def s32(self) -> int:
+        value, self.pos = decode_signed(self.data, self.pos)
+        if not -(1 << 31) <= value < (1 << 32):
+            raise ValueError("s32 out of range")
+        return value
+
+    def s64(self) -> int:
+        value, self.pos = decode_signed(self.data, self.pos)
+        if not -(1 << 63) <= value < (1 << 64):
+            raise ValueError("s64 out of range")
+        return value
+
+    def name(self) -> str:
+        length = self.u32()
+        return self.take(length).decode("utf-8")

@@ -1,0 +1,281 @@
+"""The WebAssembly MVP opcode table.
+
+Maps mnemonics to (opcode byte, immediate kind).  Immediate kinds drive
+both the binary codec (:mod:`repro.wasm.encoder` /
+:mod:`repro.wasm.parser`) and the instrumenter's operand capture.
+
+The 23 memory instructions the paper calls out (§2.2) are the entries
+with the ``memarg`` immediate kind; :func:`memory_access_size` gives the
+byte width each one touches, which the symbolic memory model (§3.4.1)
+needs to split contents into Z3-style byte arrays.
+"""
+
+from __future__ import annotations
+
+__all__ = ["OPCODES", "BY_CODE", "Instr", "memory_access_size",
+           "is_load", "is_store", "MEMORY_INSTRUCTIONS"]
+
+# Immediate kinds:
+#   none        no immediates
+#   block       blocktype byte (0x40 or a valtype code)
+#   u32         one unsigned index (locals, globals, functions, labels)
+#   br_table    label vector + default label
+#   call_ind    type index + reserved table byte
+#   memarg      alignment + offset
+#   i32 / i64   signed LEB constant
+#   f32 / f64   4/8 little-endian bytes
+#   memidx      reserved 0x00 byte (memory.size / memory.grow)
+OPCODES: dict[str, tuple[int, str]] = {
+    # Control
+    "unreachable": (0x00, "none"),
+    "nop": (0x01, "none"),
+    "block": (0x02, "block"),
+    "loop": (0x03, "block"),
+    "if": (0x04, "block"),
+    "else": (0x05, "none"),
+    "end": (0x0B, "none"),
+    "br": (0x0C, "u32"),
+    "br_if": (0x0D, "u32"),
+    "br_table": (0x0E, "br_table"),
+    "return": (0x0F, "none"),
+    "call": (0x10, "u32"),
+    "call_indirect": (0x11, "call_ind"),
+    # Parametric
+    "drop": (0x1A, "none"),
+    "select": (0x1B, "none"),
+    # Variables
+    "local.get": (0x20, "u32"),
+    "local.set": (0x21, "u32"),
+    "local.tee": (0x22, "u32"),
+    "global.get": (0x23, "u32"),
+    "global.set": (0x24, "u32"),
+    # Memory: loads (14 of the 23 memory instructions)
+    "i32.load": (0x28, "memarg"),
+    "i64.load": (0x29, "memarg"),
+    "f32.load": (0x2A, "memarg"),
+    "f64.load": (0x2B, "memarg"),
+    "i32.load8_s": (0x2C, "memarg"),
+    "i32.load8_u": (0x2D, "memarg"),
+    "i32.load16_s": (0x2E, "memarg"),
+    "i32.load16_u": (0x2F, "memarg"),
+    "i64.load8_s": (0x30, "memarg"),
+    "i64.load8_u": (0x31, "memarg"),
+    "i64.load16_s": (0x32, "memarg"),
+    "i64.load16_u": (0x33, "memarg"),
+    "i64.load32_s": (0x34, "memarg"),
+    "i64.load32_u": (0x35, "memarg"),
+    # Memory: stores (9 of the 23)
+    "i32.store": (0x36, "memarg"),
+    "i64.store": (0x37, "memarg"),
+    "f32.store": (0x38, "memarg"),
+    "f64.store": (0x39, "memarg"),
+    "i32.store8": (0x3A, "memarg"),
+    "i32.store16": (0x3B, "memarg"),
+    "i64.store8": (0x3C, "memarg"),
+    "i64.store16": (0x3D, "memarg"),
+    "i64.store32": (0x3E, "memarg"),
+    "memory.size": (0x3F, "memidx"),
+    "memory.grow": (0x40, "memidx"),
+    # Constants
+    "i32.const": (0x41, "i32"),
+    "i64.const": (0x42, "i64"),
+    "f32.const": (0x43, "f32"),
+    "f64.const": (0x44, "f64"),
+    # i32 comparisons
+    "i32.eqz": (0x45, "none"),
+    "i32.eq": (0x46, "none"),
+    "i32.ne": (0x47, "none"),
+    "i32.lt_s": (0x48, "none"),
+    "i32.lt_u": (0x49, "none"),
+    "i32.gt_s": (0x4A, "none"),
+    "i32.gt_u": (0x4B, "none"),
+    "i32.le_s": (0x4C, "none"),
+    "i32.le_u": (0x4D, "none"),
+    "i32.ge_s": (0x4E, "none"),
+    "i32.ge_u": (0x4F, "none"),
+    # i64 comparisons
+    "i64.eqz": (0x50, "none"),
+    "i64.eq": (0x51, "none"),
+    "i64.ne": (0x52, "none"),
+    "i64.lt_s": (0x53, "none"),
+    "i64.lt_u": (0x54, "none"),
+    "i64.gt_s": (0x55, "none"),
+    "i64.gt_u": (0x56, "none"),
+    "i64.le_s": (0x57, "none"),
+    "i64.le_u": (0x58, "none"),
+    "i64.ge_s": (0x59, "none"),
+    "i64.ge_u": (0x5A, "none"),
+    # f32 comparisons
+    "f32.eq": (0x5B, "none"),
+    "f32.ne": (0x5C, "none"),
+    "f32.lt": (0x5D, "none"),
+    "f32.gt": (0x5E, "none"),
+    "f32.le": (0x5F, "none"),
+    "f32.ge": (0x60, "none"),
+    # f64 comparisons
+    "f64.eq": (0x61, "none"),
+    "f64.ne": (0x62, "none"),
+    "f64.lt": (0x63, "none"),
+    "f64.gt": (0x64, "none"),
+    "f64.le": (0x65, "none"),
+    "f64.ge": (0x66, "none"),
+    # i32 arithmetic
+    "i32.clz": (0x67, "none"),
+    "i32.ctz": (0x68, "none"),
+    "i32.popcnt": (0x69, "none"),
+    "i32.add": (0x6A, "none"),
+    "i32.sub": (0x6B, "none"),
+    "i32.mul": (0x6C, "none"),
+    "i32.div_s": (0x6D, "none"),
+    "i32.div_u": (0x6E, "none"),
+    "i32.rem_s": (0x6F, "none"),
+    "i32.rem_u": (0x70, "none"),
+    "i32.and": (0x71, "none"),
+    "i32.or": (0x72, "none"),
+    "i32.xor": (0x73, "none"),
+    "i32.shl": (0x74, "none"),
+    "i32.shr_s": (0x75, "none"),
+    "i32.shr_u": (0x76, "none"),
+    "i32.rotl": (0x77, "none"),
+    "i32.rotr": (0x78, "none"),
+    # i64 arithmetic
+    "i64.clz": (0x79, "none"),
+    "i64.ctz": (0x7A, "none"),
+    "i64.popcnt": (0x7B, "none"),
+    "i64.add": (0x7C, "none"),
+    "i64.sub": (0x7D, "none"),
+    "i64.mul": (0x7E, "none"),
+    "i64.div_s": (0x7F, "none"),
+    "i64.div_u": (0x80, "none"),
+    "i64.rem_s": (0x81, "none"),
+    "i64.rem_u": (0x82, "none"),
+    "i64.and": (0x83, "none"),
+    "i64.or": (0x84, "none"),
+    "i64.xor": (0x85, "none"),
+    "i64.shl": (0x86, "none"),
+    "i64.shr_s": (0x87, "none"),
+    "i64.shr_u": (0x88, "none"),
+    "i64.rotl": (0x89, "none"),
+    "i64.rotr": (0x8A, "none"),
+    # f32 arithmetic
+    "f32.abs": (0x8B, "none"),
+    "f32.neg": (0x8C, "none"),
+    "f32.ceil": (0x8D, "none"),
+    "f32.floor": (0x8E, "none"),
+    "f32.trunc": (0x8F, "none"),
+    "f32.nearest": (0x90, "none"),
+    "f32.sqrt": (0x91, "none"),
+    "f32.add": (0x92, "none"),
+    "f32.sub": (0x93, "none"),
+    "f32.mul": (0x94, "none"),
+    "f32.div": (0x95, "none"),
+    "f32.min": (0x96, "none"),
+    "f32.max": (0x97, "none"),
+    "f32.copysign": (0x98, "none"),
+    # f64 arithmetic
+    "f64.abs": (0x99, "none"),
+    "f64.neg": (0x9A, "none"),
+    "f64.ceil": (0x9B, "none"),
+    "f64.floor": (0x9C, "none"),
+    "f64.trunc": (0x9D, "none"),
+    "f64.nearest": (0x9E, "none"),
+    "f64.sqrt": (0x9F, "none"),
+    "f64.add": (0xA0, "none"),
+    "f64.sub": (0xA1, "none"),
+    "f64.mul": (0xA2, "none"),
+    "f64.div": (0xA3, "none"),
+    "f64.min": (0xA4, "none"),
+    "f64.max": (0xA5, "none"),
+    "f64.copysign": (0xA6, "none"),
+    # Conversions
+    "i32.wrap_i64": (0xA7, "none"),
+    "i32.trunc_f32_s": (0xA8, "none"),
+    "i32.trunc_f32_u": (0xA9, "none"),
+    "i32.trunc_f64_s": (0xAA, "none"),
+    "i32.trunc_f64_u": (0xAB, "none"),
+    "i64.extend_i32_s": (0xAC, "none"),
+    "i64.extend_i32_u": (0xAD, "none"),
+    "i64.trunc_f32_s": (0xAE, "none"),
+    "i64.trunc_f32_u": (0xAF, "none"),
+    "i64.trunc_f64_s": (0xB0, "none"),
+    "i64.trunc_f64_u": (0xB1, "none"),
+    "f32.convert_i32_s": (0xB2, "none"),
+    "f32.convert_i32_u": (0xB3, "none"),
+    "f32.convert_i64_s": (0xB4, "none"),
+    "f32.convert_i64_u": (0xB5, "none"),
+    "f32.demote_f64": (0xB6, "none"),
+    "f64.convert_i32_s": (0xB7, "none"),
+    "f64.convert_i32_u": (0xB8, "none"),
+    "f64.convert_i64_s": (0xB9, "none"),
+    "f64.convert_i64_u": (0xBA, "none"),
+    "f64.promote_f32": (0xBB, "none"),
+    "i32.reinterpret_f32": (0xBC, "none"),
+    "i64.reinterpret_f64": (0xBD, "none"),
+    "f32.reinterpret_i32": (0xBE, "none"),
+    "f64.reinterpret_i64": (0xBF, "none"),
+}
+
+BY_CODE: dict[int, str] = {code: name for name, (code, _) in OPCODES.items()}
+
+MEMORY_INSTRUCTIONS = tuple(
+    name for name, (_, kind) in OPCODES.items() if kind == "memarg")
+assert len(MEMORY_INSTRUCTIONS) == 23, "the paper's 23 memory instructions"
+
+
+class Instr:
+    """One Wasm instruction: mnemonic + decoded immediates.
+
+    Immediates by kind:
+      block      args = (blocktype,)   blocktype: None or a ValType name
+      u32        args = (index,)
+      br_table   args = (labels tuple, default)
+      call_ind   args = (type_index,)
+      memarg     args = (align, offset)
+      i32/i64    args = (value,)       signed int as written
+      f32/f64    args = (value,)       Python float
+    """
+
+    __slots__ = ("op", "args")
+
+    def __init__(self, op: str, *args):
+        if op not in OPCODES:
+            raise ValueError(f"unknown opcode mnemonic {op!r}")
+        self.op = op
+        self.args = args
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return self.op
+        return f"{self.op} {' '.join(str(a) for a in self.args)}"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Instr) and other.op == self.op
+                and other.args == self.args)
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.args))
+
+    @property
+    def immediate_kind(self) -> str:
+        return OPCODES[self.op][1]
+
+
+def memory_access_size(op: str) -> int:
+    """Bytes touched by a memory instruction (the load/store *size*)."""
+    if op not in MEMORY_INSTRUCTIONS:
+        raise ValueError(f"{op} is not a memory instruction")
+    head, _, tail = op.partition(".")
+    kind = tail  # e.g. "load8_u", "store16", "load"
+    for marker, size in (("8", 1), ("16", 2), ("32", 4)):
+        if kind.startswith("load" + marker) or kind.startswith("store" + marker):
+            return size
+    # Plain load/store: full width of the value type.
+    return 8 if head in ("i64", "f64") else 4
+
+
+def is_load(op: str) -> bool:
+    return op in MEMORY_INSTRUCTIONS and ".load" in op
+
+
+def is_store(op: str) -> bool:
+    return op in MEMORY_INSTRUCTIONS and ".store" in op

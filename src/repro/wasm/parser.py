@@ -1,0 +1,244 @@
+"""Decode binary ``.wasm`` into a :class:`~repro.wasm.module.Module`."""
+
+from __future__ import annotations
+
+import struct
+
+from .leb128 import Reader
+from .module import (DataSegment, Element, Export, Function, Global, Import,
+                     Module)
+from .opcodes import BY_CODE, Instr, OPCODES
+from .types import FuncType, GlobalType, Limits, MemoryType, TableType, ValType
+
+__all__ = ["parse_module", "ParseError"]
+
+MAGIC = b"\x00asm"
+VERSION = b"\x01\x00\x00\x00"
+
+_EXPORT_KINDS = {0: "func", 1: "table", 2: "memory", 3: "global"}
+
+
+class ParseError(ValueError):
+    """Raised for malformed Wasm binaries."""
+
+
+def parse_module(data: bytes) -> Module:
+    """Parse a binary Wasm module.
+
+    Custom sections (id 0) are skipped; unknown section ids raise
+    :class:`ParseError`.
+    """
+    if data[:4] != MAGIC:
+        raise ParseError("bad magic bytes")
+    if data[4:8] != VERSION:
+        raise ParseError("unsupported Wasm version")
+    reader = Reader(data, 8)
+    module = Module()
+    func_type_indices: list[int] = []
+    last_id = 0
+    while not reader.eof():
+        section_id = reader.byte()
+        size = reader.u32()
+        payload = Reader(reader.take(size))
+        if section_id != 0:
+            if section_id < last_id:
+                raise ParseError(f"out-of-order section id {section_id}")
+            last_id = section_id
+        if section_id == 0:
+            continue  # custom section: name + bytes, ignored
+        if section_id == 1:
+            _parse_types(payload, module)
+        elif section_id == 2:
+            _parse_imports(payload, module)
+        elif section_id == 3:
+            func_type_indices = [payload.u32() for _ in range(payload.u32())]
+        elif section_id == 4:
+            _parse_tables(payload, module)
+        elif section_id == 5:
+            _parse_memories(payload, module)
+        elif section_id == 6:
+            _parse_globals(payload, module)
+        elif section_id == 7:
+            _parse_exports(payload, module)
+        elif section_id == 8:
+            module.start = payload.u32()
+        elif section_id == 9:
+            _parse_elements(payload, module)
+        elif section_id == 10:
+            _parse_code(payload, module, func_type_indices)
+        elif section_id == 11:
+            _parse_data(payload, module)
+        else:
+            raise ParseError(f"unknown section id {section_id}")
+    if func_type_indices and not module.functions:
+        raise ParseError("function section without code section")
+    return module
+
+
+def _parse_types(reader: Reader, module: Module) -> None:
+    for _ in range(reader.u32()):
+        if reader.byte() != 0x60:
+            raise ParseError("expected functype tag 0x60")
+        params = tuple(ValType.from_code(reader.byte())
+                       for _ in range(reader.u32()))
+        results = tuple(ValType.from_code(reader.byte())
+                        for _ in range(reader.u32()))
+        module.types.append(FuncType(params, results))
+
+
+def _parse_limits(reader: Reader) -> Limits:
+    flag = reader.byte()
+    minimum = reader.u32()
+    if flag == 0:
+        return Limits(minimum)
+    if flag == 1:
+        return Limits(minimum, reader.u32())
+    raise ParseError(f"bad limits flag {flag}")
+
+
+def _parse_imports(reader: Reader, module: Module) -> None:
+    for _ in range(reader.u32()):
+        mod_name = reader.name()
+        item_name = reader.name()
+        kind = reader.byte()
+        if kind == 0:
+            module.imports.append(Import(mod_name, item_name, "func",
+                                         reader.u32()))
+        elif kind == 1:
+            elem_kind = reader.byte()
+            module.imports.append(Import(mod_name, item_name, "table",
+                                         TableType(_parse_limits(reader),
+                                                   elem_kind)))
+        elif kind == 2:
+            module.imports.append(Import(mod_name, item_name, "memory",
+                                         MemoryType(_parse_limits(reader))))
+        elif kind == 3:
+            valtype = ValType.from_code(reader.byte())
+            mutable = reader.byte() == 1
+            module.imports.append(Import(mod_name, item_name, "global",
+                                         GlobalType(valtype, mutable)))
+        else:
+            raise ParseError(f"bad import kind {kind}")
+
+
+def _parse_tables(reader: Reader, module: Module) -> None:
+    for _ in range(reader.u32()):
+        elem_kind = reader.byte()
+        if elem_kind != 0x70:
+            raise ParseError("only funcref tables are supported")
+        module.tables.append(TableType(_parse_limits(reader), elem_kind))
+
+
+def _parse_memories(reader: Reader, module: Module) -> None:
+    for _ in range(reader.u32()):
+        module.memories.append(MemoryType(_parse_limits(reader)))
+
+
+def _parse_globals(reader: Reader, module: Module) -> None:
+    for _ in range(reader.u32()):
+        valtype = ValType.from_code(reader.byte())
+        mutable = reader.byte() == 1
+        init = _parse_expr(reader)
+        module.globals.append(Global(GlobalType(valtype, mutable), init))
+
+
+def _parse_exports(reader: Reader, module: Module) -> None:
+    for _ in range(reader.u32()):
+        name = reader.name()
+        kind = reader.byte()
+        if kind not in _EXPORT_KINDS:
+            raise ParseError(f"bad export kind {kind}")
+        module.exports.append(Export(name, _EXPORT_KINDS[kind], reader.u32()))
+
+
+def _parse_elements(reader: Reader, module: Module) -> None:
+    for _ in range(reader.u32()):
+        table_index = reader.u32()
+        offset = _parse_expr(reader)
+        funcs = [reader.u32() for _ in range(reader.u32())]
+        module.elements.append(Element(table_index, offset, funcs))
+
+
+def _parse_code(reader: Reader, module: Module,
+                func_type_indices: list[int]) -> None:
+    count = reader.u32()
+    if count != len(func_type_indices):
+        raise ParseError("function/code section count mismatch")
+    for type_index in func_type_indices:
+        size = reader.u32()
+        body_reader = Reader(reader.take(size))
+        locals_list: list[ValType] = []
+        for _ in range(body_reader.u32()):
+            run = body_reader.u32()
+            valtype = ValType.from_code(body_reader.byte())
+            locals_list.extend([valtype] * run)
+        body = _parse_expr(body_reader, top_level=True)
+        module.functions.append(Function(type_index, locals_list, body))
+
+
+def _parse_data(reader: Reader, module: Module) -> None:
+    for _ in range(reader.u32()):
+        memory_index = reader.u32()
+        offset = _parse_expr(reader)
+        length = reader.u32()
+        module.data_segments.append(
+            DataSegment(memory_index, offset, reader.take(length)))
+
+
+def _parse_expr(reader: Reader, top_level: bool = False) -> list[Instr]:
+    """Parse instructions up to (and consuming) the matching ``end``.
+
+    ``top_level`` bodies may contain nested blocks; we track depth so
+    only the final, matching ``end`` terminates the expression.
+    """
+    instructions: list[Instr] = []
+    depth = 0
+    while True:
+        instr = _parse_instruction(reader)
+        if instr.op in ("block", "loop", "if"):
+            depth += 1
+        elif instr.op == "end":
+            if depth == 0:
+                return instructions
+            depth -= 1
+        instructions.append(instr)
+
+
+def _parse_instruction(reader: Reader) -> Instr:
+    code = reader.byte()
+    op = BY_CODE.get(code)
+    if op is None:
+        raise ParseError(f"unknown opcode 0x{code:02x}")
+    kind = OPCODES[op][1]
+    if kind == "none":
+        return Instr(op)
+    if kind == "block":
+        blocktype = reader.byte()
+        if blocktype == 0x40:
+            return Instr(op, None)
+        return Instr(op, ValType.from_code(blocktype).name)
+    if kind == "u32":
+        return Instr(op, reader.u32())
+    if kind == "br_table":
+        labels = tuple(reader.u32() for _ in range(reader.u32()))
+        return Instr(op, labels, reader.u32())
+    if kind == "call_ind":
+        type_index = reader.u32()
+        if reader.byte() != 0:
+            raise ParseError("call_indirect reserved byte must be 0")
+        return Instr(op, type_index)
+    if kind == "memarg":
+        return Instr(op, reader.u32(), reader.u32())
+    if kind == "i32":
+        return Instr(op, reader.s32())
+    if kind == "i64":
+        return Instr(op, reader.s64())
+    if kind == "f32":
+        return Instr(op, struct.unpack("<f", reader.take(4))[0])
+    if kind == "f64":
+        return Instr(op, struct.unpack("<d", reader.take(8))[0])
+    if kind == "memidx":
+        if reader.byte() != 0:
+            raise ParseError("memory index must be 0")
+        return Instr(op)
+    raise ParseError(f"unhandled immediate kind {kind}")

@@ -1,0 +1,136 @@
+"""WebAssembly text-format (WAT) rendering.
+
+A disassembler for inspection and debugging: renders a
+:class:`~repro.wasm.module.Module` in the folded-free, linear WAT
+style the paper's listings use (e.g. the §4.3 verification snippets).
+Round-trip parsing is not a goal — the binary codec is canonical — but
+the output is valid-looking WAT that diffs cleanly between e.g. a
+contract and its obfuscated variant.
+"""
+
+from __future__ import annotations
+
+from .module import Module
+from .opcodes import Instr
+from .types import FuncType
+
+__all__ = ["render_module", "render_function", "render_instruction"]
+
+_EXPORT_KIND_ORDER = {"func": 0, "table": 1, "memory": 2, "global": 3}
+
+
+def render_instruction(instr: Instr) -> str:
+    """One instruction in WAT notation."""
+    kind = instr.immediate_kind
+    if kind == "none":
+        return instr.op
+    if kind == "block":
+        if instr.args[0] is None:
+            return instr.op
+        return f"{instr.op} (result {instr.args[0]})"
+    if kind == "memarg":
+        align, offset = instr.args
+        parts = [instr.op]
+        if offset:
+            parts.append(f"offset={offset}")
+        if align:
+            parts.append(f"align={1 << align}")
+        return " ".join(parts)
+    if kind == "br_table":
+        labels, default = instr.args
+        return " ".join([instr.op, *map(str, labels), str(default)])
+    if kind == "call_ind":
+        return f"{instr.op} (type {instr.args[0]})"
+    return f"{instr.op} {' '.join(str(a) for a in instr.args)}"
+
+
+def _render_functype(func_type: FuncType) -> str:
+    parts = []
+    if func_type.params:
+        parts.append("(param " + " ".join(p.name for p in func_type.params)
+                     + ")")
+    if func_type.results:
+        parts.append("(result "
+                     + " ".join(r.name for r in func_type.results) + ")")
+    return " ".join(parts)
+
+
+def render_function(module: Module, local_index: int,
+                    name: str | None = None) -> str:
+    """One local function with indented structured control flow."""
+    func = module.functions[local_index]
+    func_type = module.types[func.type_index]
+    header = f"(func ${name or f'f{local_index}'}"
+    signature = _render_functype(func_type)
+    if signature:
+        header += " " + signature
+    lines = [header]
+    if func.locals:
+        lines.append("  (local " + " ".join(l.name for l in func.locals)
+                     + ")")
+    depth = 1
+    for instr in func.body:
+        if instr.op in ("end", "else"):
+            depth = max(depth - 1, 1)
+        lines.append("  " * depth + render_instruction(instr))
+        if instr.op in ("block", "loop", "if", "else"):
+            depth += 1
+    lines.append(")")
+    return "\n".join(lines)
+
+
+def render_module(module: Module) -> str:
+    """The whole module as WAT."""
+    lines = ["(module"]
+    for i, func_type in enumerate(module.types):
+        signature = _render_functype(func_type)
+        lines.append(f"  (type (;{i};) (func"
+                     + (f" {signature}" if signature else "") + "))")
+    func_index = 0
+    for imp in module.imports:
+        if imp.kind == "func":
+            func_type = module.types[imp.desc]
+            signature = _render_functype(func_type)
+            lines.append(f'  (import "{imp.module}" "{imp.name}" '
+                         f"(func (;{func_index};)"
+                         + (f" {signature}" if signature else "") + "))")
+            func_index += 1
+        else:
+            lines.append(f'  (import "{imp.module}" "{imp.name}" '
+                         f"({imp.kind}))")
+    for memory in module.memories:
+        maximum = ("" if memory.limits.maximum is None
+                   else f" {memory.limits.maximum}")
+        lines.append(f"  (memory {memory.limits.minimum}{maximum})")
+    for table in module.tables:
+        maximum = ("" if table.limits.maximum is None
+                   else f" {table.limits.maximum}")
+        lines.append(f"  (table {table.limits.minimum}{maximum} funcref)")
+    for i, glob in enumerate(module.globals):
+        mutability = (f"(mut {glob.type.valtype.name})"
+                      if glob.type.mutable else glob.type.valtype.name)
+        init = " ".join(render_instruction(instr) for instr in glob.init)
+        lines.append(f"  (global (;{i};) {mutability} ({init}))")
+    exports = {e.index: e.name for e in module.exports if e.kind == "func"}
+    for local_index in range(len(module.functions)):
+        name = exports.get(module.num_imported_functions + local_index)
+        body = render_function(module, local_index, name)
+        lines.append("  " + body.replace("\n", "\n  "))
+        if name is not None:
+            lines.append(f'  (export "{name}" (func '
+                         f"${name}))")
+    for elem in module.elements:
+        offset = " ".join(render_instruction(i) for i in elem.offset)
+        funcs = " ".join(str(i) for i in elem.func_indices)
+        lines.append(f"  (elem (i32.const {elem.offset[0].args[0]}) "
+                     f"func {funcs})")
+    for segment in module.data_segments:
+        preview = segment.data[:24]
+        rendered = "".join(
+            chr(b) if 0x20 <= b < 0x7F and b != 0x22 else f"\\{b:02x}"
+            for b in preview)
+        suffix = "..." if len(segment.data) > 24 else ""
+        lines.append(f"  (data (i32.const {segment.offset[0].args[0]}) "
+                     f'"{rendered}{suffix}")')
+    lines.append(")")
+    return "\n".join(lines)

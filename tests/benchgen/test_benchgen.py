@@ -1,0 +1,218 @@
+"""Tests for the benchmark corpus generator and its transformations."""
+
+import random
+
+import pytest
+
+from repro.benchgen import (ContractConfig, PAPER_COUNTS, VULN_TYPES,
+                            VerificationSpec, build_rq1_contracts,
+                            build_table4_corpus, build_wild_corpus,
+                            generate_contract, inject_verification,
+                            obfuscate_module, obfuscated_variant,
+                            verification_variant)
+from repro.benchgen.obfuscate import popcount_encode_constant
+from repro.eosio import N
+from repro.wasm import (Instance, encode_module, parse_module,
+                        validate_module)
+
+
+# -- contract generation ---------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(4))
+def test_generated_contracts_validate_and_roundtrip(seed):
+    config = ContractConfig(seed=seed, maze_depth=seed,
+                            db_dependency=bool(seed % 2),
+                            use_blockinfo=bool(seed % 2))
+    generated = generate_contract(config)
+    validate_module(generated.module)
+    reparsed = parse_module(encode_module(generated.module))
+    validate_module(reparsed)
+
+
+def test_ground_truth_follows_config():
+    truth = ContractConfig(fake_eos_guard=False, reward_scheme="inline",
+                           use_blockinfo=True,
+                           auth_check=False).ground_truth()
+    assert truth == {"fake_eos": True, "fake_notif": False,
+                     "missauth": True, "blockinfodep": True,
+                     "rollback": True}
+
+
+def test_unreachable_reward_clears_dynamic_truths():
+    truth = ContractConfig(reward_scheme="inline", use_blockinfo=True,
+                           unreachable_reward=True).ground_truth()
+    assert not truth["rollback"]
+    assert not truth["blockinfodep"]
+
+
+def test_generation_is_deterministic():
+    a = generate_contract(ContractConfig(seed=42, maze_depth=3))
+    b = generate_contract(ContractConfig(seed=42, maze_depth=3))
+    assert encode_module(a.module) == encode_module(b.module)
+
+
+def test_maze_witness_exposed():
+    generated = generate_contract(ContractConfig(seed=1, maze_depth=2))
+    assert generated.maze_witness is not None
+    assert 20_000 <= generated.maze_witness["amount"] < 1_000_000_000
+    assert generate_contract(
+        ContractConfig(seed=1, maze_depth=0)).maze_witness is None
+
+
+def test_abi_covers_actions():
+    generated = generate_contract(ContractConfig(seed=2))
+    assert set(generated.abi.action_names()) == {"transfer", "init",
+                                                 "payout"}
+    no_payout = generate_contract(ContractConfig(seed=2,
+                                                 has_payout=False))
+    assert "payout" not in no_payout.abi.action_names()
+
+
+def test_dispatcher_styles_differ_in_bytecode():
+    canonical = generate_contract(ContractConfig(
+        seed=3, dispatcher_style="canonical"))
+    variant = generate_contract(ContractConfig(
+        seed=3, dispatcher_style="variant"))
+    apply_c = canonical.module.local_function(
+        canonical.module.export_index("apply", "func"))
+    apply_v = variant.module.local_function(
+        variant.module.export_index("apply", "func"))
+    assert any(i.op == "i64.eq" for i in apply_c.body)
+    assert any(i.op == "i64.eqz" for i in apply_v.body)
+
+
+# -- obfuscation ----------------------------------------------------------------
+
+def test_popcount_encoding_preserves_value():
+    rng = random.Random(0)
+    value = N("eosio.token")
+    instrs = popcount_encode_constant(value, rng)
+    # Evaluate the four-instruction sequence by hand.
+    x = instrs[0].args[0] & 0xFFFFFFFFFFFFFFFF
+    rest = instrs[2].args[0] & 0xFFFFFFFFFFFFFFFF
+    assert (bin(x).count("1") + rest) & 0xFFFFFFFFFFFFFFFF == value
+
+
+def test_obfuscated_module_validates():
+    generated = generate_contract(ContractConfig(seed=4, maze_depth=2))
+    obfuscated = obfuscate_module(generated.module, seed=4)
+    validate_module(obfuscated)
+    validate_module(parse_module(encode_module(obfuscated)))
+
+
+def test_obfuscation_removes_literal_name_constants():
+    generated = generate_contract(ContractConfig(seed=5))
+    obfuscated = obfuscate_module(generated.module, seed=5)
+    token = N("eosio.token")
+    signed_token = token - (1 << 64) if token >= 1 << 63 else token
+    remaining = [i for f in obfuscated.functions for i in f.body
+                 if i.op == "i64.const" and i.args[0] == signed_token]
+    assert not remaining
+
+
+def test_obfuscation_adds_decoy_function():
+    generated = generate_contract(ContractConfig(seed=6))
+    obfuscated = obfuscate_module(generated.module, seed=6)
+    assert len(obfuscated.functions) == len(generated.module.functions) + 1
+
+
+def test_obfuscation_preserves_behaviour():
+    """Differential check: the decoy/popcount transforms must keep the
+    dispatcher's runtime values identical."""
+    from repro.engine.deploy import deploy_target, setup_chain
+    from repro.eosio import Asset, Encoder, issue_to, token_balance
+    for which in ("plain", "obfuscated"):
+        generated = generate_contract(ContractConfig(
+            seed=7, reward_scheme="inline", fake_eos_guard=True))
+        module = (generated.module if which == "plain"
+                  else obfuscate_module(generated.module, seed=7))
+        chain = setup_chain()
+        deploy_target(chain, "victim", module, generated.abi)
+        issue_to(chain, "eosio.token", "victim", "100.0000 EOS")
+        data = (Encoder().name("player").name("victim")
+                .asset(Asset.from_string("5.0000 EOS")).string("x")
+                .bytes())
+        result = chain.push_action("eosio.token", "transfer", ["player"],
+                                   data)
+        assert result.success, (which, result.error)
+        balance = token_balance(chain, "eosio.token", "player")
+        if which == "plain":
+            plain_balance = balance
+        else:
+            assert balance == plain_balance
+
+
+# -- verification injection ------------------------------------------------------------
+
+def test_injected_verification_validates():
+    generated = generate_contract(ContractConfig(seed=8))
+    module = inject_verification(generated.module)
+    validate_module(module)
+
+
+def test_verification_rejects_wrong_quantity():
+    from repro.engine.deploy import deploy_target, setup_chain
+    from repro.eosio import Asset, Encoder, issue_to
+    generated = generate_contract(ContractConfig(seed=9))
+    module = inject_verification(generated.module,
+                                 VerificationSpec(amount=100_000))
+    chain = setup_chain()
+    deploy_target(chain, "victim", module, generated.abi)
+    issue_to(chain, "eosio.token", "victim", "100.0000 EOS")
+
+    def pay(amount):
+        data = (Encoder().name("player").name("victim")
+                .asset(Asset(amount)).string("m").bytes())
+        return chain.push_action("eosio.token", "transfer", ["player"],
+                                 data)
+
+    assert not pay(50_000).success         # wrong amount: unreachable
+    assert pay(100_000).success            # the elaborate input
+
+
+# -- corpora --------------------------------------------------------------------------
+
+def test_table4_corpus_is_balanced():
+    samples = build_table4_corpus(scale=0.01)
+    for vuln_type in VULN_TYPES:
+        subset = [s for s in samples if s.vuln_type == vuln_type]
+        vulnerable = sum(1 for s in subset if s.label)
+        assert vulnerable * 2 == len(subset)
+
+
+def test_table4_full_scale_counts():
+    samples = build_table4_corpus(scale=0.05)
+    for vuln_type in VULN_TYPES:
+        subset = [s for s in samples if s.vuln_type == vuln_type]
+        expected = 2 * max(1, round(PAPER_COUNTS[vuln_type] * 0.05 / 2))
+        assert len(subset) == expected
+
+
+def test_table4_ground_truth_consistent():
+    for sample in build_table4_corpus(scale=0.01):
+        assert sample.contract.ground_truth[sample.vuln_type] \
+            == sample.label
+
+
+def test_variants_preserve_labels():
+    samples = build_table4_corpus(scale=0.005)
+    for sample in samples:
+        assert obfuscated_variant(sample).label == sample.label
+        assert verification_variant(sample).label == sample.label
+
+
+def test_rq1_contracts_generate():
+    contracts = build_rq1_contracts(count=5, seed=1)
+    assert len(contracts) == 5
+    for generated in contracts:
+        validate_module(generated.module)
+        assert generated.config.maze_depth >= 4
+
+
+def test_wild_corpus_majority_vulnerable():
+    wild = build_wild_corpus(scale=0.2)
+    vulnerable = sum(1 for w in wild
+                     if any(w.ground_truth.values()))
+    assert vulnerable / len(wild) > 0.55
+    assert any(w.still_operating for w in wild)
+    assert any(not w.still_operating for w in wild)

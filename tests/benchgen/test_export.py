@@ -1,0 +1,46 @@
+"""Tests for corpus export/load."""
+
+from repro.benchgen import (build_table4_corpus, export_corpus,
+                            load_corpus, obfuscated_variant)
+from repro.harness import run_eosafe
+from repro.wasm import encode_module, validate_module
+
+
+def test_roundtrip_preserves_labels_and_binaries(tmp_path):
+    samples = build_table4_corpus(scale=0.004)
+    export_corpus(samples, tmp_path)
+    loaded = load_corpus(tmp_path)
+    assert len(loaded) == len(samples)
+    for original, restored in zip(samples, loaded):
+        assert restored.vuln_type == original.vuln_type
+        assert restored.label == original.label
+        assert encode_module(restored.module) \
+            == encode_module(original.module)
+        assert restored.contract.ground_truth \
+            == original.contract.ground_truth
+        validate_module(restored.module)
+
+
+def test_loaded_corpus_is_analyzable(tmp_path):
+    samples = build_table4_corpus(scale=0.004)[:4]
+    export_corpus(samples, tmp_path)
+    for sample in load_corpus(tmp_path):
+        run_eosafe(sample.module)  # static analysis works on reload
+
+
+def test_variant_metadata_survives(tmp_path):
+    samples = [obfuscated_variant(s)
+               for s in build_table4_corpus(scale=0.004)[:2]]
+    export_corpus(samples, tmp_path)
+    loaded = load_corpus(tmp_path)
+    assert all(s.variant == "obfuscated" for s in loaded)
+
+
+def test_manifest_written(tmp_path):
+    import json
+    samples = build_table4_corpus(scale=0.004)[:2]
+    manifest_path = export_corpus(samples, tmp_path)
+    doc = json.loads(manifest_path.read_text())
+    assert doc["version"] == 1
+    assert len(doc["samples"]) == 2
+    assert (tmp_path / "sample-00000.wasm").exists()

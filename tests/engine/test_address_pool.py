@@ -1,0 +1,64 @@
+"""Tests for the address-pool extension (the paper's future work).
+
+§4.2: "some smart contracts with the Rollback vulnerability can only
+be invoked by the caller with the specific address, i.e., its
+administrator.  However, we did not implement an address pool ...
+Therefore, WASAI accidentally reports 9 FNs."  The extension mines
+name-like constants from the bytecode and rotates them as the paying
+identity, resolving exactly those FNs.
+"""
+
+import random
+
+import pytest
+
+from repro.benchgen import ContractConfig, generate_contract
+from repro.engine import WasaiFuzzer, deploy_target, setup_chain
+from repro.eosio.name import N
+from repro.scanner import scan_report
+
+ADMIN = "boss.account"
+
+
+def run(address_pool: bool, timeout_ms=25_000):
+    config = ContractConfig(seed=31, reward_scheme="inline",
+                            admin_gate=ADMIN)
+    generated = generate_contract(config)
+    chain = setup_chain()
+    target = deploy_target(chain, "victim", generated.module,
+                           generated.abi)
+    fuzzer = WasaiFuzzer(chain, target, rng=random.Random(2),
+                         timeout_ms=timeout_ms,
+                         address_pool=address_pool)
+    report = fuzzer.run()
+    return fuzzer, report, scan_report(report, target)
+
+
+def test_admin_gated_rollback_is_fn_without_pool():
+    _, _, scan = run(address_pool=False)
+    assert not scan.detected("rollback"), (
+        "without an address pool the admin gate blocks the reward "
+        "path (the paper's FN mechanism)")
+
+
+def test_address_pool_mines_admin_identity():
+    fuzzer, _, _ = run(address_pool=True, timeout_ms=1_000)
+    assert N(ADMIN) in fuzzer._identities
+
+
+def test_admin_gated_rollback_found_with_pool():
+    _, _, scan = run(address_pool=True)
+    assert scan.detected("rollback"), (
+        "the address pool should pay as the mined admin identity")
+
+
+def test_pool_does_not_regress_plain_contracts():
+    config = ContractConfig(seed=32, reward_scheme="inline")
+    generated = generate_contract(config)
+    chain = setup_chain()
+    target = deploy_target(chain, "victim", generated.module,
+                           generated.abi)
+    fuzzer = WasaiFuzzer(chain, target, rng=random.Random(3),
+                         timeout_ms=20_000, address_pool=True)
+    scan = scan_report(fuzzer.run(), target)
+    assert scan.detected("rollback")

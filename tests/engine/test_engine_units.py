@@ -1,0 +1,142 @@
+"""Unit tests for the Engine's building blocks: seeds, pool, DBG, clock."""
+
+import random
+
+import pytest
+
+from repro.engine import (DatabaseDependencyGraph, Seed, SeedPool,
+                          VirtualClock, random_seed, random_value)
+from repro.engine.clock import CostModel
+from repro.eosio import Abi, Asset, Name, TRANSFER_SIGNATURE
+from repro.eosio.database import DbOperation
+
+ABI = Abi.from_signatures({"transfer": TRANSFER_SIGNATURE,
+                           "init": (("owner", "name"),)})
+
+
+# -- seeds -----------------------------------------------------------------
+
+def test_random_seed_matches_signature():
+    rng = random.Random(0)
+    seed = random_seed(ABI.action("transfer"), rng, ["alice"])
+    assert seed.action_name == "transfer"
+    assert isinstance(seed.values[0], Name)
+    assert isinstance(seed.values[2], Asset)
+    assert isinstance(seed.values[3], str)
+
+
+def test_random_seed_packs():
+    rng = random.Random(1)
+    seed = random_seed(ABI.action("transfer"), rng, ["alice"])
+    packed = seed.pack(ABI.action("transfer"))
+    assert len(packed) >= 25  # 8+8+16+len byte
+
+
+def test_random_value_biases_known_names():
+    rng = random.Random(3)
+    names = [random_value("name", rng, ["alice"]) for _ in range(100)]
+    hits = sum(1 for n in names if n == Name("alice"))
+    assert hits > 40
+
+
+def test_random_value_types():
+    rng = random.Random(5)
+    assert isinstance(random_value("bool", rng, []), bool)
+    assert isinstance(random_value("uint32", rng, []), int)
+    assert isinstance(random_value("bytes", rng, []), bytes)
+    with pytest.raises(ValueError):
+        random_value("matrix", rng, [])
+
+
+# -- seed pool (§3.3.2) -------------------------------------------------------
+
+def test_pool_is_circular():
+    pool = SeedPool()
+    for i in range(3):
+        pool.add(Seed("transfer", [i]))
+    first = pool.next("transfer")
+    second = pool.next("transfer")
+    third = pool.next("transfer")
+    again = pool.next("transfer")
+    assert [s.values[0] for s in (first, second, third, again)] \
+        == [0, 1, 2, 0]
+
+
+def test_pool_add_front_jumps_queue():
+    pool = SeedPool()
+    pool.add(Seed("transfer", ["old"]))
+    pool.add_front(Seed("transfer", ["adaptive"], origin="adaptive"))
+    assert pool.next("transfer").values == ["adaptive"]
+
+
+def test_pool_empty_action_returns_none():
+    pool = SeedPool()
+    assert pool.next("nothing") is None
+
+
+def test_pool_bounded():
+    pool = SeedPool(max_per_action=4)
+    for i in range(10):
+        pool.add(Seed("transfer", [i]))
+    assert pool.size("transfer") == 4
+
+
+# -- DBG (§3.3.2) ----------------------------------------------------------------
+
+def test_dbg_links_writer_to_reader():
+    dbg = DatabaseDependencyGraph()
+    table = (1, 1, 99)
+    dbg.record("init", [DbOperation("write", *table)])
+    dbg.record("transfer", [DbOperation("read", *table)])
+    assert dbg.writers_of(table) == ["init"]
+    assert dbg.tables_read_by("transfer") == [table]
+    assert dbg.dependency_writers("transfer") == ["init"]
+
+
+def test_dbg_ignores_self_dependency():
+    dbg = DatabaseDependencyGraph()
+    table = (1, 1, 99)
+    dbg.record("upsert", [DbOperation("read", *table),
+                          DbOperation("write", *table)])
+    assert dbg.dependency_writers("upsert") == []
+
+
+def test_dbg_multiple_tables():
+    dbg = DatabaseDependencyGraph()
+    t1, t2 = (1, 1, 1), (2, 2, 2)
+    dbg.record("a", [DbOperation("write", *t1)])
+    dbg.record("b", [DbOperation("write", *t2)])
+    dbg.record("c", [DbOperation("read", *t1), DbOperation("read", *t2)])
+    assert dbg.dependency_writers("c") == ["a", "b"]
+
+
+def test_dbg_unknown_action():
+    dbg = DatabaseDependencyGraph()
+    assert dbg.dependency_writers("ghost") == []
+    assert dbg.writers_of((0, 0, 0)) == []
+
+
+# -- virtual clock ------------------------------------------------------------------
+
+def test_clock_charges():
+    clock = VirtualClock(CostModel(transaction_ms=10, replay_ms=5,
+                                   smt_query_ms=100, smt_cap_ms=1000,
+                                   iteration_overhead_ms=1))
+    clock.charge_iteration()
+    clock.charge_transaction()
+    clock.charge_replay()
+    clock.charge_smt(2)
+    assert clock.now_ms == 1 + 10 + 5 + 200
+
+
+def test_clock_capped_smt_costs_more():
+    clock = VirtualClock(CostModel(smt_query_ms=100, smt_cap_ms=3000))
+    clock.charge_smt(1, capped=True)
+    assert clock.now_ms == 3000
+
+
+def test_clock_expiry():
+    clock = VirtualClock()
+    assert not clock.expired(100)
+    clock.charge(100)
+    assert clock.expired(100)

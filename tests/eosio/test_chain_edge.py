@@ -1,0 +1,149 @@
+"""Edge-case tests for transaction semantics."""
+
+import pytest
+
+from repro.eosio import (Action, Asset, Chain, Encoder, N, NativeContract,
+                         deploy_token, issue_to, token_balance)
+from repro.eosio.errors import AssertionFailure
+
+
+def transfer_data(from_, to, quantity, memo=""):
+    return (Encoder().name(from_).name(to)
+            .asset(Asset.from_string(quantity)).string(memo).bytes())
+
+
+@pytest.fixture
+def chain():
+    chain = Chain()
+    deploy_token(chain, "eosio.token")
+    issue_to(chain, "eosio.token", "alice", "100.0000 EOS")
+    chain.create_account("bob")
+    return chain
+
+
+class Bomb(NativeContract):
+    """Fails on every apply."""
+
+    def apply(self, chain, ctx):
+        raise AssertionFailure("bomb")
+
+
+class DeferredBomb(NativeContract):
+    """Schedules a deferred action that will fail."""
+
+    def apply(self, chain, ctx):
+        if ctx.receiver != ctx.code:
+            return
+        ctx.add_deferred_action(Action("bomb", "explode",
+                                       [ctx.receiver], b""))
+
+
+def test_deferred_failure_does_not_revert_parent(chain):
+    """EOSIO semantics: the sender cannot revert a deferred action,
+    and a deferred failure does not undo the original transaction."""
+    chain.set_contract("bomb", Bomb())
+    chain.set_contract("scheduler", DeferredBomb())
+    result = chain.push_action("scheduler", "go", ["alice"], b"")
+    assert result.success                      # parent committed
+    assert len(result.deferred) == 1
+    assert not result.deferred[0].success      # deferred bomb failed
+
+
+def test_failing_notification_reverts_whole_transaction(chain):
+    """A notified contract's failure poisons the entire transaction
+    (the mechanism making Fake Notif detection observable)."""
+    chain.set_contract("bob", Bomb())
+    result = chain.push_action(
+        "eosio.token", "transfer", ["alice"],
+        transfer_data("alice", "bob", "1.0000 EOS"))
+    assert not result.success
+    assert token_balance(chain, "eosio.token", "alice") \
+        == Asset.from_string("100.0000 EOS")
+
+
+class SelfForwarder(NativeContract):
+    """Requests itself as a recipient: must not loop."""
+
+    def apply(self, chain, ctx):
+        ctx.add_recipient(ctx.receiver)
+
+
+def test_duplicate_notifications_suppressed(chain):
+    chain.set_contract("bob", SelfForwarder())
+    result = chain.push_action(
+        "eosio.token", "transfer", ["alice"],
+        transfer_data("alice", "bob", "1.0000 EOS"))
+    assert result.success
+    bob_records = [r for r in result.records if r.receiver == N("bob")]
+    assert len(bob_records) == 1
+
+
+class InfiniteInline(NativeContract):
+    """Issues an inline action to itself forever."""
+
+    def apply(self, chain, ctx):
+        if ctx.receiver == ctx.code:
+            ctx.add_inline_action(Action(ctx.receiver, "again",
+                                         [ctx.receiver], b""))
+
+
+def test_inline_depth_limit(chain):
+    chain.set_contract("looper", InfiniteInline())
+    result = chain.push_action("looper", "go", ["alice"], b"")
+    assert not result.success
+    assert "depth" in result.error
+
+
+def test_failed_action_record_preserves_trace_prefix(chain):
+    """The record of a reverted apply keeps everything up to the
+    failure — the property WASAI's feedback on failed asserts needs."""
+    chain.set_contract("bomb", Bomb())
+    result = chain.push_action("bomb", "go", ["alice"], b"")
+    assert not result.success
+    record = result.records[-1]
+    assert record.error is not None
+    assert "bomb" in record.error
+
+
+def test_transaction_log_grows(chain):
+    before = len(chain.transaction_log)
+    chain.push_action("eosio.token", "transfer", ["alice"],
+                      transfer_data("alice", "bob", "1.0000 EOS"))
+    assert len(chain.transaction_log) == before + 1
+
+
+def test_multi_action_transaction_atomicity(chain):
+    """Two actions in one transaction: if the second fails, the first
+    is rolled back too."""
+    actions = [
+        Action("eosio.token", "transfer", ["alice"],
+               transfer_data("alice", "bob", "1.0000 EOS")),
+        Action("eosio.token", "transfer", ["alice"],
+               transfer_data("alice", "bob", "9999.0000 EOS")),  # overdrawn
+    ]
+    result = chain.push_transaction(actions)
+    assert not result.success
+    assert token_balance(chain, "eosio.token", "bob").amount == 0
+
+
+def test_deferred_actions_see_committed_state(chain):
+    """Deferred actions run after the parent commits, against the
+    updated database."""
+    class DeferredReader(NativeContract):
+        observed = None
+
+        def apply(self, contract_chain, ctx):
+            if ctx.action_name == N("later"):
+                DeferredReader.observed = token_balance(
+                    contract_chain, "eosio.token", "bob")
+            elif ctx.receiver == ctx.code:
+                data = transfer_data("alice", "bob", "2.0000 EOS")
+                ctx.add_inline_action(Action("eosio.token", "transfer",
+                                             [N("alice")], data))
+                ctx.add_deferred_action(Action(ctx.receiver, "later",
+                                               [ctx.receiver], b""))
+
+    chain.set_contract("mixer", DeferredReader())
+    result = chain.push_action("mixer", "go", ["alice"], b"")
+    assert result.success
+    assert DeferredReader.observed == Asset.from_string("2.0000 EOS")

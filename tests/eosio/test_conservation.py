@@ -1,0 +1,92 @@
+"""Property: token conservation across arbitrary transaction mixes.
+
+Whatever sequence of (possibly failing) transfers, payments to
+contracts, inline rewards and reverted transactions executes, the sum
+of all EOS balances must equal the issued supply.  This is the
+chain-level invariant that makes the exploit demonstrations meaningful
+(stolen funds come from the victim, never from thin air).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen import ContractConfig, generate_contract
+from repro.engine.deploy import deploy_target, setup_chain
+from repro.eosio import Asset, Encoder, N, deploy_token, issue_to
+from repro.eosio.name import Name
+from repro.eosio.token import _symbol_key
+from repro.eosio.asset import EOS_SYMBOL
+from repro.eosio.serialize import Decoder
+
+
+def total_eos(chain) -> int:
+    """Sum every balance row of the official token."""
+    code = N("eosio.token")
+    total = 0
+    key = _symbol_key(EOS_SYMBOL)
+    for (c, scope, table), rows in chain.db._tables.items():
+        if c != code or table != N("accounts"):
+            continue
+        for row_key, row in rows.items():
+            if row_key == key:
+                total += Decoder(row.data).asset().amount
+    return total
+
+
+def transfer_data(from_, to, amount, memo=""):
+    return (Encoder().name(from_).name(to)
+            .asset(Asset(amount)).string(memo).bytes())
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000), steps=st.integers(5, 25))
+def test_property_supply_conserved_under_random_traffic(seed, steps):
+    rng = random.Random(seed)
+    chain = setup_chain()
+    accounts = ["player", "attacker", "bob", "carol", "dave"]
+    for account in accounts:
+        chain.create_account(account)
+    issue_to(chain, "eosio.token", "carol", "50.0000 EOS")
+    supply = total_eos(chain)
+    for _ in range(steps):
+        frm = rng.choice(accounts)
+        to = rng.choice(accounts + ["ghost"])  # sometimes invalid
+        amount = rng.choice([0, 1, 10_000,
+                             rng.randrange(0, 10_000_000_000)])
+        auth = frm if rng.random() < 0.8 else rng.choice(accounts)
+        chain.push_action("eosio.token", "transfer", [auth],
+                          transfer_data(frm, to, amount))
+        assert total_eos(chain) == supply
+    assert total_eos(chain) == supply
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_supply_conserved_with_rewarding_contract(seed):
+    """Same invariant with a generated contract issuing inline rewards
+    (including reverted and trapping executions)."""
+    rng = random.Random(seed)
+    chain = setup_chain()
+    generated = generate_contract(ContractConfig(
+        seed=seed, reward_scheme="inline", fake_eos_guard=False,
+        maze_depth=1))
+    deploy_target(chain, "victim", generated.module, generated.abi)
+    issue_to(chain, "eosio.token", "victim", "1000.0000 EOS")
+    supply = total_eos(chain)
+    for _ in range(10):
+        amount = rng.randrange(1, 10_000_000)
+        memo = rng.choice(["", "x", "action:buy", "zzzz"])
+        chain.push_action("eosio.token", "transfer", ["player"],
+                          transfer_data("player", "victim", amount,
+                                        memo))
+        assert total_eos(chain) == supply
+
+
+def test_issue_increases_supply_exactly():
+    chain = setup_chain()
+    before = total_eos(chain)
+    issue_to(chain, "eosio.token", "bob", "7.5000 EOS")
+    assert total_eos(chain) == before + 75_000

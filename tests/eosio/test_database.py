@@ -1,0 +1,100 @@
+"""Tests for the key-value database substrate."""
+
+import pytest
+
+from repro.eosio.database import Database, DbOperation
+
+
+CODE, SCOPE, TABLE = 1, 2, 3
+
+
+def test_store_and_find():
+    db = Database()
+    db.store(CODE, SCOPE, TABLE, payer=9, key=7, data=b"hello")
+    iterator = db.find(CODE, SCOPE, TABLE, 7)
+    assert iterator >= 0
+    assert db.get(iterator) == b"hello"
+
+
+def test_find_missing_returns_minus_one():
+    db = Database()
+    assert db.find(CODE, SCOPE, TABLE, 42) == -1
+
+
+def test_duplicate_key_rejected():
+    db = Database()
+    db.store(CODE, SCOPE, TABLE, 0, 7, b"a")
+    with pytest.raises(ValueError):
+        db.store(CODE, SCOPE, TABLE, 0, 7, b"b")
+
+
+def test_update_and_remove():
+    db = Database()
+    iterator = db.store(CODE, SCOPE, TABLE, 0, 7, b"a")
+    db.update(iterator, 0, b"bb")
+    assert db.get(iterator) == b"bb"
+    db.remove(iterator)
+    assert db.find(CODE, SCOPE, TABLE, 7) == -1
+    with pytest.raises(KeyError):
+        db.get(iterator)
+
+
+def test_iteration_order():
+    db = Database()
+    for key in (30, 10, 20):
+        db.store(CODE, SCOPE, TABLE, 0, key, str(key).encode())
+    iterator = db.find(CODE, SCOPE, TABLE, 10)
+    nxt, key = db.next(iterator)
+    assert key == 20
+    nxt2, key2 = db.next(nxt)
+    assert key2 == 30
+    assert db.next(nxt2) == (-1, 0)
+
+
+def test_lowerbound():
+    db = Database()
+    for key in (10, 20, 30):
+        db.store(CODE, SCOPE, TABLE, 0, key, b"x")
+    iterator, key = db.lowerbound(CODE, SCOPE, TABLE, 15)
+    assert key == 20
+    assert db.lowerbound(CODE, SCOPE, TABLE, 31) == (-1, 0)
+
+
+def test_scopes_are_isolated():
+    db = Database()
+    db.store(CODE, 1, TABLE, 0, 7, b"one")
+    db.store(CODE, 2, TABLE, 0, 7, b"two")
+    assert db.get_row(CODE, 1, TABLE, 7) == b"one"
+    assert db.get_row(CODE, 2, TABLE, 7) == b"two"
+
+
+def test_journal_records_reads_and_writes():
+    db = Database()
+    db.store(CODE, SCOPE, TABLE, 0, 7, b"x")
+    db.find(CODE, SCOPE, TABLE, 7)
+    ops = db.drain_journal()
+    assert DbOperation("write", CODE, SCOPE, TABLE) in ops
+    assert DbOperation("read", CODE, SCOPE, TABLE) in ops
+    assert db.drain_journal() == []
+
+
+def test_snapshot_restore():
+    db = Database()
+    db.store(CODE, SCOPE, TABLE, 0, 1, b"before")
+    snap = db.snapshot()
+    iterator = db.find(CODE, SCOPE, TABLE, 1)
+    db.update(iterator, 0, b"after")
+    db.store(CODE, SCOPE, TABLE, 0, 2, b"new")
+    db.restore(snap)
+    assert db.get_row(CODE, SCOPE, TABLE, 1) == b"before"
+    assert db.get_row(CODE, SCOPE, TABLE, 2) is None
+
+
+def test_snapshot_is_deep():
+    db = Database()
+    db.store(CODE, SCOPE, TABLE, 0, 1, b"v1")
+    snap = db.snapshot()
+    iterator = db.find(CODE, SCOPE, TABLE, 1)
+    db.update(iterator, 0, b"v2")
+    # The snapshot must not see the mutation.
+    assert snap[(CODE, SCOPE, TABLE)][1].data == b"v1"

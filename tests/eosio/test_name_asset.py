@@ -1,0 +1,116 @@
+"""Tests for the name and asset codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eosio import Asset, EOS_SYMBOL, N, Name, Symbol
+from repro.eosio.name import name_to_string, string_to_name
+
+name_strategy = st.text(alphabet="abcdefghijklmnopqrstuvwxyz12345.",
+                        min_size=1, max_size=12).filter(
+    lambda s: not s.endswith("."))
+
+
+def test_known_name_encodings():
+    # Reference values from the EOSIO SDK.
+    assert string_to_name("eosio") == 6138663577826885632
+    assert string_to_name("eosio.token") == 6138663591592764928
+    assert string_to_name("transfer") == 14829575313431724032
+
+
+def test_name_roundtrip_basics():
+    for text in ("eosio", "eosio.token", "transfer", "a", "zzzzzzzzzzzz",
+                 "alice", "bob", "eosbet", "fake.token"):
+        assert name_to_string(string_to_name(text)) == text
+
+
+@given(name_strategy)
+@settings(max_examples=150, deadline=None)
+def test_property_name_roundtrip(text):
+    assert name_to_string(string_to_name(text)) == text
+
+
+def test_name_too_long_rejected():
+    with pytest.raises(ValueError):
+        string_to_name("abcdefghijklmn")
+
+
+def test_name_invalid_char_rejected():
+    with pytest.raises(ValueError):
+        string_to_name("UPPER")
+    with pytest.raises(ValueError):
+        string_to_name("has space")
+
+
+def test_name_wrapper_equality():
+    assert Name("eosio") == Name(string_to_name("eosio"))
+    assert Name("eosio") == "eosio"
+    assert Name("eosio") == string_to_name("eosio")
+    assert N("transfer") == string_to_name("transfer")
+
+
+def test_name_hashable():
+    assert len({Name("alice"), Name("alice"), Name("bob")}) == 2
+
+
+# -- symbols and assets -------------------------------------------------------
+
+def test_symbol_raw_encoding():
+    assert EOS_SYMBOL.raw == 0x534F4504  # 'S','O','E' above precision 4
+
+
+def test_symbol_roundtrip():
+    for precision, code in ((4, "EOS"), (0, "X"), (8, "LONGEST")):
+        symbol = Symbol(precision, code)
+        assert Symbol.from_raw(symbol.raw) == symbol
+
+
+def test_symbol_validation():
+    with pytest.raises(ValueError):
+        Symbol(4, "eos")  # lowercase
+    with pytest.raises(ValueError):
+        Symbol(4, "TOOLONGGG")
+    with pytest.raises(ValueError):
+        Symbol(19, "EOS")
+
+
+def test_asset_from_string():
+    asset = Asset.from_string("10.0000 EOS")
+    assert asset.amount == 100000
+    assert asset.symbol == EOS_SYMBOL
+    assert str(asset) == "10.0000 EOS"
+
+
+def test_asset_negative():
+    asset = Asset.from_string("-1.5000 EOS")
+    assert asset.amount == -15000
+    assert str(asset) == "-1.5000 EOS"
+
+
+def test_asset_zero_precision():
+    asset = Asset.from_string("7 TOK")
+    assert asset.amount == 7
+    assert asset.symbol.precision == 0
+    assert str(asset) == "7 TOK"
+
+
+def test_asset_arithmetic():
+    a = Asset.from_string("1.0000 EOS")
+    b = Asset.from_string("0.2500 EOS")
+    assert (a + b) == Asset.from_string("1.2500 EOS")
+    assert (a - b) == Asset.from_string("0.7500 EOS")
+    assert b < a
+    assert b <= a
+
+
+def test_asset_symbol_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Asset.from_string("1.0000 EOS") + Asset.from_string("1.0000 SYS")
+
+
+@given(st.integers(0, 10**10), st.integers(0, 6))
+@settings(max_examples=100, deadline=None)
+def test_property_asset_string_roundtrip(amount, precision):
+    asset = Asset(amount, Symbol(precision, "EOS"))
+    assert Asset.from_string(str(asset)) == asset

@@ -1,0 +1,108 @@
+"""Tests for the byte-stream serialisation and the ABI model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eosio import (Abi, Asset, Decoder, Encoder, Name, Symbol,
+                         TRANSFER_SIGNATURE, pack_values, unpack_values)
+
+
+def test_fixed_width_ints():
+    data = Encoder().uint(0xAABB, 2).int(-1, 4).bytes()
+    decoder = Decoder(data)
+    assert decoder.uint(2) == 0xAABB
+    assert decoder.int(4) == -1
+
+
+def test_varuint32_boundaries():
+    for value in (0, 127, 128, 16383, 16384, 2**32 - 1):
+        data = Encoder().varuint32(value).bytes()
+        assert Decoder(data).varuint32() == value
+
+
+def test_varuint32_rejects_negative():
+    with pytest.raises(ValueError):
+        Encoder().varuint32(-1)
+
+
+def test_name_roundtrip():
+    data = Encoder().name("eosio.token").bytes()
+    assert len(data) == 8
+    assert Decoder(data).name() == Name("eosio.token")
+
+
+def test_asset_roundtrip():
+    asset = Asset.from_string("12.3456 EOS")
+    data = Encoder().asset(asset).bytes()
+    assert len(data) == 16
+    assert Decoder(data).asset() == asset
+
+
+def test_string_length_prefix():
+    data = Encoder().string("hey").bytes()
+    assert data[0] == 3
+    assert Decoder(data).string() == "hey"
+
+
+def test_transfer_wire_format():
+    """The canonical transfer layout the dispatcher deserialises."""
+    data = pack_values(["name", "name", "asset", "string"],
+                       [Name("alice"), Name("bob"),
+                        Asset.from_string("1.0000 EOS"), "memo!"])
+    assert len(data) == 8 + 8 + 16 + 1 + 5
+    values = unpack_values(["name", "name", "asset", "string"], data)
+    assert values[0] == Name("alice")
+    assert values[3] == "memo!"
+
+
+def test_underflow_raises():
+    with pytest.raises(ValueError):
+        Decoder(b"\x01").uint(4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(amount=st.integers(-(10**12), 10**12),
+       memo=st.text(max_size=40))
+def test_property_transfer_roundtrip(amount, memo):
+    values = [Name("alice"), Name("bob"), Asset(amount), memo]
+    types = ["name", "name", "asset", "string"]
+    assert unpack_values(types, pack_values(types, values)) == values
+
+
+# -- ABI ------------------------------------------------------------------------
+
+def test_abi_from_signatures():
+    abi = Abi.from_signatures({"transfer": TRANSFER_SIGNATURE})
+    action = abi.action("transfer")
+    assert action.param_types == ["name", "name", "asset", "string"]
+
+
+def test_abi_pack_unpack():
+    abi = Abi.from_signatures({"transfer": TRANSFER_SIGNATURE})
+    action = abi.action("transfer")
+    values = [Name("a"), Name("b"), Asset.from_string("0.0001 EOS"), ""]
+    assert action.unpack(action.pack(values)) == values
+
+
+def test_abi_unknown_action():
+    abi = Abi.from_signatures({})
+    with pytest.raises(KeyError):
+        abi.action("ghost")
+    assert not abi.has_action("ghost")
+
+
+def test_abi_json_roundtrip():
+    abi = Abi.from_signatures({
+        "transfer": TRANSFER_SIGNATURE,
+        "init": (("owner", "name"),),
+    })
+    restored = Abi.from_json(abi.to_json())
+    assert restored.action_names() == ["init", "transfer"]
+    assert restored.action("transfer").param_types \
+        == ["name", "name", "asset", "string"]
+
+
+def test_abi_rejects_unknown_type():
+    with pytest.raises(ValueError):
+        Abi.from_signatures({"weird": (("x", "quaternion"),)})

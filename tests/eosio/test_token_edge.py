@@ -1,0 +1,117 @@
+"""Edge cases of the eosio.token system contract."""
+
+import pytest
+
+from repro.eosio import (Asset, Chain, Encoder, N, deploy_token, issue_to,
+                         token_balance)
+
+
+@pytest.fixture
+def chain():
+    chain = Chain()
+    deploy_token(chain, "eosio.token")
+    return chain
+
+
+def test_duplicate_create_rejected(chain):
+    data = (Encoder().name("eosio.token")
+            .asset(Asset.from_string("100.0000 EOS")).bytes())
+    result = chain.push_action("eosio.token", "create",
+                               ["eosio.token"], data)
+    assert not result.success
+    assert "already exists" in result.error
+
+
+def test_create_requires_contract_authority(chain):
+    chain.create_account("mallory")
+    data = (Encoder().name("mallory")
+            .asset(Asset.from_string("1.0000 SYS")).bytes())
+    result = chain.push_action("eosio.token", "create", ["mallory"],
+                               data)
+    assert not result.success
+
+
+def test_issue_requires_issuer_authority(chain):
+    chain.create_account("mallory")
+    data = (Encoder().name("mallory")
+            .asset(Asset.from_string("5.0000 EOS")).string("x").bytes())
+    result = chain.push_action("eosio.token", "issue", ["mallory"], data)
+    assert not result.success
+    assert "MissingAuthorization" in result.error
+
+
+def test_issue_beyond_max_supply_rejected(chain):
+    chain.create_account("alice")
+    data = (Encoder().name("alice")
+            .asset(Asset.from_string("1000000001.0000 EOS"))
+            .string("too much").bytes())
+    result = chain.push_action("eosio.token", "issue",
+                               ["eosio.token"], data)
+    assert not result.success
+    assert "exceeds available supply" in result.error
+
+
+def test_issue_accumulates_supply(chain):
+    issue_to(chain, "eosio.token", "alice", "600000000.0000 EOS")
+    issue_to(chain, "eosio.token", "bob", "400000000.0000 EOS")
+    data = (Encoder().name("alice")
+            .asset(Asset.from_string("0.0001 EOS")).string("x").bytes())
+    result = chain.push_action("eosio.token", "issue",
+                               ["eosio.token"], data)
+    assert not result.success  # supply exhausted exactly
+
+
+def test_issue_of_unknown_symbol_rejected(chain):
+    chain.create_account("alice")
+    data = (Encoder().name("alice")
+            .asset(Asset.from_string("1.0000 SYS")).string("x").bytes())
+    result = chain.push_action("eosio.token", "issue",
+                               ["eosio.token"], data)
+    assert not result.success
+    assert "does not exist" in result.error
+
+
+def test_transfer_to_self_rejected(chain):
+    issue_to(chain, "eosio.token", "alice", "10.0000 EOS")
+    data = (Encoder().name("alice").name("alice")
+            .asset(Asset.from_string("1.0000 EOS")).string("").bytes())
+    result = chain.push_action("eosio.token", "transfer", ["alice"],
+                               data)
+    assert not result.success
+
+
+def test_zero_and_negative_transfers_rejected(chain):
+    issue_to(chain, "eosio.token", "alice", "10.0000 EOS")
+    chain.create_account("bob")
+    for amount in ("0.0000 EOS", "-1.0000 EOS"):
+        data = (Encoder().name("alice").name("bob")
+                .asset(Asset.from_string(amount)).string("").bytes())
+        result = chain.push_action("eosio.token", "transfer", ["alice"],
+                                   data)
+        assert not result.success, amount
+
+
+def test_token_ignores_forwarded_notifications(chain):
+    """A token contract must not act when it is merely notified."""
+    from repro.eosio import NativeContract
+
+    class Forwarder(NativeContract):
+        def apply(self, inner_chain, ctx):
+            if ctx.receiver == ctx.code:
+                ctx.add_recipient(N("eosio.token"))
+
+    chain.set_contract("fwd", Forwarder())
+    before = chain.db.snapshot()
+    result = chain.push_action("fwd", "poke", ["fwd"], b"")
+    assert result.success
+    assert chain.db.snapshot().keys() == before.keys()
+
+
+def test_two_tokens_coexist(chain):
+    deploy_token(chain, "fake.token", maximum_supply="500.0000 EOS")
+    issue_to(chain, "fake.token", "alice", "500.0000 EOS")
+    issue_to(chain, "eosio.token", "alice", "10.0000 EOS")
+    assert token_balance(chain, "fake.token", "alice") \
+        == Asset.from_string("500.0000 EOS")
+    assert token_balance(chain, "eosio.token", "alice") \
+        == Asset.from_string("10.0000 EOS")

@@ -1,0 +1,63 @@
+"""Tests for the pluggable-detector extension API (§5)."""
+
+import random
+
+from repro.benchgen import ContractConfig, generate_contract
+from repro.engine import WasaiFuzzer, deploy_target, setup_chain
+from repro.scanner import Detector, VulnerabilityFinding, scan_report
+
+
+class DeferredRewardDetector(Detector):
+    """A sixth, user-supplied oracle: flag contracts that answer
+    payments with *deferred* actions (informational, not a bug — it
+    exercises the extension API end to end)."""
+
+    vuln_type = "defer_reward"
+
+    def detect(self, report, target, eosponser_id):
+        for obs in report.observations:
+            if obs.action_name != "transfer":
+                continue
+            if any(c.api == "send_deferred"
+                   for c in obs.record.host_calls):
+                return VulnerabilityFinding(
+                    self.vuln_type, True,
+                    "payment answered with a deferred action")
+        return VulnerabilityFinding(self.vuln_type, False)
+
+
+def campaign(config):
+    generated = generate_contract(config)
+    chain = setup_chain()
+    target = deploy_target(chain, "victim", generated.module,
+                           generated.abi)
+    fuzzer = WasaiFuzzer(chain, target, rng=random.Random(4),
+                         timeout_ms=15_000)
+    return fuzzer.run(), target
+
+
+def test_custom_detector_positive():
+    report, target = campaign(ContractConfig(seed=61,
+                                             reward_scheme="defer"))
+    result = scan_report(report, target,
+                         extra_detectors=[DeferredRewardDetector()])
+    assert result.detected("defer_reward")
+    # The built-in five still run.
+    assert set(result.findings) >= {"fake_eos", "fake_notif", "missauth",
+                                    "blockinfodep", "rollback",
+                                    "defer_reward"}
+
+
+def test_custom_detector_negative():
+    report, target = campaign(ContractConfig(seed=61,
+                                             reward_scheme="inline"))
+    result = scan_report(report, target,
+                         extra_detectors=[DeferredRewardDetector()])
+    assert not result.detected("defer_reward")
+    assert result.detected("rollback")
+
+
+def test_detector_base_class_is_abstract():
+    import pytest
+    with pytest.raises(NotImplementedError):
+        Detector().detect(None, None, None)

@@ -1,0 +1,111 @@
+"""Unit tests for the adversary-oracle payload builders (§2.3)."""
+
+import pytest
+
+from repro.engine.deploy import setup_chain
+from repro.engine.seeds import Seed
+from repro.eosio import Abi, Asset, N, Name, TRANSFER_SIGNATURE
+from repro.scanner import (PAYLOAD_KINDS, build_payload,
+                           setup_adversaries)
+
+ABI = Abi.from_signatures({"transfer": TRANSFER_SIGNATURE,
+                           "init": (("owner", "name"),)})
+
+
+@pytest.fixture
+def setup():
+    chain = setup_chain()
+    chain.create_account("victim")
+    return setup_adversaries(chain, "victim"), chain
+
+
+def transfer_seed(amount="5.0000 EOS", memo="m"):
+    return Seed("transfer", [Name("anyone"), Name("anywhere"),
+                             Asset.from_string(amount), memo])
+
+
+def test_setup_deploys_agents(setup):
+    adversaries, chain = setup
+    assert chain.get_contract("fake.token") is not None
+    assert chain.get_contract("fake.notif") is not None
+    assert adversaries.victim == N("victim")
+
+
+def test_direct_payload_targets_victim(setup):
+    adversaries, _ = setup
+    actions, params = build_payload("direct", adversaries,
+                                    transfer_seed(),
+                                    ABI.action("transfer"))
+    assert actions[0].account == N("victim")
+    assert actions[0].authorization == [N("attacker")]
+    # The victim observes the seed values verbatim.
+    assert params[0] == Name("anyone")
+
+
+def test_legit_payload_pays_through_official_token(setup):
+    adversaries, _ = setup
+    actions, params = build_payload("legit", adversaries,
+                                    transfer_seed(),
+                                    ABI.action("transfer"))
+    assert actions[0].account == N("eosio.token")
+    assert params[0] == Name("player")
+    assert params[1] == Name("victim")
+
+
+def test_legit_payload_payer_override(setup):
+    adversaries, _ = setup
+    actions, params = build_payload("legit", adversaries,
+                                    transfer_seed(),
+                                    ABI.action("transfer"),
+                                    payer=N("boss.account"))
+    assert params[0] == Name("boss.account")
+    assert actions[0].authorization == [N("boss.account")]
+
+
+def test_fake_token_payload_uses_counterfeit_issuer(setup):
+    adversaries, _ = setup
+    actions, params = build_payload("fake_token", adversaries,
+                                    transfer_seed(),
+                                    ABI.action("transfer"))
+    assert actions[0].account == N("fake.token")
+    assert params[1] == Name("victim")
+
+
+def test_fake_notif_payload_routes_via_agent(setup):
+    adversaries, _ = setup
+    actions, params = build_payload("fake_notif", adversaries,
+                                    transfer_seed(),
+                                    ABI.action("transfer"))
+    assert actions[0].account == N("eosio.token")
+    assert params[1] == Name("fake.notif")
+
+
+def test_payment_quantity_clamped(setup):
+    adversaries, _ = setup
+    for bad in ("0.0000 EOS", "-3.0000 EOS"):
+        _, params = build_payload("legit", adversaries,
+                                  transfer_seed(amount=bad),
+                                  ABI.action("transfer"))
+        assert params[2].is_positive
+
+
+def test_non_transfer_seed_is_direct_push(setup):
+    adversaries, _ = setup
+    seed = Seed("init", [Name("attacker")])
+    actions, params = build_payload("legit", adversaries, seed,
+                                    ABI.action("init"))
+    assert actions[0].account == N("victim")
+    assert actions[0].name == N("init")
+    assert params == [Name("attacker")]
+
+
+def test_unknown_kind_rejected(setup):
+    adversaries, _ = setup
+    with pytest.raises(ValueError):
+        build_payload("mystery", adversaries, transfer_seed(),
+                      ABI.action("transfer"))
+
+
+def test_all_payload_kinds_enumerated():
+    assert set(PAYLOAD_KINDS) == {"legit", "direct", "fake_token",
+                                  "fake_notif"}

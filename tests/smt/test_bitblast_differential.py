@@ -1,0 +1,119 @@
+"""Differential tests: the bit-blaster against the term evaluator.
+
+For random expressions and inputs, asserting ``expr == concrete result``
+must be SAT with a model matching the inputs, and asserting
+``expr != concrete result`` under pinned inputs must be UNSAT.  This
+cross-checks the CNF encodings of every operator against the direct
+Python semantics in :func:`repro.smt.terms.evaluate`.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import (AShr, And, BitVec, BitVecVal, Clz, Ctz, Eq, Ne,
+                       Popcnt, Rotl, Rotr, SAT, SDiv, SRem, SignExt,
+                       Solver, UDiv, UNSAT, URem, ZeroExt, evaluate)
+
+BINOPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << b,
+    "lshr": lambda a, b: a >> b,
+    "ashr": AShr,
+    "rotl": Rotl,
+    "rotr": Rotr,
+    "udiv": UDiv,
+    "urem": URem,
+    "sdiv": SDiv,
+    "srem": SRem,
+}
+
+
+def assert_op_matches(op_name, a_val, b_val, width):
+    x = BitVec(f"dx_{op_name}_{width}", width)
+    y = BitVec(f"dy_{op_name}_{width}", width)
+    expr = BINOPS[op_name](x, y)
+    expected = evaluate(expr, {x.payload[0]: a_val, y.payload[0]: b_val})
+    solver = Solver()
+    solver.add(Eq(x, BitVecVal(a_val, width)))
+    solver.add(Eq(y, BitVecVal(b_val, width)))
+    solver.add(Eq(expr, BitVecVal(expected, width)))
+    assert solver.check() == SAT, (op_name, a_val, b_val)
+    # And the negation must be impossible.
+    refute = Solver()
+    refute.add(Eq(x, BitVecVal(a_val, width)))
+    refute.add(Eq(y, BitVecVal(b_val, width)))
+    refute.add(Ne(expr, BitVecVal(expected, width)))
+    assert refute.check() == UNSAT, (op_name, a_val, b_val)
+
+
+@pytest.mark.parametrize("op_name", sorted(BINOPS))
+def test_binop_known_vectors(op_name):
+    for a_val, b_val in ((0, 0), (1, 1), (0xFF, 3), (0x80, 0x7F),
+                         (0xAB, 0), (5, 0xFF)):
+        assert_op_matches(op_name, a_val, b_val, 8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=st.integers(0, 255), b=st.integers(0, 255),
+       op=st.sampled_from(sorted(BINOPS)))
+def test_property_binops_8bit(a, b, op):
+    assert_op_matches(op, a, b, 8)
+
+
+@settings(max_examples=12, deadline=None)
+@given(a=st.integers(0, 2**16 - 1), b=st.integers(0, 2**16 - 1),
+       op=st.sampled_from(["add", "sub", "and", "or", "xor", "shl",
+                           "lshr", "ashr", "rotl", "rotr"]))
+def test_property_binops_16bit(a, b, op):
+    assert_op_matches(op, a, b, 16)
+
+
+@settings(max_examples=20, deadline=None)
+@given(a=st.integers(0, 255),
+       unop=st.sampled_from(["popcnt", "clz", "ctz", "not", "neg"]))
+def test_property_unops(a, unop):
+    x = BitVec(f"du_{unop}", 8)
+    expr = {"popcnt": Popcnt, "clz": Clz, "ctz": Ctz,
+            "not": lambda v: ~v, "neg": lambda v: -v}[unop](x)
+    expected = evaluate(expr, {x.payload[0]: a})
+    solver = Solver()
+    solver.add(Eq(x, BitVecVal(a, 8)))
+    solver.add(Ne(expr, BitVecVal(expected, 8)))
+    assert solver.check() == UNSAT
+
+
+@settings(max_examples=20, deadline=None)
+@given(a=st.integers(0, 255), extra=st.integers(1, 8))
+def test_property_extensions(a, extra):
+    x = BitVec("dext", 8)
+    for builder in (ZeroExt, SignExt):
+        expr = builder(extra, x)
+        expected = evaluate(expr, {"dext": a})
+        solver = Solver()
+        solver.add(Eq(x, BitVecVal(a, 8)))
+        solver.add(Ne(expr, BitVecVal(expected, 8 + extra)))
+        assert solver.check() == UNSAT
+
+
+@settings(max_examples=15, deadline=None)
+@given(a=st.integers(0, 2**16 - 1), b=st.integers(0, 2**16 - 1),
+       c=st.integers(0, 2**16 - 1))
+def test_property_composed_expressions(a, b, c):
+    """Nested expressions: ((x ^ y) + (z | x)) * y pinned to inputs."""
+    x = BitVec("cx", 16)
+    y = BitVec("cy", 16)
+    z = BitVec("cz", 16)
+    expr = ((x ^ y) + (z | x)) * y
+    expected = evaluate(expr, {"cx": a, "cy": b, "cz": c})
+    solver = Solver()
+    solver.add(Eq(x, BitVecVal(a, 16)))
+    solver.add(Eq(y, BitVecVal(b, 16)))
+    solver.add(Eq(z, BitVecVal(c, 16)))
+    solver.add(Ne(expr, BitVecVal(expected, 16)))
+    assert solver.check() == UNSAT

@@ -1,0 +1,164 @@
+"""Unit tests for the hash-consed term layer."""
+
+import pytest
+
+from repro.smt import (And, BitVec, BitVecVal, Concat, Eq, Extract, FALSE,
+                       Ite, Ne, Not, Or, Popcnt, SLT, SignExt, TRUE, UGT,
+                       ULT, ZeroExt, evaluate, free_variables, substitute,
+                       to_signed, to_unsigned)
+from repro.smt.terms import bv_binop
+
+
+def test_constants_are_interned():
+    assert BitVecVal(7, 32) is BitVecVal(7, 32)
+    assert BitVecVal(7, 32) is not BitVecVal(7, 64)
+
+
+def test_variables_are_interned_by_name_and_width():
+    assert BitVec("x", 32) is BitVec("x", 32)
+    assert BitVec("x", 32) is not BitVec("y", 32)
+
+
+def test_constant_folding_add():
+    assert (BitVecVal(3, 8) + BitVecVal(250, 8)).const_value() == 253
+    assert (BitVecVal(200, 8) + BitVecVal(100, 8)).const_value() == 44  # wraps
+
+
+def test_constant_folding_signed_ops():
+    a = BitVecVal(-8, 32)
+    assert to_signed(a.const_value(), 32) == -8
+    assert to_unsigned(-1, 8) == 255
+
+
+def test_identity_rewrites():
+    x = BitVec("x", 32)
+    assert (x + 0) is x
+    assert (x * 1) is x
+    assert (x * 0).const_value() == 0
+    assert (x & 0).const_value() == 0
+    assert (x ^ x).const_value() == 0
+    assert (x - x).const_value() == 0
+    assert (x | x) is x
+
+
+def test_eq_canonical_order():
+    x = BitVec("x", 32)
+    c = BitVecVal(5, 32)
+    assert Eq(x, c) is Eq(c, x)
+
+
+def test_eq_same_term_is_true():
+    x = BitVec("x", 32)
+    assert Eq(x, x) is TRUE
+    assert Ne(x, x) is FALSE
+
+
+def test_comparison_folding():
+    assert ULT(BitVecVal(1, 8), BitVecVal(2, 8)) is TRUE
+    assert ULT(BitVecVal(255, 8), BitVecVal(0, 8)) is FALSE
+    # Signed: 255 is -1 which is < 0.
+    assert SLT(BitVecVal(255, 8), BitVecVal(0, 8)) is TRUE
+
+
+def test_concat_extract_roundtrip():
+    hi = BitVecVal(0xAB, 8)
+    lo = BitVecVal(0xCD, 8)
+    both = Concat(hi, lo)
+    assert both.const_value() == 0xABCD
+    x = BitVec("x", 16)
+    assert Extract(7, 0, Concat(BitVecVal(0, 16), x) ) is not None
+
+
+def test_extract_of_concat_selects_part():
+    x = BitVec("x", 8)
+    y = BitVec("y", 8)
+    joined = Concat(x, y)  # x is the high byte
+    assert Extract(7, 0, joined) is y
+    assert Extract(15, 8, joined) is x
+
+
+def test_extract_of_extract_composes():
+    x = BitVec("x", 32)
+    outer = Extract(11, 4, Extract(23, 0, x))
+    assert outer.op == "extract"
+    assert outer.payload == (11, 4)
+    assert outer.args[0] is x
+
+
+def test_zeroext_and_signext_fold():
+    assert ZeroExt(8, BitVecVal(0xFF, 8)).const_value() == 0xFF
+    assert SignExt(8, BitVecVal(0xFF, 8)).const_value() == 0xFFFF
+
+
+def test_boolean_simplification():
+    x = BitVec("x", 8)
+    p = Eq(x, BitVecVal(1, 8))
+    assert And(p, TRUE) is p
+    assert And(p, FALSE) is FALSE
+    assert Or(p, TRUE) is TRUE
+    assert Or(p, FALSE) is p
+    assert Not(Not(p)) is p
+    assert And(p, Not(p)) is FALSE
+    assert Or(p, Not(p)) is TRUE
+
+
+def test_ite_simplification():
+    x = BitVec("x", 8)
+    y = BitVec("y", 8)
+    assert Ite(TRUE, x, y) is x
+    assert Ite(FALSE, x, y) is y
+    assert Ite(Eq(x, y), x, x) is x
+
+
+def test_popcnt_constant():
+    assert Popcnt(BitVecVal(0b1011, 8)).const_value() == 3
+
+
+def test_free_variables():
+    x = BitVec("x", 8)
+    y = BitVec("y", 8)
+    expr = (x + y) * x
+    assert free_variables(expr) == {x, y}
+    assert free_variables(Eq(expr, BitVecVal(0, 8))) == {x, y}
+
+
+def test_substitute_resimplifies():
+    x = BitVec("x", 8)
+    y = BitVec("y", 8)
+    expr = x + y
+    bound = substitute(expr, {x: BitVecVal(1, 8), y: BitVecVal(2, 8)})
+    assert bound.const_value() == 3
+
+
+def test_evaluate_matches_python_semantics():
+    x = BitVec("x", 8)
+    y = BitVec("y", 8)
+    expr = (x * y) ^ (x + y)
+    got = evaluate(expr, {"x": 7, "y": 9})
+    assert got == ((7 * 9) ^ (7 + 9)) & 0xFF
+
+
+def test_evaluate_signed_compare():
+    x = BitVec("x", 8)
+    assert evaluate(SLT(x, BitVecVal(0, 8)), {"x": 0x80}) is True
+    assert evaluate(UGT(x, BitVecVal(0x7F, 8)), {"x": 0x80}) is True
+
+
+def test_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        bv_binop("bvadd", BitVec("x", 8), BitVec("y", 16))
+    with pytest.raises(ValueError):
+        Eq(BitVec("x", 8), BitVec("y", 16))
+
+
+def test_extract_bounds_checked():
+    with pytest.raises(ValueError):
+        Extract(8, 0, BitVec("x", 8))
+    with pytest.raises(ValueError):
+        Extract(3, 5, BitVec("x", 8))
+
+
+def test_shift_folding_semantics():
+    # Wasm: shift amounts are taken modulo the width.
+    assert (BitVecVal(1, 8) << BitVecVal(10, 8)).const_value() == 4
+    assert (BitVecVal(0x80, 8) >> BitVecVal(7, 8)).const_value() == 1

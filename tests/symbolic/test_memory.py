@@ -1,0 +1,110 @@
+"""Tests for the concrete-address symbolic memory model (C2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import BitVec, BitVecVal, Eq, SAT, Solver, evaluate
+from repro.symbolic import SymbolicMemory
+
+
+def test_store_load_roundtrip_concrete():
+    memory = SymbolicMemory()
+    memory.store(100, 4, BitVecVal(0xDEADBEEF, 32))
+    assert memory.load(100, 4).const_value() == 0xDEADBEEF
+
+
+def test_little_endian_byte_order():
+    memory = SymbolicMemory()
+    memory.store(0, 4, BitVecVal(0x04030201, 32))
+    assert memory.load(0, 1).const_value() == 0x01
+    assert memory.load(3, 1).const_value() == 0x04
+
+
+def test_partial_overwrite_merges():
+    # The §3.2 example: overlapping writes at concrete addresses are
+    # resolved immediately, unlike EOSAFE's symbolic-address merging.
+    memory = SymbolicMemory()
+    memory.store(0, 2, BitVecVal(0x0000, 16))
+    memory.store(0, 2, BitVecVal(0xFFFF, 16))
+    assert memory.load(0, 2).const_value() == 0xFFFF
+
+
+def test_overlapping_ranges():
+    memory = SymbolicMemory()
+    memory.store(0, 4, BitVecVal(0xAABBCCDD, 32))
+    memory.store(2, 2, BitVecVal(0x1122, 16))
+    assert memory.load(0, 4).const_value() == 0x1122CCDD
+
+
+def test_symbolic_store_splits_into_bytes():
+    memory = SymbolicMemory()
+    x = BitVec("x", 64)
+    memory.store_symbol(200, x)
+    # Reassembling the full width recovers x exactly (hash-consing).
+    assert memory.load(200, 8) is x
+
+
+def test_symbolic_partial_load():
+    memory = SymbolicMemory()
+    x = BitVec("x", 32)
+    memory.store_symbol(0, x)
+    low = memory.load(0, 2)
+    assert evaluate(low, {"x": 0xABCD1234}) == 0x1234
+
+
+def test_unknown_memory_becomes_symbolic_load_object():
+    memory = SymbolicMemory()
+    value = memory.load(500, 2)
+    assert value.op == "bvvar"
+    assert len(memory.symbolic_loads) == 1
+    record = memory.symbolic_loads[0]
+    assert record.address == 500
+    assert record.size == 2
+
+
+def test_repeated_unknown_load_is_stable():
+    # A second load of the same unsaved bytes must see the same object.
+    memory = SymbolicMemory()
+    first = memory.load(500, 2)
+    second = memory.load(500, 2)
+    assert first is second
+    assert len(memory.symbolic_loads) == 1
+
+
+def test_mixed_known_unknown_load():
+    memory = SymbolicMemory()
+    memory.store(0, 1, BitVecVal(0xAA, 8))
+    value = memory.load(0, 2)  # byte 1 is unknown
+    # The solver can still constrain the mixed expression.
+    solver = Solver()
+    solver.add(Eq(value, BitVecVal(0x11AA, 16)))
+    assert solver.check() == SAT
+
+
+def test_store_bytes_concrete_region():
+    memory = SymbolicMemory()
+    memory.store_bytes(64, b"\x01\x02\x03")
+    assert memory.load(64, 2).const_value() == 0x0201
+
+
+@settings(max_examples=50, deadline=None)
+@given(value=st.integers(0, 2**64 - 1), addr=st.integers(0, 1000),
+       size=st.sampled_from([1, 2, 4, 8]))
+def test_property_store_load_any_size(value, addr, size):
+    memory = SymbolicMemory()
+    memory.store(addr, size, BitVecVal(value, 64))
+    loaded = memory.load(addr, size)
+    assert loaded.const_value() == value & ((1 << (size * 8)) - 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(first=st.integers(0, 0xFFFF), second=st.integers(0, 0xFF),
+       offset=st.integers(0, 1))
+def test_property_last_store_wins(first, second, offset):
+    memory = SymbolicMemory()
+    memory.store(10, 2, BitVecVal(first, 16))
+    memory.store(10 + offset, 1, BitVecVal(second, 8))
+    expected = bytearray(first.to_bytes(2, "little"))
+    expected[offset] = second
+    assert memory.load(10, 2).const_value() == int.from_bytes(
+        expected, "little")

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_gen_writes_artifacts(tmp_path, capsys):
+    out = tmp_path / "victim"
+    code = main(["gen", "--out", str(out), "--no-fake-eos-guard"])
+    assert code == 0
+    assert out.with_suffix(".wasm").exists()
+    abi = json.loads(out.with_suffix(".abi.json").read_text())
+    assert any(a["name"] == "transfer" for a in abi["actions"])
+    assert "fake_eos" in capsys.readouterr().out
+
+
+def test_gen_then_scan_vulnerable(tmp_path, capsys):
+    out = tmp_path / "victim"
+    main(["gen", "--out", str(out), "--no-fake-eos-guard", "--blockinfo",
+          "--reward", "inline"])
+    capsys.readouterr()
+    code = main(["scan", str(out.with_suffix(".wasm")),
+                 "--abi", str(out.with_suffix(".abi.json")),
+                 "--timeout-ms", "8000"])
+    output = capsys.readouterr().out
+    assert code == 1  # vulnerable => nonzero exit
+    assert "Fake EOS" in output
+    assert "VULNERABLE" in output
+
+
+def test_scan_patched_contract_clean(tmp_path, capsys):
+    out = tmp_path / "safe"
+    main(["gen", "--out", str(out), "--reward", "defer"])
+    capsys.readouterr()
+    code = main(["scan", str(out.with_suffix(".wasm")),
+                 "--abi", str(out.with_suffix(".abi.json")),
+                 "--timeout-ms", "8000"])
+    assert code == 0
+    assert "no issues found" in capsys.readouterr().out
+
+
+def test_scan_with_eosafe(tmp_path, capsys):
+    out = tmp_path / "victim"
+    main(["gen", "--out", str(out), "--no-auth-check"])
+    capsys.readouterr()
+    code = main(["scan", str(out.with_suffix(".wasm")),
+                 "--abi", str(out.with_suffix(".abi.json")),
+                 "--tool", "eosafe"])
+    assert code == 1
+    assert "Missing Authorization" in capsys.readouterr().out
+
+
+def test_gen_obfuscated_and_verified(tmp_path):
+    out = tmp_path / "hard"
+    code = main(["gen", "--out", str(out), "--obfuscate",
+                 "--verification"])
+    assert code == 0
+    from repro.wasm import parse_module, validate_module
+    validate_module(parse_module(out.with_suffix(".wasm").read_bytes()))
+
+
+def test_bench_table4_tiny(capsys):
+    code = main(["bench", "table4", "--scale", "0.004",
+                 "--timeout-ms", "5000"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "wasai" in output
+    assert "eosafe" in output
+    assert "Total" in output
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,56 @@
+"""Tests for the evaluation harness."""
+
+import pytest
+
+from repro import ContractConfig, generate_contract
+from repro.benchgen import build_table4_corpus
+from repro.harness import (evaluate_corpus, run_eosafe, run_eosfuzzer,
+                           run_wasai)
+
+
+@pytest.fixture(scope="module")
+def contract():
+    return generate_contract(ContractConfig(seed=4, fake_eos_guard=False))
+
+
+def test_run_wasai_returns_complete_run(contract):
+    run = run_wasai(contract.module, contract.abi, timeout_ms=8_000)
+    assert run.report.iterations > 0
+    assert run.scan.detected("fake_eos")
+    assert run.target.account == run.report.target_account
+
+
+def test_run_eosfuzzer_uses_eosfuzzer_oracles(contract):
+    run = run_eosfuzzer(contract.module, contract.abi, timeout_ms=8_000)
+    finding = run.scan.findings["missauth"]
+    assert "no MissAuth oracle" in finding.evidence
+
+
+def test_run_eosafe_is_static(contract):
+    result = run_eosafe(contract.module)
+    assert result.detected("fake_eos")
+
+
+def test_runs_are_deterministic(contract):
+    first = run_wasai(contract.module, contract.abi, timeout_ms=6_000,
+                      rng_seed=9)
+    second = run_wasai(contract.module, contract.abi, timeout_ms=6_000,
+                       rng_seed=9)
+    assert first.report.iterations == second.report.iterations
+    assert first.report.covered == second.report.covered
+    assert first.scan.detected_types() == second.scan.detected_types()
+
+
+def test_evaluate_corpus_builds_all_tables():
+    samples = build_table4_corpus(scale=0.004)
+    tables = evaluate_corpus(samples, timeout_ms=6_000)
+    assert set(tables) == {"wasai", "eosfuzzer", "eosafe"}
+    for table in tables.values():
+        assert table.total().total == len(samples)
+
+
+def test_evaluate_corpus_tool_subset():
+    samples = build_table4_corpus(scale=0.004)
+    tables = evaluate_corpus(samples, tools=("eosafe",),
+                             timeout_ms=6_000)
+    assert set(tables) == {"eosafe"}

@@ -1,0 +1,38 @@
+"""Tests for the wild-study pipeline."""
+
+import pytest
+
+from repro.study import format_wild_study, run_wild_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_wild_study(scale=0.02, timeout_ms=12_000)
+
+
+def test_study_flags_majority(study):
+    assert study.total >= 4
+    assert study.flagged_fraction >= 0.5
+
+
+def test_study_per_type_counts_complete(study):
+    counts = study.per_type_counts()
+    assert set(counts) == {"fake_eos", "fake_notif", "missauth",
+                           "blockinfodep", "rollback"}
+    assert sum(counts.values()) >= len(study.flagged)
+
+
+def test_study_maintenance_partition(study):
+    assert len(study.patched) <= len(study.still_operating)
+    assert study.exposed_count \
+        == len(study.still_operating) - len(study.patched)
+
+
+def test_study_ground_truth_agreement_high(study):
+    assert study.ground_truth_agreement() >= 0.9
+
+
+def test_study_formatting(study):
+    text = format_wild_study(study)
+    assert "flagged vulnerable" in text
+    assert "still exposed" in text

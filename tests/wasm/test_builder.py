@@ -1,0 +1,115 @@
+"""Tests for the module builder."""
+
+import pytest
+
+from repro.wasm import Instance, ModuleBuilder, validate_module
+
+
+def test_call_by_builder_reference():
+    builder = ModuleBuilder()
+    helper = builder.function("helper", results=["i32"])
+    helper.i32_const(7)
+    main = builder.function("main", results=["i32"])
+    main.call(helper)
+    builder.export_function("main", main)
+    assert Instance(builder.build()).invoke("main") == [7]
+
+
+def test_call_by_name_resolves_forward_references():
+    builder = ModuleBuilder()
+    main = builder.function("main", results=["i32"])
+    main.call("later")  # defined below
+    later = builder.function("later", results=["i32"])
+    later.i32_const(9)
+    builder.export_function("main", main)
+    assert Instance(builder.build()).invoke("main") == [9]
+
+
+def test_call_unknown_name_raises():
+    builder = ModuleBuilder()
+    f = builder.function("f")
+    f.call("missing")
+    with pytest.raises(KeyError):
+        builder.build()
+
+
+def test_import_function_deduplicates():
+    builder = ModuleBuilder()
+    first = builder.import_function("env", "log", ["i32"], [])
+    second = builder.import_function("env", "log", ["i32"], [])
+    assert first == second
+    f = builder.function("f")
+    f.emit("nop")
+    assert len(builder.build().imports) == 1
+
+
+def test_imports_shift_local_function_indices():
+    builder = ModuleBuilder()
+    builder.import_function("env", "a", [], [])
+    builder.import_function("env", "b", [], [])
+    helper = builder.function("helper", results=["i32"])
+    helper.i32_const(1)
+    main = builder.function("main", results=["i32"])
+    main.call(helper)
+    builder.export_function("main", main)
+    module = builder.build()
+    call = [i for i in module.functions[1].body if i.op == "call"][0]
+    assert call.args[0] == 2  # two imports before the helper
+
+
+def test_add_local_returns_running_index():
+    builder = ModuleBuilder()
+    f = builder.function("f", params=["i32", "i32"], locals_=["i64"])
+    assert f.add_local("i32") == 3  # 2 params + 1 declared local
+    assert f.add_local("i64") == 4
+
+
+def test_sparse_table_entries():
+    builder = ModuleBuilder()
+    a = builder.function("a", results=["i32"])
+    a.i32_const(1)
+    b = builder.function("b", results=["i32"])
+    b.i32_const(2)
+    builder.add_table_entry(0, a)
+    builder.add_table_entry(5, b)  # gap between runs
+    f = builder.function("f")
+    f.emit("nop")
+    module = builder.build()
+    validate_module(module)
+    assert len(module.elements) == 2
+    assert module.elements[0].offset[0].args[0] == 0
+    assert module.elements[1].offset[0].args[0] == 5
+
+
+def test_const_helpers_wrap_to_signed():
+    builder = ModuleBuilder()
+    f = builder.function("f", results=["i64"])
+    f.i64_const(0xFFFFFFFFFFFFFFFF)
+    builder.export_function("f", f)
+    module = builder.build()
+    assert module.functions[0].body[0].args[0] == -1
+    assert Instance(module).invoke("f") == [0xFFFFFFFFFFFFFFFF]
+
+
+def test_global_initialisers():
+    builder = ModuleBuilder()
+    g1 = builder.add_global("i64", mutable=False, init=-3)
+    g2 = builder.add_global("f64", mutable=True, init=1.5)
+    f = builder.function("f", results=["i64"])
+    f.emit("global.get", g1)
+    builder.export_function("f", f)
+    instance = Instance(builder.build())
+    assert instance.invoke("f") == [0xFFFFFFFFFFFFFFFD]
+    assert instance.globals[g2] == 1.5
+
+
+def test_start_function_runs_on_instantiation():
+    builder = ModuleBuilder()
+    g = builder.add_global("i32", mutable=True, init=0)
+    init = builder.function("init")
+    init.i32_const(42).emit("global.set", g)
+    builder.set_start(init)
+    f = builder.function("get", results=["i32"])
+    f.emit("global.get", g)
+    builder.export_function("get", f)
+    assert Instance(builder.build()).invoke("get") == [42]

@@ -1,0 +1,181 @@
+"""Round-trip tests for the binary encoder/parser and LEB128 codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wasm import (Instr, Module, ModuleBuilder, ParseError,
+                        encode_module, parse_module)
+from repro.wasm.leb128 import (Reader, decode_signed, decode_unsigned,
+                               encode_signed, encode_unsigned)
+
+
+# -- LEB128 ------------------------------------------------------------------
+
+@given(st.integers(0, 2**64 - 1))
+@settings(max_examples=200, deadline=None)
+def test_leb128_unsigned_roundtrip(value):
+    encoded = encode_unsigned(value)
+    decoded, offset = decode_unsigned(encoded)
+    assert decoded == value
+    assert offset == len(encoded)
+
+
+@given(st.integers(-(2**63), 2**63 - 1))
+@settings(max_examples=200, deadline=None)
+def test_leb128_signed_roundtrip(value):
+    encoded = encode_signed(value)
+    decoded, offset = decode_signed(encoded)
+    assert decoded == value
+    assert offset == len(encoded)
+
+
+def test_leb128_known_vectors():
+    assert encode_unsigned(0) == b"\x00"
+    assert encode_unsigned(624485) == b"\xe5\x8e\x26"
+    assert encode_signed(-123456) == b"\xc0\xbb\x78"
+
+
+def test_leb128_negative_rejected_for_unsigned():
+    with pytest.raises(ValueError):
+        encode_unsigned(-1)
+
+
+def test_leb128_truncated_raises():
+    with pytest.raises(ValueError):
+        decode_unsigned(b"\x80")
+
+
+def test_reader_name():
+    reader = Reader(b"\x05hello")
+    assert reader.name() == "hello"
+
+
+# -- module round-trip -----------------------------------------------------------
+
+def simple_module() -> Module:
+    builder = ModuleBuilder()
+    builder.import_function("env", "log", params=["i32"], results=[])
+    builder.add_memory(1, 4)
+    builder.add_global("i64", mutable=True, init=7)
+    add = builder.function("add", params=["i32", "i32"], results=["i32"])
+    add.local_get(0).local_get(1).emit("i32.add")
+    main = builder.function("main", params=[], results=["i32"],
+                            locals_=["i32", "i64"])
+    main.i32_const(2).i32_const(3).call(add)
+    builder.export_function("add", add)
+    builder.export_function("main", main)
+    builder.add_table_entry(0, add)
+    builder.add_data(16, b"payload")
+    return builder.build()
+
+
+def test_roundtrip_preserves_structure():
+    module = simple_module()
+    data = encode_module(module)
+    parsed = parse_module(data)
+    assert len(parsed.types) == len(module.types)
+    assert len(parsed.imports) == 1
+    assert parsed.imports[0].module == "env"
+    assert len(parsed.functions) == 2
+    assert parsed.functions[0].body == module.functions[0].body
+    assert parsed.functions[1].body == module.functions[1].body
+    assert parsed.memories[0].limits.minimum == 1
+    assert parsed.memories[0].limits.maximum == 4
+    assert len(parsed.globals) == 1
+    assert [e.name for e in parsed.exports] == ["add", "main"]
+    assert parsed.elements[0].func_indices == [1]
+    assert parsed.data_segments[0].data == b"payload"
+
+
+def test_roundtrip_is_stable():
+    data = encode_module(simple_module())
+    assert encode_module(parse_module(data)) == data
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ParseError):
+        parse_module(b"\x00bad\x01\x00\x00\x00")
+
+
+def test_bad_version_rejected():
+    with pytest.raises(ParseError):
+        parse_module(b"\x00asm\x02\x00\x00\x00")
+
+
+def test_unknown_opcode_rejected():
+    # Craft a module with an invalid opcode byte in a function body.
+    module = simple_module()
+    data = bytearray(encode_module(module))
+    # 0xFE is unused in the MVP opcode space.
+    idx = data.find(bytes([0x6A]))  # i32.add
+    data[idx] = 0xFE
+    with pytest.raises(ParseError):
+        parse_module(bytes(data))
+
+
+def test_control_instructions_roundtrip():
+    builder = ModuleBuilder()
+    f = builder.function("f", params=["i32"], results=["i32"])
+    f.emit("block", "i32")
+    f.emit("local.get", 0)
+    f.emit("if", "i32")
+    f.i32_const(1)
+    f.emit("else")
+    f.i32_const(2)
+    f.emit("end")
+    f.emit("end")
+    builder.export_function("f", f)
+    module = builder.build()
+    parsed = parse_module(encode_module(module))
+    assert parsed.functions[0].body == module.functions[0].body
+
+
+def test_br_table_roundtrip():
+    builder = ModuleBuilder()
+    f = builder.function("f", params=["i32"], results=[])
+    f.emit("block", None)
+    f.emit("block", None)
+    f.local_get(0)
+    f.emit("br_table", (0, 1), 1)
+    f.emit("end")
+    f.emit("end")
+    module = builder.build()
+    parsed = parse_module(encode_module(module))
+    br = [i for i in parsed.functions[0].body if i.op == "br_table"][0]
+    assert br.args == ((0, 1), 1)
+
+
+def test_float_constants_roundtrip():
+    builder = ModuleBuilder()
+    f = builder.function("f", results=["f64"])
+    f.emit("f64.const", 3.5)
+    module = builder.build()
+    parsed = parse_module(encode_module(module))
+    assert parsed.functions[0].body[0].args[0] == 3.5
+
+
+def test_negative_i32_const_roundtrip():
+    builder = ModuleBuilder()
+    f = builder.function("f", results=["i32"])
+    f.i32_const(-5)
+    parsed = parse_module(builder.build_bytes())
+    assert parsed.functions[0].body[0].args[0] == -5
+
+
+def test_large_unsigned_i64_const_roundtrip():
+    # Values >= 2^63 must wrap to their signed representation.
+    builder = ModuleBuilder()
+    f = builder.function("f", results=["i64"])
+    f.i64_const(0xFFFFFFFFFFFFFFFF)
+    parsed = parse_module(builder.build_bytes())
+    assert parsed.functions[0].body[0].args[0] == -1
+
+
+def test_custom_sections_skipped():
+    data = bytearray(encode_module(simple_module()))
+    # Append a custom section: id 0, size, name "meta", payload.
+    custom = b"\x04meta\xde\xad"
+    data.extend(b"\x00" + bytes([len(custom)]) + custom)
+    parsed = parse_module(bytes(data))
+    assert len(parsed.functions) == 2

@@ -1,0 +1,440 @@
+"""Semantics tests for the Wasm interpreter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wasm import (ExecutionLimits, FuncType, HostFunc, I32, Instance,
+                        ModuleBuilder, TrapIndirectCall, TrapIntegerDivide,
+                        TrapIntegerOverflow, TrapMemoryOutOfBounds,
+                        TrapOutOfFuel, TrapStackOverflow, TrapUnreachable)
+
+
+def run_expr(emit, params=(), results=("i32",), args=(), locals_=()):
+    """Build a one-function module, run it, return the single result."""
+    builder = ModuleBuilder()
+    builder.add_memory(1)
+    f = builder.function("f", params=params, results=results, locals_=locals_)
+    emit(f)
+    builder.export_function("f", f)
+    instance = Instance(builder.build())
+    out = instance.invoke("f", args)
+    return out[0] if out else None
+
+
+def test_i32_add_wraps():
+    result = run_expr(lambda f: f.i32_const(0xFFFFFFFF).i32_const(2)
+                      .emit("i32.add"))
+    assert result == 1
+
+
+def test_i64_mul():
+    result = run_expr(lambda f: f.i64_const(1 << 40).i64_const(4)
+                      .emit("i64.mul"), results=("i64",))
+    assert result == 1 << 42
+
+
+def test_signed_division_semantics():
+    # -7 / 2 == -3 in Wasm (truncating).
+    result = run_expr(lambda f: f.i32_const(-7).i32_const(2)
+                      .emit("i32.div_s"))
+    assert result == 0xFFFFFFFD  # -3 unsigned
+
+
+def test_division_by_zero_traps():
+    with pytest.raises(TrapIntegerDivide):
+        run_expr(lambda f: f.i32_const(1).i32_const(0).emit("i32.div_u"))
+
+
+def test_div_overflow_traps():
+    with pytest.raises(TrapIntegerOverflow):
+        run_expr(lambda f: f.i32_const(-0x80000000).i32_const(-1)
+                 .emit("i32.div_s"))
+
+
+def test_rem_s_sign_follows_dividend():
+    result = run_expr(lambda f: f.i32_const(-7).i32_const(3)
+                      .emit("i32.rem_s"))
+    assert result == 0xFFFFFFFF  # -1
+
+
+def test_comparisons_signed_vs_unsigned():
+    assert run_expr(lambda f: f.i32_const(-1).i32_const(1)
+                    .emit("i32.lt_s")) == 1
+    assert run_expr(lambda f: f.i32_const(-1).i32_const(1)
+                    .emit("i32.lt_u")) == 0
+
+
+def test_popcnt_clz_ctz():
+    assert run_expr(lambda f: f.i32_const(0b10110).emit("i32.popcnt")) == 3
+    assert run_expr(lambda f: f.i32_const(1).emit("i32.clz")) == 31
+    assert run_expr(lambda f: f.i32_const(8).emit("i32.ctz")) == 3
+    assert run_expr(lambda f: f.i64_const(0).emit("i64.clz"),
+                    results=("i64",)) == 64
+
+
+def test_rotations():
+    assert run_expr(lambda f: f.i32_const(0x80000001).i32_const(1)
+                    .emit("i32.rotl")) == 0x00000003
+    assert run_expr(lambda f: f.i32_const(1).i32_const(1)
+                    .emit("i32.rotr")) == 0x80000000
+
+
+def test_shift_amount_modulo_width():
+    assert run_expr(lambda f: f.i32_const(1).i32_const(33)
+                    .emit("i32.shl")) == 2
+
+
+def test_shr_s_preserves_sign():
+    assert run_expr(lambda f: f.i32_const(-8).i32_const(1)
+                    .emit("i32.shr_s")) == 0xFFFFFFFC
+
+
+def test_select():
+    result = run_expr(lambda f: f.i32_const(10).i32_const(20).i32_const(1)
+                      .emit("select"))
+    assert result == 10
+    result = run_expr(lambda f: f.i32_const(10).i32_const(20).i32_const(0)
+                      .emit("select"))
+    assert result == 20
+
+
+def test_locals_and_tee():
+    def body(f):
+        f.i32_const(5).emit("local.tee", 0)
+        f.local_get(0).emit("i32.add")
+    assert run_expr(body, locals_=("i32",)) == 10
+
+
+def test_globals():
+    builder = ModuleBuilder()
+    g = builder.add_global("i32", mutable=True, init=41)
+    f = builder.function("f", results=["i32"])
+    f.emit("global.get", g).i32_const(1).emit("i32.add")
+    f.emit("global.set", g)
+    f.emit("global.get", g)
+    builder.export_function("f", f)
+    instance = Instance(builder.build())
+    assert instance.invoke("f") == [42]
+    assert instance.invoke("f") == [43]  # state persists
+
+
+# -- memory --------------------------------------------------------------------
+
+def test_store_load_roundtrip():
+    def body(f):
+        f.i32_const(64).i64_const(0x1122334455667788).emit("i64.store", 3, 0)
+        f.i32_const(64).emit("i64.load", 3, 0)
+    assert run_expr(body, results=("i64",)) == 0x1122334455667788
+
+
+def test_little_endian_layout():
+    def body(f):
+        f.i32_const(0).i32_const(0x0403_0201).emit("i32.store", 2, 0)
+        f.i32_const(0).emit("i32.load8_u", 0, 0)
+    assert run_expr(body) == 0x01
+
+
+def test_load8_signed_extension():
+    def body(f):
+        f.i32_const(0).i32_const(0xFF).emit("i32.store8", 0, 0)
+        f.i32_const(0).emit("i32.load8_s", 0, 0)
+    assert run_expr(body) == 0xFFFFFFFF
+
+
+def test_load16_unsigned():
+    def body(f):
+        f.i32_const(0).i32_const(0xFFFF).emit("i32.store16", 1, 0)
+        f.i32_const(0).emit("i32.load16_u", 1, 0)
+    assert run_expr(body) == 0xFFFF
+
+
+def test_store_with_offset_immediate():
+    def body(f):
+        f.i32_const(8).i32_const(0xAB).emit("i32.store8", 0, 4)
+        f.i32_const(12).emit("i32.load8_u", 0, 0)
+    assert run_expr(body) == 0xAB
+
+
+def test_out_of_bounds_load_traps():
+    with pytest.raises(TrapMemoryOutOfBounds):
+        run_expr(lambda f: f.i32_const(0xFFFFFF).emit("i32.load", 2, 0))
+
+
+def test_memory_size_and_grow():
+    def body(f):
+        f.i32_const(1).emit("memory.grow")
+        f.emit("drop")
+        f.emit("memory.size")
+    assert run_expr(body) == 2
+
+
+def test_memory_grow_beyond_max_fails():
+    builder = ModuleBuilder()
+    builder.add_memory(1, 1)
+    f = builder.function("f", results=["i32"])
+    f.i32_const(1).emit("memory.grow")
+    builder.export_function("f", f)
+    instance = Instance(builder.build())
+    assert instance.invoke("f") == [0xFFFFFFFF]  # -1
+
+
+def test_data_segment_initialises_memory():
+    builder = ModuleBuilder()
+    builder.add_memory(1)
+    builder.add_data(32, b"\x2a")
+    f = builder.function("f", results=["i32"])
+    f.i32_const(32).emit("i32.load8_u", 0, 0)
+    builder.export_function("f", f)
+    assert Instance(builder.build()).invoke("f") == [42]
+
+
+# -- control flow -----------------------------------------------------------------
+
+def test_if_else():
+    def make(f):
+        f.local_get(0)
+        f.emit("if", "i32")
+        f.i32_const(100)
+        f.emit("else")
+        f.i32_const(200)
+        f.emit("end")
+    assert run_expr(make, params=("i32",), args=(1,)) == 100
+    assert run_expr(make, params=("i32",), args=(0,)) == 200
+
+
+def test_if_without_else():
+    def make(f):
+        f.i32_const(0)
+        f.local_set(1)
+        f.local_get(0)
+        f.emit("if", None)
+        f.i32_const(7)
+        f.local_set(1)
+        f.emit("end")
+        f.local_get(1)
+    assert run_expr(make, params=("i32",), args=(1,), locals_=("i32",)) == 7
+    assert run_expr(make, params=("i32",), args=(0,), locals_=("i32",)) == 0
+
+
+def test_loop_with_br_if():
+    """Sum 1..n with a loop."""
+    def make(f):
+        # locals: 0=n (param), 1=i, 2=sum
+        f.emit("block", None)
+        f.emit("loop", None)
+        f.local_get(1).local_get(0).emit("i32.ge_u").emit("br_if", 1)
+        f.local_get(1).i32_const(1).emit("i32.add").local_set(1)
+        f.local_get(2).local_get(1).emit("i32.add").local_set(2)
+        f.emit("br", 0)
+        f.emit("end")
+        f.emit("end")
+        f.local_get(2)
+    assert run_expr(make, params=("i32",), args=(5,),
+                    locals_=("i32", "i32")) == 15
+
+
+def test_br_table_dispatch():
+    def make(f):
+        f.emit("block", None)
+        f.emit("block", None)
+        f.emit("block", None)
+        f.local_get(0)
+        f.emit("br_table", (0, 1), 2)
+        f.emit("end")
+        f.i32_const(10)
+        f.emit("return")
+        f.emit("end")
+        f.i32_const(20)
+        f.emit("return")
+        f.emit("end")
+        f.i32_const(30)
+    assert run_expr(make, params=("i32",), args=(0,)) == 10
+    assert run_expr(make, params=("i32",), args=(1,)) == 20
+    assert run_expr(make, params=("i32",), args=(7,)) == 30
+
+
+def test_block_result_value():
+    def make(f):
+        f.emit("block", "i32")
+        f.i32_const(9)
+        f.emit("end")
+    assert run_expr(make) == 9
+
+
+def test_br_carries_block_result():
+    def make(f):
+        f.emit("block", "i32")
+        f.i32_const(11)
+        f.emit("br", 0)
+        f.emit("end")
+    assert run_expr(make) == 11
+
+
+def test_early_return():
+    def make(f):
+        f.i32_const(1)
+        f.emit("return")
+        f.emit("unreachable")
+    assert run_expr(make) == 1
+
+
+def test_unreachable_traps():
+    with pytest.raises(TrapUnreachable):
+        run_expr(lambda f: f.emit("unreachable"))
+
+
+def test_nested_function_calls():
+    builder = ModuleBuilder()
+    double = builder.function("double", params=["i32"], results=["i32"])
+    double.local_get(0).i32_const(2).emit("i32.mul")
+    quad = builder.function("quad", params=["i32"], results=["i32"])
+    quad.local_get(0)
+    quad.call(double)
+    quad.call(double)
+    builder.export_function("quad", quad)
+    assert Instance(builder.build()).invoke("quad", [5]) == [20]
+
+
+def test_call_indirect():
+    builder = ModuleBuilder()
+    one = builder.function("one", results=["i32"])
+    one.i32_const(1)
+    two = builder.function("two", results=["i32"])
+    two.i32_const(2)
+    builder.add_table_entry(0, one)
+    builder.add_table_entry(1, two)
+    caller = builder.function("caller", params=["i32"], results=["i32"])
+    caller.local_get(0)
+    caller.emit("call_indirect", 0)  # type index filled by builder interning
+    builder.export_function("caller", caller)
+    module = builder.build()
+    # Fix the call_indirect type index to the () -> i32 type.
+    from repro.wasm import FuncType as FT, I32 as _I32
+    type_index = module.add_type(FT((), (_I32,)))
+    body = module.functions[-1].body
+    for i, instr in enumerate(body):
+        if instr.op == "call_indirect":
+            from repro.wasm import Instr
+            body[i] = Instr("call_indirect", type_index)
+    instance = Instance(module)
+    assert instance.invoke("caller", [0]) == [1]
+    assert instance.invoke("caller", [1]) == [2]
+    with pytest.raises(TrapIndirectCall):
+        instance.invoke("caller", [9])
+
+
+def test_host_function_import():
+    builder = ModuleBuilder()
+    log_index = builder.import_function("env", "log", params=["i32"])
+    f = builder.function("f", params=["i32"])
+    f.local_get(0)
+    f.emit("call", log_index)
+    builder.export_function("f", f)
+    seen = []
+    host = HostFunc(FuncType((I32,), ()),
+                    lambda inst, args: seen.append(args[0]) or [])
+    instance = Instance(builder.build(), {("env", "log"): host})
+    instance.invoke("f", [99])
+    assert seen == [99]
+
+
+def test_missing_import_raises():
+    builder = ModuleBuilder()
+    builder.import_function("env", "log", params=["i32"])
+    f = builder.function("f", results=["i32"])
+    f.i32_const(0)
+    builder.export_function("f", f)
+    with pytest.raises(KeyError):
+        Instance(builder.build())
+
+
+def test_import_signature_mismatch_raises():
+    builder = ModuleBuilder()
+    builder.import_function("env", "log", params=["i32"])
+    f = builder.function("f", results=["i32"])
+    f.i32_const(0)
+    builder.export_function("f", f)
+    bad = HostFunc(FuncType((), ()), lambda inst, args: [])
+    with pytest.raises(TypeError):
+        Instance(builder.build(), {("env", "log"): bad})
+
+
+# -- limits ----------------------------------------------------------------------
+
+def test_fuel_exhaustion():
+    builder = ModuleBuilder()
+    f = builder.function("spin")
+    f.emit("loop", None)
+    f.emit("br", 0)
+    f.emit("end")
+    builder.export_function("spin", f)
+    instance = Instance(builder.build(), limits=ExecutionLimits(fuel=1000))
+    with pytest.raises(TrapOutOfFuel):
+        instance.invoke("spin")
+
+
+def test_call_depth_limit():
+    builder = ModuleBuilder()
+    f = builder.function("rec")
+    f.call("rec")
+    builder.export_function("rec", f)
+    instance = Instance(builder.build(),
+                        limits=ExecutionLimits(call_depth=10))
+    with pytest.raises(TrapStackOverflow):
+        instance.invoke("rec")
+
+
+# -- floats ------------------------------------------------------------------------
+
+def test_float_arithmetic():
+    assert run_expr(lambda f: f.emit("f64.const", 1.5)
+                    .emit("f64.const", 2.25).emit("f64.add"),
+                    results=("f64",)) == 3.75
+
+
+def test_f32_rounds_to_single_precision():
+    result = run_expr(lambda f: f.emit("f32.const", 0.1)
+                      .emit("f32.const", 0.2).emit("f32.add"),
+                      results=("f32",))
+    import struct
+    expected = struct.unpack("<f", struct.pack(
+        "<f", struct.unpack("<f", struct.pack("<f", 0.1))[0]
+        + struct.unpack("<f", struct.pack("<f", 0.2))[0]))[0]
+    assert result == expected
+
+
+def test_trunc_overflow_traps():
+    with pytest.raises(TrapIntegerOverflow):
+        run_expr(lambda f: f.emit("f64.const", 1e30)
+                 .emit("i32.trunc_f64_s"))
+
+
+def test_conversions():
+    assert run_expr(lambda f: f.i64_const(-1).emit("i32.wrap_i64")) \
+        == 0xFFFFFFFF
+    assert run_expr(lambda f: f.i32_const(-1).emit("i64.extend_i32_s"),
+                    results=("i64",)) == 0xFFFFFFFFFFFFFFFF
+    assert run_expr(lambda f: f.i32_const(-1).emit("i64.extend_i32_u"),
+                    results=("i64",)) == 0xFFFFFFFF
+    assert run_expr(lambda f: f.emit("f64.const", -3.9)
+                    .emit("i32.trunc_f64_s")) == 0xFFFFFFFD  # -3
+
+
+def test_reinterpret_roundtrip():
+    assert run_expr(lambda f: f.emit("f64.const", 1.0)
+                    .emit("i64.reinterpret_f64"),
+                    results=("i64",)) == 0x3FF0000000000000
+
+
+# -- differential property test ------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(a=st.integers(0, 2**32 - 1), b=st.integers(0, 2**32 - 1),
+       op=st.sampled_from(["i32.add", "i32.sub", "i32.mul", "i32.and",
+                           "i32.or", "i32.xor"]))
+def test_property_i32_binops_match_python(a, b, op):
+    result = run_expr(lambda f: f.i32_const(a).i32_const(b).emit(op))
+    python = {"i32.add": a + b, "i32.sub": a - b, "i32.mul": a * b,
+              "i32.and": a & b, "i32.or": a | b, "i32.xor": a ^ b}[op]
+    assert result == python & 0xFFFFFFFF

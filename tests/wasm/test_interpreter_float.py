@@ -1,0 +1,137 @@
+"""Float semantics tests for the interpreter (IEEE corner cases)."""
+
+import math
+import struct
+
+import pytest
+
+from repro.wasm import Instance, ModuleBuilder, TrapIntegerOverflow
+
+
+def run(emit, results=("f64",), params=(), args=()):
+    builder = ModuleBuilder()
+    f = builder.function("f", params=params, results=results)
+    emit(f)
+    builder.export_function("f", f)
+    return Instance(builder.build()).invoke("f", args)[0]
+
+
+def test_nearest_ties_to_even():
+    assert run(lambda f: f.emit("f64.const", 2.5).emit("f64.nearest")) \
+        == 2.0
+    assert run(lambda f: f.emit("f64.const", 3.5).emit("f64.nearest")) \
+        == 4.0
+    assert run(lambda f: f.emit("f64.const", -0.5).emit("f64.nearest")) \
+        == 0.0
+
+
+def test_min_max_nan_propagation():
+    result = run(lambda f: f.emit("f64.const", math.nan)
+                 .emit("f64.const", 1.0).emit("f64.min"))
+    assert math.isnan(result)
+    result = run(lambda f: f.emit("f64.const", 2.0)
+                 .emit("f64.const", math.nan).emit("f64.max"))
+    assert math.isnan(result)
+
+
+def test_division_by_zero_gives_infinity():
+    assert run(lambda f: f.emit("f64.const", 1.0)
+               .emit("f64.const", 0.0).emit("f64.div")) == math.inf
+    assert run(lambda f: f.emit("f64.const", -1.0)
+               .emit("f64.const", 0.0).emit("f64.div")) == -math.inf
+    assert math.isnan(run(lambda f: f.emit("f64.const", 0.0)
+                          .emit("f64.const", 0.0).emit("f64.div")))
+
+
+def test_copysign():
+    assert run(lambda f: f.emit("f64.const", 3.0)
+               .emit("f64.const", -1.0).emit("f64.copysign")) == -3.0
+    assert run(lambda f: f.emit("f64.const", -3.0)
+               .emit("f64.const", 1.0).emit("f64.copysign")) == 3.0
+
+
+def test_sqrt():
+    assert run(lambda f: f.emit("f64.const", 9.0).emit("f64.sqrt")) == 3.0
+
+
+def test_floor_ceil_trunc():
+    assert run(lambda f: f.emit("f64.const", -1.5).emit("f64.floor")) \
+        == -2.0
+    assert run(lambda f: f.emit("f64.const", -1.5).emit("f64.ceil")) \
+        == -1.0
+    assert run(lambda f: f.emit("f64.const", -1.5).emit("f64.trunc")) \
+        == -1.0
+
+
+def test_f32_demote_rounds():
+    value = 1.0000000001
+    got = run(lambda f: f.emit("f64.const", value)
+              .emit("f32.demote_f64"), results=("f32",))
+    expected = struct.unpack("<f", struct.pack("<f", value))[0]
+    assert got == expected
+
+
+def test_promote_preserves():
+    got = run(lambda f: f.emit("f32.const", 0.5)
+              .emit("f64.promote_f32"))
+    assert got == 0.5
+
+
+def test_trunc_nan_traps():
+    with pytest.raises(TrapIntegerOverflow):
+        run(lambda f: f.emit("f64.const", math.nan)
+            .emit("i32.trunc_f64_s"), results=("i32",))
+
+
+def test_trunc_boundary_values():
+    assert run(lambda f: f.emit("f64.const", 2147483647.0)
+               .emit("i32.trunc_f64_s"), results=("i32",)) == 0x7FFFFFFF
+    with pytest.raises(TrapIntegerOverflow):
+        run(lambda f: f.emit("f64.const", 2147483648.0)
+            .emit("i32.trunc_f64_s"), results=("i32",))
+    assert run(lambda f: f.emit("f64.const", -2147483648.0)
+               .emit("i32.trunc_f64_s"), results=("i32",)) == 0x80000000
+
+
+def test_unsigned_convert():
+    assert run(lambda f: f.i32_const(-1).emit("f64.convert_i32_u")) \
+        == 4294967295.0
+    assert run(lambda f: f.i32_const(-1).emit("f64.convert_i32_s")) \
+        == -1.0
+
+
+def test_float_compares_push_i32():
+    assert run(lambda f: f.emit("f64.const", 1.0)
+               .emit("f64.const", 2.0).emit("f64.lt"),
+               results=("i32",)) == 1
+    # NaN compares false with everything (ne is true).
+    assert run(lambda f: f.emit("f64.const", math.nan)
+               .emit("f64.const", math.nan).emit("f64.eq"),
+               results=("i32",)) == 0
+    assert run(lambda f: f.emit("f64.const", math.nan)
+               .emit("f64.const", math.nan).emit("f64.ne"),
+               results=("i32",)) == 1
+
+
+def test_float_memory_roundtrip():
+    def body(f):
+        f.i32_const(0).emit("f64.const", -123.456).emit("f64.store", 3, 0)
+        f.i32_const(0).emit("f64.load", 3, 0)
+    builder = ModuleBuilder()
+    builder.add_memory(1)
+    fn = builder.function("f", results=["f64"])
+    body(fn)
+    builder.export_function("f", fn)
+    assert Instance(builder.build()).invoke("f") == [-123.456]
+
+
+def test_f32_store_narrows():
+    builder = ModuleBuilder()
+    builder.add_memory(1)
+    fn = builder.function("f", results=["f32"])
+    fn.i32_const(0).emit("f64.const", 0.1).emit("f32.demote_f64")
+    fn.emit("f32.store", 2, 0)
+    fn.i32_const(0).emit("f32.load", 2, 0)
+    builder.export_function("f", fn)
+    got = Instance(builder.build()).invoke("f")[0]
+    assert got == struct.unpack("<f", struct.pack("<f", 0.1))[0]

@@ -1,0 +1,163 @@
+"""Tests for the type-checking validator / stack-typing pass."""
+
+import pytest
+
+from repro.wasm import (I32, I64, Instr, ModuleBuilder, ValidationError,
+                        type_function, validate_module)
+
+
+def build_single(emit, params=(), results=(), locals_=(), memory=True):
+    builder = ModuleBuilder()
+    if memory:
+        builder.add_memory(1)
+    f = builder.function("f", params=params, results=results, locals_=locals_)
+    emit(f)
+    builder.export_function("f", f)
+    return builder.build()
+
+
+def typings_for(module):
+    return type_function(module, module.functions[0])
+
+
+def test_well_typed_module_passes():
+    module = build_single(lambda f: f.i32_const(1).i32_const(2)
+                          .emit("i32.add"), results=("i32",))
+    validate_module(module)
+
+
+def test_stack_underflow_rejected():
+    module = build_single(lambda f: f.emit("i32.add"), results=("i32",))
+    with pytest.raises(ValidationError):
+        validate_module(module)
+
+
+def test_type_mismatch_rejected():
+    module = build_single(lambda f: f.i32_const(1).i64_const(2)
+                          .emit("i32.add"), results=("i32",))
+    with pytest.raises(ValidationError):
+        validate_module(module)
+
+
+def test_missing_result_rejected():
+    module = build_single(lambda f: f.emit("nop"), results=("i32",))
+    with pytest.raises(ValidationError):
+        validate_module(module)
+
+
+def test_excess_values_rejected():
+    module = build_single(lambda f: f.i32_const(1).i32_const(2),
+                          results=("i32",))
+    with pytest.raises(ValidationError):
+        validate_module(module)
+
+
+def test_local_index_out_of_range():
+    module = build_single(lambda f: f.local_get(3), results=("i32",),
+                          params=("i32",))
+    with pytest.raises(ValidationError):
+        validate_module(module)
+
+
+def test_immutable_global_set_rejected():
+    builder = ModuleBuilder()
+    g = builder.add_global("i32", mutable=False, init=0)
+    f = builder.function("f")
+    f.i32_const(1).emit("global.set", g)
+    with pytest.raises(ValidationError):
+        validate_module(builder.build())
+
+
+def test_branch_depth_out_of_range():
+    module = build_single(lambda f: f.emit("br", 5))
+    with pytest.raises(ValidationError):
+        validate_module(module)
+
+
+def test_unreachable_code_is_stack_polymorphic():
+    # After unreachable, any instruction type-checks.
+    def emit(f):
+        f.emit("unreachable")
+        f.emit("i32.add")  # operands are polymorphic
+    validate_module(build_single(emit, results=("i32",)))
+
+
+def test_typings_record_operand_types():
+    module = build_single(lambda f: f.i32_const(1).i32_const(2)
+                          .emit("i32.add"), results=("i32",))
+    typings = typings_for(module)
+    assert typings[0].pops == []
+    assert typings[0].pushes == [I32]
+    assert typings[2].pops == [I32, I32]
+    assert typings[2].pushes == [I32]
+
+
+def test_typings_for_memory_ops():
+    def emit(f):
+        f.i32_const(0).i64_const(5).emit("i64.store", 3, 0)
+    module = build_single(emit)
+    typings = typings_for(module)
+    assert typings[2].pops == [I32, I64]
+
+
+def test_typings_for_call():
+    builder = ModuleBuilder()
+    helper = builder.function("helper", params=["i64"], results=["i32"])
+    helper.i32_const(0)
+    caller = builder.function("caller", results=["i32"])
+    caller.i64_const(9)
+    caller.call(helper)
+    module = builder.build()
+    typings = type_function(module, module.functions[1])
+    assert typings[1].pops == [I64]
+    assert typings[1].pushes == [I32]
+
+
+def test_typings_mark_dead_code():
+    def emit(f):
+        f.i32_const(1)
+        f.emit("return")
+        f.i32_const(2)
+        f.emit("drop")
+    module = build_single(emit, results=("i32",))
+    typings = typings_for(module)
+    assert typings[0].reachable
+    assert typings[1].reachable
+    assert not typings[2].reachable
+    assert not typings[3].reachable
+
+
+def test_select_type_propagation():
+    def emit(f):
+        f.i64_const(1).i64_const(2).i32_const(0).emit("select")
+    module = build_single(emit, results=("i64",))
+    typings = typings_for(module)
+    assert typings[3].pops == [I64, I64, I32]
+    assert typings[3].pushes == [I64]
+
+
+def test_if_else_arms_must_agree():
+    def emit(f):
+        f.i32_const(1)
+        f.emit("if", "i32")
+        f.i32_const(1)
+        f.emit("else")
+        f.i64_const(2)  # wrong arm type
+        f.emit("end")
+    with pytest.raises(ValidationError):
+        validate_module(build_single(emit, results=("i32",)))
+
+
+def test_else_without_if_rejected():
+    module = build_single(lambda f: f.emit("else"))
+    with pytest.raises(ValidationError):
+        validate_module(module)
+
+
+def test_br_if_keeps_stack():
+    def emit(f):
+        f.emit("block", None)
+        f.i32_const(1)
+        f.emit("br_if", 0)
+        f.emit("end")
+    validate_module(build_single(emit))

@@ -1,0 +1,81 @@
+"""Tests for the WAT text renderer."""
+
+from repro.benchgen import ContractConfig, generate_contract
+from repro.wasm import Instr, ModuleBuilder
+from repro.wasm.wat import (render_function, render_instruction,
+                            render_module)
+
+
+def test_render_simple_instructions():
+    assert render_instruction(Instr("i32.add")) == "i32.add"
+    assert render_instruction(Instr("i64.const", -5)) == "i64.const -5"
+    assert render_instruction(Instr("local.get", 3)) == "local.get 3"
+
+
+def test_render_memarg():
+    assert render_instruction(Instr("i64.load", 3, 16)) \
+        == "i64.load offset=16 align=8"
+    assert render_instruction(Instr("i32.load", 0, 0)) == "i32.load"
+
+
+def test_render_block_types():
+    assert render_instruction(Instr("block", None)) == "block"
+    assert render_instruction(Instr("if", "i32")) == "if (result i32)"
+
+
+def test_render_br_table():
+    assert render_instruction(Instr("br_table", (0, 1), 2)) \
+        == "br_table 0 1 2"
+
+
+def test_render_function_indents_control_flow():
+    builder = ModuleBuilder()
+    f = builder.function("f", params=["i32"], results=["i32"],
+                         locals_=["i64"])
+    f.local_get(0)
+    f.emit("if", "i32")
+    f.i32_const(1)
+    f.emit("else")
+    f.i32_const(2)
+    f.emit("end")
+    builder.export_function("f", f)
+    module = builder.build()
+    text = render_function(module, 0, "f")
+    lines = text.splitlines()
+    assert lines[0].startswith("(func $f (param i32) (result i32)")
+    assert "  (local i64)" in lines
+    # Instructions inside the if are indented one level deeper.
+    assert any(line.startswith("    i32.const 1") for line in lines)
+    assert text.endswith(")")
+
+
+def test_render_whole_generated_contract():
+    generated = generate_contract(ContractConfig(seed=1, maze_depth=2))
+    text = render_module(generated.module)
+    assert text.startswith("(module")
+    assert text.endswith(")")
+    assert '(import "env" "eosio_assert"' in text
+    assert '(export "apply"' in text
+    assert "(memory 1" in text
+    assert "(elem (i32.const 0)" in text
+    assert "call_indirect (type" in text
+
+
+def test_render_distinguishes_obfuscated_variant():
+    from repro.benchgen import obfuscate_module
+    generated = generate_contract(ContractConfig(seed=2))
+    plain = render_module(generated.module)
+    obfuscated = render_module(obfuscate_module(generated.module, seed=2))
+    assert "i64.popcnt" not in plain
+    assert "i64.popcnt" in obfuscated
+
+
+def test_render_data_segment_escapes():
+    builder = ModuleBuilder()
+    builder.add_memory(1)
+    builder.add_data(0, b'ok"\x00\xff')
+    f = builder.function("f")
+    f.emit("nop")
+    builder.export_function("f", f)
+    text = render_module(builder.build())
+    assert '(data (i32.const 0) "ok\\22\\00\\ff")' in text
