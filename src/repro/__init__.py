@@ -37,7 +37,8 @@ from .engine import (FuzzReport, FuzzTarget, VirtualClock, WasaiFuzzer,
                      deploy_target, setup_chain)
 from .harness import (DEFAULT_TIMEOUT_MS, WasaiRun, evaluate_corpus,
                       run_eosafe, run_eosfuzzer, run_wasai)
-from .metrics import Confusion, MetricsTable
+from .metrics import Confusion, MetricsTable, ThroughputStats
+from .parallel import TaskResult, default_jobs, run_tasks
 from .scanner import ScanResult, format_report, scan_report
 from .study import WildStudyResult, format_wild_study, run_wild_study
 
@@ -50,7 +51,8 @@ __all__ = [
     "FuzzReport", "FuzzTarget", "VirtualClock", "WasaiFuzzer",
     "deploy_target", "setup_chain", "DEFAULT_TIMEOUT_MS", "WasaiRun",
     "evaluate_corpus", "run_eosafe", "run_eosfuzzer", "run_wasai",
-    "Confusion", "MetricsTable", "ScanResult", "format_report",
-    "scan_report", "__version__",
+    "Confusion", "MetricsTable", "ThroughputStats", "ScanResult",
+    "format_report", "scan_report", "__version__",
     "WildStudyResult", "format_wild_study", "run_wild_study",
+    "TaskResult", "default_jobs", "run_tasks",
 ]

@@ -77,6 +77,12 @@ def main(argv: list[str] | None = None) -> int:
                        choices=("table4", "table5", "table6"))
     bench.add_argument("--scale", type=float, default=0.02)
     bench.add_argument("--timeout-ms", type=float, default=20_000.0)
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the campaigns "
+                            "(0 = one per CPU, default 1 = serial)")
+    bench.add_argument("--task-timeout-s", type=float, default=None,
+                       help="real wall-clock cap per sample when "
+                            "running parallel (--jobs > 1)")
 
     corpus = sub.add_parser("gen-corpus",
                             help="write a labelled benchmark corpus "
@@ -177,16 +183,22 @@ def _cmd_gen_corpus(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    from .metrics import ThroughputStats
     samples = build_table4_corpus(scale=args.scale)
     if args.experiment == "table5":
         samples = [obfuscated_variant(s) for s in samples]
     elif args.experiment == "table6":
         samples = [verification_variant(s) for s in samples]
     print(f"# {args.experiment}: {len(samples)} samples "
-          f"(scale {args.scale})")
-    tables = evaluate_corpus(samples, timeout_ms=args.timeout_ms)
+          f"(scale {args.scale}, jobs {args.jobs or 'auto'})")
+    perf = ThroughputStats()
+    tables = evaluate_corpus(samples, timeout_ms=args.timeout_ms,
+                             jobs=args.jobs,
+                             task_timeout_s=args.task_timeout_s,
+                             perf=perf)
     for table in tables.values():
         print(table.format())
+    print(perf.format())
     return 0
 
 

@@ -9,6 +9,8 @@ the artefacts Symback needs (original module, site table, ABI, the
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..eosio.abi import Abi
@@ -18,7 +20,98 @@ from ..eosio.token import deploy_token, issue_to
 from ..instrument import SiteTable, instrument_module
 from ..wasm.module import Module
 
-__all__ = ["FuzzTarget", "deploy_target", "setup_chain"]
+__all__ = ["FuzzTarget", "deploy_target", "setup_chain",
+           "InstrumentationCache", "instrumentation_cache",
+           "configure_instrumentation_cache", "module_fingerprint"]
+
+
+def module_fingerprint(module: Module) -> str:
+    """A content hash identifying ``module`` across deployments.
+
+    The binary encoding is canonical for our purposes (the corpus
+    builders hand out structurally distinct modules), so hashing the
+    encoded bytes keys the instrumentation cache.  The digest is
+    memoised on the module instance; modules are treated as immutable
+    once they reach the deployment layer.
+    """
+    cached = getattr(module, "_repro_fingerprint", None)
+    if cached is not None:
+        return cached
+    from ..wasm.encoder import encode_module
+    digest = hashlib.sha256(encode_module(module)).hexdigest()
+    module._repro_fingerprint = digest
+    return digest
+
+
+class InstrumentationCache:
+    """Memoises ``instrument_module`` per distinct contract binary.
+
+    The evaluation pipeline redeploys the same module many times — once
+    per tool in ``evaluate_corpus``, repeatedly across RQ4 rounds and
+    the obfuscation bench — and instrumentation is a full-module
+    rewrite, so amortising it is a large win.  Entries (instrumented
+    module + site table) are shared read-only: execution state lives in
+    per-transaction ``Instance`` objects, never in the module itself.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, tuple[Module, SiteTable]]" \
+            = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def instrument(self, module: Module) -> tuple[Module, SiteTable]:
+        key = module_fingerprint(module)
+        found = self._entries.get(key)
+        if found is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return found
+        self.misses += 1
+        entry = instrument_module(module)
+        self._entries[key] = entry
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats_dict(self) -> dict[str, "int | float"]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "entries": len(self._entries),
+                "hit_rate": self.hit_rate}
+
+
+# One cache per process; parallel workers each grow their own.
+_INSTRUMENT_CACHE: InstrumentationCache | None = InstrumentationCache()
+
+
+def instrumentation_cache() -> InstrumentationCache | None:
+    """The process-wide instrumentation cache (None when disabled)."""
+    return _INSTRUMENT_CACHE
+
+
+def configure_instrumentation_cache(
+        enabled: bool = True,
+        max_entries: int = 128) -> InstrumentationCache | None:
+    """Replace the process-wide cache (or disable it); returns the new
+    cache.  Used by the determinism tests and the ablation benches."""
+    global _INSTRUMENT_CACHE
+    _INSTRUMENT_CACHE = (InstrumentationCache(max_entries)
+                         if enabled else None)
+    return _INSTRUMENT_CACHE
 
 
 @dataclass
@@ -41,7 +134,11 @@ class FuzzTarget:
 def deploy_target(chain: Chain, account: "str | int", module: Module,
                   abi: Abi) -> FuzzTarget:
     """Instrument ``module`` and deploy it at ``account``."""
-    instrumented, site_table = instrument_module(module)
+    cache = _INSTRUMENT_CACHE
+    if cache is not None:
+        instrumented, site_table = cache.instrument(module)
+    else:
+        instrumented, site_table = instrument_module(module)
     contract = WasmContract(instrumented, abi, site_table)
     account_name = chain.set_contract(account, contract)
     apply_index = module.export_index("apply", "func")

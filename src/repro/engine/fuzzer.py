@@ -31,7 +31,14 @@ from .deploy import FuzzTarget
 from .seedpool import SeedPool
 from .seeds import Seed, random_seed
 
-__all__ = ["WasaiFuzzer", "FuzzReport", "Observation"]
+__all__ = ["WasaiFuzzer", "FuzzReport", "Observation", "KNOWN_IDENTITIES"]
+
+# Account names every campaign's seed generator may draw on; the
+# deployed target's own account is spliced in after "attacker" (see
+# WasaiFuzzer._known_identities — the order is part of the RNG stream,
+# so changing it changes campaigns byte-for-byte).
+KNOWN_IDENTITIES: tuple[str, ...] = ("player", "attacker", "eosio.token",
+                                     "bob")
 
 
 @dataclass
@@ -127,8 +134,7 @@ class WasaiFuzzer:
         # Fund the victim so reward paths can execute.
         issue_to(self.chain, "eosio.token", self.target.account_str,
                  "10000000.0000 EOS")
-        known = ["player", "attacker", self.target.account_str,
-                 "eosio.token", "bob"]
+        known = self._known_identities()
         actions = self.target.abi.action_names()
         for action_name in actions:
             abi_action = self.target.abi.action(action_name)
@@ -143,6 +149,13 @@ class WasaiFuzzer:
                          identity, "10000.0000 EOS")
             self._identity_rotation = cycle([setup.player,
                                              *self._identities])
+
+    def _known_identities(self) -> list[str]:
+        """KNOWN_IDENTITIES with the target account spliced in at the
+        historical position (index 2) to preserve seed RNG streams."""
+        known = list(KNOWN_IDENTITIES)
+        known.insert(2, self.target.account_str)
+        return known
 
     def _mine_identities(self) -> list[int]:
         """Candidate account identities: i64 constants in the contract
@@ -178,8 +191,7 @@ class WasaiFuzzer:
             return
         # Keep the pool supplied with fresh random seeds alongside the
         # adaptive ones (Algorithm 1 keeps drawing from both).
-        known = ["player", "attacker", self.target.account_str,
-                 "eosio.token", "bob"]
+        known = self._known_identities()
         self.pool.add(random_seed(abi_action, self.rng, known))
         seed = self.pool.next(action_name)
         if seed is None:

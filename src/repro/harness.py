@@ -2,11 +2,17 @@
 
 Shared by the example scripts, the test suite and the benchmark
 drivers for Tables 4-6, Figure 3 and RQ4.
+
+Corpus evaluation fans out over :mod:`repro.parallel`: every sample
+becomes one self-contained :class:`~repro.parallel.CampaignTask` with a
+deterministic per-sample RNG seed, so ``jobs=1`` (in-process) and
+``jobs=N`` (worker pool) produce byte-identical metrics tables.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 
 from .baselines.eosafe import EosafeAnalyzer
@@ -15,7 +21,8 @@ from .benchgen.corpus import BenchmarkSample
 from .engine import (FuzzReport, FuzzTarget, VirtualClock, WasaiFuzzer,
                      deploy_target, setup_chain)
 from .eosio.abi import Abi
-from .metrics import MetricsTable
+from .metrics import MetricsTable, ThroughputStats
+from .parallel import CampaignTask, run_campaign_task, run_tasks
 from .scanner import ScanResult, scan_report
 from .wasm.module import Module
 
@@ -37,34 +44,59 @@ class WasaiRun:
     target: FuzzTarget
 
 
+def _charge_stage(timings: "dict[str, float] | None", stage: str,
+                  started: float) -> float:
+    """Accumulate a stage's wall-clock; returns a fresh timestamp."""
+    now = time.perf_counter()
+    if timings is not None:
+        timings[stage] = timings.get(stage, 0.0) + now - started
+    return now
+
+
 def run_wasai(module: Module, abi: Abi, account: str = "victim",
               timeout_ms: float = DEFAULT_TIMEOUT_MS, rng_seed: int = 1,
               clock: VirtualClock | None = None,
               smt_max_conflicts: int = 20_000,
-              address_pool: bool = False) -> WasaiRun:
-    """Fuzz one contract with WASAI and scan the observations."""
+              address_pool: bool = False,
+              timings: "dict[str, float] | None" = None) -> WasaiRun:
+    """Fuzz one contract with WASAI and scan the observations.
+
+    ``timings``, when given, accumulates real per-stage wall-clock
+    seconds under the keys "setup", "fuzz" and "scan".
+    """
+    started = time.perf_counter()
     chain = setup_chain()
     target = deploy_target(chain, account, module, abi)
+    started = _charge_stage(timings, "setup", started)
     fuzzer = WasaiFuzzer(chain, target, rng=random.Random(rng_seed),
                          clock=clock, timeout_ms=timeout_ms,
                          smt_max_conflicts=smt_max_conflicts,
                          address_pool=address_pool)
     report = fuzzer.run()
-    return WasaiRun(report, scan_report(report, target), target)
+    started = _charge_stage(timings, "fuzz", started)
+    scan = scan_report(report, target)
+    _charge_stage(timings, "scan", started)
+    return WasaiRun(report, scan, target)
 
 
 def run_eosfuzzer(module: Module, abi: Abi, account: str = "victim",
                   timeout_ms: float = DEFAULT_TIMEOUT_MS,
                   rng_seed: int = 1,
-                  clock: VirtualClock | None = None) -> WasaiRun:
+                  clock: VirtualClock | None = None,
+                  timings: "dict[str, float] | None" = None) -> WasaiRun:
     """Run the EOSFuzzer baseline on one contract."""
+    started = time.perf_counter()
     chain = setup_chain()
     target = deploy_target(chain, account, module, abi)
+    started = _charge_stage(timings, "setup", started)
     campaign = EosfuzzerCampaign(chain, target,
                                  rng=random.Random(rng_seed),
                                  clock=clock, timeout_ms=timeout_ms)
     report = campaign.run()
-    return WasaiRun(report, eosfuzzer_scan(report, target), target)
+    started = _charge_stage(timings, "fuzz", started)
+    scan = eosfuzzer_scan(report, target)
+    _charge_stage(timings, "scan", started)
+    return WasaiRun(report, scan, target)
 
 
 def run_eosafe(module: Module, account: int = 0) -> ScanResult:
@@ -77,26 +109,49 @@ def evaluate_corpus(samples: list[BenchmarkSample],
                                               "eosafe"),
                     timeout_ms: float = DEFAULT_TIMEOUT_MS,
                     rng_seed: int = 7,
+                    jobs: int = 1,
+                    task_timeout_s: float | None = None,
+                    perf: ThroughputStats | None = None,
                     ) -> dict[str, MetricsTable]:
     """Run the selected tools over a labelled corpus; returns one
-    metrics table per tool (the Table 4/5/6 rows)."""
+    metrics table per tool (the Table 4/5/6 rows).
+
+    ``jobs`` > 1 fans the per-sample campaigns out over a worker pool
+    (``jobs=0`` means one worker per CPU); results are folded back in
+    sample order, so the tables are identical to a serial run with the
+    same ``rng_seed``.  ``task_timeout_s`` bounds one sample's real
+    wall-clock in the parallel path; a crashed or timed-out sample is
+    recorded as "nothing detected" rather than aborting the run.
+    ``perf``, when given, is filled with throughput and cache-hit
+    accounting.
+    """
     vuln_types = tuple(sorted({s.vuln_type for s in samples}))
     tables = {tool: MetricsTable(tool, vuln_types) for tool in tools}
-    for index, sample in enumerate(samples):
-        module = sample.module
-        abi = sample.contract.abi
-        if "wasai" in tools:
-            run = run_wasai(module, abi, timeout_ms=timeout_ms,
-                            rng_seed=rng_seed + index)
-            tables["wasai"].record(sample.vuln_type, sample.label,
-                                   run.scan.detected(sample.vuln_type))
-        if "eosfuzzer" in tools:
-            run = run_eosfuzzer(module, abi, timeout_ms=timeout_ms,
-                                rng_seed=rng_seed + index)
-            tables["eosfuzzer"].record(sample.vuln_type, sample.label,
-                                       run.scan.detected(sample.vuln_type))
-        if "eosafe" in tools:
-            scan = run_eosafe(module)
-            tables["eosafe"].record(sample.vuln_type, sample.label,
-                                    scan.detected(sample.vuln_type))
+    tasks = [CampaignTask(sample.module, sample.contract.abi, tuple(tools),
+                          timeout_ms, rng_seed + index)
+             for index, sample in enumerate(samples)]
+    wall_started = time.perf_counter()
+    results = run_tasks(run_campaign_task, tasks, jobs=jobs,
+                        timeout_s=task_timeout_s)
+    wall_s = time.perf_counter() - wall_started
+    for sample, result in zip(samples, results):
+        outcome = result.value if result.ok else None
+        for tool in tools:
+            detected = (outcome is not None
+                        and outcome.scans[tool].detected(sample.vuln_type))
+            tables[tool].record(sample.vuln_type, sample.label, detected)
+    if perf is not None:
+        perf.jobs = jobs
+        perf.wall_s += wall_s
+        for result in results:
+            if not result.ok:
+                perf.failures += 1
+                continue
+            outcome = result.value
+            perf.campaigns += len(outcome.scans)
+            perf.add_stage_seconds(outcome.stage_seconds)
+            perf.add_cache_deltas(outcome.instr_cache_hits,
+                                  outcome.instr_cache_misses,
+                                  outcome.solver_cache_hits,
+                                  outcome.solver_cache_misses)
     return tables

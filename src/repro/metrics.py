@@ -1,14 +1,17 @@
 """Detection metrics: confusion counts, precision / recall / F1.
 
 Used by the Table 4-6 benches to print the same rows the paper
-reports.
+reports.  Also home to :class:`ThroughputStats`, the timing and
+cache-efficiency ledger the corpus-scale evaluation fills in so the
+perf trajectory (campaigns/sec, cache hit rates, per-stage wall-clock)
+is tracked across PRs via ``BENCH_throughput.json``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-__all__ = ["Confusion", "MetricsTable"]
+__all__ = ["Confusion", "MetricsTable", "ThroughputStats"]
 
 
 @dataclass
@@ -56,6 +59,96 @@ class Confusion:
     def row(self) -> str:
         return (f"P={self.precision:6.1%} R={self.recall:6.1%} "
                 f"F1={self.f1:6.1%}")
+
+
+@dataclass
+class ThroughputStats:
+    """Wall-clock accounting for one corpus-scale evaluation.
+
+    ``campaigns`` counts completed tool runs (one fuzzing campaign or
+    static scan per sample per tool); ``failures`` counts tasks whose
+    worker crashed or timed out.  ``stage_seconds`` sums the per-stage
+    wall-clock reported by the campaign workers ("setup" = chain +
+    instrumented deploy, "fuzz", "scan").  Cache counters are the
+    summed per-task deltas, so they stay correct when workers run in
+    separate processes with private caches.
+    """
+
+    jobs: int = 1
+    campaigns: int = 0
+    failures: int = 0
+    wall_s: float = 0.0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    instr_cache_hits: int = 0
+    instr_cache_misses: int = 0
+    solver_cache_hits: int = 0
+    solver_cache_misses: int = 0
+
+    @property
+    def campaigns_per_sec(self) -> float:
+        return self.campaigns / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def instr_cache_hit_rate(self) -> float:
+        total = self.instr_cache_hits + self.instr_cache_misses
+        return self.instr_cache_hits / total if total else 0.0
+
+    @property
+    def solver_cache_hit_rate(self) -> float:
+        total = self.solver_cache_hits + self.solver_cache_misses
+        return self.solver_cache_hits / total if total else 0.0
+
+    # -- aggregation (driven by the harness) ------------------------------
+    def add_stage_seconds(self, stage_seconds: dict[str, float]) -> None:
+        for stage, seconds in stage_seconds.items():
+            self.stage_seconds[stage] = \
+                self.stage_seconds.get(stage, 0.0) + seconds
+
+    def add_cache_deltas(self, instr_hits: int = 0, instr_misses: int = 0,
+                         solver_hits: int = 0,
+                         solver_misses: int = 0) -> None:
+        self.instr_cache_hits += instr_hits
+        self.instr_cache_misses += instr_misses
+        self.solver_cache_hits += solver_hits
+        self.solver_cache_misses += solver_misses
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "campaigns": self.campaigns,
+            "failures": self.failures,
+            "wall_s": self.wall_s,
+            "campaigns_per_sec": self.campaigns_per_sec,
+            "stage_seconds": dict(self.stage_seconds),
+            "instr_cache": {
+                "hits": self.instr_cache_hits,
+                "misses": self.instr_cache_misses,
+                "hit_rate": self.instr_cache_hit_rate,
+            },
+            "solver_cache": {
+                "hits": self.solver_cache_hits,
+                "misses": self.solver_cache_misses,
+                "hit_rate": self.solver_cache_hit_rate,
+            },
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"--- throughput (jobs={self.jobs}) ---",
+            f"  campaigns     {self.campaigns} "
+            f"({self.campaigns_per_sec:.2f}/s over {self.wall_s:.2f}s"
+            f"{f', {self.failures} failed' if self.failures else ''})",
+            f"  instr cache   {self.instr_cache_hits} hits / "
+            f"{self.instr_cache_misses} misses "
+            f"({self.instr_cache_hit_rate:.1%})",
+            f"  solver cache  {self.solver_cache_hits} hits / "
+            f"{self.solver_cache_misses} misses "
+            f"({self.solver_cache_hit_rate:.1%})",
+        ]
+        for stage in sorted(self.stage_seconds):
+            lines.append(f"  stage {stage:<8} "
+                         f"{self.stage_seconds[stage]:8.2f}s")
+        return "\n".join(lines)
 
 
 class MetricsTable:

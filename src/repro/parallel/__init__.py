@@ -1,0 +1,20 @@
+"""repro.parallel — fan independent campaigns out over worker processes.
+
+The evaluation pipelines (``harness.evaluate_corpus``,
+``study.run_wild_study``, the benchmark drivers and ``wasai bench
+--jobs N``) all sit on this package:
+
+* :mod:`repro.parallel.executor` — a supervised worker pool with
+  ordered result collection, per-task timeout/crash isolation and a
+  deterministic serial fallback for ``jobs=1``;
+* :mod:`repro.parallel.campaigns` — the picklable campaign task/result
+  payloads and the module-level worker function.
+"""
+
+from .campaigns import CampaignResult, CampaignTask, run_campaign_task
+from .executor import TaskResult, default_jobs, run_tasks
+
+__all__ = [
+    "CampaignResult", "CampaignTask", "run_campaign_task",
+    "TaskResult", "default_jobs", "run_tasks",
+]

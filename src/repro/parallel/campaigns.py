@@ -1,0 +1,102 @@
+"""Campaign task payloads for the parallel executor.
+
+One :class:`CampaignTask` bundles everything a worker needs to run the
+selected tools against one contract: the module, its ABI, the virtual
+fuzzing budget and — crucially for determinism — the campaign's own RNG
+seed.  Serial and parallel evaluation build the *same* task list with
+the same per-sample seeds, so scheduling order can never leak into the
+results; the harness folds worker outputs back in task order.
+
+Workers also report per-stage wall-clock and the per-task cache-counter
+deltas (instrumentation + solver).  Deltas, not absolute counters: each
+worker process owns private caches, so only differences can be summed
+meaningfully in the parent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..eosio.abi import Abi
+from ..scanner import ScanResult
+from ..wasm.module import Module
+
+__all__ = ["CampaignTask", "CampaignResult", "run_campaign_task"]
+
+
+@dataclass
+class CampaignTask:
+    """One sample's worth of tool runs, self-contained and picklable."""
+
+    module: Module
+    abi: Abi
+    tools: tuple[str, ...]
+    timeout_ms: float
+    rng_seed: int
+    address_pool: bool = False
+
+
+@dataclass
+class CampaignResult:
+    """What a worker sends back: scans plus perf accounting."""
+
+    scans: dict[str, ScanResult]
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    instr_cache_hits: int = 0
+    instr_cache_misses: int = 0
+    solver_cache_hits: int = 0
+    solver_cache_misses: int = 0
+
+
+def _cache_counters() -> tuple[int, int, int, int]:
+    from ..engine.deploy import instrumentation_cache
+    from ..smt.solver import solver_cache
+    instr = instrumentation_cache()
+    solver = solver_cache()
+    return (instr.hits if instr else 0, instr.misses if instr else 0,
+            solver.hits if solver else 0, solver.misses if solver else 0)
+
+
+def run_campaign_task(task: CampaignTask) -> CampaignResult:
+    """Run every requested tool on the task's contract.
+
+    Module-level so it is importable under any multiprocessing start
+    method.  The harness import is deferred to break the
+    harness -> parallel -> harness cycle.
+    """
+    from .. import harness
+
+    before = _cache_counters()
+    stage_seconds: dict[str, float] = {}
+    scans: dict[str, ScanResult] = {}
+    for tool in task.tools:
+        if tool == "wasai":
+            run = harness.run_wasai(task.module, task.abi,
+                                    timeout_ms=task.timeout_ms,
+                                    rng_seed=task.rng_seed,
+                                    address_pool=task.address_pool,
+                                    timings=stage_seconds)
+            scans[tool] = run.scan
+        elif tool == "eosfuzzer":
+            run = harness.run_eosfuzzer(task.module, task.abi,
+                                        timeout_ms=task.timeout_ms,
+                                        rng_seed=task.rng_seed,
+                                        timings=stage_seconds)
+            scans[tool] = run.scan
+        elif tool == "eosafe":
+            started = time.perf_counter()
+            scans[tool] = harness.run_eosafe(task.module)
+            stage_seconds["scan"] = stage_seconds.get("scan", 0.0) \
+                + time.perf_counter() - started
+        else:
+            raise ValueError(f"unknown tool {tool!r}")
+    after = _cache_counters()
+    return CampaignResult(
+        scans=scans,
+        stage_seconds=stage_seconds,
+        instr_cache_hits=after[0] - before[0],
+        instr_cache_misses=after[1] - before[1],
+        solver_cache_hits=after[2] - before[2],
+        solver_cache_misses=after[3] - before[3],
+    )

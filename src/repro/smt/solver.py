@@ -18,12 +18,15 @@ three layers, cheapest first:
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from .bitblast import BitBlaster
 from .interval import Interval, propagate_comparison
 from .sat import SAT, UNKNOWN, UNSAT, SatSolver
 from .terms import (FALSE, TRUE, Term, evaluate, free_variables, mask)
 
-__all__ = ["Solver", "Model", "SolverStats", "SAT", "UNSAT", "UNKNOWN"]
+__all__ = ["Solver", "Model", "SolverStats", "SolverCache", "solver_cache",
+           "configure_solver_cache", "SAT", "UNSAT", "UNKNOWN"]
 
 
 class Model:
@@ -57,6 +60,7 @@ class SolverStats:
         self.sat_calls = 0
         self.sat_conflicts = 0
         self.unknowns = 0
+        self.cache_hits = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -65,19 +69,96 @@ class SolverStats:
             "sat_calls": self.sat_calls,
             "sat_conflicts": self.sat_conflicts,
             "unknowns": self.unknowns,
+            "cache_hits": self.cache_hits,
         }
+
+
+class SolverCache:
+    """A bounded memo of solved conjunctions.
+
+    The fuzzer re-poses near-identical flip queries across iterations
+    (same path prefix, same flipped branch); because terms are interned,
+    a repeated conjunction is the *same* tuple of term objects, so the
+    canonical key is simply the constraint tuple plus the conflict
+    budget.  Only decided results (sat with its model, unsat) are
+    cached — "unknown" depends on the budget and is always re-solved.
+    The key preserves constraint order, so a hit returns byte-for-byte
+    the model a fresh solve would have produced: caching can never
+    change a campaign's behaviour, only its speed.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, tuple[str, dict | None]]" \
+            = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple) -> "tuple[str, dict | None] | None":
+        found = self._entries.get(key)
+        if found is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return found
+
+    def store(self, key: tuple, status: str,
+              model_values: dict | None) -> None:
+        self._entries[key] = (status, model_values)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats_dict(self) -> dict[str, "int | float"]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "entries": len(self._entries),
+                "hit_rate": self.hit_rate}
+
+
+# One cache per process; worker processes each grow their own.
+_SOLVER_CACHE: SolverCache | None = SolverCache()
+
+
+def solver_cache() -> SolverCache | None:
+    """The process-wide solver result cache (None when disabled)."""
+    return _SOLVER_CACHE
+
+
+def configure_solver_cache(enabled: bool = True,
+                           max_entries: int = 4096) -> SolverCache | None:
+    """Replace the process-wide cache (or disable it); returns the new
+    cache.  Used by the determinism tests and the ablation benches."""
+    global _SOLVER_CACHE
+    _SOLVER_CACHE = SolverCache(max_entries) if enabled else None
+    return _SOLVER_CACHE
 
 
 class Solver:
     """Check satisfiability of a conjunction of boolean terms."""
 
     def __init__(self, max_conflicts: int = 20_000,
-                 stats: SolverStats | None = None):
+                 stats: SolverStats | None = None,
+                 use_cache: bool = True):
         self._constraints: list[Term] = []
         self._stack: list[int] = []
         self.max_conflicts = max_conflicts
         self._model: Model | None = None
         self.stats = stats or SolverStats()
+        self.use_cache = use_cache
 
     # -- z3py-flavoured interface ------------------------------------------
     def add(self, *constraints: Term) -> None:
@@ -90,6 +171,10 @@ class Solver:
         self._stack.append(len(self._constraints))
 
     def pop(self) -> None:
+        if not self._stack:
+            raise RuntimeError(
+                "Solver.pop() called with no matching push(): the "
+                "assertion scope stack is empty")
         size = self._stack.pop()
         del self._constraints[size:]
 
@@ -107,11 +192,25 @@ class Solver:
         if not constraints:
             self._model = Model({})
             return SAT
+        cache = _SOLVER_CACHE if self.use_cache else None
+        key = (tuple(constraints), self.max_conflicts)
+        if cache is not None:
+            cached = cache.lookup(key)
+            if cached is not None:
+                status, values = cached
+                self.stats.cache_hits += 1
+                if status == SAT:
+                    self._model = Model(values)
+                return status
         result = self._try_fast_path(constraints)
         if result is not None:
             self.stats.fast_path_hits += 1
-            return result
-        return self._check_sat(constraints)
+        else:
+            result = self._check_sat(constraints)
+        if cache is not None and result in (SAT, UNSAT):
+            values = self._model.as_dict() if result == SAT else None
+            cache.store(key, result, values)
+        return result
 
     def model(self) -> Model:
         if self._model is None:

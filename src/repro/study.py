@@ -8,10 +8,12 @@ by ``benchmarks/test_rq4_wild.py`` and ``examples/wild_study.py``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from .benchgen.corpus import WildContract, build_wild_corpus
-from .harness import run_wasai
+from .metrics import ThroughputStats
+from .parallel import CampaignTask, run_campaign_task, run_tasks
 from .scanner import ScanResult, VULN_TITLES
 
 __all__ = ["WildStudyResult", "run_wild_study", "format_wild_study"]
@@ -64,16 +66,44 @@ class WildStudyResult:
 
 def run_wild_study(scale: float = 0.05, timeout_ms: float = 20_000.0,
                    seed: int = 991, rng_base: int = 3000,
-                   address_pool: bool = False) -> WildStudyResult:
-    """Scan the wild corpus with WASAI and aggregate the findings."""
+                   address_pool: bool = False, jobs: int = 1,
+                   task_timeout_s: float | None = None,
+                   perf: ThroughputStats | None = None) -> WildStudyResult:
+    """Scan the wild corpus with WASAI and aggregate the findings.
+
+    ``jobs`` > 1 runs the independent campaigns on a worker pool (see
+    :mod:`repro.parallel`); each contract keeps its deterministic
+    ``rng_base + index`` seed, so the aggregate is identical to a
+    serial run.  A crashed or timed-out campaign contributes an empty
+    (not-vulnerable) scan instead of aborting the study.
+    """
     corpus = build_wild_corpus(scale=scale, seed=seed)
+    tasks = [CampaignTask(entry.contract.module, entry.contract.abi,
+                          ("wasai",), timeout_ms, rng_base + index,
+                          address_pool=address_pool)
+             for index, entry in enumerate(corpus)]
+    wall_started = time.perf_counter()
+    results = run_tasks(run_campaign_task, tasks, jobs=jobs,
+                        timeout_s=task_timeout_s)
+    wall_s = time.perf_counter() - wall_started
     scans = []
-    for index, entry in enumerate(corpus):
-        run = run_wasai(entry.contract.module, entry.contract.abi,
-                        timeout_ms=timeout_ms,
-                        rng_seed=rng_base + index,
-                        address_pool=address_pool)
-        scans.append((entry, run.scan))
+    for entry, result in zip(corpus, results):
+        scan = (result.value.scans["wasai"] if result.ok
+                else ScanResult(target_account=0))
+        scans.append((entry, scan))
+    if perf is not None:
+        perf.jobs = jobs
+        perf.wall_s += wall_s
+        for result in results:
+            if not result.ok:
+                perf.failures += 1
+                continue
+            perf.campaigns += 1
+            perf.add_stage_seconds(result.value.stage_seconds)
+            perf.add_cache_deltas(result.value.instr_cache_hits,
+                                  result.value.instr_cache_misses,
+                                  result.value.solver_cache_hits,
+                                  result.value.solver_cache_misses)
     return WildStudyResult(len(corpus), scans)
 
 

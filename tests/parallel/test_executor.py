@@ -1,0 +1,114 @@
+"""Tests for the supervised worker-pool executor."""
+
+import os
+import time
+
+import pytest
+
+from repro.parallel import TaskResult, default_jobs, run_tasks
+from repro.parallel.executor import _run_serial
+
+
+def _double(task):
+    return task * 2
+
+
+def _misbehave(task):
+    kind, value = task
+    if kind == "ok":
+        return value
+    if kind == "raise":
+        raise ValueError(f"boom {value}")
+    if kind == "crash":
+        os._exit(17)
+    if kind == "hang":
+        time.sleep(120)
+    raise AssertionError(f"unknown kind {kind}")
+
+
+def _unpicklable(task):
+    return lambda: task  # lambdas don't pickle
+
+
+def test_serial_results_are_ordered_and_complete():
+    results = run_tasks(_double, [3, 1, 4, 1, 5], jobs=1)
+    assert [r.index for r in results] == [0, 1, 2, 3, 4]
+    assert [r.value for r in results] == [6, 2, 8, 2, 10]
+    assert all(r.ok for r in results)
+
+
+def test_serial_isolates_exceptions():
+    results = run_tasks(_misbehave,
+                        [("ok", 1), ("raise", 2), ("ok", 3)], jobs=1)
+    assert [r.ok for r in results] == [True, False, True]
+    assert "boom 2" in results[1].error
+    with pytest.raises(RuntimeError):
+        results[1].unwrap()
+    assert results[2].unwrap() == 3
+
+
+def test_parallel_results_are_ordered():
+    results = run_tasks(_double, list(range(10)), jobs=3)
+    assert [r.index for r in results] == list(range(10))
+    assert [r.value for r in results] == [2 * i for i in range(10)]
+
+
+def test_parallel_matches_serial():
+    tasks = list(range(7))
+    serial = run_tasks(_double, tasks, jobs=1)
+    parallel = run_tasks(_double, tasks, jobs=4)
+    assert [r.value for r in serial] == [r.value for r in parallel]
+
+
+def test_parallel_isolates_exceptions_and_crashes():
+    tasks = [("ok", 1), ("raise", 2), ("crash", 3), ("ok", 4)]
+    results = run_tasks(_misbehave, tasks, jobs=2)
+    assert results[0].ok and results[0].value == 1
+    assert not results[1].ok and "boom 2" in results[1].error
+    assert not results[2].ok and "worker died" in results[2].error
+    assert results[3].ok and results[3].value == 4
+
+
+def test_parallel_completed_results_survive_later_crash():
+    """A crash must never eat results a worker already produced."""
+    tasks = [("ok", i) for i in range(6)] + [("crash", 0)]
+    results = run_tasks(_misbehave, tasks, jobs=2)
+    assert [r.value for r in results[:6]] == list(range(6))
+    assert not results[6].ok
+
+
+def test_parallel_task_timeout():
+    tasks = [("ok", 1), ("hang", 0), ("ok", 2)]
+    started = time.monotonic()
+    results = run_tasks(_misbehave, tasks, jobs=2, timeout_s=1.5)
+    assert time.monotonic() - started < 60
+    assert results[0].ok and results[2].ok
+    assert not results[1].ok and "timeout" in results[1].error
+
+
+def test_parallel_all_crash_terminates():
+    results = run_tasks(_misbehave, [("crash", 0)] * 4, jobs=2)
+    assert all(not r.ok for r in results)
+    assert all("died" in r.error for r in results)
+
+
+def test_parallel_unpicklable_result_is_a_task_failure():
+    results = run_tasks(_unpicklable, [1, 2], jobs=2)
+    assert all(not r.ok for r in results)
+    assert all("pickle" in r.error for r in results)
+
+
+def test_empty_task_list():
+    assert run_tasks(_double, [], jobs=4) == []
+
+
+def test_jobs_zero_uses_cpu_count():
+    assert default_jobs() >= 1
+    results = run_tasks(_double, [1, 2], jobs=0)
+    assert [r.value for r in results] == [2, 4]
+
+
+def test_elapsed_recorded():
+    results = _run_serial(_double, [21])
+    assert isinstance(results[0], TaskResult)
+    assert results[0].elapsed_s >= 0.0

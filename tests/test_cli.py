@@ -72,6 +72,15 @@ def test_bench_table4_tiny(capsys):
     assert "Total" in output
 
 
+def test_bench_table4_parallel_jobs(capsys):
+    code = main(["bench", "table4", "--scale", "0.004",
+                 "--timeout-ms", "5000", "--jobs", "2"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "throughput (jobs=2)" in output
+    assert "Total" in output
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
