@@ -39,6 +39,10 @@ from .harness import (DEFAULT_TIMEOUT_MS, WasaiRun, evaluate_corpus,
                       run_eosafe, run_eosfuzzer, run_wasai)
 from .metrics import Confusion, MetricsTable, ThroughputStats
 from .parallel import TaskResult, default_jobs, run_tasks
+from .resilience import (CampaignError, CampaignJournal, Fault,
+                         Quarantine, ResiliencePolicy, TaskTimeout,
+                         WorkerCrash, clear_fault_plan, fault_scope,
+                         install_fault_plan, run_with_retry)
 from .scanner import ScanResult, format_report, scan_report
 from .study import WildStudyResult, format_wild_study, run_wild_study
 
@@ -55,4 +59,8 @@ __all__ = [
     "format_report", "scan_report", "__version__",
     "WildStudyResult", "format_wild_study", "run_wild_study",
     "TaskResult", "default_jobs", "run_tasks",
+    "CampaignError", "CampaignJournal", "Fault", "Quarantine",
+    "ResiliencePolicy", "TaskTimeout", "WorkerCrash",
+    "clear_fault_plan", "fault_scope", "install_fault_plan",
+    "run_with_retry",
 ]

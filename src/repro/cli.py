@@ -83,6 +83,26 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--task-timeout-s", type=float, default=None,
                        help="real wall-clock cap per sample when "
                             "running parallel (--jobs > 1)")
+    bench.add_argument("--journal", type=Path, default=None,
+                       help="append-only checkpoint journal; completed "
+                            "samples are recorded as they finish")
+    bench.add_argument("--resume", action="store_true",
+                       help="reuse results already in --journal instead "
+                            "of recomputing them")
+    bench.add_argument("--max-retries", type=int, default=1,
+                       help="retries per failed sample before it counts "
+                            "against quarantine (default 1)")
+    bench.add_argument("--quarantine-after", type=int, default=3,
+                       help="bench a sample after this many failed "
+                            "attempts; it is reported as skipped "
+                            "(default 3)")
+    bench.add_argument("--backoff-s", type=float, default=0.0,
+                       help="base delay between retry rounds, doubled "
+                            "each round (default 0: no delay)")
+    bench.add_argument("--no-degrade", dest="degrade",
+                       action="store_false",
+                       help="disable the black-box fallback when the "
+                            "symbolic/solver stage fails")
 
     corpus = sub.add_parser("gen-corpus",
                             help="write a labelled benchmark corpus "
@@ -184,6 +204,7 @@ def _cmd_gen_corpus(args) -> int:
 
 def _cmd_bench(args) -> int:
     from .metrics import ThroughputStats
+    from .resilience import CampaignJournal, ResiliencePolicy
     samples = build_table4_corpus(scale=args.scale)
     if args.experiment == "table5":
         samples = [obfuscated_variant(s) for s in samples]
@@ -191,11 +212,20 @@ def _cmd_bench(args) -> int:
         samples = [verification_variant(s) for s in samples]
     print(f"# {args.experiment}: {len(samples)} samples "
           f"(scale {args.scale}, jobs {args.jobs or 'auto'})")
+    if args.resume and args.journal is None:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    policy = ResiliencePolicy(max_retries=args.max_retries,
+                              backoff_base_s=args.backoff_s,
+                              quarantine_after=args.quarantine_after,
+                              degrade=args.degrade)
+    journal = CampaignJournal(args.journal) if args.journal else None
     perf = ThroughputStats()
     tables = evaluate_corpus(samples, timeout_ms=args.timeout_ms,
                              jobs=args.jobs,
                              task_timeout_s=args.task_timeout_s,
-                             perf=perf)
+                             perf=perf, policy=policy,
+                             journal=journal, resume=args.resume)
     for table in tables.values():
         print(table.format())
     print(perf.format())

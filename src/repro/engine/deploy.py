@@ -18,6 +18,9 @@ from ..eosio.chain import Chain, WasmContract
 from ..eosio.name import N, Name
 from ..eosio.token import deploy_token, issue_to
 from ..instrument import SiteTable, instrument_module
+from ..resilience import faultinject
+from ..resilience.errors import (CampaignError, DeployError,
+                                 InstrumentError)
 from ..wasm.module import Module
 
 __all__ = ["FuzzTarget", "deploy_target", "setup_chain",
@@ -133,19 +136,39 @@ class FuzzTarget:
 
 def deploy_target(chain: Chain, account: "str | int", module: Module,
                   abi: Abi) -> FuzzTarget:
-    """Instrument ``module`` and deploy it at ``account``."""
-    cache = _INSTRUMENT_CACHE
-    if cache is not None:
-        instrumented, site_table = cache.instrument(module)
-    else:
-        instrumented, site_table = instrument_module(module)
-    contract = WasmContract(instrumented, abi, site_table)
-    account_name = chain.set_contract(account, contract)
-    apply_index = module.export_index("apply", "func")
-    if apply_index is None:
-        raise ValueError("contract has no exported apply() dispatcher")
-    import_names = {i: imp.name
-                    for i, imp in enumerate(module.imported_functions())}
+    """Instrument ``module`` and deploy it at ``account``.
+
+    Failures surface as typed campaign errors:
+    :class:`~repro.resilience.InstrumentError` for the bin -> bin'
+    rewrite, :class:`~repro.resilience.DeployError` for the chain
+    side — so the containment policies can tell the stages apart.
+    """
+    faultinject.inject("instrument")
+    try:
+        cache = _INSTRUMENT_CACHE
+        if cache is not None:
+            instrumented, site_table = cache.instrument(module)
+        else:
+            instrumented, site_table = instrument_module(module)
+    except CampaignError:
+        raise
+    except Exception as exc:
+        raise InstrumentError.wrap(exc)
+    faultinject.inject("deploy")
+    try:
+        contract = WasmContract(instrumented, abi, site_table)
+        account_name = chain.set_contract(account, contract)
+        apply_index = module.export_index("apply", "func")
+        if apply_index is None:
+            raise ValueError(
+                "contract has no exported apply() dispatcher")
+        import_names = {
+            i: imp.name
+            for i, imp in enumerate(module.imported_functions())}
+    except CampaignError:
+        raise
+    except Exception as exc:
+        raise DeployError.wrap(exc)
     return FuzzTarget(account_name, module, abi, site_table, apply_index,
                       import_names)
 

@@ -20,6 +20,9 @@ from ..eosio.name import Name, name_to_string
 from ..eosio.token import issue_to, token_balance
 from ..instrument import decode_raw_trace
 from ..instrument.hooks import HookEvent
+from ..resilience import faultinject
+from ..resilience.errors import (CampaignError, SolverError,
+                                 SymbackError)
 from ..smt import SolverStats
 from ..symbolic import (SeedLayout, branch_coverage_ids, flip_queries,
                         locate_action_call, replay_action, solve_flips)
@@ -70,6 +73,11 @@ class FuzzReport:
     adaptive_seeds: int = 0
     solver_stats: SolverStats = field(default_factory=SolverStats)
     setup: AdversarySetup | None = None
+    # Resilience accounting: True once the campaign fell back to pure
+    # black-box fuzzing (symbolic feedback lost); ``contained`` lists
+    # every fault the loop absorbed instead of aborting.
+    degraded: bool = False
+    contained: list[str] = field(default_factory=list)
 
     def observations_of(self, payload_kind: str) -> list[Observation]:
         return [o for o in self.observations
@@ -88,7 +96,8 @@ class WasaiFuzzer:
                  initial_seeds_per_action: int = 3,
                  feedback: bool = True,
                  address_pool: bool = False,
-                 trace_dir: "str | None" = None):
+                 trace_dir: "str | None" = None,
+                 max_feedback_failures: int = 3):
         self.chain = chain
         self.target = target
         self.rng = rng or random.Random(0)
@@ -117,6 +126,11 @@ class WasaiFuzzer:
         self._payload_rotation = cycle(PAYLOAD_KINDS)
         self._action_rotation = None
         self._pending_dependency: list[str] = []
+        # Containment: after this many symbolic-feedback failures the
+        # campaign degrades to the black-box mutation loop (the
+        # ConFuzzius-style fallback) instead of aborting.
+        self.max_feedback_failures = max_feedback_failures
+        self._feedback_failures = 0
 
     # -- campaign ----------------------------------------------------------
     def run(self) -> FuzzReport:
@@ -201,12 +215,35 @@ class WasaiFuzzer:
         # other actions only have the direct invocation.
         kinds = PAYLOAD_KINDS if action_name == "transfer" else ("direct",)
         for kind in kinds:
-            observation = self.execute_seed(kind, seed, abi_action)
+            try:
+                observation = self.execute_seed(kind, seed, abi_action)
+            except CampaignError as exc:
+                # A trapping victim execution (trap storm) costs one
+                # observation, never the campaign.
+                self.report.contained.append(f"execute: {exc}")
+                continue
             if observation is None:
                 continue
             self._update_dbg(observation)
             if self.feedback:
-                self._feedback(observation, abi_action)
+                try:
+                    self._feedback(observation, abi_action)
+                except CampaignError as exc:
+                    self._contain_feedback_failure(exc)
+
+    def _contain_feedback_failure(self, exc: CampaignError) -> None:
+        """Absorb one symbolic-feedback fault; degrade to black-box
+        fuzzing once the budget is spent (the campaign keeps running
+        on random + mutation seeds, exactly the EOSFuzzer loop)."""
+        self._feedback_failures += 1
+        self.report.contained.append(f"feedback: {exc}")
+        if (self._feedback_failures >= self.max_feedback_failures
+                and self.feedback):
+            self.feedback = False
+            self.report.degraded = True
+            self.report.contained.append(
+                f"degraded to black-box fuzzing after "
+                f"{self._feedback_failures} symbolic failures")
 
     # -- seed selection (§3.3.2) ----------------------------------------------
     def _select_action(self) -> str:
@@ -228,6 +265,7 @@ class WasaiFuzzer:
     def execute_seed(self, kind: str, seed: Seed,
                      abi_action) -> Observation | None:
         """Run one payload; capture the victim's trace."""
+        faultinject.inject("trap")
         setup = self.report.setup
         payer = None
         if (self.address_pool and kind == "legit"
@@ -278,10 +316,16 @@ class WasaiFuzzer:
     # -- symbolic feedback (§3.4) ----------------------------------------------------
     def _feedback(self, observation: Observation, abi_action) -> None:
         layout = SeedLayout(abi_action, observation.executed_params)
-        replay = replay_action(self.target.module, self.target.site_table,
-                               observation.events, layout,
-                               self.target.apply_index,
-                               self.target.import_names)
+        try:
+            replay = replay_action(self.target.module,
+                                   self.target.site_table,
+                                   observation.events, layout,
+                                   self.target.apply_index,
+                                   self.target.import_names)
+        except CampaignError:
+            raise
+        except Exception as exc:
+            raise SymbackError.wrap(exc)
         self.clock.charge_replay()
         if not replay.reached_action:
             return
@@ -291,9 +335,14 @@ class WasaiFuzzer:
         if not queries:
             return
         before_unknown = self.report.solver_stats.unknowns
-        seeds = solve_flips(queries, layout, observation.action_name,
-                            max_conflicts=self.smt_max_conflicts,
-                            stats=self.report.solver_stats)
+        try:
+            seeds = solve_flips(queries, layout, observation.action_name,
+                                max_conflicts=self.smt_max_conflicts,
+                                stats=self.report.solver_stats)
+        except CampaignError:
+            raise
+        except Exception as exc:
+            raise SolverError.wrap(exc)
         capped = self.report.solver_stats.unknowns > before_unknown
         self.clock.charge_smt(len(queries), capped=capped)
         for adaptive in seeds:

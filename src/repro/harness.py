@@ -7,6 +7,14 @@ Corpus evaluation fans out over :mod:`repro.parallel`: every sample
 becomes one self-contained :class:`~repro.parallel.CampaignTask` with a
 deterministic per-sample RNG seed, so ``jobs=1`` (in-process) and
 ``jobs=N`` (worker pool) produce byte-identical metrics tables.
+
+Fault tolerance sits on :mod:`repro.resilience`: stage failures are
+raised as typed :class:`~repro.resilience.CampaignError`\\ s, samples
+whose workers crash or time out are retried / quarantined under a
+:class:`~repro.resilience.ResiliencePolicy` and reported as *skipped*
+in the tables (never silently folded into the confusion counts), and
+``journal``/``resume`` checkpoint completed campaigns to an
+append-only JSONL so interrupted runs continue instead of restarting.
 """
 
 from __future__ import annotations
@@ -22,7 +30,10 @@ from .engine import (FuzzReport, FuzzTarget, VirtualClock, WasaiFuzzer,
                      deploy_target, setup_chain)
 from .eosio.abi import Abi
 from .metrics import MetricsTable, ThroughputStats
-from .parallel import CampaignTask, run_campaign_task, run_tasks
+from .parallel import CampaignTask, run_campaign_task
+from .resilience import (CampaignError, DeployError, FuzzError,
+                         ResiliencePolicy, ScanError, faultinject,
+                         run_resilient_tasks)
 from .scanner import ScanResult, scan_report
 from .wasm.module import Module
 
@@ -53,28 +64,56 @@ def _charge_stage(timings: "dict[str, float] | None", stage: str,
     return now
 
 
+def _deploy(account: str, module: Module, abi: Abi):
+    """Chain + instrumented deployment, typed on failure."""
+    try:
+        chain = setup_chain()
+        target = deploy_target(chain, account, module, abi)
+    except CampaignError:
+        raise
+    except Exception as exc:
+        raise DeployError.wrap(exc)
+    return chain, target
+
+
 def run_wasai(module: Module, abi: Abi, account: str = "victim",
               timeout_ms: float = DEFAULT_TIMEOUT_MS, rng_seed: int = 1,
               clock: VirtualClock | None = None,
               smt_max_conflicts: int = 20_000,
               address_pool: bool = False,
+              feedback: bool = True,
               timings: "dict[str, float] | None" = None) -> WasaiRun:
     """Fuzz one contract with WASAI and scan the observations.
 
     ``timings``, when given, accumulates real per-stage wall-clock
-    seconds under the keys "setup", "fuzz" and "scan".
+    seconds under the keys "setup", "fuzz" and "scan".  ``feedback``
+    toggles the symbolic feedback loop — ``False`` is the black-box
+    degradation mode the resilience layer falls back to when the
+    symbolic/solver stage is lost.
     """
     started = time.perf_counter()
-    chain = setup_chain()
-    target = deploy_target(chain, account, module, abi)
+    chain, target = _deploy(account, module, abi)
     started = _charge_stage(timings, "setup", started)
+    faultinject.inject("fuzz")
     fuzzer = WasaiFuzzer(chain, target, rng=random.Random(rng_seed),
                          clock=clock, timeout_ms=timeout_ms,
                          smt_max_conflicts=smt_max_conflicts,
-                         address_pool=address_pool)
-    report = fuzzer.run()
+                         address_pool=address_pool,
+                         feedback=feedback)
+    try:
+        report = fuzzer.run()
+    except CampaignError:
+        raise
+    except Exception as exc:
+        raise FuzzError.wrap(exc)
     started = _charge_stage(timings, "fuzz", started)
-    scan = scan_report(report, target)
+    faultinject.inject("scan")
+    try:
+        scan = scan_report(report, target)
+    except CampaignError:
+        raise
+    except Exception as exc:
+        raise ScanError.wrap(exc)
     _charge_stage(timings, "scan", started)
     return WasaiRun(report, scan, target)
 
@@ -86,21 +125,33 @@ def run_eosfuzzer(module: Module, abi: Abi, account: str = "victim",
                   timings: "dict[str, float] | None" = None) -> WasaiRun:
     """Run the EOSFuzzer baseline on one contract."""
     started = time.perf_counter()
-    chain = setup_chain()
-    target = deploy_target(chain, account, module, abi)
+    chain, target = _deploy(account, module, abi)
     started = _charge_stage(timings, "setup", started)
+    faultinject.inject("fuzz")
     campaign = EosfuzzerCampaign(chain, target,
                                  rng=random.Random(rng_seed),
                                  clock=clock, timeout_ms=timeout_ms)
-    report = campaign.run()
+    try:
+        report = campaign.run()
+    except CampaignError:
+        raise
+    except Exception as exc:
+        raise FuzzError.wrap(exc)
     started = _charge_stage(timings, "fuzz", started)
-    scan = eosfuzzer_scan(report, target)
+    faultinject.inject("scan")
+    try:
+        scan = eosfuzzer_scan(report, target)
+    except CampaignError:
+        raise
+    except Exception as exc:
+        raise ScanError.wrap(exc)
     _charge_stage(timings, "scan", started)
     return WasaiRun(report, scan, target)
 
 
 def run_eosafe(module: Module, account: int = 0) -> ScanResult:
     """Run the EOSAFE baseline (static, no chain needed)."""
+    faultinject.inject("scan")
     return EosafeAnalyzer().analyze(module).to_scan_result(account)
 
 
@@ -112,6 +163,9 @@ def evaluate_corpus(samples: list[BenchmarkSample],
                     jobs: int = 1,
                     task_timeout_s: float | None = None,
                     perf: ThroughputStats | None = None,
+                    policy: ResiliencePolicy | None = None,
+                    journal: "str | None" = None,
+                    resume: bool = False,
                     ) -> dict[str, MetricsTable]:
     """Run the selected tools over a labelled corpus; returns one
     metrics table per tool (the Table 4/5/6 rows).
@@ -120,35 +174,62 @@ def evaluate_corpus(samples: list[BenchmarkSample],
     (``jobs=0`` means one worker per CPU); results are folded back in
     sample order, so the tables are identical to a serial run with the
     same ``rng_seed``.  ``task_timeout_s`` bounds one sample's real
-    wall-clock in the parallel path; a crashed or timed-out sample is
-    recorded as "nothing detected" rather than aborting the run.
-    ``perf``, when given, is filled with throughput and cache-hit
-    accounting.
+    wall-clock in the parallel path.
+
+    Failures never skew the tables: a sample whose task crashed or
+    timed out is retried under ``policy`` (default
+    :class:`~repro.resilience.ResiliencePolicy`), quarantined after
+    ``policy.quarantine_after`` failures, and recorded as *skipped* —
+    listed in the table, excluded from the confusion counts.  With
+    ``journal`` set, completed campaigns are checkpointed as they
+    finish; ``resume=True`` reuses journaled results verbatim instead
+    of recomputing them.  ``perf``, when given, is filled with
+    throughput, failure/retry and cache-hit accounting for the freshly
+    computed (non-journaled) campaigns.
     """
+    policy = policy or ResiliencePolicy()
     vuln_types = tuple(sorted({s.vuln_type for s in samples}))
     tables = {tool: MetricsTable(tool, vuln_types) for tool in tools}
     tasks = [CampaignTask(sample.module, sample.contract.abi, tuple(tools),
-                          timeout_ms, rng_seed + index)
+                          timeout_ms, rng_seed + index, policy=policy,
+                          sample_key=f"{sample.vuln_type}[{index}]")
              for index, sample in enumerate(samples)]
     wall_started = time.perf_counter()
-    results = run_tasks(run_campaign_task, tasks, jobs=jobs,
-                        timeout_s=task_timeout_s)
+    run = run_resilient_tasks(run_campaign_task, tasks, jobs=jobs,
+                              timeout_s=task_timeout_s, policy=policy,
+                              journal=journal, resume=resume)
     wall_s = time.perf_counter() - wall_started
-    for sample, result in zip(samples, results):
-        outcome = result.value if result.ok else None
+    for index, (sample, result) in enumerate(zip(samples, run.results)):
+        skip_reason = run.skip_reason(index)
+        if skip_reason is not None:
+            for tool in tools:
+                tables[tool].skip(sample.vuln_type,
+                                  f"{tasks[index].sample_key}: "
+                                  f"{skip_reason}")
+            continue
+        outcome = result.value
         for tool in tools:
-            detected = (outcome is not None
-                        and outcome.scans[tool].detected(sample.vuln_type))
-            tables[tool].record(sample.vuln_type, sample.label, detected)
+            scan = outcome.scans.get(tool)
+            if scan is None:
+                error = outcome.errors.get(tool, {})
+                tables[tool].skip(sample.vuln_type,
+                                  f"{tasks[index].sample_key}: "
+                                  f"{error.get('message', 'failed')}")
+                continue
+            tables[tool].record(sample.vuln_type, sample.label,
+                                scan.detected(sample.vuln_type))
     if perf is not None:
         perf.jobs = jobs
         perf.wall_s += wall_s
-        for result in results:
-            if not result.ok:
-                perf.failures += 1
+        perf.failures += run.failed_attempts
+        perf.retries += run.retries
+        perf.quarantined += len(run.quarantine.quarantined())
+        for index, result in enumerate(run.results):
+            if not result.ok or index in run.reused_indices:
                 continue
             outcome = result.value
             perf.campaigns += len(outcome.scans)
+            perf.retries += outcome.retries
             perf.add_stage_seconds(outcome.stage_seconds)
             perf.add_cache_deltas(outcome.instr_cache_hits,
                                   outcome.instr_cache_misses,

@@ -77,6 +77,8 @@ class ThroughputStats:
     jobs: int = 1
     campaigns: int = 0
     failures: int = 0
+    retries: int = 0
+    quarantined: int = 0
     wall_s: float = 0.0
     stage_seconds: dict[str, float] = field(default_factory=dict)
     instr_cache_hits: int = 0
@@ -117,6 +119,8 @@ class ThroughputStats:
             "jobs": self.jobs,
             "campaigns": self.campaigns,
             "failures": self.failures,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
             "wall_s": self.wall_s,
             "campaigns_per_sec": self.campaigns_per_sec,
             "stage_seconds": dict(self.stage_seconds),
@@ -133,11 +137,15 @@ class ThroughputStats:
         }
 
     def format(self) -> str:
+        extras = "".join(
+            f", {count} {label}" for count, label in
+            ((self.failures, "failed"), (self.retries, "retried"),
+             (self.quarantined, "quarantined")) if count)
         lines = [
             f"--- throughput (jobs={self.jobs}) ---",
             f"  campaigns     {self.campaigns} "
             f"({self.campaigns_per_sec:.2f}/s over {self.wall_s:.2f}s"
-            f"{f', {self.failures} failed' if self.failures else ''})",
+            f"{extras})",
             f"  instr cache   {self.instr_cache_hits} hits / "
             f"{self.instr_cache_misses} misses "
             f"({self.instr_cache_hit_rate:.1%})",
@@ -152,15 +160,30 @@ class ThroughputStats:
 
 
 class MetricsTable:
-    """Per-type confusion matrices for one tool, Table 4 style."""
+    """Per-type confusion matrices for one tool, Table 4 style.
+
+    Samples with no usable result (worker crash, timeout, quarantine)
+    are *skipped*: excluded from the confusion counts — folding them
+    in as "nothing detected" would silently skew recall — but listed
+    in the formatted table with their failure reason, so a lossy run
+    is visibly lossy.
+    """
 
     def __init__(self, tool: str, vuln_types: tuple[str, ...]):
         self.tool = tool
         self.per_type: dict[str, Confusion] = {t: Confusion()
                                                for t in vuln_types}
+        self.skipped: dict[str, list[str]] = {}
 
     def record(self, vuln_type: str, label: bool, predicted: bool) -> None:
         self.per_type[vuln_type].record(label, predicted)
+
+    def skip(self, vuln_type: str, reason: str) -> None:
+        """Report one sample excluded from the confusion counts."""
+        self.skipped.setdefault(vuln_type, []).append(reason)
+
+    def skipped_count(self) -> int:
+        return sum(len(reasons) for reasons in self.skipped.values())
 
     def total(self) -> Confusion:
         out = Confusion()
@@ -175,4 +198,10 @@ class MetricsTable:
                          f"{confusion.row()}")
         total = self.total()
         lines.append(f"  {'Total':<13} n={total.total:<5} {total.row()}")
+        if self.skipped:
+            lines.append(f"  skipped       {self.skipped_count()} "
+                         "(excluded from the counts above)")
+            for vuln_type in sorted(self.skipped):
+                for reason in self.skipped[vuln_type]:
+                    lines.append(f"    {reason}")
         return "\n".join(lines)

@@ -11,6 +11,14 @@ Workers also report per-stage wall-clock and the per-task cache-counter
 deltas (instrumentation + solver).  Deltas, not absolute counters: each
 worker process owns private caches, so only differences can be summed
 meaningfully in the parent.
+
+Containment happens here, inside the worker: every tool run executes
+under the task's :class:`~repro.resilience.ResiliencePolicy` — typed
+:class:`~repro.resilience.CampaignError` failures are retried when
+transient, a WASAI run that lost its symbolic/solver stage is re-run
+as a pure black-box mutation campaign instead of failing the sample,
+and whatever still fails is carried in ``CampaignResult.errors`` (with
+the child traceback) rather than aborting the whole task.
 """
 
 from __future__ import annotations
@@ -19,6 +27,9 @@ import time
 from dataclasses import dataclass, field
 
 from ..eosio.abi import Abi
+from ..resilience import faultinject
+from ..resilience.errors import CampaignError, ScanError
+from ..resilience.policy import ResiliencePolicy, run_with_retry
 from ..scanner import ScanResult
 from ..wasm.module import Module
 
@@ -35,11 +46,18 @@ class CampaignTask:
     timeout_ms: float
     rng_seed: int
     address_pool: bool = False
+    policy: ResiliencePolicy | None = None
+    sample_key: str = ""      # human-readable sample id (fault scope)
 
 
 @dataclass
 class CampaignResult:
-    """What a worker sends back: scans plus perf accounting."""
+    """What a worker sends back: scans plus perf accounting.
+
+    A tool that failed irrecoverably has no entry in ``scans`` and a
+    serialized :class:`CampaignError` doc in ``errors`` instead; tools
+    listed in ``degraded`` completed through the black-box fallback.
+    """
 
     scans: dict[str, ScanResult]
     stage_seconds: dict[str, float] = field(default_factory=dict)
@@ -47,6 +65,9 @@ class CampaignResult:
     instr_cache_misses: int = 0
     solver_cache_hits: int = 0
     solver_cache_misses: int = 0
+    errors: dict[str, dict] = field(default_factory=dict)
+    degraded: tuple[str, ...] = ()
+    retries: int = 0
 
 
 def _cache_counters() -> tuple[int, int, int, int]:
@@ -58,8 +79,42 @@ def _cache_counters() -> tuple[int, int, int, int]:
             solver.hits if solver else 0, solver.misses if solver else 0)
 
 
+def _tool_runner(tool: str, task: CampaignTask,
+                 stage_seconds: dict[str, float], harness,
+                 feedback: bool = True):
+    """A zero-argument closure running one tool once."""
+    def run():
+        if tool == "wasai":
+            return harness.run_wasai(task.module, task.abi,
+                                     timeout_ms=task.timeout_ms,
+                                     rng_seed=task.rng_seed,
+                                     address_pool=task.address_pool,
+                                     timings=stage_seconds,
+                                     feedback=feedback).scan
+        if tool == "eosfuzzer":
+            return harness.run_eosfuzzer(task.module, task.abi,
+                                         timeout_ms=task.timeout_ms,
+                                         rng_seed=task.rng_seed,
+                                         timings=stage_seconds).scan
+        if tool == "eosafe":
+            started = time.perf_counter()
+            try:
+                scan = harness.run_eosafe(task.module)
+            except CampaignError:
+                raise
+            except Exception as exc:
+                raise ScanError.wrap(exc, sample_id=task.sample_key
+                                     or None)
+            finally:
+                stage_seconds["scan"] = stage_seconds.get("scan", 0.0) \
+                    + time.perf_counter() - started
+            return scan
+        raise ValueError(f"unknown tool {tool!r}")
+    return run
+
+
 def run_campaign_task(task: CampaignTask) -> CampaignResult:
-    """Run every requested tool on the task's contract.
+    """Run every requested tool on the task's contract, contained.
 
     Module-level so it is importable under any multiprocessing start
     method.  The harness import is deferred to break the
@@ -67,36 +122,50 @@ def run_campaign_task(task: CampaignTask) -> CampaignResult:
     """
     from .. import harness
 
-    before = _cache_counters()
-    stage_seconds: dict[str, float] = {}
-    scans: dict[str, ScanResult] = {}
-    for tool in task.tools:
-        if tool == "wasai":
-            run = harness.run_wasai(task.module, task.abi,
-                                    timeout_ms=task.timeout_ms,
-                                    rng_seed=task.rng_seed,
-                                    address_pool=task.address_pool,
-                                    timings=stage_seconds)
-            scans[tool] = run.scan
-        elif tool == "eosfuzzer":
-            run = harness.run_eosfuzzer(task.module, task.abi,
-                                        timeout_ms=task.timeout_ms,
-                                        rng_seed=task.rng_seed,
-                                        timings=stage_seconds)
-            scans[tool] = run.scan
-        elif tool == "eosafe":
-            started = time.perf_counter()
-            scans[tool] = harness.run_eosafe(task.module)
-            stage_seconds["scan"] = stage_seconds.get("scan", 0.0) \
-                + time.perf_counter() - started
-        else:
-            raise ValueError(f"unknown tool {tool!r}")
-    after = _cache_counters()
-    return CampaignResult(
-        scans=scans,
-        stage_seconds=stage_seconds,
-        instr_cache_hits=after[0] - before[0],
-        instr_cache_misses=after[1] - before[1],
-        solver_cache_hits=after[2] - before[2],
-        solver_cache_misses=after[3] - before[3],
-    )
+    policy = task.policy or ResiliencePolicy()
+    faultinject.set_fault_scope(task.sample_key)
+    try:
+        before = _cache_counters()
+        stage_seconds: dict[str, float] = {}
+        scans: dict[str, ScanResult] = {}
+        errors: dict[str, dict] = {}
+        degraded: list[str] = []
+        retries = 0
+        for tool in task.tools:
+            runner = _tool_runner(tool, task, stage_seconds, harness)
+            scan, error, attempts = run_with_retry(runner, policy)
+            retries += attempts - 1
+            if error is not None and tool == "wasai" \
+                    and policy.should_degrade(error):
+                # The symbolic side is gone; the black-box mutation
+                # loop (what EOSFuzzer always runs) still works —
+                # degrade instead of dropping the sample.
+                fallback = _tool_runner(tool, task, stage_seconds,
+                                        harness, feedback=False)
+                scan, fb_error, fb_attempts = run_with_retry(fallback,
+                                                             policy)
+                retries += fb_attempts - 1
+                if fb_error is None:
+                    degraded.append(tool)
+                    errors[tool] = error.to_doc() | {"degraded": True}
+                    error = None
+                else:
+                    error = fb_error
+            if error is not None:
+                errors[tool] = error.to_doc()
+                continue
+            scans[tool] = scan
+        after = _cache_counters()
+        return CampaignResult(
+            scans=scans,
+            stage_seconds=stage_seconds,
+            instr_cache_hits=after[0] - before[0],
+            instr_cache_misses=after[1] - before[1],
+            solver_cache_hits=after[2] - before[2],
+            solver_cache_misses=after[3] - before[3],
+            errors=errors,
+            degraded=tuple(degraded),
+            retries=retries,
+        )
+    finally:
+        faultinject.set_fault_scope("")

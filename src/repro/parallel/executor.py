@@ -38,6 +38,7 @@ import multiprocessing
 import os
 import pickle
 import time
+import traceback as _tb
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as connection_wait
@@ -51,13 +52,24 @@ _POLL_S = 0.05
 
 @dataclass
 class TaskResult:
-    """Outcome of one task, successful or not."""
+    """Outcome of one task, successful or not.
+
+    ``error_type`` is the failure's type name — the exception class
+    for a task that raised, ``"TaskTimeout"`` for a worker killed by
+    the wall-clock cap, ``"WorkerCrash"`` for a worker that died —
+    so callers can dispatch on failure kind without string matching
+    (``repro.resilience.task_result_error`` lifts it back into the
+    typed taxonomy).  ``traceback`` carries the child's formatted
+    traceback across the process boundary for raised exceptions.
+    """
 
     index: int
     ok: bool
     value: Any = None
     error: str | None = None
     elapsed_s: float = 0.0
+    error_type: str | None = None
+    traceback: str | None = None
 
     def unwrap(self) -> Any:
         if not self.ok:
@@ -84,17 +96,19 @@ def _worker_loop(worker: Callable[[Any], Any], tasks: Sequence[Any],
             # Surface an unpicklable result as an ordinary task failure
             # instead of blowing up inside Connection.send.
             pickle.dumps(value)
-            message = (index, True, value, None,
+            message = (index, True, value, None, None, None,
                        time.perf_counter() - started)
         except BaseException as exc:  # noqa: BLE001 - isolate the task
             message = (index, False, None,
                        f"{type(exc).__name__}: {exc}",
+                       type(exc).__name__, _tb.format_exc(),
                        time.perf_counter() - started)
         conn.send(message)
 
 
-def _run_serial(worker: Callable[[Any], Any],
-                tasks: Sequence[Any]) -> list[TaskResult]:
+def _run_serial(worker: Callable[[Any], Any], tasks: Sequence[Any],
+                on_result: Callable[[TaskResult], None] | None = None,
+                ) -> list[TaskResult]:
     results = []
     for index, task in enumerate(tasks):
         started = time.perf_counter()
@@ -105,7 +119,11 @@ def _run_serial(worker: Callable[[Any], Any],
         except Exception as exc:  # noqa: BLE001 - isolate the task
             results.append(TaskResult(index, False, None,
                                       f"{type(exc).__name__}: {exc}",
-                                      time.perf_counter() - started))
+                                      time.perf_counter() - started,
+                                      type(exc).__name__,
+                                      _tb.format_exc()))
+        if on_result is not None:
+            on_result(results[-1])
     return results
 
 
@@ -150,11 +168,12 @@ class _Worker:
 class _Supervisor:
     """The parent-side state machine behind :func:`run_tasks`."""
 
-    def __init__(self, worker, tasks, jobs, timeout_s):
+    def __init__(self, worker, tasks, jobs, timeout_s, on_result=None):
         self.worker = worker
         self.tasks = tasks
         self.jobs = jobs
         self.timeout_s = timeout_s
+        self.on_result = on_result
         self.context = multiprocessing.get_context()
         self.pending: deque[int] = deque(range(len(tasks)))
         self.results: dict[int, TaskResult] = {}
@@ -162,6 +181,14 @@ class _Supervisor:
         self.respawns = 0
         # A crash-looping worker function must not respawn forever.
         self.max_respawns = len(tasks) + jobs
+
+    def _record(self, result: TaskResult) -> None:
+        """Accept one task's outcome exactly once (first wins)."""
+        if result.index in self.results:
+            return
+        self.results[result.index] = result
+        if self.on_result is not None:
+            self.on_result(result)
 
     def run(self) -> list[TaskResult]:
         try:
@@ -195,9 +222,10 @@ class _Supervisor:
             unfinished = [i for i in range(len(self.tasks))
                           if i not in self.results]
             for index in unfinished:
-                self.results[index] = TaskResult(
+                self._record(TaskResult(
                     index, False, None,
-                    "worker pool died before the task completed")
+                    "worker pool died before the task completed",
+                    error_type="WorkerCrash"))
 
     # -- scheduling --------------------------------------------------------
     def _assign_work(self) -> None:
@@ -219,11 +247,12 @@ class _Supervisor:
         for conn in connection_wait(conns, timeout=_POLL_S):
             worker = next(w for w in self.workers if w.conn is conn)
             try:
-                index, ok, value, error, elapsed = conn.recv()
+                index, ok, value, error, error_type, tb, elapsed \
+                    = conn.recv()
             except (EOFError, OSError):
                 continue  # worker died; the reaper handles it
-            self.results[index] = TaskResult(index, ok, value, error,
-                                             elapsed)
+            self._record(TaskResult(index, ok, value, error, elapsed,
+                                    error_type, tb))
             worker.current = None
 
     def _reap_dead(self) -> None:
@@ -234,9 +263,10 @@ class _Supervisor:
             worker.conn.close()
             if worker.current is not None:
                 index = worker.current[0]
-                self.results.setdefault(index, TaskResult(
+                self._record(TaskResult(
                     index, False, None,
-                    f"worker died (exit code {worker.proc.exitcode})"))
+                    f"worker died (exit code {worker.proc.exitcode})",
+                    error_type="WorkerCrash"))
                 self._respawn_if_useful()
 
     def _enforce_timeouts(self) -> None:
@@ -247,12 +277,13 @@ class _Supervisor:
             if worker.current is None \
                     or now - worker.current[1] <= self.timeout_s:
                 continue
-            index = worker.current[0]
+            index, started = worker.current
             self.workers.remove(worker)
             worker.kill()
-            self.results.setdefault(index, TaskResult(
+            self._record(TaskResult(
                 index, False, None,
-                f"timeout after {self.timeout_s:g}s"))
+                f"timeout after {self.timeout_s:g}s",
+                elapsed_s=now - started, error_type="TaskTimeout"))
             self._respawn_if_useful()
 
     def _shutdown(self) -> None:
@@ -268,19 +299,29 @@ class _Supervisor:
 
 def run_tasks(worker: Callable[[Any], Any], tasks: Sequence[Any],
               jobs: int = 1,
-              timeout_s: float | None = None) -> list[TaskResult]:
+              timeout_s: float | None = None,
+              on_result: Callable[[TaskResult], None] | None = None,
+              ) -> list[TaskResult]:
     """Run ``worker(task)`` for every task; return ordered results.
 
     ``jobs`` <= 1 runs serially in-process.  ``jobs=0`` means "one per
     CPU" (see :func:`default_jobs`).  ``timeout_s`` bounds each task's
-    wall-clock in the parallel path.
+    wall-clock in the parallel path.  ``on_result``, when given, is
+    invoked in the supervising process exactly once per task as its
+    result lands (completion order, not task order) — the hook the
+    checkpoint journal uses, so an interrupted run keeps everything
+    that finished before the interruption.
     """
     tasks = list(tasks)
     if jobs == 0:
         jobs = default_jobs()
     if not tasks:
         return []
-    jobs = min(jobs, len(tasks))
     if jobs <= 1:
-        return _run_serial(worker, tasks)
-    return _Supervisor(worker, tasks, jobs, timeout_s).run()
+        return _run_serial(worker, tasks, on_result)
+    # Asking for parallelism buys process isolation (and timeout
+    # enforcement) even when fewer tasks than workers remain — retry
+    # rounds re-running a single crashing task must not fall back to
+    # in-process execution.
+    jobs = min(jobs, len(tasks))
+    return _Supervisor(worker, tasks, jobs, timeout_s, on_result).run()

@@ -1,0 +1,196 @@
+"""The structured campaign error taxonomy.
+
+Every failure inside an evaluation campaign is represented as a
+:class:`CampaignError`: a typed exception carrying the pipeline
+*stage* it arose in, the *sample* it belongs to, whether a retry can
+plausibly help, and the captured traceback of the original exception.
+The harness, the parallel executor, the solver and Symback all raise
+(or wrap into) these instead of ad-hoc exceptions, so containment
+policy decisions — retry, degrade to black-box fuzzing, quarantine —
+can be made on structure rather than on string matching.
+
+Stages mirror the pipeline: ``instrument`` -> ``deploy`` -> ``fuzz``
+(-> ``symback`` -> ``solve`` per iteration) -> ``scan``; ``task`` is
+the executor-level envelope (worker crash / wall-clock timeout).
+"""
+
+from __future__ import annotations
+
+import traceback as _tb
+
+__all__ = [
+    "CampaignError", "InstrumentError", "DeployError", "FuzzError",
+    "TrapStorm", "SymbackError", "SolverError", "ScanError",
+    "TaskTimeout", "WorkerCrash", "STAGES", "DEGRADABLE_STAGES",
+    "task_result_error",
+]
+
+# Pipeline stages, in execution order, plus the executor envelope.
+STAGES = ("instrument", "deploy", "fuzz", "symback", "solve", "scan",
+          "task")
+
+# Stages whose failure leaves the black-box mutation loop intact: a
+# campaign that cannot replay or solve can still fuzz (ConFuzzius-style
+# graceful degradation; EOSFuzzer *is* that loop).
+DEGRADABLE_STAGES = frozenset({"symback", "solve"})
+
+
+class CampaignError(Exception):
+    """Base of the taxonomy; subclasses pin ``stage`` / ``retryable``."""
+
+    stage: str = "campaign"
+    retryable: bool = False
+
+    def __init__(self, message: str = "", *, stage: str | None = None,
+                 sample_id: str | None = None,
+                 retryable: bool | None = None,
+                 traceback_str: str | None = None):
+        super().__init__(message)
+        if stage is not None:
+            self.stage = stage
+        if retryable is not None:
+            self.retryable = retryable
+        self.sample_id = sample_id
+        self.traceback_str = traceback_str
+
+    @classmethod
+    def wrap(cls, exc: BaseException, *, sample_id: str | None = None,
+             retryable: bool | None = None) -> "CampaignError":
+        """Lift an in-flight exception into the taxonomy.
+
+        An exception that already is a :class:`CampaignError` passes
+        through unchanged (its stage is more precise than the
+        wrapper's); anything else is captured together with its
+        formatted traceback.  Call only from an ``except`` block.
+        """
+        if isinstance(exc, CampaignError):
+            if sample_id is not None and exc.sample_id is None:
+                exc.sample_id = sample_id
+            return exc
+        return cls(f"{type(exc).__name__}: {exc}", sample_id=sample_id,
+                   retryable=retryable, traceback_str=_tb.format_exc())
+
+    # -- serialization (journal / cross-process reporting) -----------------
+    def to_doc(self) -> dict:
+        return {
+            "type": type(self).__name__,
+            "stage": self.stage,
+            "message": str(self),
+            "sample_id": self.sample_id,
+            "retryable": self.retryable,
+            "traceback": self.traceback_str,
+        }
+
+    @staticmethod
+    def from_doc(doc: dict) -> "CampaignError":
+        cls = _REGISTRY.get(doc.get("type", ""), CampaignError)
+        return cls(doc.get("message", ""), stage=doc.get("stage"),
+                   sample_id=doc.get("sample_id"),
+                   retryable=doc.get("retryable"),
+                   traceback_str=doc.get("traceback"))
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        where = f"[{self.stage}"
+        if self.sample_id:
+            where += f" {self.sample_id}"
+        return f"{where}] {base}"
+
+
+class InstrumentError(CampaignError):
+    """The bin -> bin' rewrite failed for this module."""
+
+    stage = "instrument"
+
+
+class DeployError(CampaignError):
+    """Chain setup or contract deployment failed."""
+
+    stage = "deploy"
+
+
+class FuzzError(CampaignError):
+    """The fuzzing loop itself failed (not one contained iteration)."""
+
+    stage = "fuzz"
+
+
+class TrapStorm(FuzzError):
+    """A victim execution trapped in a way the loop must contain."""
+
+
+class SymbackError(CampaignError):
+    """Symbolic trace replay failed; black-box fuzzing still works."""
+
+    stage = "symback"
+
+
+class SolverError(CampaignError):
+    """The constraint solver failed; black-box fuzzing still works."""
+
+    stage = "solve"
+
+
+class ScanError(CampaignError):
+    """The vulnerability scan over the observation log failed."""
+
+    stage = "scan"
+
+
+class TaskTimeout(CampaignError):
+    """The executor killed an overrunning worker (real wall-clock)."""
+
+    stage = "task"
+    retryable = True
+
+    def __init__(self, message: str = "", *, elapsed_s: float = 0.0,
+                 **kwargs):
+        super().__init__(message, **kwargs)
+        self.elapsed_s = elapsed_s
+
+    def to_doc(self) -> dict:
+        doc = super().to_doc()
+        doc["elapsed_s"] = self.elapsed_s
+        return doc
+
+
+class WorkerCrash(CampaignError):
+    """A worker process died (segfault, ``os._exit``, OOM kill)."""
+
+    stage = "task"
+    retryable = True
+
+    def __init__(self, message: str = "", *, exitcode: int | None = None,
+                 **kwargs):
+        super().__init__(message, **kwargs)
+        self.exitcode = exitcode
+
+    def to_doc(self) -> dict:
+        doc = super().to_doc()
+        doc["exitcode"] = self.exitcode
+        return doc
+
+
+_REGISTRY = {cls.__name__: cls for cls in (
+    CampaignError, InstrumentError, DeployError, FuzzError, TrapStorm,
+    SymbackError, SolverError, ScanError, TaskTimeout, WorkerCrash)}
+
+
+def task_result_error(result) -> CampaignError | None:
+    """Materialise the typed error of a failed ``TaskResult``.
+
+    The executor stays layer-agnostic (it reports ``error_type`` as a
+    string); this is where those strings come back to the taxonomy.
+    Returns None for a successful result.
+    """
+    if result.ok:
+        return None
+    kind = result.error_type or ""
+    message = result.error or "task failed"
+    if kind == "TaskTimeout":
+        return TaskTimeout(message, elapsed_s=result.elapsed_s,
+                           traceback_str=result.traceback)
+    if kind == "WorkerCrash":
+        return WorkerCrash(message, traceback_str=result.traceback)
+    cls = _REGISTRY.get(kind, CampaignError)
+    return cls(message, traceback_str=result.traceback)

@@ -1,0 +1,166 @@
+"""Deterministic fault injection for the evaluation pipeline.
+
+The pipeline calls :func:`inject` at its chokepoints (instrumentation,
+deployment, the fuzz loop, victim execution, symbolic replay, solver
+checks, scanning).  With no plan installed — the production default —
+``inject`` is a single global load and a return.  Tests install a
+:class:`FaultPlan` to force failures at chosen points:
+
+``Fault(stage="solve", kind="error")``
+    every solver check raises :class:`~repro.resilience.errors.SolverError`;
+``Fault(stage="fuzz", kind="crash", match="fake_eos[3]")``
+    the worker running that sample dies with ``os._exit``;
+``Fault(stage="fuzz", kind="abort", after=4)``
+    the fifth fuzz stage raises ``KeyboardInterrupt`` (a simulated ^C,
+    for checkpoint/resume tests);
+``Fault(stage="fuzz", kind="count")``
+    never fails — counts hits, so tests can assert "no recomputation".
+
+Determinism: faults trigger on exact per-fault hit counters within the
+installing process (worker processes inherit the plan through ``fork``
+and count their own hits), and ``match`` selects samples through the
+fault *scope* — a process-local key the campaign runner sets to the
+sample id before running each task.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from .errors import (CampaignError, DeployError, FuzzError,
+                     InstrumentError, ScanError, SolverError,
+                     SymbackError, TrapStorm)
+
+__all__ = ["Fault", "FaultPlan", "install_fault_plan",
+           "clear_fault_plan", "fault_plan", "set_fault_scope",
+           "fault_scope", "inject"]
+
+_STAGE_ERRORS = {
+    "instrument": InstrumentError,
+    "deploy": DeployError,
+    "fuzz": FuzzError,
+    "symback": SymbackError,
+    "solve": SolverError,
+    "scan": ScanError,
+    "trap": TrapStorm,
+}
+
+FAULT_KINDS = ("error", "transient", "trap_storm", "hang", "crash",
+               "abort", "count")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injection rule: *where* (stage + scope match) and *what*."""
+
+    stage: str
+    kind: str = "error"        # see FAULT_KINDS
+    match: str | None = None   # substring of the fault scope; None = any
+    times: int | None = None   # trigger only the first N matches
+    after: int = 0             # skip the first `after` matches
+    hang_s: float = 30.0       # sleep length for kind="hang"
+    message: str = "injected fault"
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+class FaultPlan:
+    """An installed set of faults plus their deterministic counters."""
+
+    def __init__(self, faults: tuple[Fault, ...]):
+        self.faults = faults
+        self._hits: dict[int, int] = {}
+        self.stage_hits: dict[str, int] = {}
+
+    def fire(self, stage: str, scope: str) -> Fault | None:
+        """Count this chokepoint hit; return the fault to act on."""
+        self.stage_hits[stage] = self.stage_hits.get(stage, 0) + 1
+        for i, fault in enumerate(self.faults):
+            if fault.stage != stage:
+                continue
+            if fault.match is not None and fault.match not in scope:
+                continue
+            seen = self._hits.get(i, 0)
+            self._hits[i] = seen + 1
+            if seen < fault.after:
+                continue
+            if fault.times is not None \
+                    and seen >= fault.after + fault.times:
+                continue
+            return fault
+        return None
+
+    def hits(self, stage: str) -> int:
+        """How many times a pipeline stage was reached (any fault)."""
+        return self.stage_hits.get(stage, 0)
+
+
+_PLAN: FaultPlan | None = None
+_SCOPE: str = ""
+
+
+def install_fault_plan(*faults: Fault) -> FaultPlan:
+    """Install (replacing) the process-wide fault plan."""
+    global _PLAN
+    _PLAN = FaultPlan(tuple(faults))
+    return _PLAN
+
+
+def clear_fault_plan() -> None:
+    global _PLAN
+    _PLAN = None
+
+
+def fault_plan() -> FaultPlan | None:
+    return _PLAN
+
+
+def set_fault_scope(key: str) -> None:
+    """Name the sample the current code is working on behalf of."""
+    global _SCOPE
+    _SCOPE = key
+
+
+class fault_scope:
+    """Context-manager form of :func:`set_fault_scope`."""
+
+    def __init__(self, key: str):
+        self.key = key
+
+    def __enter__(self):
+        global _SCOPE
+        self.previous = _SCOPE
+        _SCOPE = self.key
+        return self
+
+    def __exit__(self, *exc_info):
+        global _SCOPE
+        _SCOPE = self.previous
+        return False
+
+
+def inject(stage: str) -> None:
+    """Pipeline chokepoint: act on the installed plan, if any."""
+    plan = _PLAN
+    if plan is None:
+        return
+    fault = plan.fire(stage, _SCOPE)
+    if fault is None or fault.kind == "count":
+        return
+    if fault.kind == "hang":
+        time.sleep(fault.hang_s)
+        return
+    if fault.kind == "crash":
+        os._exit(86)
+    if fault.kind == "abort":
+        raise KeyboardInterrupt(f"injected abort at {stage}")
+    error_cls = _STAGE_ERRORS.get(stage, CampaignError)
+    if fault.kind == "trap_storm":
+        error_cls = TrapStorm
+    raise error_cls(fault.message, stage=None if stage in _STAGE_ERRORS
+                    else stage, sample_id=_SCOPE or None,
+                    retryable=fault.kind == "transient")

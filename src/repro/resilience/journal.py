@@ -1,0 +1,132 @@
+"""Checkpoint/resume journal for corpus-scale evaluations.
+
+An append-only JSONL file: one line per *completed* campaign task,
+keyed by a hash of everything that determines the task's result (the
+module's content fingerprint, the tool set, the virtual budget, the
+RNG seed, the address-pool flag).  Because campaigns are deterministic
+in that key, a journaled result can be reused verbatim: a resumed run
+skips the journaled samples and still produces tables byte-identical
+to an uninterrupted run.
+
+The format is crash-tolerant by construction — a run killed mid-write
+leaves at most one truncated final line, which :meth:`load` skips.
+Unknown versions and malformed lines are ignored rather than fatal, so
+a journal can survive format evolution across PRs.
+
+This module deliberately imports nothing from the rest of the package
+at import time (the campaign layer imports :mod:`repro.resilience`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+__all__ = ["CampaignJournal", "campaign_task_key",
+           "campaign_result_to_doc", "campaign_result_from_doc"]
+
+_VERSION = 1
+
+
+class CampaignJournal:
+    """Append-only JSONL of completed campaign results."""
+
+    def __init__(self, path: "str | Path"):
+        self.path = Path(path)
+
+    def load(self) -> dict[str, dict]:
+        """All readable entries, last-wins per key."""
+        entries: dict[str, dict] = {}
+        if not self.path.exists():
+            return entries
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue  # truncated tail from a killed run
+                if not isinstance(doc, dict) or doc.get("v") != _VERSION:
+                    continue
+                key = doc.get("key")
+                if isinstance(key, str):
+                    entries[key] = doc
+        return entries
+
+    def record(self, key: str, result_doc: dict) -> None:
+        """Append one completed result (flushed line-atomically)."""
+        doc = {"v": _VERSION, "key": key, "result": result_doc}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(doc, sort_keys=True) + "\n")
+            handle.flush()
+
+
+def campaign_task_key(task) -> str:
+    """The resume key of one :class:`~repro.parallel.CampaignTask`."""
+    from ..engine.deploy import module_fingerprint
+    material = "|".join((
+        module_fingerprint(task.module),
+        ",".join(task.tools),
+        f"{task.timeout_ms:g}",
+        str(task.rng_seed),
+        str(bool(task.address_pool)),
+    ))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+# -- CampaignResult <-> JSON -------------------------------------------------
+
+def _scan_to_doc(scan) -> dict:
+    return {
+        "account": scan.target_account,
+        "findings": {
+            vuln_type: {"detected": finding.detected,
+                        "evidence": finding.evidence}
+            for vuln_type, finding in scan.findings.items()
+        },
+    }
+
+
+def _scan_from_doc(doc: dict):
+    from ..scanner.detectors import ScanResult, VulnerabilityFinding
+    scan = ScanResult(target_account=doc["account"])
+    for vuln_type, finding in doc.get("findings", {}).items():
+        scan.findings[vuln_type] = VulnerabilityFinding(
+            vuln_type, bool(finding.get("detected")),
+            finding.get("evidence", ""))
+    return scan
+
+
+def campaign_result_to_doc(result) -> dict:
+    return {
+        "scans": {tool: _scan_to_doc(scan)
+                  for tool, scan in result.scans.items()},
+        "stage_seconds": dict(result.stage_seconds),
+        "instr_cache_hits": result.instr_cache_hits,
+        "instr_cache_misses": result.instr_cache_misses,
+        "solver_cache_hits": result.solver_cache_hits,
+        "solver_cache_misses": result.solver_cache_misses,
+        "errors": dict(result.errors),
+        "degraded": list(result.degraded),
+        "retries": result.retries,
+    }
+
+
+def campaign_result_from_doc(doc: dict):
+    from ..parallel.campaigns import CampaignResult
+    return CampaignResult(
+        scans={tool: _scan_from_doc(scan)
+               for tool, scan in doc.get("scans", {}).items()},
+        stage_seconds=dict(doc.get("stage_seconds", {})),
+        instr_cache_hits=doc.get("instr_cache_hits", 0),
+        instr_cache_misses=doc.get("instr_cache_misses", 0),
+        solver_cache_hits=doc.get("solver_cache_hits", 0),
+        solver_cache_misses=doc.get("solver_cache_misses", 0),
+        errors=dict(doc.get("errors", {})),
+        degraded=tuple(doc.get("degraded", ())),
+        retries=doc.get("retries", 0),
+    )

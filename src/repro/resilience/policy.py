@@ -1,0 +1,99 @@
+"""Containment policies: bounded retry, degradation, quarantine.
+
+:class:`ResiliencePolicy` is the single knob bundle threaded through
+the evaluation pipeline (and surfaced on the CLI as ``--max-retries``
+/ ``--quarantine-after``).  Backoff is *deterministic* — a fixed
+exponential schedule with no jitter — so retried runs reproduce
+byte-for-byte; the default base of 0 s means "retry immediately",
+which is right for the in-process deterministic workloads here.
+
+:class:`Quarantine` tracks repeatedly failing samples across retry
+rounds.  A quarantined sample is never dropped silently: it is carried
+into the metrics table as a *skipped* entry with its failure history.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .errors import DEGRADABLE_STAGES, CampaignError
+
+__all__ = ["ResiliencePolicy", "Quarantine", "run_with_retry"]
+
+# Module-level so tests can monkeypatch sleeping away entirely.
+_sleep = time.sleep
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Per-stage containment knobs for one evaluation run."""
+
+    max_retries: int = 1          # extra attempts after the first
+    backoff_base_s: float = 0.0   # base of the 1x/2x/4x... schedule
+    quarantine_after: int = 3     # failures before a sample is benched
+    degrade: bool = True          # fall back to black-box on symbolic loss
+
+    def backoff_s(self, attempt: int) -> float:
+        """Deterministic exponential backoff before retry ``attempt``
+        (1-based): base * 2**(attempt-1)."""
+        if attempt <= 0:
+            return 0.0
+        return self.backoff_base_s * (2 ** (attempt - 1))
+
+    def should_degrade(self, error: CampaignError) -> bool:
+        return self.degrade and error.stage in DEGRADABLE_STAGES
+
+
+class Quarantine:
+    """Failure ledger: samples that keep crashing get benched."""
+
+    def __init__(self, threshold: int = 3):
+        self.threshold = threshold
+        self._failures: dict[str, list[str]] = {}
+
+    def record_failure(self, key: str, reason: str) -> bool:
+        """Note one failure; returns True when ``key`` just crossed
+        the quarantine threshold."""
+        reasons = self._failures.setdefault(key, [])
+        reasons.append(reason)
+        return len(reasons) == self.threshold
+
+    def failure_count(self, key: str) -> int:
+        return len(self._failures.get(key, ()))
+
+    def is_quarantined(self, key: str) -> bool:
+        return self.failure_count(key) >= self.threshold
+
+    def quarantined(self) -> dict[str, list[str]]:
+        """key -> failure reasons, for every benched sample."""
+        return {key: list(reasons)
+                for key, reasons in self._failures.items()
+                if len(reasons) >= self.threshold}
+
+
+def run_with_retry(fn: Callable[[], Any], policy: ResiliencePolicy,
+                   *, sleep: Callable[[float], None] | None = None,
+                   ) -> tuple[Any, CampaignError | None, int]:
+    """Run ``fn`` under the policy's bounded-retry rule.
+
+    Returns ``(value, error, attempts)``: on success ``error`` is None;
+    after exhausting retries (or on a non-retryable error) ``value`` is
+    None and ``error`` is the last :class:`CampaignError`.  Exceptions
+    outside the taxonomy propagate — the executor's process isolation
+    is the containment of last resort for those.
+    """
+    do_sleep = sleep or _sleep
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return fn(), None, attempts
+        except CampaignError as exc:
+            if exc.retryable and attempts <= policy.max_retries:
+                delay = policy.backoff_s(attempts)
+                if delay > 0:
+                    do_sleep(delay)
+                continue
+            return None, exc, attempts

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from ..resilience import faultinject
+from ..resilience.errors import CampaignError, SolverError
 from .bitblast import BitBlaster
 from .interval import Interval, propagate_comparison
 from .sat import SAT, UNKNOWN, UNSAT, SatSolver
@@ -182,8 +184,15 @@ class Solver:
         return list(self._constraints)
 
     def check(self, *extra: Term) -> str:
-        """Return "sat", "unsat" or "unknown"."""
+        """Return "sat", "unsat" or "unknown".
+
+        An internal failure of the search layers is raised as a typed
+        :class:`~repro.resilience.SolverError` (never a bare
+        exception), so campaign containment can degrade to black-box
+        fuzzing instead of aborting.
+        """
         self.stats.checks += 1
+        faultinject.inject("solve")
         constraints = self._constraints + list(extra)
         self._model = None
         if any(c is FALSE for c in constraints):
@@ -202,11 +211,16 @@ class Solver:
                 if status == SAT:
                     self._model = Model(values)
                 return status
-        result = self._try_fast_path(constraints)
-        if result is not None:
-            self.stats.fast_path_hits += 1
-        else:
-            result = self._check_sat(constraints)
+        try:
+            result = self._try_fast_path(constraints)
+            if result is not None:
+                self.stats.fast_path_hits += 1
+            else:
+                result = self._check_sat(constraints)
+        except CampaignError:
+            raise
+        except Exception as exc:
+            raise SolverError.wrap(exc)
         if cache is not None and result in (SAT, UNSAT):
             values = self._model.as_dict() if result == SAT else None
             cache.store(key, result, values)

@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 
 from .benchgen.corpus import WildContract, build_wild_corpus
 from .metrics import ThroughputStats
-from .parallel import CampaignTask, run_campaign_task, run_tasks
+from .parallel import CampaignTask, run_campaign_task
+from .resilience import ResiliencePolicy, run_resilient_tasks
 from .scanner import ScanResult, VULN_TITLES
 
 __all__ = ["WildStudyResult", "run_wild_study", "format_wild_study"]
@@ -25,6 +26,9 @@ class WildStudyResult:
 
     total: int
     scans: list[tuple[WildContract, ScanResult]]
+    # Contracts with no usable scan (crash/timeout/quarantine), as
+    # (sample key, reason) — reported, never silently dropped.
+    skipped: list[tuple[str, str]] = field(default_factory=list)
 
     # -- aggregates --------------------------------------------------------
     @property
@@ -68,43 +72,63 @@ def run_wild_study(scale: float = 0.05, timeout_ms: float = 20_000.0,
                    seed: int = 991, rng_base: int = 3000,
                    address_pool: bool = False, jobs: int = 1,
                    task_timeout_s: float | None = None,
-                   perf: ThroughputStats | None = None) -> WildStudyResult:
+                   perf: ThroughputStats | None = None,
+                   policy: ResiliencePolicy | None = None,
+                   journal: "str | None" = None,
+                   resume: bool = False) -> WildStudyResult:
     """Scan the wild corpus with WASAI and aggregate the findings.
 
     ``jobs`` > 1 runs the independent campaigns on a worker pool (see
     :mod:`repro.parallel`); each contract keeps its deterministic
     ``rng_base + index`` seed, so the aggregate is identical to a
-    serial run.  A crashed or timed-out campaign contributes an empty
-    (not-vulnerable) scan instead of aborting the study.
+    serial run.  A crashed or timed-out campaign is retried and, if it
+    keeps failing, quarantined under ``policy`` and reported in
+    ``WildStudyResult.skipped`` (it contributes an empty scan so the
+    aggregate fractions stay conservative).  ``journal``/``resume``
+    checkpoint completed campaigns exactly as in
+    :func:`repro.harness.evaluate_corpus`.
     """
+    policy = policy or ResiliencePolicy()
     corpus = build_wild_corpus(scale=scale, seed=seed)
     tasks = [CampaignTask(entry.contract.module, entry.contract.abi,
                           ("wasai",), timeout_ms, rng_base + index,
-                          address_pool=address_pool)
+                          address_pool=address_pool, policy=policy,
+                          sample_key=f"wild[{index}]")
              for index, entry in enumerate(corpus)]
     wall_started = time.perf_counter()
-    results = run_tasks(run_campaign_task, tasks, jobs=jobs,
-                        timeout_s=task_timeout_s)
+    run = run_resilient_tasks(run_campaign_task, tasks, jobs=jobs,
+                              timeout_s=task_timeout_s, policy=policy,
+                              journal=journal, resume=resume)
     wall_s = time.perf_counter() - wall_started
     scans = []
-    for entry, result in zip(corpus, results):
-        scan = (result.value.scans["wasai"] if result.ok
-                else ScanResult(target_account=0))
-        scans.append((entry, scan))
+    skipped: list[tuple[str, str]] = []
+    for index, (entry, result) in enumerate(zip(corpus, run.results)):
+        reason = run.skip_reason(index)
+        if reason is None and result.value.scans.get("wasai") is None:
+            error = result.value.errors.get("wasai", {})
+            reason = error.get("message", "campaign failed")
+        if reason is not None:
+            skipped.append((tasks[index].sample_key, reason))
+            scans.append((entry, ScanResult(target_account=0)))
+            continue
+        scans.append((entry, result.value.scans["wasai"]))
     if perf is not None:
         perf.jobs = jobs
         perf.wall_s += wall_s
-        for result in results:
-            if not result.ok:
-                perf.failures += 1
+        perf.failures += run.failed_attempts
+        perf.retries += run.retries
+        perf.quarantined += len(run.quarantine.quarantined())
+        for index, result in enumerate(run.results):
+            if not result.ok or index in run.reused_indices:
                 continue
             perf.campaigns += 1
+            perf.retries += result.value.retries
             perf.add_stage_seconds(result.value.stage_seconds)
             perf.add_cache_deltas(result.value.instr_cache_hits,
                                   result.value.instr_cache_misses,
                                   result.value.solver_cache_hits,
                                   result.value.solver_cache_misses)
-    return WildStudyResult(len(corpus), scans)
+    return WildStudyResult(len(corpus), scans, skipped=skipped)
 
 
 def format_wild_study(result: WildStudyResult) -> str:
@@ -124,4 +148,9 @@ def format_wild_study(result: WildStudyResult) -> str:
                  "(paper: 341)")
     lines.append(f"  agreement with ground truth: "
                  f"{result.ground_truth_agreement():.1%}")
+    if result.skipped:
+        lines.append(f"  skipped (failed campaigns): "
+                     f"{len(result.skipped)}")
+        for key, reason in result.skipped:
+            lines.append(f"    {key}: {reason}")
     return "\n".join(lines)

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 
 from ..instrument.hooks import HookEvent
 from ..instrument.instrumenter import Site, SiteTable
+from ..resilience import faultinject
+from ..resilience.errors import CampaignError, SymbackError
 from ..smt import (BitVec, BitVecVal, Clz, Concat, Ctz, Eq, Extract, Ite, Ne,
                    Not, Popcnt, Rotl, Rotr, SDiv, SGE, SGT, SLE, SLT, SRem,
                    SignExt, Term, UDiv, UGE, UGT, ULE, ULT, URem, ZeroExt,
@@ -97,7 +99,14 @@ def replay_action(module: Module, sites: SiteTable,
                   events: list[HookEvent], layout: SeedLayout,
                   apply_index: int,
                   import_names: dict[int, str] | None = None) -> ReplayResult:
-    """Symbolically replay the action-function window of a trace."""
+    """Symbolically replay the action-function window of a trace.
+
+    A malformed trace window aborts only this replay (recorded in
+    ``ReplayResult.error``); an unexpected simulator bug surfaces as a
+    typed :class:`~repro.resilience.SymbackError` so the fuzzing loop
+    can contain it and degrade to black-box mode.
+    """
+    faultinject.inject("symback")
     result = ReplayResult(layout=layout)
     if import_names is None:
         import_names = {
@@ -121,6 +130,10 @@ def replay_action(module: Module, sites: SiteTable,
         except _ReplayAbort as abort:
             result.error = str(abort)
             break
+        except CampaignError:
+            raise
+        except Exception as exc:
+            raise SymbackError.wrap(exc)
         if done:
             break
     return result

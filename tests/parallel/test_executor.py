@@ -112,3 +112,44 @@ def test_elapsed_recorded():
     results = _run_serial(_double, [21])
     assert isinstance(results[0], TaskResult)
     assert results[0].elapsed_s >= 0.0
+
+
+def test_timeout_is_typed_with_elapsed():
+    results = run_tasks(_misbehave, [("hang", 0), ("ok", 1)], jobs=2,
+                        timeout_s=1.0)
+    assert not results[0].ok
+    assert results[0].error_type == "TaskTimeout"
+    assert results[0].elapsed_s > 0.0
+
+
+def test_crash_is_typed():
+    results = run_tasks(_misbehave, [("crash", 0), ("ok", 1)], jobs=2)
+    assert not results[0].ok
+    assert results[0].error_type == "WorkerCrash"
+
+
+def test_child_traceback_crosses_the_process_boundary():
+    for jobs in (1, 2):
+        results = run_tasks(_misbehave, [("raise", 5), ("ok", 1)],
+                            jobs=jobs)
+        assert not results[0].ok
+        assert results[0].error_type == "ValueError"
+        assert "boom 5" in results[0].traceback
+        assert "_misbehave" in results[0].traceback
+
+
+def test_on_result_fires_exactly_once_per_task():
+    for jobs in (1, 3):
+        seen = []
+        results = run_tasks(_double, [3, 1, 4], jobs=jobs,
+                            on_result=lambda r: seen.append(r.index))
+        assert sorted(seen) == [0, 1, 2]
+        assert [r.value for r in results] == [6, 2, 8]
+
+
+def test_on_result_fires_for_failures_too():
+    seen = {}
+    run_tasks(_misbehave, [("ok", 1), ("crash", 0)], jobs=2,
+              on_result=lambda r: seen.setdefault(r.index, r))
+    assert seen[0].ok
+    assert not seen[1].ok and seen[1].error_type == "WorkerCrash"

@@ -1,0 +1,99 @@
+"""The deterministic fault-injection harness itself."""
+
+import pytest
+
+from repro.resilience import (Fault, clear_fault_plan, fault_plan,
+                              fault_scope, install_fault_plan)
+from repro.resilience.errors import (DeployError, FuzzError, SolverError,
+                                     TrapStorm)
+from repro.resilience.faultinject import inject, set_fault_scope
+
+
+def test_no_plan_is_a_no_op():
+    clear_fault_plan()
+    inject("fuzz")  # must not raise
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        Fault(stage="fuzz", kind="meteor")
+
+
+def test_error_fault_raises_typed_stage_error():
+    install_fault_plan(Fault(stage="solve", kind="error"))
+    with pytest.raises(SolverError):
+        inject("solve")
+    inject("fuzz")  # other stages untouched
+
+
+def test_trap_storm_kind():
+    install_fault_plan(Fault(stage="trap", kind="trap_storm"))
+    with pytest.raises(TrapStorm):
+        inject("trap")
+
+
+def test_transient_faults_are_retryable():
+    install_fault_plan(Fault(stage="deploy", kind="transient"))
+    with pytest.raises(DeployError) as info:
+        inject("deploy")
+    assert info.value.retryable
+    install_fault_plan(Fault(stage="deploy", kind="error"))
+    with pytest.raises(DeployError) as info:
+        inject("deploy")
+    assert not info.value.retryable
+
+
+def test_after_and_times_windows():
+    install_fault_plan(Fault(stage="fuzz", kind="error", after=2, times=2))
+    hits = []
+    for _ in range(6):
+        try:
+            inject("fuzz")
+            hits.append(False)
+        except FuzzError:
+            hits.append(True)
+    assert hits == [False, False, True, True, False, False]
+
+
+def test_match_selects_by_scope():
+    install_fault_plan(Fault(stage="fuzz", kind="error",
+                             match="fake_eos[1]"))
+    set_fault_scope("fake_notif[0]")
+    inject("fuzz")
+    set_fault_scope("fake_eos[1]")
+    with pytest.raises(FuzzError) as info:
+        inject("fuzz")
+    assert info.value.sample_id == "fake_eos[1]"
+
+
+def test_fault_scope_context_manager_restores():
+    set_fault_scope("outer")
+    install_fault_plan(Fault(stage="fuzz", kind="error", match="inner"))
+    with fault_scope("inner"):
+        with pytest.raises(FuzzError):
+            inject("fuzz")
+    inject("fuzz")  # scope is "outer" again: no match
+
+
+def test_count_kind_records_without_failing():
+    plan = install_fault_plan(Fault(stage="fuzz", kind="count"))
+    for _ in range(3):
+        inject("fuzz")
+    inject("solve")
+    assert plan.hits("fuzz") == 3
+    assert plan.hits("solve") == 1
+    assert fault_plan() is plan
+
+
+def test_per_fault_counters_are_independent():
+    plan = install_fault_plan(
+        Fault(stage="fuzz", kind="error", match="a", times=1),
+        Fault(stage="fuzz", kind="error", match="b", times=1))
+    with fault_scope("a"):
+        with pytest.raises(FuzzError):
+            inject("fuzz")
+        inject("fuzz")
+    with fault_scope("b"):
+        with pytest.raises(FuzzError):
+            inject("fuzz")
+    assert plan.hits("fuzz") == 3

@@ -1,0 +1,85 @@
+"""Retry, backoff, degradation and quarantine policy units."""
+
+import pytest
+
+from repro.resilience import Quarantine, ResiliencePolicy, run_with_retry
+from repro.resilience.errors import (FuzzError, SolverError, SymbackError,
+                                     TaskTimeout)
+
+
+def test_backoff_schedule_is_deterministic_exponential():
+    policy = ResiliencePolicy(backoff_base_s=0.5)
+    assert policy.backoff_s(0) == 0.0
+    assert [policy.backoff_s(n) for n in (1, 2, 3)] == [0.5, 1.0, 2.0]
+    assert ResiliencePolicy().backoff_s(3) == 0.0
+
+
+def test_should_degrade_only_on_symbolic_stages():
+    policy = ResiliencePolicy()
+    assert policy.should_degrade(SolverError("x"))
+    assert policy.should_degrade(SymbackError("x"))
+    assert not policy.should_degrade(FuzzError("x"))
+    off = ResiliencePolicy(degrade=False)
+    assert not off.should_degrade(SolverError("x"))
+
+
+def test_run_with_retry_retries_only_retryable():
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise TaskTimeout("slow")
+        return "done"
+
+    value, error, attempts = run_with_retry(
+        flaky, ResiliencePolicy(max_retries=5))
+    assert (value, error, attempts) == ("done", None, 3)
+
+    calls.clear()
+
+    def hard():
+        calls.append(1)
+        raise FuzzError("broken")
+
+    value, error, attempts = run_with_retry(
+        hard, ResiliencePolicy(max_retries=5))
+    assert value is None
+    assert isinstance(error, FuzzError)
+    assert attempts == 1  # non-retryable: one attempt only
+
+
+def test_run_with_retry_bounded_and_sleeps():
+    slept = []
+
+    def always():
+        raise TaskTimeout("slow")
+
+    value, error, attempts = run_with_retry(
+        always, ResiliencePolicy(max_retries=2, backoff_base_s=0.25),
+        sleep=slept.append)
+    assert value is None and isinstance(error, TaskTimeout)
+    assert attempts == 3           # 1 try + 2 retries
+    assert slept == [0.25, 0.5]    # deterministic backoff, no jitter
+
+
+def test_run_with_retry_propagates_foreign_exceptions():
+    def alien():
+        raise ZeroDivisionError
+
+    with pytest.raises(ZeroDivisionError):
+        run_with_retry(alien, ResiliencePolicy())
+
+
+def test_quarantine_threshold_and_report():
+    quarantine = Quarantine(threshold=3)
+    assert not quarantine.record_failure("s", "crash 1")
+    assert not quarantine.record_failure("s", "crash 2")
+    assert not quarantine.is_quarantined("s")
+    assert quarantine.record_failure("s", "crash 3")  # just crossed
+    assert quarantine.is_quarantined("s")
+    assert not quarantine.record_failure("s", "crash 4")  # already over
+    assert quarantine.failure_count("s") == 4
+    quarantine.record_failure("other", "one-off")
+    assert set(quarantine.quarantined()) == {"s"}
+    assert quarantine.quarantined()["s"][0] == "crash 1"

@@ -1,0 +1,92 @@
+"""Checkpoint/resume round trips through the corpus drivers.
+
+The interruption is a simulated ^C: an injected ``KeyboardInterrupt``
+mid-corpus.  The journal must keep everything completed before the
+abort, a resumed run must reuse those results *without recomputing
+them* (proved with a counting fault), and the final tables must be
+byte-identical to an uninterrupted run.
+"""
+
+import pytest
+
+from repro import (Fault, ThroughputStats, build_table4_corpus,
+                   clear_fault_plan, install_fault_plan)
+from repro.harness import evaluate_corpus
+from repro.resilience import CampaignJournal
+from repro.study import format_wild_study, run_wild_study
+
+TIMEOUT_MS = 6_000
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return build_table4_corpus(scale=0.004)[:6]
+
+
+def _formatted(tables):
+    return {tool: table.format() for tool, table in tables.items()}
+
+
+def test_interrupted_run_resumes_without_recomputation(samples, tmp_path):
+    journal_path = tmp_path / "table4.jsonl"
+
+    # 1. An uninterrupted reference run (no journal, no faults).
+    reference = _formatted(evaluate_corpus(samples, tools=("wasai",),
+                                           timeout_ms=TIMEOUT_MS))
+
+    # 2. Kill the run after four completed samples.
+    install_fault_plan(Fault(stage="fuzz", kind="abort", after=4))
+    with pytest.raises(KeyboardInterrupt):
+        evaluate_corpus(samples, tools=("wasai",), timeout_ms=TIMEOUT_MS,
+                        journal=journal_path)
+    assert len(CampaignJournal(journal_path).load()) == 4
+
+    # 3. Resume: only the two unfinished samples reach the fuzz stage.
+    plan = install_fault_plan(Fault(stage="fuzz", kind="count"))
+    perf = ThroughputStats()
+    resumed = evaluate_corpus(samples, tools=("wasai",),
+                              timeout_ms=TIMEOUT_MS,
+                              journal=journal_path, resume=True,
+                              perf=perf)
+    assert plan.hits("fuzz") == 2       # journaled results reused verbatim
+    assert perf.campaigns == 2          # only fresh work is accounted
+    assert _formatted(resumed) == reference
+
+    # 4. Resuming an already-complete journal recomputes nothing.
+    plan = install_fault_plan(Fault(stage="fuzz", kind="count"))
+    again = evaluate_corpus(samples, tools=("wasai",),
+                            timeout_ms=TIMEOUT_MS,
+                            journal=journal_path, resume=True)
+    assert plan.hits("fuzz") == 0
+    assert _formatted(again) == reference
+
+
+def test_journal_without_resume_recomputes_but_checkpoints(samples,
+                                                           tmp_path):
+    journal_path = tmp_path / "fresh.jsonl"
+    subset = samples[:2]
+    evaluate_corpus(subset, tools=("wasai",), timeout_ms=TIMEOUT_MS,
+                    journal=journal_path)
+    assert len(CampaignJournal(journal_path).load()) == 2
+    plan = install_fault_plan(Fault(stage="fuzz", kind="count"))
+    evaluate_corpus(subset, tools=("wasai",), timeout_ms=TIMEOUT_MS,
+                    journal=journal_path)  # resume NOT requested
+    assert plan.hits("fuzz") == 2          # recomputed, by design
+
+
+def test_wild_study_resumes_and_reports_byte_identical(tmp_path):
+    journal_path = tmp_path / "wild.jsonl"
+    kwargs = dict(scale=0.004, timeout_ms=5_000)
+
+    reference = format_wild_study(run_wild_study(**kwargs))
+
+    install_fault_plan(Fault(stage="fuzz", kind="abort", after=2))
+    with pytest.raises(KeyboardInterrupt):
+        run_wild_study(journal=journal_path, **kwargs)
+    clear_fault_plan()
+    assert len(CampaignJournal(journal_path).load()) == 2
+
+    plan = install_fault_plan(Fault(stage="fuzz", kind="count"))
+    resumed = run_wild_study(journal=journal_path, resume=True, **kwargs)
+    assert plan.hits("fuzz") == resumed.total - 2
+    assert format_wild_study(resumed) == reference

@@ -81,6 +81,37 @@ def test_bench_table4_parallel_jobs(capsys):
     assert "Total" in output
 
 
+def test_bench_journal_and_resume(tmp_path, capsys):
+    journal = tmp_path / "t4.jsonl"
+    base = ["bench", "table4", "--scale", "0.004",
+            "--timeout-ms", "5000", "--journal", str(journal)]
+    assert main(base) == 0
+    first = capsys.readouterr().out
+    assert journal.exists() and journal.read_text().count("\n") > 0
+
+    assert main(base + ["--resume"]) == 0
+    resumed = capsys.readouterr().out
+    # The metrics tables (everything before the throughput block) are
+    # byte-identical; only the timing block may differ.
+    assert resumed.split("--- throughput")[0] \
+        == first.split("--- throughput")[0]
+
+
+def test_bench_resume_requires_journal(capsys):
+    code = main(["bench", "table4", "--scale", "0.004", "--resume"])
+    assert code == 2
+    assert "requires --journal" in capsys.readouterr().err
+
+
+def test_bench_resilience_flags_accepted(capsys):
+    code = main(["bench", "table4", "--scale", "0.004",
+                 "--timeout-ms", "5000", "--max-retries", "2",
+                 "--quarantine-after", "4", "--backoff-s", "0.1",
+                 "--no-degrade"])
+    assert code == 0
+    assert "Total" in capsys.readouterr().out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
