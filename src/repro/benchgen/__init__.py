@@ -6,6 +6,9 @@ from .corpus import (BenchmarkSample, PAPER_COUNTS, WildContract,
                      build_rq1_contracts, build_table4_corpus, build_wild_corpus,
                      obfuscated_variant, verification_variant)
 from .export import MANIFEST_NAME, export_corpus, load_corpus
+from .hostile import (HostileSample, base_module_bytes,
+                      build_hostile_corpus,
+                      build_resource_hostile_modules)
 from .obfuscate import obfuscate_module, popcount_encode_constant
 from .verification import VerificationSpec, inject_verification
 
@@ -15,4 +18,6 @@ __all__ = ["ContractConfig", "GeneratedContract", "VULN_TYPES",
            "obfuscated_variant", "verification_variant",
            "obfuscate_module", "popcount_encode_constant",
            "VerificationSpec", "inject_verification",
-           "MANIFEST_NAME", "export_corpus", "load_corpus"]
+           "MANIFEST_NAME", "export_corpus", "load_corpus",
+           "HostileSample", "base_module_bytes", "build_hostile_corpus",
+           "build_resource_hostile_modules"]

@@ -1,0 +1,240 @@
+"""Hostile-module corpus for the untrusted-ingestion hardening tests.
+
+Two families, both fully deterministic (seeded ``random.Random``, no
+wall-clock anywhere):
+
+* **malformed binaries** — structural mutants of a valid contract
+  binary (truncations, bit flips, section splices) plus hand-built
+  adversarial payloads (huge vector counts, giant locals runs,
+  overlong LEB128, bad UTF-8 names, unknown opcodes, absurd memory
+  declarations).  Every one of these must come back from
+  :func:`repro.wasm.load_untrusted_module` as a typed
+  :class:`~repro.resilience.MalformedModule` — never a raw Python
+  exception, never a hang;
+* **resource-hostile modules** — syntactically valid binaries whose
+  *execution* is abusive (unbounded ``memory.grow`` loops, infinite
+  loops).  These must be contained by the metered interpreter with a
+  typed :class:`~repro.wasm.interpreter.Trap` subclass.
+
+Used by ``tests/wasm/test_parser_hostile.py`` and the CI
+``hostile-input`` smoke bench (``wasai bench hostile``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..wasm.builder import ModuleBuilder
+from ..wasm.encoder import encode_module
+from .contracts import ContractConfig, generate_contract
+
+__all__ = ["HostileSample", "base_module_bytes", "build_hostile_corpus",
+           "build_resource_hostile_modules"]
+
+_WASM_HEADER = b"\0asm\x01\x00\x00\x00"
+
+
+@dataclass(frozen=True)
+class HostileSample:
+    """One malformed input: the bytes plus how they were derived."""
+
+    name: str
+    data: bytes
+    kind: str  # "truncate" | "bitflip" | "splice" | "payload"
+
+
+def base_module_bytes(seed: int = 0) -> bytes:
+    """A genuine contract binary to mutate (dispatcher, imports,
+    memory, data segments — every section the parser walks)."""
+    generated = generate_contract(ContractConfig(seed=seed))
+    return encode_module(generated.module)
+
+
+def _truncations(base: bytes, count: int) -> list[HostileSample]:
+    # Cut points spread over the whole binary, including mid-header
+    # and mid-section cuts.
+    samples = []
+    for i in range(count):
+        cut = 1 + (i * (len(base) - 1)) // count
+        samples.append(HostileSample(f"truncate[{cut}]", base[:cut],
+                                     "truncate"))
+    return samples
+
+
+def _bitflips(base: bytes, count: int,
+              rng: random.Random) -> list[HostileSample]:
+    samples = []
+    for i in range(count):
+        position = rng.randrange(len(base))
+        bit = rng.randrange(8)
+        mutated = bytearray(base)
+        mutated[position] ^= 1 << bit
+        samples.append(HostileSample(
+            f"bitflip[{position}.{bit}]", bytes(mutated), "bitflip"))
+    return samples
+
+
+def _splices(base: bytes, count: int,
+             rng: random.Random) -> list[HostileSample]:
+    # Move a window of bytes somewhere else: section ids, sizes and
+    # payloads end up interleaved in ways a linear parser must survive.
+    samples = []
+    for i in range(count):
+        length = rng.randrange(2, max(3, len(base) // 4))
+        src = rng.randrange(8, max(9, len(base) - length))
+        dst = rng.randrange(8, len(base))
+        window = base[src:src + length]
+        mutated = base[:dst] + window + base[dst:]
+        samples.append(HostileSample(
+            f"splice[{src}->{dst}x{length}]", mutated, "splice"))
+    return samples
+
+
+def _section(section_id: int, payload: bytes) -> bytes:
+    from ..wasm.leb128 import encode_unsigned
+    return bytes([section_id]) + encode_unsigned(len(payload)) + payload
+
+
+def _targeted_payloads() -> list[HostileSample]:
+    """Hand-built adversarial encodings aimed at specific parser
+    weaknesses (each one historically a hang or a raw exception in
+    naive decoders)."""
+    samples = [
+        HostileSample("empty", b"", "payload"),
+        HostileSample("bad-magic", b"\0asN\x01\x00\x00\x00", "payload"),
+        HostileSample("bad-version", b"\0asm\x02\x00\x00\x00", "payload"),
+        HostileSample("header-only", _WASM_HEADER, "payload"),
+        # Type section claiming 2^32-1 entries in a 5-byte payload:
+        # a count-trusting parser preallocates gigabytes.
+        HostileSample(
+            "huge-vec-count",
+            _WASM_HEADER + _section(1, b"\xff\xff\xff\xff\x0f"),
+            "payload"),
+        # One code body declaring a 100-million-entry locals run.
+        HostileSample(
+            "huge-locals",
+            _WASM_HEADER
+            + _section(1, b"\x01\x60\x00\x00")        # () -> ()
+            + _section(3, b"\x01\x00")                # 1 function
+            + _section(10, b"\x01\x0a"                # 1 body, 10 bytes
+                       + b"\x01"                      # 1 locals run
+                       + b"\x80\xc2\xd7\x2f"          # count = 100M
+                       + b"\x7f\x0b\x00\x00\x00"),    # i32; end; pad
+            "payload"),
+        # u32 LEB that keeps its continuation bit set for 6 bytes.
+        HostileSample(
+            "overlong-leb",
+            _WASM_HEADER + _section(1, b"\x80\x80\x80\x80\x80\x01"),
+            "payload"),
+        # Export section with an invalid UTF-8 name.
+        HostileSample(
+            "bad-utf8-name",
+            _WASM_HEADER + _section(7, b"\x01\x02\xff\xfe\x00\x00"),
+            "payload"),
+        # Memory demanding 2^20 pages (64 GiB) up front.
+        HostileSample(
+            "huge-memory",
+            _WASM_HEADER + _section(5, b"\x01\x00\x80\x80\x40"),
+            "payload"),
+        # maximum < minimum.
+        HostileSample(
+            "inverted-limits",
+            _WASM_HEADER + _section(5, b"\x01\x01\x10\x01"),
+            "payload"),
+        # A code body that is all `block` openers and no `end`.
+        HostileSample(
+            "deep-nesting",
+            _WASM_HEADER
+            + _section(1, b"\x01\x60\x00\x00")
+            + _section(3, b"\x01\x00")
+            + _section(10, b"\x01\x40\x00" + b"\x02\x40" * 31),
+            "payload"),
+        # An opcode byte outside the instruction table.
+        HostileSample(
+            "unknown-opcode",
+            _WASM_HEADER
+            + _section(1, b"\x01\x60\x00\x00")
+            + _section(3, b"\x01\x00")
+            + _section(10, b"\x01\x04\x00\xd7\x00\x0b"),
+            "payload"),
+        # Section size pointing past the end of the file.
+        HostileSample(
+            "oversized-section",
+            _WASM_HEADER + b"\x01\x7f\x60",
+            "payload"),
+        # Valid module followed by trailing garbage.
+        HostileSample(
+            "trailing-junk",
+            base_module_bytes() + b"\x00\x01\x02\x03",
+            "payload"),
+        # Duplicate / out-of-order section ids.
+        HostileSample(
+            "repeated-sections",
+            _WASM_HEADER + _section(1, b"\x00") + _section(1, b"\x00"),
+            "payload"),
+        # Function section without a matching code section.
+        HostileSample(
+            "missing-code",
+            _WASM_HEADER
+            + _section(1, b"\x01\x60\x00\x00")
+            + _section(3, b"\x01\x00"),
+            "payload"),
+        # Export referencing a function index that does not exist.
+        HostileSample(
+            "dangling-export",
+            _WASM_HEADER + _section(7, b"\x01\x01\x61\x00\x63"),
+            "payload"),
+    ]
+    return samples
+
+
+def build_hostile_corpus(seed: int = 0,
+                         mutants: int = 220) -> list[HostileSample]:
+    """A deterministic malformed-module corpus of >= ``mutants``
+    samples (structural mutants of a real contract binary plus the
+    targeted payloads)."""
+    rng = random.Random(seed)
+    base = base_module_bytes(seed)
+    targeted = _targeted_payloads()
+    structural = max(mutants - len(targeted), 0)
+    n_truncate = structural // 3
+    n_splice = structural // 6
+    n_bitflip = structural - n_truncate - n_splice
+    samples = list(targeted)
+    samples.extend(_truncations(base, n_truncate))
+    samples.extend(_bitflips(base, n_bitflip, rng))
+    samples.extend(_splices(base, n_splice, rng))
+    return samples
+
+
+def build_resource_hostile_modules() -> list[tuple[str, "object"]]:
+    """Valid modules whose execution abuses resources; each is
+    ``(name, module)`` with an exported no-argument ``attack``
+    function the metered interpreter must trap on."""
+    out = []
+
+    grow = ModuleBuilder()
+    grow.add_memory(1)
+    fn = grow.function("attack")
+    # for (;;) memory.grow(16) — keeps demanding pages even after the
+    # cap makes grow fail; the memory cap bounds RAM while the fuel /
+    # deadline meter bounds time.
+    fn.emit("loop", None)
+    fn.i32_const(16)
+    fn.emit("memory.grow")
+    fn.emit("drop")
+    fn.emit("br", 0)
+    fn.emit("end")
+    grow.export_function("attack", fn)
+    out.append(("memory-grow-loop", grow.build()))
+
+    spin = ModuleBuilder()
+    fn = spin.function("attack")
+    fn.emit("loop", None)
+    fn.emit("br", 0)
+    fn.emit("end")
+    spin.export_function("attack", fn)
+    out.append(("infinite-loop", spin.build()))
+
+    return out

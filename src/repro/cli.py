@@ -26,7 +26,7 @@ from .eosio.abi import Abi
 from .harness import (DEFAULT_TIMEOUT_MS, evaluate_corpus, run_eosafe,
                       run_eosfuzzer, run_wasai)
 from .scanner import format_report
-from .wasm import encode_module, parse_module
+from .wasm import encode_module
 
 __all__ = ["main"]
 
@@ -55,6 +55,16 @@ def main(argv: list[str] | None = None) -> int:
     scan.add_argument("--address-pool", action="store_true",
                       help="mine bytecode constants for caller "
                            "identities (resolves admin-gated FNs)")
+    scan.add_argument("--max-module-bytes", type=int, default=None,
+                      help="ingestion budget: reject binaries larger "
+                           "than this (default 8 MiB)")
+    scan.add_argument("--max-memory-pages", type=int, default=None,
+                      help="cap on Wasm linear memory growth during "
+                           "fuzzing, in 64 KiB pages (default 1024)")
+    scan.add_argument("--no-divergence-check", dest="divergence_check",
+                      action="store_false",
+                      help="disable the concolic divergence sentinel "
+                           "(trace/replay cross-checking)")
 
     gen = sub.add_parser("gen", help="generate a benchmark contract")
     gen.add_argument("--out", type=Path, default=Path("victim"),
@@ -74,7 +84,7 @@ def main(argv: list[str] | None = None) -> int:
 
     bench = sub.add_parser("bench", help="run a paper experiment")
     bench.add_argument("experiment",
-                       choices=("table4", "table5", "table6"))
+                       choices=("table4", "table5", "table6", "hostile"))
     bench.add_argument("--scale", type=float, default=0.02)
     bench.add_argument("--timeout-ms", type=float, default=20_000.0)
     bench.add_argument("--jobs", type=int, default=1,
@@ -103,6 +113,12 @@ def main(argv: list[str] | None = None) -> int:
                        action="store_false",
                        help="disable the black-box fallback when the "
                             "symbolic/solver stage fails")
+    bench.add_argument("--no-divergence-check", dest="divergence_check",
+                       action="store_false",
+                       help="disable the concolic divergence sentinel")
+    bench.add_argument("--mutants", type=int, default=220,
+                       help="hostile experiment: number of malformed "
+                            "modules to generate (default 220)")
 
     corpus = sub.add_parser("gen-corpus",
                             help="write a labelled benchmark corpus "
@@ -124,7 +140,22 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _cmd_scan(args) -> int:
-    module = parse_module(args.wasm.read_bytes())
+    import dataclasses
+
+    from .resilience import MalformedModule
+    from .wasm import DEFAULT_BUDGET, load_untrusted_module
+    from .wasm.interpreter import ExecutionLimits
+
+    budget = DEFAULT_BUDGET
+    if args.max_module_bytes is not None:
+        budget = dataclasses.replace(budget,
+                                     max_module_bytes=args.max_module_bytes)
+    try:
+        module = load_untrusted_module(args.wasm.read_bytes(),
+                                       budget=budget)
+    except MalformedModule as exc:
+        print(f"error: rejected untrusted module: {exc}", file=sys.stderr)
+        return 2
     abi = Abi.from_json(args.abi.read_text())
     run = None
     if args.tool == "eosafe":
@@ -132,8 +163,13 @@ def _cmd_scan(args) -> int:
     else:
         runner = run_wasai if args.tool == "wasai" else run_eosfuzzer
         kwargs = {}
-        if args.tool == "wasai" and args.address_pool:
-            kwargs["address_pool"] = True
+        if args.tool == "wasai":
+            kwargs["divergence_check"] = args.divergence_check
+            if args.address_pool:
+                kwargs["address_pool"] = True
+            if args.max_memory_pages is not None:
+                kwargs["limits"] = ExecutionLimits(
+                    max_memory_pages=args.max_memory_pages)
         run = runner(module, abi, timeout_ms=args.timeout_ms,
                      rng_seed=args.seed, **kwargs)
         result = run.scan
@@ -202,9 +238,54 @@ def _cmd_gen_corpus(args) -> int:
     return 0
 
 
+def _cmd_bench_hostile(args) -> int:
+    """Containment smoke test: the malformed corpus must be rejected
+    with typed diagnostics and the resource-hostile modules trapped by
+    the metered interpreter — anything else is a hardening failure."""
+    from .benchgen.hostile import (build_hostile_corpus,
+                                   build_resource_hostile_modules)
+    from .resilience import MalformedModule
+    from .wasm import load_untrusted_module
+    from .wasm.interpreter import ExecutionLimits, Instance, Trap
+    corpus = build_hostile_corpus(mutants=args.mutants)
+    parsed = rejected = 0
+    escaped: list[tuple[str, str]] = []
+    for sample in corpus:
+        try:
+            load_untrusted_module(sample.data, sample_id=sample.name)
+            parsed += 1
+        except MalformedModule:
+            rejected += 1
+        except Exception as exc:  # raw leak: exactly what we test for
+            escaped.append((sample.name,
+                            f"{type(exc).__name__}: {exc}"))
+    trapped = 0
+    limits = ExecutionLimits(fuel=200_000, deadline_s=5.0,
+                             max_memory_pages=64)
+    for name, module in build_resource_hostile_modules():
+        try:
+            Instance(module, {}, limits=limits).invoke("attack", [])
+            escaped.append((name, "completed without trapping"))
+        except Trap:
+            trapped += 1
+        except Exception as exc:
+            escaped.append((name, f"{type(exc).__name__}: {exc}"))
+    print(f"# hostile: {len(corpus)} malformed inputs, "
+          f"{trapped + len(escaped)} resource-hostile modules")
+    print(f"  parsed clean   {parsed}")
+    print(f"  rejected typed {rejected}")
+    print(f"  trapped        {trapped}")
+    print(f"  escaped        {len(escaped)}")
+    for name, reason in escaped:
+        print(f"    {name}: {reason}")
+    return 1 if escaped else 0
+
+
 def _cmd_bench(args) -> int:
     from .metrics import ThroughputStats
     from .resilience import CampaignJournal, ResiliencePolicy
+    if args.experiment == "hostile":
+        return _cmd_bench_hostile(args)
     samples = build_table4_corpus(scale=args.scale)
     if args.experiment == "table5":
         samples = [obfuscated_variant(s) for s in samples]
@@ -225,7 +306,8 @@ def _cmd_bench(args) -> int:
                              jobs=args.jobs,
                              task_timeout_s=args.task_timeout_s,
                              perf=perf, policy=policy,
-                             journal=journal, resume=args.resume)
+                             journal=journal, resume=args.resume,
+                             divergence_check=args.divergence_check)
     for table in tables.values():
         print(table.format())
     print(perf.format())

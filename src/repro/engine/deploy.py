@@ -173,12 +173,32 @@ def deploy_target(chain: Chain, account: "str | int", module: Module,
                       import_names)
 
 
-def setup_chain(player_funds: str = "10000000.0000 EOS") -> Chain:
+def setup_chain(player_funds: str = "10000000.0000 EOS",
+                limits=None) -> Chain:
     """A fresh local chain with eosio.token and standard test accounts
-    (the paper's local blockchain initiation)."""
-    chain = Chain()
+    (the paper's local blockchain initiation).  ``limits``, when given,
+    is the :class:`~repro.wasm.interpreter.ExecutionLimits` every Wasm
+    contract on this chain will run under."""
+    chain = Chain(limits=limits)
     deploy_token(chain, "eosio.token")
     issue_to(chain, "eosio.token", "player", player_funds)
     issue_to(chain, "eosio.token", "attacker", player_funds)
     chain.create_account("bob")
     return chain
+
+
+def deploy_untrusted_target(chain: Chain, account: "str | int",
+                            data: bytes, abi: Abi,
+                            budget=None) -> FuzzTarget:
+    """Ingest raw (untrusted) contract bytes, then deploy.
+
+    The sandboxed ingestion front door for byte-level inputs: the
+    bytes pass through :func:`~repro.wasm.load_untrusted_module`
+    (budget enforcement + typed diagnostics) before the usual
+    instrument/deploy pipeline sees them, so a hostile binary fails
+    the non-retryable *ingest* stage instead of surfacing a raw
+    parser exception mid-deployment.
+    """
+    from ..wasm.hardening import load_untrusted_module
+    module = load_untrusted_module(data, budget=budget)
+    return deploy_target(chain, account, module, abi)

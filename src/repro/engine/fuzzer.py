@@ -21,8 +21,8 @@ from ..eosio.token import issue_to, token_balance
 from ..instrument import decode_raw_trace
 from ..instrument.hooks import HookEvent
 from ..resilience import faultinject
-from ..resilience.errors import (CampaignError, SolverError,
-                                 SymbackError)
+from ..resilience.errors import (CampaignError, DivergenceError,
+                                 SolverError, SymbackError)
 from ..smt import SolverStats
 from ..symbolic import (SeedLayout, branch_coverage_ids, flip_queries,
                         locate_action_call, replay_action, solve_flips)
@@ -78,6 +78,14 @@ class FuzzReport:
     # every fault the loop absorbed instead of aborting.
     degraded: bool = False
     contained: list[str] = field(default_factory=list)
+    # Divergence-sentinel verdicts: one entry per trace whose symbolic
+    # replay disagreed with the recorded concrete operands.  A sample
+    # with any entry here is reported as its own row class, never
+    # folded into TP/FP counts.
+    divergences: list[str] = field(default_factory=list)
+    # Sentinel cross-checks that passed across all replays (evidence
+    # the sentinel was armed, not just silent).
+    sentinel_checkpoints: int = 0
 
     def observations_of(self, payload_kind: str) -> list[Observation]:
         return [o for o in self.observations
@@ -97,7 +105,8 @@ class WasaiFuzzer:
                  feedback: bool = True,
                  address_pool: bool = False,
                  trace_dir: "str | None" = None,
-                 max_feedback_failures: int = 3):
+                 max_feedback_failures: int = 3,
+                 divergence_check: bool = True):
         self.chain = chain
         self.target = target
         self.rng = rng or random.Random(0)
@@ -131,6 +140,7 @@ class WasaiFuzzer:
         # ConFuzzius-style fallback) instead of aborting.
         self.max_feedback_failures = max_feedback_failures
         self._feedback_failures = 0
+        self.divergence_check = divergence_check
 
     # -- campaign ----------------------------------------------------------
     def run(self) -> FuzzReport:
@@ -228,8 +238,21 @@ class WasaiFuzzer:
             if self.feedback:
                 try:
                     self._feedback(observation, abi_action)
+                except DivergenceError as exc:
+                    self._contain_divergence(exc)
                 except CampaignError as exc:
                     self._contain_feedback_failure(exc)
+
+    def _contain_divergence(self, exc: DivergenceError) -> None:
+        """Quarantine one diverged trace: its symbolic feedback is
+        dropped (no adaptive seeds, no flips) and the verdict is
+        recorded so the harness reports the sample as divergent.
+        Deliberately *not* routed through the degradation budget —
+        divergence is an unsound replay, not an unavailable one."""
+        if len(self.report.divergences) < 10:
+            self.report.divergences.append(
+                f"iteration {self.report.iterations}: {exc}")
+        self.report.contained.append(f"divergence: {exc}")
 
     def _contain_feedback_failure(self, exc: CampaignError) -> None:
         """Absorb one symbolic-feedback fault; degrade to black-box
@@ -294,6 +317,8 @@ class WasaiFuzzer:
             events = read_trace_file(path)
         else:
             events = decode_raw_trace(record.wasm_trace)
+        if faultinject.should_corrupt("trace"):
+            events = _corrupt_trace(events, self.target.site_table)
         observation = Observation(kind, seed.action_name, executed_params,
                                   record, events, result.success,
                                   self.clock.now_ms, actions=actions)
@@ -321,11 +346,13 @@ class WasaiFuzzer:
                                    self.target.site_table,
                                    observation.events, layout,
                                    self.target.apply_index,
-                                   self.target.import_names)
+                                   self.target.import_names,
+                                   divergence_check=self.divergence_check)
         except CampaignError:
             raise
         except Exception as exc:
             raise SymbackError.wrap(exc)
+        self.report.sentinel_checkpoints += replay.checkpoints
         self.clock.charge_replay()
         if not replay.reached_action:
             return
@@ -355,3 +382,39 @@ class WasaiFuzzer:
                           query.branch.site.pc,
                           not bool(query.branch.taken))
             self._explored_flips.add(flipped_id)
+
+
+def _corrupt_trace(events: list[HookEvent],
+                   sites) -> list[HookEvent]:
+    """Deterministically corrupt a decoded trace (fault injection).
+
+    Acted on when a ``Fault(stage="trace", kind="corrupt")`` matches:
+    recorded memory-op addresses and host-call arguments are shifted,
+    host-call returns are bumped and recorded branch outcomes flipped,
+    producing exactly the concrete/symbolic disagreement a real
+    instrumentation or replay bug would — so tests can prove the
+    divergence sentinel catches it end-to-end.
+    """
+    from ..wasm.opcodes import is_load, is_store
+    corrupted: list[HookEvent] = []
+    for event in events:
+        operands = event.operands
+        if event.kind == "post" and operands \
+                and isinstance(operands[0], int):
+            operands = (operands[0] + 1, *operands[1:])
+        elif event.kind == "instr" and operands:
+            op = sites[event.site_id].instr.op
+            if op in ("br_if", "if") and isinstance(operands[-1], int):
+                operands = (*operands[:-1], 1 - int(bool(operands[-1])))
+            elif (is_load(op) or is_store(op)) \
+                    and isinstance(operands[0], int):
+                operands = (operands[0] + 4096, *operands[1:])
+            elif op in ("call", "call_indirect") \
+                    and isinstance(operands[0], int):
+                operands = (operands[0] + 1, *operands[1:])
+        if operands is event.operands:
+            corrupted.append(event)
+        else:
+            corrupted.append(HookEvent(event.kind, event.site_id,
+                                       event.func_id, operands))
+    return corrupted

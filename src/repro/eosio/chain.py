@@ -17,9 +17,10 @@ vulnerability classes depend on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
-from ..wasm.interpreter import (ExecutionLimits, HostFunc, Instance, Trap)
+from ..wasm.interpreter import (ExecutionLimits, HostFunc, Instance, Trap,
+                                TrapResourceLimit)
 from ..wasm.module import Module
 from .abi import Abi
 from .database import Database, DbOperation
@@ -124,6 +125,7 @@ class ApplyContext:
         self.console: list[str] = []
         self.host_calls: list[HostCall] = []
         self.wasm_trace: list[tuple] = []
+        self.wasm_trace_bytes = 0
         self.new_recipients: list[int] = []
         self.inline_actions: list[Action] = []
         self.deferred_actions: list[Action] = []
@@ -195,7 +197,21 @@ class WasmContract(Contract):
 
     @staticmethod
     def _hook(chain: "Chain", ctx: ApplyContext, hook_name: str, func_type):
+        # The trace buffer is host memory an instrumented contract can
+        # write into at one entry per executed hook, so it is metered:
+        # a hostile contract spinning in a hooked loop traps instead of
+        # filling RAM with trace entries.
         def impl(instance, args):
+            limits = instance.limits
+            if limits.max_trace_events is not None \
+                    and len(ctx.wasm_trace) >= limits.max_trace_events:
+                raise TrapResourceLimit(
+                    f"trace exceeds {limits.max_trace_events} events")
+            ctx.wasm_trace_bytes += 16 + 8 * len(args)
+            if limits.max_trace_bytes is not None \
+                    and ctx.wasm_trace_bytes > limits.max_trace_bytes:
+                raise TrapResourceLimit(
+                    f"trace exceeds {limits.max_trace_bytes} bytes")
             ctx.wasm_trace.append((hook_name, tuple(args)))
             return []
         return HostFunc(func_type, impl)
@@ -207,13 +223,17 @@ class Chain:
     def __init__(self, tapos_block_num: int = 1234,
                  tapos_block_prefix: int = 0x5EED_BEEF,
                  current_time: int = 1_600_000_000_000_000,
-                 fuel: int = 5_000_000, call_depth: int = 250):
+                 fuel: int = 5_000_000, call_depth: int = 250,
+                 limits: "ExecutionLimits | None" = None):
         self.db = Database()
         self.accounts: dict[int, Contract | None] = {}
         self.tapos_block_num = tapos_block_num
         self.tapos_block_prefix = tapos_block_prefix
         self.current_time = current_time
-        self.execution_limits = {"fuel": fuel, "call_depth": call_depth}
+        if limits is not None:
+            self.execution_limits = dict(asdict(limits))
+        else:
+            self.execution_limits = {"fuel": fuel, "call_depth": call_depth}
         self.transaction_log: list[TransactionResult] = []
 
     # -- account management ----------------------------------------------

@@ -64,10 +64,10 @@ def _charge_stage(timings: "dict[str, float] | None", stage: str,
     return now
 
 
-def _deploy(account: str, module: Module, abi: Abi):
+def _deploy(account: str, module: Module, abi: Abi, limits=None):
     """Chain + instrumented deployment, typed on failure."""
     try:
-        chain = setup_chain()
+        chain = setup_chain(limits=limits)
         target = deploy_target(chain, account, module, abi)
     except CampaignError:
         raise
@@ -82,6 +82,8 @@ def run_wasai(module: Module, abi: Abi, account: str = "victim",
               smt_max_conflicts: int = 20_000,
               address_pool: bool = False,
               feedback: bool = True,
+              divergence_check: bool = True,
+              limits=None,
               timings: "dict[str, float] | None" = None) -> WasaiRun:
     """Fuzz one contract with WASAI and scan the observations.
 
@@ -89,17 +91,22 @@ def run_wasai(module: Module, abi: Abi, account: str = "victim",
     seconds under the keys "setup", "fuzz" and "scan".  ``feedback``
     toggles the symbolic feedback loop — ``False`` is the black-box
     degradation mode the resilience layer falls back to when the
-    symbolic/solver stage is lost.
+    symbolic/solver stage is lost.  ``divergence_check`` toggles the
+    concolic divergence sentinel (cross-checking the symbolic replay's
+    concrete shadow state against the recorded trace); ``limits`` is
+    an optional :class:`~repro.wasm.ExecutionLimits` for the chain's
+    Wasm interpreter.
     """
     started = time.perf_counter()
-    chain, target = _deploy(account, module, abi)
+    chain, target = _deploy(account, module, abi, limits=limits)
     started = _charge_stage(timings, "setup", started)
     faultinject.inject("fuzz")
     fuzzer = WasaiFuzzer(chain, target, rng=random.Random(rng_seed),
                          clock=clock, timeout_ms=timeout_ms,
                          smt_max_conflicts=smt_max_conflicts,
                          address_pool=address_pool,
-                         feedback=feedback)
+                         feedback=feedback,
+                         divergence_check=divergence_check)
     try:
         report = fuzzer.run()
     except CampaignError:
@@ -166,6 +173,7 @@ def evaluate_corpus(samples: list[BenchmarkSample],
                     policy: ResiliencePolicy | None = None,
                     journal: "str | None" = None,
                     resume: bool = False,
+                    divergence_check: bool = True,
                     ) -> dict[str, MetricsTable]:
     """Run the selected tools over a labelled corpus; returns one
     metrics table per tool (the Table 4/5/6 rows).
@@ -186,13 +194,20 @@ def evaluate_corpus(samples: list[BenchmarkSample],
     of recomputing them.  ``perf``, when given, is filled with
     throughput, failure/retry and cache-hit accounting for the freshly
     computed (non-journaled) campaigns.
+
+    A sample whose campaign tripped the concolic divergence sentinel
+    (``divergence_check``, on by default) is reported as *divergent* —
+    its verdict is excluded from the confusion counts (the trace the
+    detectors scanned is untrustworthy) and the sample is recorded in
+    the quarantine ledger.
     """
     policy = policy or ResiliencePolicy()
     vuln_types = tuple(sorted({s.vuln_type for s in samples}))
     tables = {tool: MetricsTable(tool, vuln_types) for tool in tools}
     tasks = [CampaignTask(sample.module, sample.contract.abi, tuple(tools),
                           timeout_ms, rng_seed + index, policy=policy,
-                          sample_key=f"{sample.vuln_type}[{index}]")
+                          sample_key=f"{sample.vuln_type}[{index}]",
+                          divergence_check=divergence_check)
              for index, sample in enumerate(samples)]
     wall_started = time.perf_counter()
     run = run_resilient_tasks(run_campaign_task, tasks, jobs=jobs,
@@ -215,6 +230,16 @@ def evaluate_corpus(samples: list[BenchmarkSample],
                 tables[tool].skip(sample.vuln_type,
                                   f"{tasks[index].sample_key}: "
                                   f"{error.get('message', 'failed')}")
+                continue
+            if scan.divergences:
+                # The sentinel tripped: the recorded trace and the
+                # symbolic replay disagree, so neither a positive nor
+                # a negative verdict can be credited to this campaign.
+                sample_key = tasks[index].sample_key
+                reason = f"{sample_key}: {scan.divergences[0]}"
+                tables[tool].mark_divergent(sample.vuln_type, reason)
+                run.quarantine.record_failure(
+                    sample_key, f"divergence: {scan.divergences[0]}")
                 continue
             tables[tool].record(sample.vuln_type, sample.label,
                                 scan.detected(sample.vuln_type))

@@ -167,6 +167,13 @@ class MetricsTable:
     in as "nothing detected" would silently skew recall — but listed
     in the formatted table with their failure reason, so a lossy run
     is visibly lossy.
+
+    Samples whose campaign tripped the concolic divergence sentinel
+    are *divergent*: also excluded from the confusion counts (the
+    observation log is untrustworthy, so neither the positive nor the
+    negative verdict can be credited), but reported as their own row
+    class because the failure mode — trace/replay disagreement — is
+    a different kind of loss than a crashed worker.
     """
 
     def __init__(self, tool: str, vuln_types: tuple[str, ...]):
@@ -174,6 +181,7 @@ class MetricsTable:
         self.per_type: dict[str, Confusion] = {t: Confusion()
                                                for t in vuln_types}
         self.skipped: dict[str, list[str]] = {}
+        self.divergent: dict[str, list[str]] = {}
 
     def record(self, vuln_type: str, label: bool, predicted: bool) -> None:
         self.per_type[vuln_type].record(label, predicted)
@@ -184,6 +192,13 @@ class MetricsTable:
 
     def skipped_count(self) -> int:
         return sum(len(reasons) for reasons in self.skipped.values())
+
+    def mark_divergent(self, vuln_type: str, reason: str) -> None:
+        """Report one sample whose campaign tripped the sentinel."""
+        self.divergent.setdefault(vuln_type, []).append(reason)
+
+    def divergent_count(self) -> int:
+        return sum(len(reasons) for reasons in self.divergent.values())
 
     def total(self) -> Confusion:
         out = Confusion()
@@ -203,5 +218,12 @@ class MetricsTable:
                          "(excluded from the counts above)")
             for vuln_type in sorted(self.skipped):
                 for reason in self.skipped[vuln_type]:
+                    lines.append(f"    {reason}")
+        if self.divergent:
+            lines.append(f"  divergent     {self.divergent_count()} "
+                         "(sentinel tripped; excluded from the counts "
+                         "above)")
+            for vuln_type in sorted(self.divergent):
+                for reason in self.divergent[vuln_type]:
                     lines.append(f"    {reason}")
         return "\n".join(lines)

@@ -48,6 +48,7 @@ class CampaignTask:
     address_pool: bool = False
     policy: ResiliencePolicy | None = None
     sample_key: str = ""      # human-readable sample id (fault scope)
+    divergence_check: bool = True  # concolic divergence sentinel
 
 
 @dataclass
@@ -85,12 +86,14 @@ def _tool_runner(tool: str, task: CampaignTask,
     """A zero-argument closure running one tool once."""
     def run():
         if tool == "wasai":
-            return harness.run_wasai(task.module, task.abi,
-                                     timeout_ms=task.timeout_ms,
-                                     rng_seed=task.rng_seed,
-                                     address_pool=task.address_pool,
-                                     timings=stage_seconds,
-                                     feedback=feedback).scan
+            return harness.run_wasai(
+                task.module, task.abi,
+                timeout_ms=task.timeout_ms,
+                rng_seed=task.rng_seed,
+                address_pool=task.address_pool,
+                timings=stage_seconds,
+                feedback=feedback,
+                divergence_check=task.divergence_check).scan
         if tool == "eosfuzzer":
             return harness.run_eosfuzzer(task.module, task.abi,
                                          timeout_ms=task.timeout_ms,

@@ -22,9 +22,10 @@ This package makes every corpus-scale pipeline survivable:
 """
 
 from .errors import (CampaignError, DEGRADABLE_STAGES, DeployError,
-                     FuzzError, InstrumentError, STAGES, ScanError,
-                     SolverError, SymbackError, TaskTimeout, TrapStorm,
-                     WorkerCrash, task_result_error)
+                     DivergenceError, FuzzError, InstrumentError,
+                     MalformedModule, STAGES, ScanError, SolverError,
+                     SymbackError, TaskTimeout, TrapStorm, WorkerCrash,
+                     task_result_error)
 from .faultinject import (Fault, FaultPlan, clear_fault_plan,
                           fault_plan, fault_scope, inject,
                           install_fault_plan, set_fault_scope)
@@ -34,10 +35,10 @@ from .policy import Quarantine, ResiliencePolicy, run_with_retry
 from .runner import ResilientRun, run_resilient_tasks
 
 __all__ = [
-    "CampaignError", "InstrumentError", "DeployError", "FuzzError",
-    "TrapStorm", "SymbackError", "SolverError", "ScanError",
-    "TaskTimeout", "WorkerCrash", "STAGES", "DEGRADABLE_STAGES",
-    "task_result_error",
+    "CampaignError", "MalformedModule", "InstrumentError", "DeployError",
+    "FuzzError", "TrapStorm", "SymbackError", "SolverError",
+    "DivergenceError", "ScanError", "TaskTimeout", "WorkerCrash",
+    "STAGES", "DEGRADABLE_STAGES", "task_result_error",
     "Fault", "FaultPlan", "install_fault_plan", "clear_fault_plan",
     "fault_plan", "set_fault_scope", "fault_scope", "inject",
     "CampaignJournal", "campaign_task_key", "campaign_result_to_doc",

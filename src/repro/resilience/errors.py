@@ -19,15 +19,20 @@ from __future__ import annotations
 import traceback as _tb
 
 __all__ = [
-    "CampaignError", "InstrumentError", "DeployError", "FuzzError",
-    "TrapStorm", "SymbackError", "SolverError", "ScanError",
-    "TaskTimeout", "WorkerCrash", "STAGES", "DEGRADABLE_STAGES",
-    "task_result_error",
+    "CampaignError", "MalformedModule", "InstrumentError", "DeployError",
+    "FuzzError", "TrapStorm", "SymbackError", "SolverError",
+    "DivergenceError", "ScanError", "TaskTimeout", "WorkerCrash",
+    "STAGES", "DEGRADABLE_STAGES", "task_result_error",
 ]
 
 # Pipeline stages, in execution order, plus the executor envelope.
-STAGES = ("instrument", "deploy", "fuzz", "symback", "solve", "scan",
-          "task")
+# ``ingest`` precedes instrumentation: it is where untrusted bytes are
+# parsed and validated under budget.  ``divergence`` is raised out of
+# symbolic replay but is policed separately from ``symback`` because it
+# must never be degraded away (a diverged replay means the *oracles*
+# would lie, not that replay is merely unavailable).
+STAGES = ("ingest", "instrument", "deploy", "fuzz", "symback", "solve",
+          "divergence", "scan", "task")
 
 # Stages whose failure leaves the black-box mutation loop intact: a
 # campaign that cannot replay or solve can still fuzz (ConFuzzius-style
@@ -84,10 +89,17 @@ class CampaignError(Exception):
     @staticmethod
     def from_doc(doc: dict) -> "CampaignError":
         cls = _REGISTRY.get(doc.get("type", ""), CampaignError)
-        return cls(doc.get("message", ""), stage=doc.get("stage"),
-                   sample_id=doc.get("sample_id"),
-                   retryable=doc.get("retryable"),
-                   traceback_str=doc.get("traceback"))
+        error = cls(doc.get("message", ""), stage=doc.get("stage"),
+                    sample_id=doc.get("sample_id"),
+                    retryable=doc.get("retryable"),
+                    traceback_str=doc.get("traceback"))
+        # Subclass payload fields (offset/section, pc/opcode, ...)
+        # round-trip without each subclass writing its own from_doc.
+        for extra in ("offset", "section", "func_index", "pc", "opcode",
+                      "shadow", "traced", "elapsed_s", "exitcode"):
+            if extra in doc and hasattr(error, extra):
+                setattr(error, extra, doc[extra])
+        return error
 
     def __str__(self) -> str:
         base = super().__str__()
@@ -95,6 +107,44 @@ class CampaignError(Exception):
         if self.sample_id:
             where += f" {self.sample_id}"
         return f"{where}] {base}"
+
+
+class MalformedModule(CampaignError):
+    """Untrusted bytes were rejected during sandboxed ingestion.
+
+    Raised by :func:`repro.wasm.hardening.load_untrusted_module` for
+    every way a hostile binary can fail to become a budgeted, validated
+    :class:`~repro.wasm.module.Module`: parse errors, budget
+    violations, validation failures, and any raw Python exception
+    (``IndexError``, ``RecursionError``, ``MemoryError``, ...) escaping
+    those layers.  Never retryable — the bytes will not improve.
+    ``offset`` is the absolute byte offset of the defect when known;
+    ``section`` names the section being decoded.
+    """
+
+    stage = "ingest"
+    retryable = False
+
+    def __init__(self, message: str = "", *, offset: int | None = None,
+                 section: str | None = None, **kwargs):
+        super().__init__(message, **kwargs)
+        self.offset = offset
+        self.section = section
+
+    def to_doc(self) -> dict:
+        doc = super().to_doc()
+        doc["offset"] = self.offset
+        doc["section"] = self.section
+        return doc
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        context = []
+        if self.section is not None:
+            context.append(f"section={self.section}")
+        if self.offset is not None:
+            context.append(f"byte={self.offset}")
+        return f"{base} ({', '.join(context)})" if context else base
 
 
 class InstrumentError(CampaignError):
@@ -129,6 +179,52 @@ class SolverError(CampaignError):
     """The constraint solver failed; black-box fuzzing still works."""
 
     stage = "solve"
+
+
+class DivergenceError(CampaignError):
+    """Symbolic replay's concrete shadow disagreed with the trace.
+
+    The divergence sentinel cross-checks fully-concrete symbolic
+    values against the recorded concrete operands at branch, memory-op
+    and host-call checkpoints.  A mismatch means the symbolic machine
+    is no longer simulating the execution the interpreter actually
+    ran, so every oracle verdict derived from that trace would be
+    unsound.  The trace is quarantined, never degraded to black-box
+    (``divergence`` is deliberately absent from
+    :data:`DEGRADABLE_STAGES`) and never retried.  ``func_index`` /
+    ``pc`` / ``opcode`` locate the first diverging checkpoint;
+    ``shadow`` / ``traced`` are the disagreeing concrete values.
+    """
+
+    stage = "divergence"
+    retryable = False
+
+    def __init__(self, message: str = "", *, func_index: int | None = None,
+                 pc: int | None = None, opcode: str | None = None,
+                 shadow: int | None = None, traced: int | None = None,
+                 **kwargs):
+        super().__init__(message, **kwargs)
+        self.func_index = func_index
+        self.pc = pc
+        self.opcode = opcode
+        self.shadow = shadow
+        self.traced = traced
+
+    def to_doc(self) -> dict:
+        doc = super().to_doc()
+        doc["func_index"] = self.func_index
+        doc["pc"] = self.pc
+        doc["opcode"] = self.opcode
+        doc["shadow"] = self.shadow
+        doc["traced"] = self.traced
+        return doc
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.opcode is not None:
+            base += (f" at func {self.func_index} pc {self.pc} "
+                     f"({self.opcode})")
+        return base
 
 
 class ScanError(CampaignError):
@@ -172,8 +268,9 @@ class WorkerCrash(CampaignError):
 
 
 _REGISTRY = {cls.__name__: cls for cls in (
-    CampaignError, InstrumentError, DeployError, FuzzError, TrapStorm,
-    SymbackError, SolverError, ScanError, TaskTimeout, WorkerCrash)}
+    CampaignError, MalformedModule, InstrumentError, DeployError,
+    FuzzError, TrapStorm, SymbackError, SolverError, DivergenceError,
+    ScanError, TaskTimeout, WorkerCrash)}
 
 
 def task_result_error(result) -> CampaignError | None:

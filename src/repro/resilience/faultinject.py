@@ -29,26 +29,31 @@ import os
 import time
 from dataclasses import dataclass
 
-from .errors import (CampaignError, DeployError, FuzzError,
-                     InstrumentError, ScanError, SolverError,
-                     SymbackError, TrapStorm)
+from .errors import (CampaignError, DeployError, DivergenceError,
+                     FuzzError, InstrumentError, MalformedModule,
+                     ScanError, SolverError, SymbackError, TrapStorm)
 
 __all__ = ["Fault", "FaultPlan", "install_fault_plan",
            "clear_fault_plan", "fault_plan", "set_fault_scope",
-           "fault_scope", "inject"]
+           "fault_scope", "inject", "should_corrupt"]
 
 _STAGE_ERRORS = {
+    "ingest": MalformedModule,
     "instrument": InstrumentError,
     "deploy": DeployError,
     "fuzz": FuzzError,
     "symback": SymbackError,
     "solve": SolverError,
+    "divergence": DivergenceError,
     "scan": ScanError,
     "trap": TrapStorm,
 }
 
+# "corrupt" is acted on by data-plane chokepoints (should_corrupt),
+# not by inject(): the caller flips recorded data instead of raising,
+# so the seeded defect travels the same path a real divergence would.
 FAULT_KINDS = ("error", "transient", "trap_storm", "hang", "crash",
-               "abort", "count")
+               "abort", "count", "corrupt")
 
 
 @dataclass(frozen=True)
@@ -143,13 +148,28 @@ class fault_scope:
         return False
 
 
+def should_corrupt(stage: str) -> bool:
+    """Data-plane chokepoint: should the caller corrupt its payload?
+
+    Used to seed trace corruption for divergence-sentinel tests: the
+    fuzzer asks before decoding each recorded trace and, when a
+    ``kind="corrupt"`` fault matches, flips recorded operands so the
+    sentinel has a real mismatch to catch.
+    """
+    plan = _PLAN
+    if plan is None:
+        return False
+    fault = plan.fire(stage, _SCOPE)
+    return fault is not None and fault.kind == "corrupt"
+
+
 def inject(stage: str) -> None:
     """Pipeline chokepoint: act on the installed plan, if any."""
     plan = _PLAN
     if plan is None:
         return
     fault = plan.fire(stage, _SCOPE)
-    if fault is None or fault.kind == "count":
+    if fault is None or fault.kind in ("count", "corrupt"):
         return
     if fault.kind == "hang":
         time.sleep(fault.hang_s)

@@ -74,6 +74,7 @@ def campaign_task_key(task) -> str:
         f"{task.timeout_ms:g}",
         str(task.rng_seed),
         str(bool(task.address_pool)),
+        str(bool(getattr(task, "divergence_check", True))),
     ))
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
@@ -81,7 +82,7 @@ def campaign_task_key(task) -> str:
 # -- CampaignResult <-> JSON -------------------------------------------------
 
 def _scan_to_doc(scan) -> dict:
-    return {
+    doc = {
         "account": scan.target_account,
         "findings": {
             vuln_type: {"detected": finding.detected,
@@ -89,11 +90,15 @@ def _scan_to_doc(scan) -> dict:
             for vuln_type, finding in scan.findings.items()
         },
     }
+    if scan.divergences:
+        doc["divergences"] = list(scan.divergences)
+    return doc
 
 
 def _scan_from_doc(doc: dict):
     from ..scanner.detectors import ScanResult, VulnerabilityFinding
     scan = ScanResult(target_account=doc["account"])
+    scan.divergences = list(doc.get("divergences", ()))
     for vuln_type, finding in doc.get("findings", {}).items():
         scan.findings[vuln_type] = VulnerabilityFinding(
             vuln_type, bool(finding.get("detected")),

@@ -35,10 +35,18 @@ class VulnerabilityFinding:
 
 @dataclass
 class ScanResult:
-    """vul(τ⃗) for the five oracles, plus the exploit evidence."""
+    """vul(τ⃗) for the five oracles, plus the exploit evidence.
+
+    ``divergences`` carries the campaign's divergence-sentinel alarms
+    (concrete shadow state disagreeing with the recorded trace).  A
+    non-empty list means the observation log is not trustworthy; the
+    corpus harness reports such samples as their own row class instead
+    of folding the findings into the confusion counts.
+    """
 
     target_account: int
     findings: dict[str, VulnerabilityFinding] = field(default_factory=dict)
+    divergences: list[str] = field(default_factory=list)
 
     def detected(self, vuln_type: str) -> bool:
         finding = self.findings.get(vuln_type)
@@ -73,6 +81,7 @@ def scan_report(report: "FuzzReport", target,
     """Run the five built-in detectors (plus any extras) over a
     finished campaign."""
     result = ScanResult(target_account=report.target_account)
+    result.divergences = list(getattr(report, "divergences", ()))
     eosponser_id = _resolve_eosponser(report, target)
     result.findings["fake_eos"] = _detect_fake_eos(report, eosponser_id)
     result.findings["fake_notif"] = _detect_fake_notif(report, target,

@@ -31,6 +31,13 @@ def format_report(result: ScanResult) -> str:
         lines.append(f"  [{status:>10}] {title}")
         if finding.evidence:
             lines.append(f"               {finding.evidence}")
+    if result.divergences:
+        lines.append(f"  [{'DIVERGENT':>10}] concolic divergence sentinel "
+                     f"({len(result.divergences)} alarms)")
+        for alarm in result.divergences:
+            lines.append(f"               {alarm}")
+        lines.append("  The observation log disagrees with the symbolic "
+                     "replay; findings above are unreliable.")
     verdict = ("VULNERABLE" if result.is_vulnerable()
                else "no issues found")
     lines.append(f"Overall: {verdict}")
@@ -42,6 +49,7 @@ def report_to_json(result: ScanResult) -> str:
     doc = {
         "account": name_to_string(result.target_account),
         "vulnerable": result.is_vulnerable(),
+        "divergences": list(result.divergences),
         "findings": {
             vuln_type: {
                 "detected": finding.detected,

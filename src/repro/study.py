@@ -29,6 +29,9 @@ class WildStudyResult:
     # Contracts with no usable scan (crash/timeout/quarantine), as
     # (sample key, reason) — reported, never silently dropped.
     skipped: list[tuple[str, str]] = field(default_factory=list)
+    # Contracts whose campaign tripped the divergence sentinel, as
+    # (sample key, first alarm) — their findings are not counted.
+    divergent: list[tuple[str, str]] = field(default_factory=list)
 
     # -- aggregates --------------------------------------------------------
     @property
@@ -102,6 +105,7 @@ def run_wild_study(scale: float = 0.05, timeout_ms: float = 20_000.0,
     wall_s = time.perf_counter() - wall_started
     scans = []
     skipped: list[tuple[str, str]] = []
+    divergent: list[tuple[str, str]] = []
     for index, (entry, result) in enumerate(zip(corpus, run.results)):
         reason = run.skip_reason(index)
         if reason is None and result.value.scans.get("wasai") is None:
@@ -111,7 +115,15 @@ def run_wild_study(scale: float = 0.05, timeout_ms: float = 20_000.0,
             skipped.append((tasks[index].sample_key, reason))
             scans.append((entry, ScanResult(target_account=0)))
             continue
-        scans.append((entry, result.value.scans["wasai"]))
+        scan = result.value.scans["wasai"]
+        if scan.divergences:
+            # Untrustworthy trace: contribute an empty scan so the
+            # aggregate fractions stay conservative, and report it.
+            divergent.append((tasks[index].sample_key,
+                              scan.divergences[0]))
+            scans.append((entry, ScanResult(target_account=0)))
+            continue
+        scans.append((entry, scan))
     if perf is not None:
         perf.jobs = jobs
         perf.wall_s += wall_s
@@ -128,7 +140,8 @@ def run_wild_study(scale: float = 0.05, timeout_ms: float = 20_000.0,
                                   result.value.instr_cache_misses,
                                   result.value.solver_cache_hits,
                                   result.value.solver_cache_misses)
-    return WildStudyResult(len(corpus), scans, skipped=skipped)
+    return WildStudyResult(len(corpus), scans, skipped=skipped,
+                           divergent=divergent)
 
 
 def format_wild_study(result: WildStudyResult) -> str:
@@ -152,5 +165,10 @@ def format_wild_study(result: WildStudyResult) -> str:
         lines.append(f"  skipped (failed campaigns): "
                      f"{len(result.skipped)}")
         for key, reason in result.skipped:
+            lines.append(f"    {key}: {reason}")
+    if result.divergent:
+        lines.append(f"  divergent (sentinel tripped): "
+                     f"{len(result.divergent)}")
+        for key, reason in result.divergent:
             lines.append(f"    {key}: {reason}")
     return "\n".join(lines)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from ..smt import BitVecVal, Term
 from .memory import SymbolicMemory
 
-__all__ = ["MachineState", "Frame", "as_term"]
+__all__ = ["MachineState", "Frame", "as_term", "concrete_value"]
 
 
 def as_term(value: "Term | int", width: int) -> Term:
@@ -20,6 +20,25 @@ def as_term(value: "Term | int", width: int) -> Term:
     if isinstance(value, Term):
         return value
     return BitVecVal(int(value), width)
+
+
+def concrete_value(value) -> int | None:
+    """The concrete integer behind a machine value, or None.
+
+    Constant terms *are* the simulator's concrete shadow state: the
+    SMT layer constant-folds, so any value whose data flow never
+    touched a symbolic input stays a constant term.  The divergence
+    sentinel uses this to compare the shadow against the recorded
+    trace; a None (genuinely symbolic value) means there is nothing
+    concrete to cross-check at that checkpoint.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, Term) and not value.is_bool() and value.is_const():
+        return value.const_value()
+    return None
 
 
 class Frame:

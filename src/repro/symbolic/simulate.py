@@ -23,7 +23,8 @@ from dataclasses import dataclass, field
 from ..instrument.hooks import HookEvent
 from ..instrument.instrumenter import Site, SiteTable
 from ..resilience import faultinject
-from ..resilience.errors import CampaignError, SymbackError
+from ..resilience.errors import (CampaignError, DivergenceError,
+                                 SymbackError)
 from ..smt import (BitVec, BitVecVal, Clz, Concat, Ctz, Eq, Extract, Ite, Ne,
                    Not, Popcnt, Rotl, Rotr, SDiv, SGE, SGT, SLE, SLT, SRem,
                    SignExt, Term, UDiv, UGE, UGT, ULE, ULT, URem, ZeroExt,
@@ -31,7 +32,7 @@ from ..smt import (BitVec, BitVecVal, Clz, Concat, Ctz, Eq, Extract, Ite, Ne,
 from ..wasm.module import Module
 from ..wasm.opcodes import Instr, is_load, is_store, memory_access_size
 from .calling import SeedLayout
-from .machine import Frame, MachineState
+from .machine import Frame, MachineState, concrete_value
 
 __all__ = ["BranchRecord", "ReplayResult", "replay_action",
            "locate_action_call", "branch_coverage_ids"]
@@ -64,6 +65,7 @@ class ReplayResult:
     state: MachineState | None = None
     reached_action: bool = False
     error: str | None = None
+    checkpoints: int = 0      # sentinel cross-checks that passed
 
 
 def locate_action_call(events: list[HookEvent], sites: SiteTable,
@@ -98,13 +100,21 @@ def locate_action_call(events: list[HookEvent], sites: SiteTable,
 def replay_action(module: Module, sites: SiteTable,
                   events: list[HookEvent], layout: SeedLayout,
                   apply_index: int,
-                  import_names: dict[int, str] | None = None) -> ReplayResult:
+                  import_names: dict[int, str] | None = None,
+                  divergence_check: bool = True) -> ReplayResult:
     """Symbolically replay the action-function window of a trace.
 
     A malformed trace window aborts only this replay (recorded in
     ``ReplayResult.error``); an unexpected simulator bug surfaces as a
     typed :class:`~repro.resilience.SymbackError` so the fuzzing loop
     can contain it and degrade to black-box mode.
+
+    With ``divergence_check`` (the default) the divergence sentinel
+    cross-checks the machine's concrete shadow state — constant terms,
+    which the SMT layer folds eagerly — against the recorded concrete
+    operands at branch, memory-op and host-call checkpoints, raising a
+    typed :class:`~repro.resilience.DivergenceError` on the first
+    mismatch instead of letting the oracles consume an unsound replay.
     """
     faultinject.inject("symback")
     result = ReplayResult(layout=layout)
@@ -123,7 +133,8 @@ def replay_action(module: Module, sites: SiteTable,
                               state.memory)
     _extend_declared_locals(module, action_func, frame)
     state.frames.append(frame)
-    replayer = _Replayer(module, sites, state, result, import_names)
+    replayer = _Replayer(module, sites, state, result, import_names,
+                         divergence_check=divergence_check)
     for event in events[begin_index + 1:]:
         try:
             done = replayer.step(event)
@@ -173,7 +184,8 @@ class _PendingCall:
 class _Replayer:
     def __init__(self, module: Module, sites: SiteTable,
                  state: MachineState, result: ReplayResult,
-                 import_names: dict[int, str]):
+                 import_names: dict[int, str],
+                 divergence_check: bool = True):
         self.module = module
         self.sites = sites
         self.state = state
@@ -182,6 +194,37 @@ class _Replayer:
         self.import_count = module.num_imported_functions
         self.pending: list[_PendingCall] = []
         self.base_depth = 1  # the action function's frame
+        self.divergence_check = divergence_check
+
+    # -- the divergence sentinel ---------------------------------------------
+    def _shadow_check(self, site: Site, value, traced, *,
+                      as_bool: bool = False, what: str = "value") -> None:
+        """Cross-check a concrete shadow value against the trace.
+
+        ``value`` is the symbolic machine's view (a term or int); when
+        it is fully concrete it *must* equal the concrete operand the
+        interpreter recorded at the same point — anything else means
+        the simulation has drifted off the executed path and every
+        later oracle verdict would be unsound.
+        """
+        if not self.divergence_check or not isinstance(traced, int):
+            return
+        shadow = concrete_value(value)
+        if shadow is None:
+            return  # genuinely symbolic: nothing concrete to compare
+        if as_bool:
+            mismatch = bool(shadow) != bool(traced)
+        else:
+            width = value.width if isinstance(value, Term) else 64
+            mask = (1 << width) - 1
+            mismatch = (shadow & mask) != (traced & mask)
+        if mismatch:
+            raise DivergenceError(
+                f"concrete shadow {shadow} disagrees with traced "
+                f"{traced} for {what}", func_index=site.func_index,
+                pc=site.pc, opcode=site.instr.op, shadow=int(shadow),
+                traced=int(traced))
+        self.result.checkpoints += 1
 
     # -- event dispatch ------------------------------------------------------
     def step(self, event: HookEvent) -> bool:
@@ -277,6 +320,12 @@ class _Replayer:
 
     def _on_import_call(self, site: Site, name: str, args: list,
                         operands: tuple) -> None:
+        # Host-call arguments are the densest concrete checkpoints:
+        # the interpreter recorded the exact values it passed, so any
+        # constant-term argument must match position for position.
+        for position, (arg, traced) in enumerate(zip(args, operands)):
+            self._shadow_check(site, arg, traced,
+                               what=f"{name} argument {position}")
         if name == "eosio_assert":
             condition = _as_bool(args[0])
             passed = bool(operands[0])
@@ -342,14 +391,20 @@ class _Replayer:
 
     def _h_br_if(self, site, instr, operands, frame):
         condition = frame.pop()
+        self._shadow_check(site, condition, operands[-1], as_bool=True,
+                           what="br_if condition")
         self._record_branch(site, "br_if", condition, bool(operands[-1]))
 
     def _h_if(self, site, instr, operands, frame):
         condition = frame.pop()
+        self._shadow_check(site, condition, operands[-1], as_bool=True,
+                           what="if condition")
         self._record_branch(site, "if", condition, bool(operands[-1]))
 
     def _h_br_table(self, site, instr, operands, frame):
         index = frame.pop()
+        self._shadow_check(site, index, operands[-1],
+                           what="br_table index")
         taken = int(operands[-1])
         position = len(self.result.path)
         constraint = Eq(_fit(index, 32), BitVecVal(taken, 32))
@@ -379,7 +434,9 @@ class _Replayer:
 
     # -- memory (Δ.load / Δ.store, §3.4.1) ------------------------------------------------
     def _h_load(self, site, instr, operands, frame):
-        frame.pop()  # the symbolic address expression
+        address_expr = frame.pop()  # the symbolic address expression
+        self._shadow_check(site, address_expr, operands[0],
+                           what="load address")
         address = int(operands[0]) + instr.args[1]  # concrete + offset
         size = memory_access_size(instr.op)
         value = self.state.memory.load(address, size)
@@ -387,7 +444,12 @@ class _Replayer:
 
     def _h_store(self, site, instr, operands, frame):
         value = frame.pop()
-        frame.pop()  # address expression
+        address_expr = frame.pop()  # address expression
+        self._shadow_check(site, address_expr, operands[0],
+                           what="store address")
+        if instr.op.startswith(("i32", "i64")):
+            self._shadow_check(site, value, operands[1],
+                               what="store value")
         address = int(operands[0]) + instr.args[1]
         size = memory_access_size(instr.op)
         if isinstance(value, Term):

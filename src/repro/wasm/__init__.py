@@ -9,10 +9,14 @@ the paper's artifact depends on.
 
 from .builder import FunctionBuilder, ModuleBuilder
 from .encoder import encode_module
+from .hardening import (DEFAULT_BUDGET, IngestBudget,
+                        load_untrusted_module)
 from .interpreter import (ExecutionLimits, HostFunc, Instance, Trap,
-                          TrapIndirectCall, TrapIntegerDivide,
-                          TrapIntegerOverflow, TrapMemoryOutOfBounds,
-                          TrapOutOfFuel, TrapStackOverflow, TrapUnreachable)
+                          TrapDeadline, TrapIndirectCall,
+                          TrapIntegerDivide, TrapIntegerOverflow,
+                          TrapMemoryOutOfBounds, TrapOutOfFuel,
+                          TrapResourceLimit, TrapStackOverflow,
+                          TrapUnreachable)
 from .module import (DataSegment, Element, Export, Function, Global, Import,
                      Module, PAGE_SIZE)
 from .opcodes import (Instr, MEMORY_INSTRUCTIONS, is_load, is_store,
@@ -25,9 +29,12 @@ from .validation import (InstructionTyping, ValidationError, type_function,
 
 __all__ = [
     "FunctionBuilder", "ModuleBuilder", "encode_module", "ExecutionLimits",
-    "HostFunc", "Instance", "Trap", "TrapIndirectCall", "TrapIntegerDivide",
+    "HostFunc", "DEFAULT_BUDGET", "IngestBudget", "Instance",
+    "load_untrusted_module",
+    "Trap", "TrapDeadline", "TrapIndirectCall", "TrapIntegerDivide",
     "TrapIntegerOverflow", "TrapMemoryOutOfBounds", "TrapOutOfFuel",
-    "TrapStackOverflow", "TrapUnreachable", "DataSegment", "Element",
+    "TrapResourceLimit", "TrapStackOverflow", "TrapUnreachable",
+    "DataSegment", "Element",
     "Export", "Function", "Global", "Import", "Module", "PAGE_SIZE", "Instr",
     "MEMORY_INSTRUCTIONS", "is_load", "is_store", "memory_access_size",
     "ParseError", "parse_module", "F32", "F64", "FuncType", "GlobalType",

@@ -1,0 +1,131 @@
+"""Sandboxed ingestion of untrusted Wasm binaries.
+
+RQ4-scale wild studies feed the pipeline thousands of adversarial,
+possibly malformed contracts scraped from chain; at that scale the
+analyzer itself is the attack surface.  :func:`load_untrusted_module`
+is the single entry point through which untrusted bytes become a
+:class:`~repro.wasm.module.Module`: it enforces the
+:class:`IngestBudget` ceilings (byte size, section/function/local
+counts, declared memory and table minimums) and converts *every*
+exception escaping parse or validation — typed :class:`ParseError` /
+:class:`ValidationError` as well as raw ``IndexError`` /
+``RecursionError`` / ``MemoryError`` / ``OverflowError`` / bare
+``ValueError`` — into a :class:`repro.resilience.MalformedModule`
+diagnostic carrying the byte offset and section context, feeding the
+campaign taxonomy as the non-retryable ``ingest`` stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..resilience.errors import MalformedModule
+from ..resilience.faultinject import inject as _inject_fault
+from .leb128 import ParseError
+from .module import Module
+from .parser import parse_module
+from .validation import ValidationError, validate_module
+
+__all__ = ["IngestBudget", "load_untrusted_module"]
+
+
+@dataclass(frozen=True)
+class IngestBudget:
+    """Structural ceilings applied while ingesting untrusted bytes.
+
+    Every field may be None to disable that bound.  The defaults are
+    far above anything the generated corpus or real EOSIO contracts
+    exhibit, but far below anything that could pressure host RAM.
+    """
+
+    max_module_bytes: int | None = 8 * 1024 * 1024
+    max_types: int | None = 10_000
+    max_imports: int | None = 10_000
+    max_functions: int | None = 20_000
+    max_locals_per_function: int | None = 50_000
+    max_exports: int | None = 10_000
+    max_elements: int | None = 100_000
+    max_data_bytes: int | None = 4 * 1024 * 1024
+    max_memory_pages: int | None = 1024
+    max_table_entries: int | None = 65_536
+    validate: bool = True
+
+
+DEFAULT_BUDGET = IngestBudget()
+
+
+def load_untrusted_module(data: bytes,
+                          budget: IngestBudget | None = None,
+                          sample_id: str | None = None) -> Module:
+    """Parse and validate untrusted bytes under budget.
+
+    Returns the validated :class:`Module` or raises
+    :class:`~repro.resilience.errors.MalformedModule`; no other
+    exception type escapes, whatever the input bytes are.
+    """
+    budget = budget or DEFAULT_BUDGET
+    _inject_fault("ingest")
+    if budget.max_module_bytes is not None \
+            and len(data) > budget.max_module_bytes:
+        raise MalformedModule(
+            f"module is {len(data)} bytes, budget is "
+            f"{budget.max_module_bytes}", sample_id=sample_id)
+    try:
+        module = parse_module(bytes(data), budget=budget)
+    except ParseError as exc:
+        raise MalformedModule(f"parse: {_bare_message(exc)}",
+                              offset=exc.offset, section=exc.section,
+                              sample_id=sample_id) from exc
+    except MalformedModule:
+        raise
+    except Exception as exc:  # noqa: BLE001 — the sandbox boundary
+        raise MalformedModule(
+            f"parse: unhandled {type(exc).__name__}: {exc}",
+            sample_id=sample_id) from exc
+    _check_declared_resources(module, budget, sample_id)
+    if budget.validate:
+        try:
+            validate_module(module)
+        except ValidationError as exc:
+            raise MalformedModule(f"validation: {exc}",
+                                  sample_id=sample_id) from exc
+        except Exception as exc:  # noqa: BLE001 — the sandbox boundary
+            raise MalformedModule(
+                f"validation: unhandled {type(exc).__name__}: {exc}",
+                sample_id=sample_id) from exc
+    return module
+
+
+def _bare_message(exc: ParseError) -> str:
+    # ParseError.__str__ appends the section/offset context; the
+    # MalformedModule wrapper re-adds it from its own fields.
+    return ValueError.__str__(exc)
+
+
+def _check_declared_resources(module: Module, budget: IngestBudget,
+                              sample_id: str | None) -> None:
+    """Budget the resources a module *declares* (vs. what it parses
+    into): memory/table minimums are pre-allocated at instantiation
+    and data segments are materialised bytes, so both are part of the
+    ingestion attack surface."""
+    if budget.max_memory_pages is not None:
+        for memtype in module.memories:
+            if memtype.limits.minimum > budget.max_memory_pages:
+                raise MalformedModule(
+                    f"declared memory minimum {memtype.limits.minimum} "
+                    f"pages exceeds budget {budget.max_memory_pages}",
+                    section="memory", sample_id=sample_id)
+    if budget.max_table_entries is not None:
+        for tabletype in module.tables:
+            if tabletype.limits.minimum > budget.max_table_entries:
+                raise MalformedModule(
+                    f"declared table minimum {tabletype.limits.minimum} "
+                    f"exceeds budget {budget.max_table_entries}",
+                    section="table", sample_id=sample_id)
+    if budget.max_data_bytes is not None:
+        total = sum(len(seg.data) for seg in module.data_segments)
+        if total > budget.max_data_bytes:
+            raise MalformedModule(
+                f"data segments total {total} bytes, budget is "
+                f"{budget.max_data_bytes}", section="data",
+                sample_id=sample_id)

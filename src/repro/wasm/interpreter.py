@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 import struct
+import time as _time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -25,7 +26,7 @@ from .types import F32, F64, FuncType, I32, I64, ValType
 __all__ = ["Instance", "HostFunc", "Trap", "TrapUnreachable",
            "TrapIntegerDivide", "TrapMemoryOutOfBounds", "TrapStackOverflow",
            "TrapOutOfFuel", "TrapIndirectCall", "TrapIntegerOverflow",
-           "ExecutionLimits"]
+           "TrapResourceLimit", "TrapDeadline", "ExecutionLimits"]
 
 MASK32 = 0xFFFFFFFF
 MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -63,6 +64,16 @@ class TrapIndirectCall(Trap):
     pass
 
 
+class TrapResourceLimit(Trap):
+    """A hard host-resource budget (memory pages, table entries, trace
+    length) was hit; the metered execution traps deterministically
+    instead of exhausting host RAM."""
+
+
+class TrapDeadline(Trap):
+    """The per-invocation wall-clock deadline expired."""
+
+
 @dataclass
 class HostFunc:
     """A host-provided import: its Wasm signature and implementation.
@@ -78,10 +89,24 @@ class HostFunc:
 @dataclass
 class ExecutionLimits:
     """Deterministic execution bounds standing in for EOSVM's CPU
-    metering.  ``fuel`` counts executed instructions."""
+    metering.  ``fuel`` counts executed instructions.
+
+    The remaining fields meter host resources against hostile
+    contracts: ``max_memory_pages`` caps linear memory (instantiation
+    and ``memory.grow``) even when the module declares no maximum,
+    ``max_table_entries`` caps the funcref table, the trace budgets
+    bound the instrumentation trace a single execution may emit, and
+    ``deadline_s`` is a real wall-clock ceiling per top-level
+    invocation.  Each may be None to disable that bound; every
+    violation raises a deterministic :class:`Trap` subclass."""
 
     fuel: int = 5_000_000
     call_depth: int = 250
+    max_memory_pages: int | None = 1024
+    max_table_entries: int | None = 65_536
+    max_trace_events: int | None = 1_000_000
+    max_trace_bytes: int | None = 64 * 1024 * 1024
+    deadline_s: float | None = None
 
 
 class _ControlEntry:
@@ -135,6 +160,7 @@ class Instance:
         self.fuel = self.limits.fuel
         self.host_imports = host_imports or {}
         self._call_depth = 0
+        self._deadline: float | None = None
         # Resolve imported functions in index order.
         self._imported: list[HostFunc] = []
         for imp in module.imports:
@@ -150,24 +176,43 @@ class Instance:
                     f"import {imp.module}.{imp.name} signature mismatch: "
                     f"declared {declared}, host {host.func_type}")
             self._imported.append(host)
-        # Memory.
+        # Memory.  The declared minimum is pre-allocated, so it must be
+        # metered here — a crafted module can declare 4 GiB up front.
         self.memory = bytearray()
         self.memory_max_pages: int | None = None
         if module.memories:
             memtype = module.memories[0]
-            self.memory = bytearray(memtype.limits.minimum * PAGE_SIZE)
+            minimum = memtype.limits.minimum
+            page_cap = self.limits.max_memory_pages
+            if page_cap is not None and minimum > page_cap:
+                raise TrapResourceLimit(
+                    f"declared memory minimum {minimum} pages exceeds "
+                    f"the {page_cap}-page execution limit")
+            self.memory = bytearray(minimum * PAGE_SIZE)
             self.memory_max_pages = memtype.limits.maximum
         # Globals.
         self.globals: list = []
         for glob in module.globals:
             self.globals.append(self._eval_const_expr(glob.init))
-        # Table.
+        # Table.  Both the declared minimum and element-driven growth
+        # are metered: a single element segment at a huge offset would
+        # otherwise allocate gigabytes of None slots.
         self.table: list[int | None] = []
+        table_cap = self.limits.max_table_entries
         if module.tables:
-            self.table = [None] * module.tables[0].limits.minimum
+            minimum = module.tables[0].limits.minimum
+            if table_cap is not None and minimum > table_cap:
+                raise TrapResourceLimit(
+                    f"declared table minimum {minimum} exceeds the "
+                    f"{table_cap}-entry execution limit")
+            self.table = [None] * minimum
         for elem in module.elements:
             offset = self._eval_const_expr(elem.offset)
             end = offset + len(elem.func_indices)
+            if offset < 0 or (table_cap is not None and end > table_cap):
+                raise TrapResourceLimit(
+                    f"element segment [{offset}, {end}) exceeds the "
+                    f"{table_cap}-entry execution limit")
             if end > len(self.table):
                 self.table.extend([None] * (end - len(self.table)))
             for i, func_index in enumerate(elem.func_indices):
@@ -193,6 +238,8 @@ class Instance:
 
     def invoke_index(self, func_index: int, args: list) -> list:
         """Call a function by index (import-space indexing)."""
+        if self._call_depth == 0 and self.limits.deadline_s is not None:
+            self._deadline = _time.monotonic() + self.limits.deadline_s
         if self.module.is_imported_function(func_index):
             host = self._imported[func_index]
             results = host.impl(self, list(args))
@@ -273,6 +320,11 @@ class Instance:
             if self.fuel <= 0:
                 raise TrapOutOfFuel("instruction budget exhausted")
             self.fuel -= 1
+            if self._deadline is not None and (self.fuel & 2047) == 0 \
+                    and _time.monotonic() > self._deadline:
+                raise TrapDeadline(
+                    f"wall-clock deadline of {self.limits.deadline_s}s "
+                    "expired")
             instr = body[pc]
             op = instr.op
             # -- control flow ---------------------------------------------
@@ -496,10 +548,18 @@ def _memory_size(inst, instr, stack, locals_list):
 
 @_op("memory.grow")
 def _memory_grow(inst, instr, stack, locals_list):
-    delta = stack.pop()
+    delta = stack.pop() & MASK32
     old_pages = len(inst.memory) // PAGE_SIZE
     new_pages = old_pages + delta
-    if inst.memory_max_pages is not None and new_pages > inst.memory_max_pages:
+    # Effective cap: the declared maximum intersected with the
+    # execution limit, so a module that declares no maximum (or a
+    # hostile 4 GiB one) still cannot exhaust host RAM.  Per Wasm
+    # semantics a failed grow returns -1, it does not trap.
+    cap = inst.memory_max_pages
+    hard = inst.limits.max_memory_pages
+    if hard is not None:
+        cap = hard if cap is None else min(cap, hard)
+    if (cap is not None and new_pages > cap) or new_pages > 65_536:
         stack.append(MASK32)  # -1
         return
     inst.memory.extend(bytes(delta * PAGE_SIZE))

@@ -1,9 +1,49 @@
-"""LEB128 integer codecs used by the Wasm binary format."""
+"""LEB128 integer codecs used by the Wasm binary format.
+
+This layer is the first line of defence against hostile binaries:
+every decode failure raises :class:`ParseError` (a ``ValueError``
+subclass carrying the absolute byte offset and, once the parser has
+annotated it, the section being decoded) — never a bare exception —
+and the spec's encoding-length ceilings (5 bytes for u32/s32, 10 for
+s64) are enforced so overlong-padded encodings are rejected instead of
+looping.  :meth:`Reader.vec` bounds vector counts by the bytes that
+remain, so a crafted count can never demand a multi-gigabyte
+pre-allocation in the parser.
+"""
 
 from __future__ import annotations
 
 __all__ = ["encode_unsigned", "encode_signed", "decode_unsigned",
-           "decode_signed", "Reader"]
+           "decode_signed", "ParseError", "Reader"]
+
+# ceil(bits / 7) bytes is the longest valid encoding of an N-bit LEB.
+_MAX_BYTES_32 = 5
+_MAX_BYTES_64 = 10
+
+
+class ParseError(ValueError):
+    """Raised for malformed Wasm binaries.
+
+    ``offset`` is the absolute byte offset of the defect inside the
+    module (when known); ``section`` names the section being decoded
+    (annotated by the parser's section loop).  Subclasses ValueError
+    so pre-existing ``except ValueError`` call sites keep working.
+    """
+
+    def __init__(self, message: str, *, offset: int | None = None,
+                 section: str | None = None):
+        super().__init__(message)
+        self.offset = offset
+        self.section = section
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        context = []
+        if self.section is not None:
+            context.append(f"section {self.section}")
+        if self.offset is not None:
+            context.append(f"byte {self.offset}")
+        return f"{base} ({', '.join(context)})" if context else base
 
 
 def encode_unsigned(value: int) -> bytes:
@@ -34,30 +74,34 @@ def encode_signed(value: int) -> bytes:
         out.append(byte | 0x80)
 
 
-def decode_unsigned(data: bytes, offset: int = 0) -> tuple[int, int]:
+def decode_unsigned(data: bytes, offset: int = 0,
+                    max_bytes: int = _MAX_BYTES_64) -> tuple[int, int]:
     """Decode unsigned LEB128; returns (value, next offset)."""
     result = 0
     shift = 0
+    start = offset
     while True:
         if offset >= len(data):
-            raise ValueError("truncated LEB128")
+            raise ParseError("truncated LEB128", offset=offset)
         byte = data[offset]
         offset += 1
         result |= (byte & 0x7F) << shift
         if not byte & 0x80:
             return result, offset
         shift += 7
-        if shift > 70:
-            raise ValueError("LEB128 too long")
+        if offset - start >= max_bytes:
+            raise ParseError("LEB128 too long", offset=start)
 
 
-def decode_signed(data: bytes, offset: int = 0) -> tuple[int, int]:
+def decode_signed(data: bytes, offset: int = 0,
+                  max_bytes: int = _MAX_BYTES_64) -> tuple[int, int]:
     """Decode signed LEB128; returns (value, next offset)."""
     result = 0
     shift = 0
+    start = offset
     while True:
         if offset >= len(data):
-            raise ValueError("truncated LEB128")
+            raise ParseError("truncated LEB128", offset=offset)
         byte = data[offset]
         offset += 1
         result |= (byte & 0x7F) << shift
@@ -66,54 +110,90 @@ def decode_signed(data: bytes, offset: int = 0) -> tuple[int, int]:
             if byte & 0x40:
                 result -= 1 << shift
             return result, offset
-        if shift > 70:
-            raise ValueError("LEB128 too long")
+        if offset - start >= max_bytes:
+            raise ParseError("LEB128 too long", offset=start)
 
 
 class Reader:
-    """A cursor over bytes with LEB128 helpers for the parser."""
+    """A cursor over bytes with LEB128 helpers for the parser.
 
-    __slots__ = ("data", "pos")
+    ``base`` is the absolute offset of ``data[0]`` inside the whole
+    module, so errors raised while decoding a section payload report
+    module-absolute byte offsets.
+    """
 
-    def __init__(self, data: bytes, pos: int = 0):
+    __slots__ = ("data", "pos", "base")
+
+    def __init__(self, data: bytes, pos: int = 0, base: int = 0):
         self.data = data
         self.pos = pos
+        self.base = base
 
     def eof(self) -> bool:
         return self.pos >= len(self.data)
 
+    def _fail(self, message: str) -> "ParseError":
+        return ParseError(message, offset=self.base + self.pos)
+
     def byte(self) -> int:
         if self.pos >= len(self.data):
-            raise ValueError("unexpected end of input")
+            raise self._fail("unexpected end of input")
         value = self.data[self.pos]
         self.pos += 1
         return value
 
     def take(self, count: int) -> bytes:
-        if self.pos + count > len(self.data):
-            raise ValueError("unexpected end of input")
+        if count < 0 or self.pos + count > len(self.data):
+            raise self._fail("unexpected end of input")
         chunk = self.data[self.pos:self.pos + count]
         self.pos += count
         return chunk
 
     def u32(self) -> int:
-        value, self.pos = decode_unsigned(self.data, self.pos)
+        start = self.base + self.pos
+        value, self.pos = decode_unsigned(self.data, self.pos,
+                                          max_bytes=_MAX_BYTES_32)
         if value >= 1 << 32:
-            raise ValueError("u32 out of range")
+            raise ParseError("u32 out of range", offset=start)
         return value
 
     def s32(self) -> int:
-        value, self.pos = decode_signed(self.data, self.pos)
+        start = self.base + self.pos
+        value, self.pos = decode_signed(self.data, self.pos,
+                                        max_bytes=_MAX_BYTES_32)
         if not -(1 << 31) <= value < (1 << 32):
-            raise ValueError("s32 out of range")
+            raise ParseError("s32 out of range", offset=start)
         return value
 
     def s64(self) -> int:
-        value, self.pos = decode_signed(self.data, self.pos)
+        start = self.base + self.pos
+        value, self.pos = decode_signed(self.data, self.pos,
+                                        max_bytes=_MAX_BYTES_64)
         if not -(1 << 63) <= value < (1 << 64):
-            raise ValueError("s64 out of range")
+            raise ParseError("s64 out of range", offset=start)
         return value
+
+    def vec(self, what: str = "vector") -> int:
+        """Decode a vector count, bounded by the bytes that remain.
+
+        Every vector element occupies at least one byte, so a count
+        exceeding the remaining payload is provably malformed — this
+        rejects 4-billion-element counts before any list is built.
+        """
+        start = self.base + self.pos
+        count = self.u32()
+        remaining = len(self.data) - self.pos
+        if count > remaining:
+            raise ParseError(
+                f"{what} count {count} exceeds the {remaining} bytes "
+                "remaining in its payload", offset=start)
+        return count
 
     def name(self) -> str:
         length = self.u32()
-        return self.take(length).decode("utf-8")
+        start = self.base + self.pos
+        try:
+            return self.take(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ParseError(f"invalid UTF-8 name: {exc.reason}",
+                             offset=start) from None

@@ -1,10 +1,21 @@
-"""Decode binary ``.wasm`` into a :class:`~repro.wasm.module.Module`."""
+"""Decode binary ``.wasm`` into a :class:`~repro.wasm.module.Module`.
+
+The parser is written to survive hostile bytes: every defect raises
+:class:`ParseError` (re-exported from :mod:`repro.wasm.leb128`)
+annotated with the section name and the absolute byte offset, vector
+counts are bounded by the bytes remaining in their payload, and local
+declarations are capped so a two-byte run count cannot demand a
+multi-gigabyte list.  :func:`parse_module` optionally takes an
+ingestion *budget* (see :mod:`repro.wasm.hardening`) enforcing
+structural count ceilings while parsing, before any large structure is
+materialised.
+"""
 
 from __future__ import annotations
 
 import struct
 
-from .leb128 import Reader
+from .leb128 import ParseError, Reader
 from .module import (DataSegment, Element, Export, Function, Global, Import,
                      Module)
 from .opcodes import BY_CODE, Instr, OPCODES
@@ -17,72 +28,111 @@ VERSION = b"\x01\x00\x00\x00"
 
 _EXPORT_KINDS = {0: "func", 1: "table", 2: "memory", 3: "global"}
 
+_SECTION_NAMES = {0: "custom", 1: "type", 2: "import", 3: "function",
+                  4: "table", 5: "memory", 6: "global", 7: "export",
+                  8: "start", 9: "element", 10: "code", 11: "data"}
 
-class ParseError(ValueError):
-    """Raised for malformed Wasm binaries."""
+# Hard ceiling on the locals of one function, independent of any
+# budget: a crafted (run, valtype) pair is two bytes on the wire but
+# expands to ``run`` list entries, so expansion must be capped before
+# allocation, not validated after.
+MAX_FUNCTION_LOCALS = 1_000_000
 
 
-def parse_module(data: bytes) -> Module:
+def _budget_cap(budget, attr: str, count: int, what: str,
+                offset: int) -> None:
+    cap = getattr(budget, attr, None) if budget is not None else None
+    if cap is not None and count > cap:
+        raise ParseError(f"{what} count {count} exceeds budget {cap}",
+                         offset=offset)
+
+
+def parse_module(data: bytes, budget=None) -> Module:
     """Parse a binary Wasm module.
 
     Custom sections (id 0) are skipped; unknown section ids raise
-    :class:`ParseError`.
+    :class:`ParseError`.  ``budget`` (duck-typed, normally an
+    :class:`repro.wasm.hardening.IngestBudget`) bounds structural
+    counts while parsing.
     """
-    if data[:4] != MAGIC:
-        raise ParseError("bad magic bytes")
-    if data[4:8] != VERSION:
-        raise ParseError("unsupported Wasm version")
+    if bytes(data[:4]) != MAGIC:
+        raise ParseError("bad magic bytes", offset=0)
+    if bytes(data[4:8]) != VERSION:
+        raise ParseError("unsupported Wasm version", offset=4)
     reader = Reader(data, 8)
     module = Module()
     func_type_indices: list[int] = []
     last_id = 0
     while not reader.eof():
+        section_offset = reader.pos
         section_id = reader.byte()
-        size = reader.u32()
-        payload = Reader(reader.take(size))
-        if section_id != 0:
-            if section_id < last_id:
-                raise ParseError(f"out-of-order section id {section_id}")
-            last_id = section_id
-        if section_id == 0:
-            continue  # custom section: name + bytes, ignored
-        if section_id == 1:
-            _parse_types(payload, module)
-        elif section_id == 2:
-            _parse_imports(payload, module)
-        elif section_id == 3:
-            func_type_indices = [payload.u32() for _ in range(payload.u32())]
-        elif section_id == 4:
-            _parse_tables(payload, module)
-        elif section_id == 5:
-            _parse_memories(payload, module)
-        elif section_id == 6:
-            _parse_globals(payload, module)
-        elif section_id == 7:
-            _parse_exports(payload, module)
-        elif section_id == 8:
-            module.start = payload.u32()
-        elif section_id == 9:
-            _parse_elements(payload, module)
-        elif section_id == 10:
-            _parse_code(payload, module, func_type_indices)
-        elif section_id == 11:
-            _parse_data(payload, module)
-        else:
-            raise ParseError(f"unknown section id {section_id}")
+        section = _SECTION_NAMES.get(section_id, f"id {section_id}")
+        try:
+            size = reader.u32()
+            payload = Reader(reader.take(size), base=reader.pos - size)
+            if section_id != 0:
+                if section_id < last_id:
+                    raise ParseError(
+                        f"out-of-order section id {section_id}",
+                        offset=section_offset)
+                last_id = section_id
+            if section_id == 0:
+                continue  # custom section: name + bytes, ignored
+            if section_id == 1:
+                _parse_types(payload, module, budget)
+            elif section_id == 2:
+                _parse_imports(payload, module, budget)
+            elif section_id == 3:
+                count = payload.vec("function")
+                _budget_cap(budget, "max_functions", count, "function",
+                            payload.base)
+                func_type_indices = [payload.u32() for _ in range(count)]
+            elif section_id == 4:
+                _parse_tables(payload, module)
+            elif section_id == 5:
+                _parse_memories(payload, module)
+            elif section_id == 6:
+                _parse_globals(payload, module)
+            elif section_id == 7:
+                _parse_exports(payload, module, budget)
+            elif section_id == 8:
+                module.start = payload.u32()
+            elif section_id == 9:
+                _parse_elements(payload, module, budget)
+            elif section_id == 10:
+                _parse_code(payload, module, func_type_indices, budget)
+            elif section_id == 11:
+                _parse_data(payload, module)
+            else:
+                raise ParseError(f"unknown section id {section_id}",
+                                 offset=section_offset)
+        except ParseError as exc:
+            if exc.section is None:
+                exc.section = section
+            if exc.offset is None:
+                exc.offset = section_offset
+            raise
+        except ValueError as exc:
+            # e.g. ValType.from_code on a bad type byte — lift into a
+            # ParseError so the defect carries section context.
+            raise ParseError(str(exc), offset=section_offset,
+                             section=section) from None
     if func_type_indices and not module.functions:
         raise ParseError("function section without code section")
     return module
 
 
-def _parse_types(reader: Reader, module: Module) -> None:
-    for _ in range(reader.u32()):
+def _parse_types(reader: Reader, module: Module, budget=None) -> None:
+    count = reader.vec("type")
+    _budget_cap(budget, "max_types", count, "type", reader.base)
+    for _ in range(count):
         if reader.byte() != 0x60:
-            raise ParseError("expected functype tag 0x60")
+            raise ParseError("expected functype tag 0x60",
+                             offset=reader.base + reader.pos - 1)
         params = tuple(ValType.from_code(reader.byte())
-                       for _ in range(reader.u32()))
+                       for _ in range(reader.vec("param")))
         results = tuple(ValType.from_code(reader.byte())
-                        for _ in range(reader.u32()))
+                        for _ in range(reader.vec("result")))
         module.types.append(FuncType(params, results))
 
 
@@ -92,12 +142,20 @@ def _parse_limits(reader: Reader) -> Limits:
     if flag == 0:
         return Limits(minimum)
     if flag == 1:
-        return Limits(minimum, reader.u32())
-    raise ParseError(f"bad limits flag {flag}")
+        maximum = reader.u32()
+        if maximum < minimum:
+            raise ParseError(
+                f"limits maximum {maximum} below minimum {minimum}",
+                offset=reader.base + reader.pos)
+        return Limits(minimum, maximum)
+    raise ParseError(f"bad limits flag {flag}",
+                     offset=reader.base + reader.pos - 1)
 
 
-def _parse_imports(reader: Reader, module: Module) -> None:
-    for _ in range(reader.u32()):
+def _parse_imports(reader: Reader, module: Module, budget=None) -> None:
+    count = reader.vec("import")
+    _budget_cap(budget, "max_imports", count, "import", reader.base)
+    for _ in range(count):
         mod_name = reader.name()
         item_name = reader.name()
         kind = reader.byte()
@@ -118,58 +176,78 @@ def _parse_imports(reader: Reader, module: Module) -> None:
             module.imports.append(Import(mod_name, item_name, "global",
                                          GlobalType(valtype, mutable)))
         else:
-            raise ParseError(f"bad import kind {kind}")
+            raise ParseError(f"bad import kind {kind}",
+                             offset=reader.base + reader.pos - 1)
 
 
 def _parse_tables(reader: Reader, module: Module) -> None:
-    for _ in range(reader.u32()):
+    for _ in range(reader.vec("table")):
         elem_kind = reader.byte()
         if elem_kind != 0x70:
-            raise ParseError("only funcref tables are supported")
+            raise ParseError("only funcref tables are supported",
+                             offset=reader.base + reader.pos - 1)
         module.tables.append(TableType(_parse_limits(reader), elem_kind))
 
 
 def _parse_memories(reader: Reader, module: Module) -> None:
-    for _ in range(reader.u32()):
+    for _ in range(reader.vec("memory")):
         module.memories.append(MemoryType(_parse_limits(reader)))
 
 
 def _parse_globals(reader: Reader, module: Module) -> None:
-    for _ in range(reader.u32()):
+    for _ in range(reader.vec("global")):
         valtype = ValType.from_code(reader.byte())
         mutable = reader.byte() == 1
         init = _parse_expr(reader)
         module.globals.append(Global(GlobalType(valtype, mutable), init))
 
 
-def _parse_exports(reader: Reader, module: Module) -> None:
-    for _ in range(reader.u32()):
+def _parse_exports(reader: Reader, module: Module, budget=None) -> None:
+    count = reader.vec("export")
+    _budget_cap(budget, "max_exports", count, "export", reader.base)
+    for _ in range(count):
         name = reader.name()
         kind = reader.byte()
         if kind not in _EXPORT_KINDS:
-            raise ParseError(f"bad export kind {kind}")
+            raise ParseError(f"bad export kind {kind}",
+                             offset=reader.base + reader.pos - 1)
         module.exports.append(Export(name, _EXPORT_KINDS[kind], reader.u32()))
 
 
-def _parse_elements(reader: Reader, module: Module) -> None:
-    for _ in range(reader.u32()):
+def _parse_elements(reader: Reader, module: Module, budget=None) -> None:
+    total_funcs = 0
+    for _ in range(reader.vec("element")):
         table_index = reader.u32()
         offset = _parse_expr(reader)
-        funcs = [reader.u32() for _ in range(reader.u32())]
+        funcs = [reader.u32() for _ in range(reader.vec("element func"))]
+        total_funcs += len(funcs)
+        _budget_cap(budget, "max_elements", total_funcs, "element func",
+                    reader.base)
         module.elements.append(Element(table_index, offset, funcs))
 
 
 def _parse_code(reader: Reader, module: Module,
-                func_type_indices: list[int]) -> None:
-    count = reader.u32()
+                func_type_indices: list[int], budget=None) -> None:
+    count = reader.vec("code")
     if count != len(func_type_indices):
-        raise ParseError("function/code section count mismatch")
+        raise ParseError("function/code section count mismatch",
+                         offset=reader.base)
+    locals_cap = MAX_FUNCTION_LOCALS
+    budget_cap = getattr(budget, "max_locals_per_function", None) \
+        if budget is not None else None
+    if budget_cap is not None:
+        locals_cap = min(locals_cap, budget_cap)
     for type_index in func_type_indices:
         size = reader.u32()
-        body_reader = Reader(reader.take(size))
+        body_base = reader.base + reader.pos
+        body_reader = Reader(reader.take(size), base=body_base)
         locals_list: list[ValType] = []
-        for _ in range(body_reader.u32()):
+        for _ in range(body_reader.vec("locals")):
             run = body_reader.u32()
+            if len(locals_list) + run > locals_cap:
+                raise ParseError(
+                    f"function declares more than {locals_cap} locals",
+                    offset=body_base)
             valtype = ValType.from_code(body_reader.byte())
             locals_list.extend([valtype] * run)
         body = _parse_expr(body_reader, top_level=True)
@@ -177,7 +255,7 @@ def _parse_code(reader: Reader, module: Module,
 
 
 def _parse_data(reader: Reader, module: Module) -> None:
-    for _ in range(reader.u32()):
+    for _ in range(reader.vec("data")):
         memory_index = reader.u32()
         offset = _parse_expr(reader)
         length = reader.u32()
@@ -205,10 +283,11 @@ def _parse_expr(reader: Reader, top_level: bool = False) -> list[Instr]:
 
 
 def _parse_instruction(reader: Reader) -> Instr:
+    at = reader.base + reader.pos
     code = reader.byte()
     op = BY_CODE.get(code)
     if op is None:
-        raise ParseError(f"unknown opcode 0x{code:02x}")
+        raise ParseError(f"unknown opcode 0x{code:02x}", offset=at)
     kind = OPCODES[op][1]
     if kind == "none":
         return Instr(op)
@@ -216,16 +295,21 @@ def _parse_instruction(reader: Reader) -> Instr:
         blocktype = reader.byte()
         if blocktype == 0x40:
             return Instr(op, None)
-        return Instr(op, ValType.from_code(blocktype).name)
+        try:
+            return Instr(op, ValType.from_code(blocktype).name)
+        except ValueError:
+            raise ParseError(f"bad block type 0x{blocktype:02x}",
+                             offset=at) from None
     if kind == "u32":
         return Instr(op, reader.u32())
     if kind == "br_table":
-        labels = tuple(reader.u32() for _ in range(reader.u32()))
+        labels = tuple(reader.u32() for _ in range(reader.vec("br_table")))
         return Instr(op, labels, reader.u32())
     if kind == "call_ind":
         type_index = reader.u32()
         if reader.byte() != 0:
-            raise ParseError("call_indirect reserved byte must be 0")
+            raise ParseError("call_indirect reserved byte must be 0",
+                             offset=at)
         return Instr(op, type_index)
     if kind == "memarg":
         return Instr(op, reader.u32(), reader.u32())
@@ -239,6 +323,6 @@ def _parse_instruction(reader: Reader) -> Instr:
         return Instr(op, struct.unpack("<d", reader.take(8))[0])
     if kind == "memidx":
         if reader.byte() != 0:
-            raise ParseError("memory index must be 0")
+            raise ParseError("memory index must be 0", offset=at)
         return Instr(op)
-    raise ParseError(f"unhandled immediate kind {kind}")
+    raise ParseError(f"unhandled immediate kind {kind}", offset=at)

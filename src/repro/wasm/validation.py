@@ -349,14 +349,59 @@ _SIGNATURES = _build_signatures()
 
 
 def type_function(module: Module, func: Function) -> list[InstructionTyping]:
-    """Type-check one function, returning per-instruction typings."""
-    return _Typer(module, func).run()
+    """Type-check one function, returning per-instruction typings.
+
+    Raises :class:`ValidationError` for every rejection: raw
+    ``IndexError``/``KeyError``/``ValueError`` escaping the typer (an
+    out-of-range type or function index reached through a hostile but
+    parseable module) are lifted into the typed diagnostic instead of
+    crashing the caller.
+    """
+    try:
+        return _Typer(module, func).run()
+    except ValidationError:
+        raise
+    except (IndexError, KeyError, ValueError) as exc:
+        raise ValidationError(
+            f"malformed reference ({type(exc).__name__}: {exc})") from None
 
 
 def validate_module(module: Module) -> None:
     """Validate every function body; raises :class:`ValidationError`."""
+    _check_module_structure(module)
     for i, func in enumerate(module.functions):
         try:
             type_function(module, func)
         except ValidationError as exc:
             raise ValidationError(f"function {i}: {exc}") from None
+
+
+def _check_module_structure(module: Module) -> None:
+    """Module-level index-consistency checks run before function
+    typing, so the typer never dereferences an out-of-range index."""
+    n_types = len(module.types)
+    n_funcs = module.num_imported_functions + len(module.functions)
+    for i, func in enumerate(module.functions):
+        if func.type_index >= n_types:
+            raise ValidationError(
+                f"function {i}: type index {func.type_index} out of "
+                f"range ({n_types} types)")
+    for imp in module.imports:
+        if imp.kind == "func" and imp.desc >= n_types:
+            raise ValidationError(
+                f"import {imp.module}.{imp.name}: type index {imp.desc} "
+                f"out of range ({n_types} types)")
+    for exp in module.exports:
+        if exp.kind == "func" and exp.index >= n_funcs:
+            raise ValidationError(
+                f"export {exp.name!r}: function index {exp.index} out "
+                f"of range ({n_funcs} functions)")
+    if module.start is not None and module.start >= n_funcs:
+        raise ValidationError(
+            f"start function index {module.start} out of range")
+    for i, elem in enumerate(module.elements):
+        for func_index in elem.func_indices:
+            if func_index >= n_funcs:
+                raise ValidationError(
+                    f"element segment {i}: function index {func_index} "
+                    f"out of range ({n_funcs} functions)")

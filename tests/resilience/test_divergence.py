@@ -1,0 +1,122 @@
+"""The concolic divergence sentinel, end to end.
+
+Fault-injected trace corruption (``Fault(stage="trace",
+kind="corrupt")``) flips recorded operands before the symbolic replay
+sees them; the sentinel's concrete-shadow cross-check must catch the
+mismatch, raise a typed :class:`~repro.resilience.DivergenceError`,
+and the reporting chain must quarantine the sample as *divergent* —
+its verdict excluded from the confusion counts, never silently folded
+into TP/FP.
+"""
+
+import pytest
+
+from repro import (ContractConfig, Fault, generate_contract,
+                   install_fault_plan)
+from repro.harness import evaluate_corpus, run_wasai
+from repro.resilience import (CampaignError, DEGRADABLE_STAGES,
+                              DivergenceError)
+
+TIMEOUT_MS = 4_000
+
+
+@pytest.fixture(scope="module")
+def contract():
+    return generate_contract(ContractConfig(seed=3, auth_check=False))
+
+
+# -- the sentinel inside one campaign ----------------------------------------
+
+def test_clean_campaign_checkpoints_and_stays_silent(contract):
+    run = run_wasai(contract.module, contract.abi,
+                    timeout_ms=TIMEOUT_MS, rng_seed=1)
+    assert run.report.sentinel_checkpoints > 0
+    assert run.report.divergences == []
+    assert run.scan.divergences == []
+
+
+def test_corrupted_trace_trips_the_sentinel(contract):
+    install_fault_plan(Fault(stage="trace", kind="corrupt"))
+    run = run_wasai(contract.module, contract.abi,
+                    timeout_ms=TIMEOUT_MS, rng_seed=1)
+    assert run.report.divergences
+    # The alarm names the first-diverging site.
+    assert "pc" in run.report.divergences[0]
+    # Divergences flow into the scan result for the harness to fold.
+    assert run.scan.divergences == run.report.divergences
+
+
+def test_sentinel_can_be_disabled(contract):
+    install_fault_plan(Fault(stage="trace", kind="corrupt"))
+    run = run_wasai(contract.module, contract.abi,
+                    timeout_ms=TIMEOUT_MS, rng_seed=1,
+                    divergence_check=False)
+    assert run.report.sentinel_checkpoints == 0
+    assert run.report.divergences == []
+
+
+def test_divergence_does_not_degrade_the_campaign(contract):
+    """Divergence is an unsound replay, not an unavailable stage: the
+    campaign must not fall back to black-box fuzzing because of it."""
+    assert "divergence" not in DEGRADABLE_STAGES
+    install_fault_plan(Fault(stage="trace", kind="corrupt"))
+    run = run_wasai(contract.module, contract.abi,
+                    timeout_ms=TIMEOUT_MS, rng_seed=1)
+    assert not run.report.degraded
+
+
+# -- the typed error ----------------------------------------------------------
+
+def test_divergence_error_roundtrips_with_site_context():
+    error = DivergenceError("shadow disagrees", func_index=16, pc=4,
+                            opcode="i64.store", shadow=554, traced=4650)
+    doc = error.to_doc()
+    revived = CampaignError.from_doc(doc)
+    assert isinstance(revived, DivergenceError)
+    assert revived.pc == 4
+    assert revived.opcode == "i64.store"
+    assert revived.shadow == 554
+    assert not revived.retryable
+    assert "func 16" in str(revived)
+
+
+# -- corpus-level folding -----------------------------------------------------
+
+@pytest.fixture(scope="module")
+def samples():
+    from repro import build_table4_corpus
+    return build_table4_corpus(scale=0.004)[:4]
+
+
+def test_divergent_sample_becomes_its_own_row_class(samples):
+    install_fault_plan(Fault(stage="trace", kind="corrupt",
+                             match="fake_eos[0]"))
+    tables = evaluate_corpus(samples, tools=("wasai",),
+                             timeout_ms=TIMEOUT_MS)
+    table = tables["wasai"]
+    # The divergent sample is its own row class...
+    assert table.divergent_count() == 1
+    reasons = table.divergent.get("fake_eos", [])
+    assert len(reasons) == 1
+    assert "fake_eos[0]" in reasons[0]
+    # ...excluded from the confusion counts, not folded into TP/FP...
+    assert table.total().total == len(samples) - 1
+    # ...and not double-reported as a generic skip.
+    assert table.skipped_count() == 0
+    assert "divergent" in table.format()
+
+
+def test_clean_corpus_has_no_divergent_rows(samples):
+    tables = evaluate_corpus(samples, tools=("wasai",),
+                             timeout_ms=TIMEOUT_MS)
+    assert tables["wasai"].divergent_count() == 0
+    assert tables["wasai"].total().total == len(samples)
+
+
+def test_divergence_check_flag_threads_through_the_corpus(samples):
+    install_fault_plan(Fault(stage="trace", kind="corrupt"))
+    tables = evaluate_corpus(samples, tools=("wasai",),
+                             timeout_ms=TIMEOUT_MS,
+                             divergence_check=False)
+    assert tables["wasai"].divergent_count() == 0
+    assert tables["wasai"].total().total == len(samples)

@@ -1,0 +1,190 @@
+"""Structural fuzz suite for the untrusted-module ingestion path.
+
+Over 200+ deterministic mutants of a real contract binary (plus the
+targeted adversarial payloads), the only outcomes allowed out of
+:func:`repro.wasm.load_untrusted_module` are a successfully loaded
+module or a typed :class:`~repro.resilience.MalformedModule` — never a
+raw Python exception and never a hang.  The no-hang property is
+enforced for real: the corpus also runs through the parallel executor
+under a per-task wall-clock cap, so a looping parser shows up as a
+``TaskTimeout`` failure instead of wedging the suite.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.benchgen.hostile import (base_module_bytes,
+                                    build_hostile_corpus,
+                                    build_resource_hostile_modules)
+from repro.parallel import run_tasks
+from repro.resilience import MalformedModule
+from repro.wasm import IngestBudget, load_untrusted_module
+from repro.wasm.interpreter import (ExecutionLimits, Instance, Trap,
+                                    TrapResourceLimit)
+from repro.wasm.leb128 import ParseError, Reader, decode_unsigned
+from repro.wasm.parser import parse_module
+
+CORPUS = build_hostile_corpus(seed=0, mutants=220)
+
+
+def test_corpus_is_large_enough():
+    assert len(CORPUS) >= 200
+    kinds = {sample.kind for sample in CORPUS}
+    assert kinds == {"truncate", "bitflip", "splice", "payload"}
+
+
+@pytest.mark.parametrize("sample", CORPUS, ids=lambda s: s.name)
+def test_only_typed_diagnostics_escape(sample):
+    try:
+        module = load_untrusted_module(sample.data, sample_id=sample.name)
+    except MalformedModule as exc:
+        # Diagnostics carry ingest-stage context, not a bare message.
+        assert exc.stage == "ingest"
+        assert not exc.retryable
+        assert str(exc)
+    else:
+        # A mutant that stayed well-formed must be a real module.
+        assert module.types is not None
+
+
+def test_structural_mutants_mostly_rejected():
+    rejected = 0
+    for sample in CORPUS:
+        try:
+            load_untrusted_module(sample.data)
+        except MalformedModule:
+            rejected += 1
+    # Truncations and targeted payloads are all malformed; only some
+    # bit flips land in don't-care bytes.
+    assert rejected > len(CORPUS) // 2
+
+
+def test_diagnostics_carry_offset_and_section():
+    located = with_section = 0
+    for sample in CORPUS:
+        try:
+            load_untrusted_module(sample.data)
+        except MalformedModule as exc:
+            located += int(exc.offset is not None)
+            with_section += int(exc.section is not None)
+    assert located > 50
+    assert with_section > 50
+
+
+def _ingest_worker(sample):
+    """Module-level so the no-hang batch can cross process boundaries."""
+    try:
+        load_untrusted_module(sample.data, sample_id=sample.name)
+        return "ok"
+    except MalformedModule:
+        return "malformed"
+
+
+def test_no_hangs_under_wall_clock_cap():
+    """The whole corpus parses within a hard per-task wall clock."""
+    started = time.monotonic()
+    results = run_tasks(_ingest_worker, CORPUS, jobs=2, timeout_s=20.0)
+    elapsed = time.monotonic() - started
+    bad = [(CORPUS[r.index].name, r.error_type)
+           for r in results if not r.ok]
+    assert bad == []
+    assert {r.value for r in results} <= {"ok", "malformed"}
+    assert elapsed < 120.0
+
+
+# -- resource-hostile (valid but abusive) modules ----------------------------
+
+@pytest.mark.parametrize("name,module",
+                         build_resource_hostile_modules(),
+                         ids=lambda value: value if isinstance(value, str)
+                         else "")
+def test_metered_interpreter_contains_resource_abuse(name, module):
+    limits = ExecutionLimits(fuel=200_000, deadline_s=5.0,
+                             max_memory_pages=64)
+    instance = Instance(module, {}, limits=limits)
+    started = time.monotonic()
+    with pytest.raises(Trap):
+        instance.invoke("attack", [])
+    assert time.monotonic() - started < 10.0
+    assert len(instance.memory) <= 64 * 65536
+
+
+def test_memory_grow_respects_cap():
+    _, module = build_resource_hostile_modules()[0]
+    instance = Instance(module, {}, limits=ExecutionLimits(
+        fuel=50_000, max_memory_pages=8))
+    with pytest.raises(Trap):
+        instance.invoke("attack", [])
+    assert len(instance.memory) <= 8 * 65536
+
+
+def test_declared_memory_over_cap_is_rejected_at_instantiation():
+    from repro.wasm.builder import ModuleBuilder
+    builder = ModuleBuilder()
+    builder.add_memory(4096)
+    module = builder.build()
+    with pytest.raises(TrapResourceLimit):
+        Instance(module, {}, limits=ExecutionLimits(max_memory_pages=64))
+
+
+# -- ingestion budgets -------------------------------------------------------
+
+def test_module_byte_budget():
+    data = base_module_bytes()
+    with pytest.raises(MalformedModule) as info:
+        load_untrusted_module(data, budget=IngestBudget(
+            max_module_bytes=16))
+    assert "budget" in str(info.value)
+
+
+def test_function_count_budget():
+    data = base_module_bytes()
+    with pytest.raises(MalformedModule):
+        load_untrusted_module(data, budget=IngestBudget(max_functions=1))
+
+
+def test_valid_module_roundtrips_through_ingestion():
+    module = load_untrusted_module(base_module_bytes())
+    assert module.export_index("apply", "func") is not None
+
+
+# -- targeted leb128 regressions ---------------------------------------------
+
+def test_leb128_overlong_encoding_rejected():
+    # 6 continuation bytes for a u32 — valid value, invalid encoding.
+    with pytest.raises(ParseError):
+        Reader(b"\x80\x80\x80\x80\x80\x01").u32()
+
+
+def test_leb128_u32_out_of_range_rejected():
+    # 5 bytes encoding 2^32 exactly.
+    with pytest.raises(ParseError):
+        Reader(b"\x80\x80\x80\x80\x10").u32()
+
+
+def test_leb128_truncated_rejected():
+    with pytest.raises(ParseError):
+        decode_unsigned(b"\xff\xff")
+
+
+def test_leb128_error_is_a_valueerror():
+    # Callers that predate the hardening catch ValueError.
+    assert issubclass(ParseError, ValueError)
+
+
+def test_vec_count_cannot_exceed_remaining_bytes():
+    reader = Reader(b"\xff\xff\xff\xff\x0f")
+    with pytest.raises(ParseError):
+        reader.vec("types")
+
+
+def test_huge_locals_rejected_before_allocation():
+    sample = next(s for s in CORPUS if s.name == "huge-locals")
+    started = time.monotonic()
+    with pytest.raises(ParseError):
+        parse_module(sample.data)
+    # The point of the pre-expansion cap: rejection is O(1), not O(n).
+    assert time.monotonic() - started < 1.0
