@@ -1,4 +1,4 @@
-"""Command-line interface: ``wasai scan | fuzz | gen | bench``.
+"""Command-line interface: ``wasai scan | gen | bench | serve | ...``.
 
 Examples::
 
@@ -10,6 +10,11 @@ Examples::
 
     # Run the Table 4 evaluation at a small scale
     wasai bench table4 --scale 0.02
+
+    # Run the scan daemon, then submit work to it
+    wasai serve --port 8734 --store scans.db
+    wasai submit victim.wasm --abi victim.abi.json --wait
+    wasai status <job-id> --url http://127.0.0.1:8734
 """
 
 from __future__ import annotations
@@ -119,6 +124,9 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--mutants", type=int, default=220,
                        help="hostile experiment: number of malformed "
                             "modules to generate (default 220)")
+    bench.add_argument("--fail-on-quarantine", action="store_true",
+                       help="exit non-zero when any sample was "
+                            "quarantined (CI containment gate)")
 
     corpus = sub.add_parser("gen-corpus",
                             help="write a labelled benchmark corpus "
@@ -129,6 +137,65 @@ def main(argv: list[str] | None = None) -> int:
                         choices=("plain", "obfuscated", "verified"),
                         default="plain")
 
+    serve = sub.add_parser("serve",
+                           help="run the scan service HTTP daemon")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8734)
+    serve.add_argument("--store", type=Path, default=Path("wasai.db"),
+                       help="SQLite artifact store (modules, verdicts, "
+                            "coverage, quarantine; default wasai.db)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="scan worker threads (default 2)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="bounded queue depth; submissions beyond "
+                            "it are shed with HTTP 429 (default 64)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       help="queued+running budget (default: "
+                            "queue-depth + workers)")
+    serve.add_argument("--timeout-ms", type=float,
+                       default=DEFAULT_TIMEOUT_MS,
+                       help="default virtual fuzzing budget per job")
+    serve.add_argument("--journal", type=Path, default=None,
+                       help="JSONL checkpoint journal for graceful "
+                            "drain (SIGTERM) and --resume")
+    serve.add_argument("--resume", action="store_true",
+                       help="replay jobs checkpointed in --journal "
+                            "by a drained daemon (exactly once)")
+    serve.add_argument("--max-retries", type=int, default=1)
+    serve.add_argument("--quarantine-after", type=int, default=3)
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+
+    submit = sub.add_parser("submit",
+                            help="submit a contract to a running "
+                                 "scan daemon")
+    submit.add_argument("wasm", type=Path, help="contract .wasm file")
+    submit.add_argument("--abi", type=Path, required=True)
+    submit.add_argument("--url", default="http://127.0.0.1:8734")
+    submit.add_argument("--timeout-ms", type=float, default=None,
+                        help="virtual fuzzing budget (default: the "
+                             "daemon's)")
+    submit.add_argument("--tool",
+                        choices=("wasai", "eosfuzzer", "eosafe"),
+                        default=None)
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--client", default="cli",
+                        help="client id for fair scheduling")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs sooner (default 0)")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job is terminal and "
+                             "print the verdict")
+    submit.add_argument("--wait-timeout-s", type=float, default=300.0)
+
+    status = sub.add_parser("status",
+                            help="query a job (or --stats) on a "
+                                 "running scan daemon")
+    status.add_argument("job_id", nargs="?", default=None)
+    status.add_argument("--url", default="http://127.0.0.1:8734")
+    status.add_argument("--stats", action="store_true",
+                        help="print the daemon's /stats instead")
+
     args = parser.parse_args(argv)
     if args.command == "scan":
         return _cmd_scan(args)
@@ -136,6 +203,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_gen(args)
     if args.command == "gen-corpus":
         return _cmd_gen_corpus(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
     return _cmd_bench(args)
 
 
@@ -311,6 +384,92 @@ def _cmd_bench(args) -> int:
     for table in tables.values():
         print(table.format())
     print(perf.format())
+    if args.fail_on_quarantine and perf.quarantined:
+        print(f"error: {perf.quarantined} sample(s) quarantined "
+              "(--fail-on-quarantine)", file=sys.stderr)
+        return 3
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .resilience import CampaignJournal, ResiliencePolicy
+    from .service import (ScanService, ScanServiceConfig, make_server,
+                          serve_forever)
+    if args.resume and args.journal is None:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    service = ScanService(
+        store=str(args.store),
+        config=ScanServiceConfig(workers=args.workers,
+                                 max_depth=args.queue_depth,
+                                 max_inflight=args.max_inflight,
+                                 default_timeout_ms=args.timeout_ms),
+        policy=ResiliencePolicy(max_retries=args.max_retries,
+                                quarantine_after=args.quarantine_after),
+        journal=CampaignJournal(args.journal) if args.journal else None)
+    server = make_server(service, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"wasai scan service on http://{host}:{port} "
+          f"(store {args.store}, {args.workers} workers, "
+          f"queue depth {args.queue_depth})", flush=True)
+    if args.resume:
+        replayed = service.resume_from_journal()
+        print(f"resumed {replayed} checkpointed job(s) from "
+              f"{args.journal}", flush=True)
+    checkpointed = serve_forever(server)
+    print(f"drained; {checkpointed} queued job(s) checkpointed",
+          flush=True)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .service import ServiceClient, ServiceError
+    client = ServiceClient(args.url)
+    config = {}
+    if args.timeout_ms is not None:
+        config["timeout_ms"] = args.timeout_ms
+    if args.tool is not None:
+        config["tool"] = args.tool
+    if args.seed is not None:
+        config["rng_seed"] = args.seed
+    try:
+        doc = client.submit(args.wasm.read_bytes(),
+                            args.abi.read_text(), config=config or None,
+                            client=args.client, priority=args.priority)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2 if exc.error == "malformed_module" else 4
+    print(f"job {doc['id']}: {doc['state']} "
+          f"(outcome: {doc['outcome']})")
+    if doc["state"] == "done" or args.wait:
+        if doc["state"] != "done":
+            try:
+                doc = client.wait(doc["id"],
+                                  timeout_s=args.wait_timeout_s)
+            except (ServiceError, TimeoutError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 4
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        if doc["state"] != "done":
+            return 4
+        verdict = doc.get("verdict", {})
+        return 1 if verdict.get("vulnerable") else 0
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from .service import ServiceClient, ServiceError
+    client = ServiceClient(args.url)
+    try:
+        if args.stats or args.job_id is None:
+            doc = client.stats()
+        else:
+            doc = client.status(args.job_id)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    print(json.dumps(doc, indent=2, sort_keys=True))
     return 0
 
 

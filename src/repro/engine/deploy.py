@@ -25,17 +25,21 @@ from ..wasm.module import Module
 
 __all__ = ["FuzzTarget", "deploy_target", "setup_chain",
            "InstrumentationCache", "instrumentation_cache",
-           "configure_instrumentation_cache", "module_fingerprint"]
+           "configure_instrumentation_cache", "module_content_hash",
+           "module_fingerprint"]
 
 
-def module_fingerprint(module: Module) -> str:
-    """A content hash identifying ``module`` across deployments.
+def module_content_hash(module: Module) -> str:
+    """The canonical content hash identifying ``module`` everywhere.
 
     The binary encoding is canonical for our purposes (the corpus
     builders hand out structurally distinct modules), so hashing the
-    encoded bytes keys the instrumentation cache.  The digest is
-    memoised on the module instance; modules are treated as immutable
-    once they reach the deployment layer.
+    encoded bytes yields one identity shared by every consumer: the
+    instrumentation cache, the checkpoint journal's resume keys and
+    the scan service's artifact store all key on this digest, so they
+    can never disagree about whether two modules are "the same".  The
+    digest is memoised on the module instance; modules are treated as
+    immutable once they reach the deployment layer.
     """
     cached = getattr(module, "_repro_fingerprint", None)
     if cached is not None:
@@ -44,6 +48,10 @@ def module_fingerprint(module: Module) -> str:
     digest = hashlib.sha256(encode_module(module)).hexdigest()
     module._repro_fingerprint = digest
     return digest
+
+
+# Historical name, kept for existing callers and tests.
+module_fingerprint = module_content_hash
 
 
 class InstrumentationCache:
@@ -69,7 +77,7 @@ class InstrumentationCache:
         return len(self._entries)
 
     def instrument(self, module: Module) -> tuple[Module, SiteTable]:
-        key = module_fingerprint(module)
+        key = module_content_hash(module)
         found = self._entries.get(key)
         if found is not None:
             self.hits += 1

@@ -256,6 +256,10 @@ def evaluate_corpus(samples: list[BenchmarkSample],
             perf.campaigns += len(outcome.scans)
             perf.retries += outcome.retries
             perf.add_stage_seconds(outcome.stage_seconds)
+            if result.elapsed_s > 0:
+                perf.record_latency("task", result.elapsed_s)
+            for stage, seconds in outcome.stage_seconds.items():
+                perf.record_latency(stage, seconds)
             perf.add_cache_deltas(outcome.instr_cache_hits,
                                   outcome.instr_cache_misses,
                                   outcome.solver_cache_hits,

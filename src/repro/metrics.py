@@ -11,7 +11,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["Confusion", "MetricsTable", "ThroughputStats"]
+__all__ = ["Confusion", "MetricsTable", "ThroughputStats", "percentile"]
+
+
+def percentile(samples: "list[float]", q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``samples`` by linear
+    interpolation between closest ranks; 0.0 for an empty list."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
 
 
 @dataclass
@@ -85,6 +100,12 @@ class ThroughputStats:
     instr_cache_misses: int = 0
     solver_cache_hits: int = 0
     solver_cache_misses: int = 0
+    # Per-task wall-clock samples, keyed by stage ("task" = whole
+    # campaign task; "setup"/"fuzz"/"scan" = pipeline stages; the scan
+    # service adds "job" for end-to-end job latency).  Samples feed the
+    # p50/p95/max percentiles in ``wasai bench`` output and the
+    # daemon's ``GET /stats``.
+    latency_samples: dict[str, list[float]] = field(default_factory=dict)
 
     @property
     def campaigns_per_sec(self) -> float:
@@ -114,6 +135,24 @@ class ThroughputStats:
         self.solver_cache_hits += solver_hits
         self.solver_cache_misses += solver_misses
 
+    def record_latency(self, stage: str, seconds: float) -> None:
+        """Add one per-task wall-clock sample for ``stage``."""
+        self.latency_samples.setdefault(stage, []).append(seconds)
+
+    def latency_percentiles(self) -> dict[str, dict[str, float]]:
+        """p50/p95/max (plus sample count) per recorded stage."""
+        out: dict[str, dict[str, float]] = {}
+        for stage, samples in self.latency_samples.items():
+            if not samples:
+                continue
+            out[stage] = {
+                "n": len(samples),
+                "p50_s": percentile(samples, 50),
+                "p95_s": percentile(samples, 95),
+                "max_s": max(samples),
+            }
+        return out
+
     def as_dict(self) -> dict:
         return {
             "jobs": self.jobs,
@@ -134,6 +173,7 @@ class ThroughputStats:
                 "misses": self.solver_cache_misses,
                 "hit_rate": self.solver_cache_hit_rate,
             },
+            "latency": self.latency_percentiles(),
         }
 
     def format(self) -> str:
@@ -156,6 +196,11 @@ class ThroughputStats:
         for stage in sorted(self.stage_seconds):
             lines.append(f"  stage {stage:<8} "
                          f"{self.stage_seconds[stage]:8.2f}s")
+        for stage, stats in sorted(self.latency_percentiles().items()):
+            lines.append(
+                f"  latency {stage:<8} p50={stats['p50_s']:.3f}s "
+                f"p95={stats['p95_s']:.3f}s max={stats['max_s']:.3f}s "
+                f"(n={stats['n']})")
         return "\n".join(lines)
 
 

@@ -69,6 +69,10 @@ class CampaignResult:
     errors: dict[str, dict] = field(default_factory=dict)
     degraded: tuple[str, ...] = ()
     retries: int = 0
+    # tool -> coverage summary: the campaign's (virtual-time, covered
+    # branch count) timeline plus totals, persisted by the scan
+    # service's artifact store alongside the verdict.
+    coverage: dict[str, dict] = field(default_factory=dict)
 
 
 def _cache_counters() -> tuple[int, int, int, int]:
@@ -80,25 +84,40 @@ def _cache_counters() -> tuple[int, int, int, int]:
             solver.hits if solver else 0, solver.misses if solver else 0)
 
 
+def _coverage_summary(report) -> dict:
+    return {
+        "iterations": report.iterations,
+        "covered": len(report.covered),
+        "timeline": [[t, n] for t, n in report.coverage_timeline],
+    }
+
+
 def _tool_runner(tool: str, task: CampaignTask,
                  stage_seconds: dict[str, float], harness,
-                 feedback: bool = True):
+                 feedback: bool = True,
+                 coverage: "dict[str, dict] | None" = None):
     """A zero-argument closure running one tool once."""
     def run():
         if tool == "wasai":
-            return harness.run_wasai(
+            run_ = harness.run_wasai(
                 task.module, task.abi,
                 timeout_ms=task.timeout_ms,
                 rng_seed=task.rng_seed,
                 address_pool=task.address_pool,
                 timings=stage_seconds,
                 feedback=feedback,
-                divergence_check=task.divergence_check).scan
+                divergence_check=task.divergence_check)
+            if coverage is not None:
+                coverage[tool] = _coverage_summary(run_.report)
+            return run_.scan
         if tool == "eosfuzzer":
-            return harness.run_eosfuzzer(task.module, task.abi,
+            run_ = harness.run_eosfuzzer(task.module, task.abi,
                                          timeout_ms=task.timeout_ms,
                                          rng_seed=task.rng_seed,
-                                         timings=stage_seconds).scan
+                                         timings=stage_seconds)
+            if coverage is not None:
+                coverage[tool] = _coverage_summary(run_.report)
+            return run_.scan
         if tool == "eosafe":
             started = time.perf_counter()
             try:
@@ -132,10 +151,12 @@ def run_campaign_task(task: CampaignTask) -> CampaignResult:
         stage_seconds: dict[str, float] = {}
         scans: dict[str, ScanResult] = {}
         errors: dict[str, dict] = {}
+        coverage: dict[str, dict] = {}
         degraded: list[str] = []
         retries = 0
         for tool in task.tools:
-            runner = _tool_runner(tool, task, stage_seconds, harness)
+            runner = _tool_runner(tool, task, stage_seconds, harness,
+                                  coverage=coverage)
             scan, error, attempts = run_with_retry(runner, policy)
             retries += attempts - 1
             if error is not None and tool == "wasai" \
@@ -144,7 +165,8 @@ def run_campaign_task(task: CampaignTask) -> CampaignResult:
                 # loop (what EOSFuzzer always runs) still works —
                 # degrade instead of dropping the sample.
                 fallback = _tool_runner(tool, task, stage_seconds,
-                                        harness, feedback=False)
+                                        harness, feedback=False,
+                                        coverage=coverage)
                 scan, fb_error, fb_attempts = run_with_retry(fallback,
                                                              policy)
                 retries += fb_attempts - 1
@@ -169,6 +191,7 @@ def run_campaign_task(task: CampaignTask) -> CampaignResult:
             errors=errors,
             degraded=tuple(degraded),
             retries=retries,
+            coverage=coverage,
         )
     finally:
         faultinject.set_fault_scope("")

@@ -67,9 +67,9 @@ class CampaignJournal:
 
 def campaign_task_key(task) -> str:
     """The resume key of one :class:`~repro.parallel.CampaignTask`."""
-    from ..engine.deploy import module_fingerprint
+    from ..engine.deploy import module_content_hash
     material = "|".join((
-        module_fingerprint(task.module),
+        module_content_hash(task.module),
         ",".join(task.tools),
         f"{task.timeout_ms:g}",
         str(task.rng_seed),
@@ -118,6 +118,8 @@ def campaign_result_to_doc(result) -> dict:
         "errors": dict(result.errors),
         "degraded": list(result.degraded),
         "retries": result.retries,
+        "coverage": {tool: dict(summary)
+                     for tool, summary in result.coverage.items()},
     }
 
 
@@ -134,4 +136,5 @@ def campaign_result_from_doc(doc: dict):
         errors=dict(doc.get("errors", {})),
         degraded=tuple(doc.get("degraded", ())),
         retries=doc.get("retries", 0),
+        coverage=dict(doc.get("coverage", {})),
     )

@@ -1,0 +1,40 @@
+"""repro.service — WASAI as a long-lived scan service.
+
+The serving layer the ROADMAP's "heavy traffic" north star needs on
+top of the batch pipeline: instead of one-shot ``wasai scan``
+processes whose results die with them, a daemon that continuously
+ingests untrusted modules, answers queries about them and never
+re-fuzzes work it has already done.
+
+* :mod:`repro.service.store` — SQLite content-addressed artifact
+  store (modules, verdicts, coverage timelines, quarantine records),
+  keyed by the same content hash as the instrumentation cache and the
+  checkpoint journal;
+* :mod:`repro.service.queue` — bounded priority queue with per-client
+  fair scheduling and typed backpressure (:class:`QueueFull`);
+* :mod:`repro.service.scheduler` — :class:`ScanService`: admission
+  (sandboxed ingest), store-level dedup, single-flight coalescing,
+  worker threads, retry/quarantine, drain/resume checkpoints;
+* :mod:`repro.service.api` + :mod:`repro.service.server` — the JSON
+  HTTP surface (``POST /scans``, ``GET /scans/{id}``, ``/healthz``,
+  ``/stats``) on a stdlib ``ThreadingHTTPServer``;
+* :mod:`repro.service.client` — the urllib client behind
+  ``wasai submit`` / ``wasai status``.
+"""
+
+from .api import ServiceApi
+from .client import ServiceClient, ServiceError
+from .queue import JOB_STATES, Job, JobQueue, QueueFull
+from .scheduler import (DEFAULT_SCAN_CONFIG, ScanService,
+                        ScanServiceConfig, Submission)
+from .server import ScanServer, make_server, serve_forever
+from .store import ArtifactStore
+
+__all__ = [
+    "ArtifactStore",
+    "Job", "JobQueue", "QueueFull", "JOB_STATES",
+    "ScanService", "ScanServiceConfig", "Submission",
+    "DEFAULT_SCAN_CONFIG",
+    "ServiceApi", "ScanServer", "make_server", "serve_forever",
+    "ServiceClient", "ServiceError",
+]

@@ -1,0 +1,129 @@
+"""Transport-free HTTP API: (method, path, body) -> (status, doc).
+
+The routing and response-shaping logic lives here, decoupled from the
+socket layer in :mod:`repro.service.server`, so the full request
+surface is unit-testable without binding a port.
+
+Endpoints
+---------
+
+``POST /scans``
+    JSON body ``{"module_b64": ..., "abi": ..., "config": {...},
+    "client": ..., "priority": ...}``.  Responses:
+
+    * ``200`` — dedup hit: an identical module+config was already
+      scanned; the cached verdict is returned immediately
+      (``outcome: "cached"``);
+    * ``202`` — admitted: ``outcome`` is ``"queued"`` (a new job) or
+      ``"coalesced"`` (attached single-flight to an in-flight twin);
+    * ``400`` — the upload failed sandboxed ingestion
+      (``error: "malformed_module"``) or the request itself is bad;
+    * ``429`` — typed backpressure shed (``error: "queue_full"``,
+      with the saturated bound in ``kind``/``limit``).
+
+``GET /scans/{id}``
+    Job lifecycle doc (``queued | running | done | failed |
+    quarantined``); terminal jobs include the verdict / error.
+
+``GET /healthz``
+    Liveness probe.
+
+``GET /stats``
+    Queue depth, in-flight, dedup hit rates, shed counts and p50/p95
+    job latency.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+
+from ..resilience import MalformedModule
+from ..resilience.journal import campaign_result_from_doc
+from ..scanner.report import report_to_json
+from .queue import QueueFull
+from .scheduler import ScanService
+
+__all__ = ["ServiceApi"]
+
+
+class ServiceApi:
+    """Route one parsed request against a :class:`ScanService`."""
+
+    def __init__(self, service: ScanService):
+        self.service = service
+
+    def handle(self, method: str, path: str,
+               body: bytes = b"") -> tuple[int, dict]:
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if method == "GET" and path == "/healthz":
+            return 200, {"status": "ok",
+                         "accepting": self.service.stats()["accepting"]}
+        if method == "GET" and path == "/stats":
+            return 200, self.service.stats()
+        if method == "POST" and path == "/scans":
+            return self._submit(body)
+        if method == "GET" and path.startswith("/scans/"):
+            return self._status(path[len("/scans/"):])
+        return 404, {"error": "not_found", "path": path}
+
+    # -- POST /scans -------------------------------------------------------
+    def _submit(self, body: bytes) -> tuple[int, dict]:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            return 400, {"error": "bad_request",
+                         "detail": f"body is not JSON: {exc}"}
+        if not isinstance(doc, dict) or "module_b64" not in doc \
+                or "abi" not in doc:
+            return 400, {"error": "bad_request",
+                         "detail": "need module_b64 and abi fields"}
+        try:
+            data = base64.b64decode(doc["module_b64"], validate=True)
+        except (binascii.Error, ValueError) as exc:
+            return 400, {"error": "bad_request",
+                         "detail": f"module_b64 is not base64: {exc}"}
+        try:
+            submission = self.service.submit_bytes(
+                data, doc["abi"], config=doc.get("config"),
+                client=str(doc.get("client", "anon")),
+                priority=int(doc.get("priority", 0)))
+        except MalformedModule as exc:
+            # Hostile upload rejected at admission — it never reached
+            # a worker; the diagnostic names the offending byte range.
+            return 400, {"error": "malformed_module",
+                         "detail": str(exc),
+                         "stage": "ingest"}
+        except QueueFull as exc:
+            return 429, {"error": "queue_full", "detail": str(exc),
+                         "kind": exc.kind, "depth": exc.depth,
+                         "limit": exc.limit}
+        job_doc = self._job_doc(submission.job)
+        # The job's own outcome says how *it* was admitted; the reply
+        # reflects how *this submission* was satisfied (a coalesced
+        # duplicate shares a job whose outcome is "queued").
+        job_doc["outcome"] = submission.outcome
+        if submission.cached:
+            # "409-style" dedup: the verdict already exists, so the
+            # reply carries it immediately instead of a pending job.
+            return 200, job_doc
+        return 202, job_doc
+
+    # -- GET /scans/{id} ---------------------------------------------------
+    def _status(self, job_id: str) -> tuple[int, dict]:
+        job = self.service.job(job_id)
+        if job is None:
+            return 404, {"error": "unknown_job", "id": job_id}
+        return 200, self._job_doc(job)
+
+    def _job_doc(self, job) -> dict:
+        doc = job.to_doc()
+        if job.state == "done" and job.result_doc is not None:
+            result = campaign_result_from_doc(job.result_doc)
+            tool = job.config["tool"]
+            scan = result.scans.get(tool)
+            doc["result"] = job.result_doc
+            if scan is not None:
+                doc["verdict"] = json.loads(report_to_json(scan))
+        return doc

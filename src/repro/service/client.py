@@ -1,0 +1,111 @@
+"""A stdlib HTTP client for the scan daemon (used by ``wasai submit``).
+
+Thin by design: urllib only, JSON in/out, typed errors.  The client
+mirrors the daemon's semantics — a 200 on submit is a dedup hit whose
+verdict is already in the response, a 202 is an admitted job to poll,
+a 429 is an explicit backpressure shed the caller should back off
+from, and a 400 ``malformed_module`` means the upload was rejected at
+admission and will never produce a verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import base64
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx daemon response, carrying the decoded error doc."""
+
+    def __init__(self, status: int, doc: dict):
+        detail = doc.get("detail") or doc.get("error") or "error"
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.doc = doc
+
+    @property
+    def error(self) -> str:
+        return str(self.doc.get("error", ""))
+
+
+class ServiceClient:
+    """Talk to one ``wasai serve`` daemon."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8734",
+                 timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- plumbing ----------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 doc: dict | None = None) -> tuple[int, dict]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if doc is not None:
+            body = json.dumps(doc).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(self.base_url + path,
+                                         data=body, headers=headers,
+                                         method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as resp:
+                return resp.status, json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except ValueError:
+                payload = {"error": "bad_response"}
+            return exc.code, payload
+
+    def _checked(self, method: str, path: str,
+                 doc: dict | None = None) -> dict:
+        status, payload = self._request(method, path, doc)
+        if status >= 400:
+            raise ServiceError(status, payload)
+        return payload
+
+    # -- API ---------------------------------------------------------------
+    def health(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._checked("GET", "/stats")
+
+    def submit(self, wasm_bytes: bytes, abi_json: "str | dict",
+               config: dict | None = None, client: str = "cli",
+               priority: int = 0) -> dict:
+        """Submit one module; returns the job doc (``outcome`` is
+        ``cached`` / ``coalesced`` / ``queued``)."""
+        doc = {
+            "module_b64": base64.b64encode(wasm_bytes).decode("ascii"),
+            "abi": abi_json,
+            "client": client,
+            "priority": priority,
+        }
+        if config:
+            doc["config"] = config
+        return self._checked("POST", "/scans", doc)
+
+    def status(self, job_id: str) -> dict:
+        return self._checked("GET", f"/scans/{job_id}")
+
+    def wait(self, job_id: str, timeout_s: float = 120.0,
+             poll_s: float = 0.2) -> dict:
+        """Poll until the job is terminal; raises TimeoutError."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            doc = self.status(job_id)
+            if doc.get("state") in ("done", "failed", "quarantined",
+                                    "rejected"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc.get('state')} after "
+                    f"{timeout_s:g}s")
+            time.sleep(poll_s)

@@ -1,0 +1,165 @@
+"""Bounded priority job queue with per-client fair scheduling.
+
+The queue is the service's only buffer, and it is *bounded by
+construction*: :meth:`JobQueue.put` raises the typed
+:class:`QueueFull` once the depth limit is hit — callers shed load
+with an explicit rejection the client can see (HTTP 429) instead of
+buffering unboundedly until the process dies.  Re-queued retries use
+``force=True`` so containment can never be starved by admission
+control.
+
+Scheduling is two-level: strict priority first (higher number runs
+sooner), round-robin across clients within a priority band — one
+client flooding the queue cannot starve another client's single job,
+because each ``get`` takes the head job of the *next* client in
+rotation.
+
+Job lifecycle: ``queued → running → done | failed | quarantined``
+(plus terminal ``rejected`` for jobs shed at admission).  The
+:class:`Job` record itself is the single source of truth the HTTP
+layer renders for ``GET /scans/{id}``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Job", "JobQueue", "QueueFull", "JOB_STATES"]
+
+JOB_STATES = ("queued", "running", "done", "failed", "quarantined",
+              "rejected")
+
+
+class QueueFull(Exception):
+    """Typed backpressure rejection: the queue (or the service's
+    in-flight budget) is saturated; the submission was shed."""
+
+    def __init__(self, message: str, *, depth: int, limit: int,
+                 kind: str = "depth"):
+        super().__init__(message)
+        self.depth = depth
+        self.limit = limit
+        self.kind = kind  # "depth" | "inflight"
+
+
+@dataclass
+class Job:
+    """One admitted scan request and everything about its lifetime."""
+
+    job_id: str
+    client: str
+    scan_key: str
+    module_hash: str
+    config: dict
+    task: Any = None          # CampaignTask; None once terminal
+    priority: int = 0
+    state: str = "queued"
+    submitted_s: float = 0.0
+    started_s: float | None = None
+    finished_s: float | None = None
+    attempts: int = 0
+    result_doc: dict | None = None
+    error: str | None = None
+    outcome: str = "queued"   # queued | cached | coalesced
+    waiters: int = 0          # coalesced submissions sharing this job
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed", "quarantined",
+                              "rejected")
+
+    def to_doc(self) -> dict:
+        doc = {
+            "id": self.job_id,
+            "client": self.client,
+            "state": self.state,
+            "outcome": self.outcome,
+            "scan_key": self.scan_key,
+            "module_hash": self.module_hash,
+            "config": dict(self.config),
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "coalesced_waiters": self.waiters,
+        }
+        if self.started_s and self.finished_s:
+            doc["latency_s"] = self.finished_s - self.started_s
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+class JobQueue:
+    """Thread-safe bounded queue: priority bands, fair within a band."""
+
+    def __init__(self, max_depth: int = 64):
+        self.max_depth = max_depth
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        # priority -> client -> FIFO of jobs; clients rotate per get.
+        self._bands: dict[int, "OrderedDict[str, deque[Job]]"] = {}
+        self._depth = 0
+        self.shed = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._depth
+
+    @property
+    def depth(self) -> int:
+        return len(self)
+
+    def put(self, job: Job, force: bool = False) -> None:
+        """Enqueue ``job``; raises :class:`QueueFull` at the depth
+        bound unless ``force`` (used for containment re-queues, which
+        must never be shed)."""
+        with self._lock:
+            if not force and self._depth >= self.max_depth:
+                self.shed += 1
+                raise QueueFull(
+                    f"queue depth {self._depth} at limit "
+                    f"{self.max_depth}", depth=self._depth,
+                    limit=self.max_depth)
+            band = self._bands.setdefault(job.priority, OrderedDict())
+            band.setdefault(job.client, deque()).append(job)
+            self._depth += 1
+            self._ready.notify()
+
+    def get(self, timeout: float | None = None) -> Job | None:
+        """The next job by (priority, client rotation); None on
+        timeout."""
+        with self._lock:
+            while self._depth == 0:
+                if not self._ready.wait(timeout=timeout):
+                    return None
+            priority = max(p for p, band in self._bands.items()
+                           if band)
+            band = self._bands[priority]
+            client, jobs = next(iter(band.items()))
+            job = jobs.popleft()
+            # Rotate: the client goes to the back of its band (or out
+            # of it entirely once drained) so siblings get the next
+            # slot.
+            del band[client]
+            if jobs:
+                band[client] = jobs
+            if not band:
+                del self._bands[priority]
+            self._depth -= 1
+            return job
+
+    def drain(self) -> list[Job]:
+        """Remove and return every queued job (checkpoint path)."""
+        out: list[Job] = []
+        with self._lock:
+            for priority in sorted(self._bands, reverse=True):
+                band = self._bands[priority]
+                while band:
+                    client, jobs = next(iter(band.items()))
+                    out.extend(jobs)
+                    del band[client]
+            self._bands.clear()
+            self._depth = 0
+        return out

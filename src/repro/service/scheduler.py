@@ -1,0 +1,417 @@
+"""The scan service core: admission, single-flight dedup, workers.
+
+:class:`ScanService` glues the persistent :class:`ArtifactStore`, the
+bounded :class:`JobQueue` and a pool of worker threads into the
+long-lived analyzer the HTTP daemon fronts.  One submission travels::
+
+    bytes -> ingest (sandboxed, typed reject) -> scan_key
+          -> store hit?        -> cached verdict, no job runs
+          -> in-flight twin?   -> coalesce onto the running job
+          -> admission bounds  -> typed QueueFull shed
+          -> queued -> running -> done | failed | quarantined
+
+Dedup levels:
+
+* **store hit** — an identical module+config was already scanned
+  (possibly in a previous process): the stored verdict is returned
+  immediately and byte-identically, no worker involved;
+* **single-flight coalescing** — an identical submission is already
+  queued or running: the new submission attaches to that job instead
+  of enqueuing a twin, so N concurrent identical uploads cost exactly
+  one fuzzing campaign.
+
+Failure containment reuses the resilience policy end to end:
+``run_campaign_task`` retries/degrades *inside* the job, and the
+service retries whole failed jobs up to ``policy.max_retries`` before
+benching the scan key after ``policy.quarantine_after`` failures
+(state ``quarantined``, recorded in the store's quarantine table).
+
+Graceful drain checkpoints still-queued jobs into the PR-2 JSONL
+journal (module bytes stay in the store; the journal records the
+recipe); :meth:`resume_from_journal` replays them exactly once —
+each replayed key is claimed with a tombstone line, and the
+append-only last-wins journal makes double replay impossible.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+
+from ..eosio.abi import Abi
+from ..metrics import ThroughputStats
+from ..parallel.campaigns import CampaignTask, run_campaign_task
+from ..resilience import (CampaignJournal, MalformedModule, Quarantine,
+                          ResiliencePolicy, campaign_task_key)
+from ..wasm.hardening import load_untrusted_module
+from .queue import Job, JobQueue, QueueFull
+from .store import ArtifactStore
+
+__all__ = ["ScanService", "ScanServiceConfig", "Submission",
+           "DEFAULT_SCAN_CONFIG"]
+
+DEFAULT_SCAN_CONFIG = {
+    "tool": "wasai",
+    "timeout_ms": 30_000.0,
+    "rng_seed": 1,
+    "address_pool": False,
+    "divergence_check": True,
+}
+
+
+@dataclass(frozen=True)
+class ScanServiceConfig:
+    """Operator knobs for one daemon instance."""
+
+    workers: int = 2
+    max_depth: int = 64          # queued-job bound (backpressure)
+    max_inflight: int | None = None  # queued+running bound; None = auto
+    poll_s: float = 0.2          # worker queue poll interval
+    default_timeout_ms: float = 30_000.0
+
+    def inflight_budget(self) -> int:
+        if self.max_inflight is not None:
+            return self.max_inflight
+        return self.max_depth + self.workers
+
+
+@dataclass
+class Submission:
+    """What admission hands back: the job plus how it was satisfied."""
+
+    job: Job
+    outcome: str            # "queued" | "cached" | "coalesced"
+
+    @property
+    def cached(self) -> bool:
+        return self.outcome == "cached"
+
+
+class ScanService:
+    """A long-lived scan scheduler over the store + queue + workers."""
+
+    def __init__(self, store: "ArtifactStore | str" = ":memory:",
+                 config: ScanServiceConfig | None = None,
+                 policy: ResiliencePolicy | None = None,
+                 journal: "CampaignJournal | str | None" = None,
+                 ingest_budget=None):
+        self.store = (store if isinstance(store, ArtifactStore)
+                      else ArtifactStore(store))
+        self.config = config or ScanServiceConfig()
+        self.policy = policy or ResiliencePolicy()
+        if isinstance(journal, CampaignJournal) or journal is None:
+            self.journal = journal
+        else:
+            self.journal = CampaignJournal(journal)
+        self.ingest_budget = ingest_budget
+        self.queue = JobQueue(max_depth=self.config.max_depth)
+        self.quarantine = Quarantine(self.policy.quarantine_after)
+        self.perf = ThroughputStats(jobs=self.config.workers)
+        self.started_s = time.time()
+
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, Job] = {}   # scan_key -> live job
+        self._running = 0
+        self._submissions = 0
+        self._cache_hits = 0
+        self._coalesce_hits = 0
+        self._admission_rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._quarantined = 0
+        self._accepting = True
+        self._draining = False
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        for index in range(self.config.workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"scan-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def drain(self, wait_s: float = 30.0) -> int:
+        """Graceful shutdown: refuse new work, finish running jobs,
+        checkpoint whatever is still queued.  Returns the number of
+        jobs checkpointed to the journal."""
+        with self._lock:
+            self._accepting = False
+            self._draining = True
+        deadline = time.monotonic() + wait_s
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        checkpointed = 0
+        for job in self.queue.drain():
+            if self._checkpoint(job):
+                checkpointed += 1
+        return checkpointed
+
+    def stop(self, wait_s: float = 30.0) -> int:
+        checkpointed = self.drain(wait_s)
+        self.store.close()
+        return checkpointed
+
+    # -- admission ---------------------------------------------------------
+    def submit_bytes(self, data: bytes, abi_json: "str | dict",
+                     config: dict | None = None, client: str = "anon",
+                     priority: int = 0) -> Submission:
+        """Admit one scan request from raw (untrusted) contract bytes.
+
+        Raises :class:`~repro.resilience.MalformedModule` when the
+        bytes fail sandboxed ingestion (the hostile upload never
+        reaches a worker) and :class:`QueueFull` when the queue depth
+        or the in-flight budget is exceeded.
+        """
+        with self._lock:
+            if not self._accepting:
+                raise QueueFull("service is draining",
+                                depth=self.queue.depth,
+                                limit=self.config.max_depth,
+                                kind="draining")
+        # Sandboxed ingestion *before* admission: a hostile module is
+        # rejected here with a typed MalformedModule diagnostic.
+        try:
+            module = load_untrusted_module(data,
+                                           budget=self.ingest_budget)
+        except MalformedModule:
+            with self._lock:
+                self._admission_rejected += 1
+            raise
+        if isinstance(abi_json, dict):
+            import json as _json
+            abi_json = _json.dumps(abi_json)
+        abi = Abi.from_json(abi_json)
+        merged = dict(DEFAULT_SCAN_CONFIG,
+                      timeout_ms=self.config.default_timeout_ms)
+        merged.update(config or {})
+        from ..engine.deploy import module_content_hash
+        module_hash = module_content_hash(module)
+        task = CampaignTask(
+            module, abi, tools=(merged["tool"],),
+            timeout_ms=float(merged["timeout_ms"]),
+            rng_seed=int(merged["rng_seed"]),
+            address_pool=bool(merged["address_pool"]),
+            policy=self.policy,
+            sample_key=f"{client}:{module_hash[:12]}",
+            divergence_check=bool(merged["divergence_check"]))
+        scan_key = campaign_task_key(task)
+        stored_config = {key: merged[key] for key in DEFAULT_SCAN_CONFIG}
+        # Persist the upload before admission decisions: the journal's
+        # drain checkpoints reference modules by hash, so the bytes
+        # must already be durable by the time a job can be queued.
+        self.store.put_module(module_hash, data)
+
+        with self._lock:
+            self._submissions += 1
+            # Level 1: persistent store hit — serve the verdict now.
+            result_doc = self.store.get_verdict(scan_key)
+            if result_doc is not None:
+                self._cache_hits += 1
+                job = Job(job_id=uuid.uuid4().hex[:12], client=client,
+                          scan_key=scan_key, module_hash=module_hash,
+                          config=stored_config, priority=priority,
+                          state="done", outcome="cached",
+                          submitted_s=time.time(),
+                          result_doc=result_doc)
+                job.finished_s = job.submitted_s
+                self._jobs[job.job_id] = job
+                return Submission(job, "cached")
+            # Level 2: single-flight — attach to the live twin.
+            twin = self._inflight.get(scan_key)
+            if twin is not None and not twin.terminal:
+                self._coalesce_hits += 1
+                twin.waiters += 1
+                return Submission(twin, "coalesced")
+            # Admission control: bounded queue + in-flight budget.
+            inflight = self.queue.depth + self._running
+            if inflight >= self.config.inflight_budget():
+                self.queue.shed += 1
+                raise QueueFull(
+                    f"in-flight budget {self.config.inflight_budget()} "
+                    f"exhausted ({inflight} admitted)",
+                    depth=inflight,
+                    limit=self.config.inflight_budget(),
+                    kind="inflight")
+            job = Job(job_id=uuid.uuid4().hex[:12], client=client,
+                      scan_key=scan_key, module_hash=module_hash,
+                      config=stored_config, task=task,
+                      priority=priority, submitted_s=time.time())
+            self.queue.put(job)          # may raise QueueFull (typed)
+            self._jobs[job.job_id] = job
+            self._inflight[scan_key] = job
+        return Submission(job, "queued")
+
+    def job(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    # -- workers -----------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            if self._draining:
+                return
+            job = self.queue.get(timeout=self.config.poll_s)
+            if job is None:
+                continue
+            with self._lock:
+                job.state = "running"
+                job.started_s = time.time()
+                self._running += 1
+            try:
+                self._run_job(job)
+            finally:
+                with self._lock:
+                    self._running -= 1
+
+    def _run_job(self, job: Job) -> None:
+        tool = job.config["tool"]
+        try:
+            result = run_campaign_task(job.task)
+        except BaseException as exc:  # noqa: BLE001 - thread must survive
+            self._job_failed(job, f"{type(exc).__name__}: {exc}")
+            return
+        doc_error = result.errors.get(tool)
+        if tool not in result.scans:
+            message = (doc_error or {}).get("message", "campaign failed")
+            self._job_failed(job, message)
+            return
+        from ..resilience.journal import campaign_result_to_doc
+        result_doc = campaign_result_to_doc(result)
+        self.store.put_verdict(job.scan_key, job.module_hash,
+                               job.config, result_doc)
+        if result.coverage:
+            self.store.put_coverage(job.scan_key, result.coverage)
+        with self._lock:
+            job.result_doc = result_doc
+            job.state = "done"
+            job.finished_s = time.time()
+            self._completed += 1
+            self._inflight.pop(job.scan_key, None)
+            self._record_latency(job, result)
+
+    def _job_failed(self, job: Job, message: str) -> None:
+        with self._lock:
+            job.attempts += 1
+            job.error = message
+            self.quarantine.record_failure(job.scan_key, message)
+            if self.quarantine.is_quarantined(job.scan_key):
+                job.state = "quarantined"
+                job.finished_s = time.time()
+                self._quarantined += 1
+                self._inflight.pop(job.scan_key, None)
+                self.store.put_quarantine(
+                    job.scan_key, job.module_hash,
+                    self.quarantine.quarantined().get(job.scan_key, []))
+                return
+            if job.attempts <= self.policy.max_retries \
+                    and not self._draining:
+                job.state = "queued"
+                self.queue.put(job, force=True)  # containment re-queue
+                return
+            job.state = "failed"
+            job.finished_s = time.time()
+            self._failed += 1
+            self._inflight.pop(job.scan_key, None)
+
+    def _record_latency(self, job: Job, result) -> None:
+        if job.started_s and job.finished_s:
+            self.perf.record_latency("job",
+                                     job.finished_s - job.started_s)
+        for stage, seconds in result.stage_seconds.items():
+            self.perf.record_latency(stage, seconds)
+        self.perf.campaigns += len(result.scans)
+        self.perf.retries += result.retries
+        self.perf.add_stage_seconds(result.stage_seconds)
+        self.perf.add_cache_deltas(result.instr_cache_hits,
+                                   result.instr_cache_misses,
+                                   result.solver_cache_hits,
+                                   result.solver_cache_misses)
+
+    # -- checkpoint / resume ----------------------------------------------
+    def _checkpoint(self, job: Job) -> bool:
+        """Journal one still-queued job so ``--resume`` can replay it.
+        The module bytes live in the store; the journal records the
+        recipe (module hash + ABI + config + client)."""
+        if self.journal is None:
+            return False
+        abi_json = job.task.abi.to_json() if job.task is not None else ""
+        self.journal.record(job.scan_key, {"pending": {
+            "module_hash": job.module_hash,
+            "abi": abi_json,
+            "config": dict(job.config),
+            "client": job.client,
+            "priority": job.priority,
+        }})
+        return True
+
+    def resume_from_journal(self) -> int:
+        """Resubmit every unclaimed pending job exactly once; returns
+        how many were replayed.  A replayed key is immediately claimed
+        with a tombstone line — the journal is append-only and
+        last-wins, so a second resume (or a crash between replays)
+        can never run the same checkpoint twice."""
+        if self.journal is None:
+            return 0
+        replayed = 0
+        for key, doc in self.journal.load().items():
+            inner = doc.get("result")
+            if not isinstance(inner, dict):
+                continue
+            pending = inner.get("pending")
+            if not isinstance(pending, dict):
+                continue  # claimed tombstone or a campaign result
+            data = self.store.get_module(pending.get("module_hash", ""))
+            if data is None:
+                self.journal.record(key, {"claimed": "module lost"})
+                continue
+            try:
+                submission = self.submit_bytes(
+                    data, pending.get("abi", "{}"),
+                    config=pending.get("config"),
+                    client=pending.get("client", "anon"),
+                    priority=int(pending.get("priority", 0)))
+            except QueueFull:
+                continue  # stays pending for the next resume
+            except MalformedModule:
+                self.journal.record(key, {"claimed": "rejected"})
+                continue
+            self.journal.record(key,
+                                {"claimed": submission.job.job_id})
+            replayed += 1
+        return replayed
+
+    # -- stats -------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            total = self._cache_hits + self._coalesce_hits
+            return {
+                "uptime_s": time.time() - self.started_s,
+                "queue_depth": self.queue.depth,
+                "running": self._running,
+                "inflight_budget": self.config.inflight_budget(),
+                "workers": self.config.workers,
+                "accepting": self._accepting,
+                "submissions": self._submissions,
+                "jobs": states,
+                "completed": self._completed,
+                "failed": self._failed,
+                "quarantined": self._quarantined,
+                "admission_rejected": self._admission_rejected,
+                "shed": self.queue.shed,
+                "dedup": {
+                    "cache_hits": self._cache_hits,
+                    "coalesce_hits": self._coalesce_hits,
+                    "hit_rate": (total / self._submissions
+                                 if self._submissions else 0.0),
+                },
+                "latency": self.perf.latency_percentiles(),
+                "store": self.store.counts(),
+            }

@@ -1,0 +1,168 @@
+"""SQLite-backed, content-addressed artifact store for the scan service.
+
+The store is the service's memory across requests *and* across process
+restarts: uploaded modules, scan verdicts, coverage timelines and
+quarantine records all live in one SQLite file, keyed by the same
+identities the rest of the pipeline already uses —
+
+* modules by :func:`~repro.engine.module_content_hash` (the canonical
+  ``sha256(encode_module(...))`` digest shared with the
+  instrumentation cache and the checkpoint journal), and
+* verdicts by :func:`~repro.resilience.campaign_task_key` (module hash
+  + tool + virtual budget + RNG seed + flags — everything that
+  determines a campaign's result).
+
+Because campaigns are deterministic in that key, a stored verdict can
+be served for a resubmitted identical module+config without re-fuzzing
+and is guaranteed byte-identical to what a fresh campaign would
+produce.  Verdicts are stored as the journal's ``CampaignResult`` JSON
+docs, so the store and the checkpoint journal can never drift apart in
+what a "result" means.
+
+SQLite specifics: one connection (``check_same_thread=False``) behind
+an ``RLock`` — the daemon serves concurrent HTTP threads; WAL mode so
+readers never block the writer.  ``path=":memory:"`` gives the tests a
+throwaway store.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+
+__all__ = ["ArtifactStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS modules (
+    content_hash TEXT PRIMARY KEY,
+    size         INTEGER NOT NULL,
+    data         BLOB NOT NULL,
+    created_s    REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS verdicts (
+    scan_key     TEXT PRIMARY KEY,
+    module_hash  TEXT NOT NULL,
+    config       TEXT NOT NULL,
+    result       TEXT NOT NULL,
+    created_s    REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS coverage (
+    scan_key     TEXT PRIMARY KEY,
+    timeline     TEXT NOT NULL,
+    created_s    REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS quarantine (
+    scan_key     TEXT PRIMARY KEY,
+    module_hash  TEXT NOT NULL,
+    reasons      TEXT NOT NULL,
+    created_s    REAL NOT NULL
+);
+"""
+
+
+class ArtifactStore:
+    """Persistent artifacts of every scan the service has ever run."""
+
+    def __init__(self, path: "str | Path" = ":memory:"):
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(self.path,
+                                     check_same_thread=False)
+        with self._lock, self._conn:
+            if self.path != ":memory:":
+                self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # -- modules -----------------------------------------------------------
+    def put_module(self, content_hash: str, data: bytes) -> None:
+        """Store the raw uploaded bytes under the module's canonical
+        content hash (idempotent; first write wins)."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO modules VALUES (?, ?, ?, ?)",
+                (content_hash, len(data), data, time.time()))
+
+    def get_module(self, content_hash: str) -> bytes | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT data FROM modules WHERE content_hash = ?",
+                (content_hash,)).fetchone()
+        return bytes(row[0]) if row else None
+
+    # -- verdicts ----------------------------------------------------------
+    def put_verdict(self, scan_key: str, module_hash: str,
+                    config: dict, result_doc: dict) -> None:
+        """Record one completed campaign's result doc (last wins —
+        campaigns are deterministic in ``scan_key``, so a rewrite can
+        only ever store the same value)."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO verdicts VALUES (?, ?, ?, ?, ?)",
+                (scan_key, module_hash,
+                 json.dumps(config, sort_keys=True),
+                 json.dumps(result_doc, sort_keys=True), time.time()))
+
+    def get_verdict(self, scan_key: str) -> dict | None:
+        """The stored ``CampaignResult`` doc, or None on a miss."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT result FROM verdicts WHERE scan_key = ?",
+                (scan_key,)).fetchone()
+        return json.loads(row[0]) if row else None
+
+    # -- coverage timelines ------------------------------------------------
+    def put_coverage(self, scan_key: str, coverage: dict) -> None:
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO coverage VALUES (?, ?, ?)",
+                (scan_key, json.dumps(coverage, sort_keys=True),
+                 time.time()))
+
+    def get_coverage(self, scan_key: str) -> dict | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT timeline FROM coverage WHERE scan_key = ?",
+                (scan_key,)).fetchone()
+        return json.loads(row[0]) if row else None
+
+    # -- quarantine records ------------------------------------------------
+    def put_quarantine(self, scan_key: str, module_hash: str,
+                       reasons: list[str]) -> None:
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO quarantine VALUES (?, ?, ?, ?)",
+                (scan_key, module_hash,
+                 json.dumps(list(reasons)), time.time()))
+
+    def get_quarantine(self, scan_key: str) -> list[str] | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT reasons FROM quarantine WHERE scan_key = ?",
+                (scan_key,)).fetchone()
+        return json.loads(row[0]) if row else None
+
+    def quarantined_keys(self) -> list[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT scan_key FROM quarantine ORDER BY scan_key")
+            return [row[0] for row in rows.fetchall()]
+
+    # -- accounting --------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        out = {}
+        with self._lock:
+            for table in ("modules", "verdicts", "coverage",
+                          "quarantine"):
+                row = self._conn.execute(
+                    f"SELECT COUNT(*) FROM {table}").fetchone()
+                out[table] = row[0]
+        return out

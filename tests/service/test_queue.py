@@ -1,0 +1,73 @@
+"""JobQueue: bounds, typed shed, priority, per-client fairness."""
+
+import pytest
+
+from repro.service import Job, JobQueue, QueueFull
+
+
+def _job(client: str = "a", priority: int = 0, n: int = 0) -> Job:
+    return Job(job_id=f"{client}{priority}{n}", client=client,
+               scan_key=f"k{client}{priority}{n}", module_hash="h",
+               config={}, priority=priority)
+
+
+def test_fifo_within_one_client():
+    queue = JobQueue(max_depth=8)
+    first, second = _job(n=1), _job(n=2)
+    queue.put(first)
+    queue.put(second)
+    assert queue.get(timeout=0) is first
+    assert queue.get(timeout=0) is second
+    assert queue.get(timeout=0) is None
+
+
+def test_bounded_depth_sheds_with_typed_rejection():
+    queue = JobQueue(max_depth=2)
+    queue.put(_job(n=1))
+    queue.put(_job(n=2))
+    with pytest.raises(QueueFull) as excinfo:
+        queue.put(_job(n=3))
+    assert excinfo.value.kind == "depth"
+    assert excinfo.value.depth == 2
+    assert excinfo.value.limit == 2
+    assert queue.shed == 1
+    # Containment re-queues bypass the bound — retries are never shed.
+    queue.put(_job(n=4), force=True)
+    assert len(queue) == 3
+
+
+def test_higher_priority_runs_first():
+    queue = JobQueue(max_depth=8)
+    low, high = _job(priority=0), _job(priority=5)
+    queue.put(low)
+    queue.put(high)
+    assert queue.get(timeout=0) is high
+    assert queue.get(timeout=0) is low
+
+
+def test_round_robin_across_clients():
+    queue = JobQueue(max_depth=16)
+    # Client "a" floods; client "b" arrives later with one job.
+    flood = [_job("a", n=n) for n in range(4)]
+    for job in flood:
+        queue.put(job)
+    lone = _job("b")
+    queue.put(lone)
+    order = [queue.get(timeout=0) for _ in range(5)]
+    # "b" is served second, not after the whole flood.
+    assert order[0] is flood[0]
+    assert order[1] is lone
+    assert order[2:] == flood[1:]
+
+
+def test_drain_returns_everything_in_priority_order():
+    queue = JobQueue(max_depth=8)
+    jobs = [_job("a", priority=0), _job("b", priority=3),
+            _job("a", priority=3, n=1)]
+    for job in jobs:
+        queue.put(job)
+    drained = queue.drain()
+    assert len(drained) == 3
+    assert len(queue) == 0
+    assert [j.priority for j in drained] == [3, 3, 0]
+    assert queue.get(timeout=0) is None

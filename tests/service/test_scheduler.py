@@ -1,0 +1,251 @@
+"""ScanService: dedup, single-flight, backpressure, drain/resume.
+
+These run the real pipeline (tiny virtual budgets) against in-memory
+or tmp-path stores; fault injection reuses the resilience fixtures to
+kill jobs mid-flight deterministically.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.resilience import (CampaignJournal, Fault, MalformedModule,
+                              ResiliencePolicy, install_fault_plan)
+from repro.resilience.journal import campaign_result_from_doc
+from repro.service import (QueueFull, ScanService, ScanServiceConfig,
+                           Submission)
+
+from .conftest import FAST_TIMEOUT_MS, contract_bytes
+
+
+def _service(tmp_path=None, workers: int = 1, max_depth: int = 8,
+             policy: ResiliencePolicy | None = None,
+             journal=None, start: bool = True,
+             max_inflight: int | None = None) -> ScanService:
+    store = str(tmp_path / "store.db") if tmp_path else ":memory:"
+    service = ScanService(
+        store=store,
+        config=ScanServiceConfig(workers=workers, max_depth=max_depth,
+                                 max_inflight=max_inflight,
+                                 poll_s=0.02,
+                                 default_timeout_ms=FAST_TIMEOUT_MS),
+        policy=policy, journal=journal)
+    if start:
+        service.start()
+    return service
+
+
+def _wait_terminal(service: ScanService, job_id: str,
+                   timeout_s: float = 60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        job = service.job(job_id)
+        if job is not None and job.terminal:
+            return job
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never became terminal")
+
+
+def test_dedup_hit_returns_byte_identical_scan_result(sample_contract):
+    data, abi = sample_contract
+    service = _service()
+    try:
+        first = service.submit_bytes(data, abi)
+        assert first.outcome == "queued"
+        job = _wait_terminal(service, first.job.job_id)
+        assert job.state == "done"
+
+        second = service.submit_bytes(data, abi)
+        assert second.outcome == "cached"
+        assert second.job.state == "done"
+        # The cached verdict is byte-identical: same JSON doc, and the
+        # rehydrated ScanResult compares equal field by field.
+        assert second.job.result_doc == job.result_doc
+        fresh = campaign_result_from_doc(job.result_doc)
+        cached = campaign_result_from_doc(second.job.result_doc)
+        assert cached.scans["wasai"] == fresh.scans["wasai"]
+        assert service.stats()["dedup"]["cache_hits"] == 1
+    finally:
+        service.stop(wait_s=5)
+
+
+def test_cache_survives_process_restart(tmp_path, sample_contract):
+    data, abi = sample_contract
+    service = _service(tmp_path)
+    try:
+        submission = service.submit_bytes(data, abi)
+        _wait_terminal(service, submission.job.job_id)
+    finally:
+        service.stop(wait_s=5)
+    # A "new process": fresh service over the same store file.
+    reborn = _service(tmp_path, start=False)
+    try:
+        hit = reborn.submit_bytes(data, abi)
+        assert hit.outcome == "cached"
+        assert hit.job.state == "done"
+    finally:
+        reborn.stop(wait_s=1)
+
+
+def test_single_flight_coalesces_concurrent_submits(sample_contract):
+    data, abi = sample_contract
+    # Hold the one campaign open for long enough that every concurrent
+    # submission demonstrably lands while it is in flight.
+    install_fault_plan(Fault(stage="fuzz", kind="hang", hang_s=0.5,
+                             match="burst"))
+    service = _service(workers=2)
+    submissions: list[Submission] = []
+    errors: list[Exception] = []
+    gate = threading.Barrier(6)
+
+    def submit():
+        try:
+            gate.wait(timeout=10)
+            submissions.append(service.submit_bytes(data, abi,
+                                                    client="burst"))
+        except Exception as exc:  # noqa: BLE001 - collected for assert
+            errors.append(exc)
+
+    try:
+        threads = [threading.Thread(target=submit) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        job_ids = {s.job.job_id for s in submissions}
+        assert len(job_ids) == 1  # one job serves all six submissions
+        job = _wait_terminal(service, job_ids.pop())
+        assert job.state == "done"
+        stats = service.stats()
+        # Exactly one campaign ran; every other submission coalesced
+        # onto it (or, if it finished first, hit the store).
+        assert stats["completed"] == 1
+        assert stats["dedup"]["coalesce_hits"] == 5
+        assert stats["queue_depth"] == 0
+    finally:
+        service.stop(wait_s=5)
+
+
+def test_bounded_queue_sheds_typed(sample_contract):
+    # Workers never started: jobs stay queued, so the depth bound and
+    # the in-flight budget are both reachable deterministically.
+    service = _service(workers=1, max_depth=2, max_inflight=2,
+                       start=False)
+    try:
+        for seed in (1, 2):
+            data, abi = contract_bytes(seed=seed)
+            service.submit_bytes(data, abi)
+        data, abi = contract_bytes(seed=3)
+        with pytest.raises(QueueFull) as excinfo:
+            service.submit_bytes(data, abi)
+        assert excinfo.value.kind in ("depth", "inflight")
+        assert service.stats()["shed"] == 1
+        # A duplicate of an already-queued module still coalesces —
+        # dedup is checked before admission control sheds.
+        dup_data, dup_abi = contract_bytes(seed=1)
+        duplicate = service.submit_bytes(dup_data, dup_abi)
+        assert duplicate.outcome == "coalesced"
+    finally:
+        service.stop(wait_s=1)
+
+
+def test_hostile_module_rejected_at_admission(sample_contract):
+    _, abi = sample_contract
+    service = _service(start=False)
+    try:
+        with pytest.raises(MalformedModule):
+            service.submit_bytes(b"\x00asm\x04\x00\x00\x00junk", abi)
+        stats = service.stats()
+        assert stats["admission_rejected"] == 1
+        assert stats["queue_depth"] == 0  # never occupied a worker
+    finally:
+        service.stop(wait_s=1)
+
+
+def test_failed_job_retries_then_quarantines(sample_contract):
+    data, abi = sample_contract
+    # Every fuzz stage for this client dies: the job fails, is retried
+    # once (max_retries=1), then crosses the quarantine threshold.
+    install_fault_plan(Fault(stage="fuzz", kind="error",
+                             match="doomed"))
+    policy = ResiliencePolicy(max_retries=1, quarantine_after=2)
+    service = _service(policy=policy)
+    try:
+        submission = service.submit_bytes(data, abi, client="doomed")
+        job = _wait_terminal(service, submission.job.job_id)
+        assert job.state == "quarantined"
+        assert job.attempts == 2
+        stats = service.stats()
+        assert stats["quarantined"] == 1
+        assert service.store.get_quarantine(job.scan_key)
+    finally:
+        service.stop(wait_s=5)
+
+
+def test_drain_checkpoints_and_resume_replays_exactly_once(
+        tmp_path, sample_contract):
+    journal = CampaignJournal(tmp_path / "service.jsonl")
+    # A worker "crash" mid-job (simulated ^C from the fault plan) plus
+    # two jobs that never got a worker: drain must checkpoint the
+    # queued ones, and resume must replay each exactly once.
+    service = _service(tmp_path, journal=journal, start=False)
+    submitted = {}
+    try:
+        for seed in (1, 2):
+            data, abi = contract_bytes(seed=seed)
+            submission = service.submit_bytes(data, abi, client="c")
+            submitted[seed] = submission.job.scan_key
+        checkpointed = service.drain(wait_s=1)
+        assert checkpointed == 2
+    finally:
+        service.store.close()
+
+    # Daemon restart: same store, same journal.
+    resumed = _service(tmp_path, journal=journal, start=False)
+    try:
+        assert resumed.resume_from_journal() == 2
+        assert resumed.stats()["queue_depth"] == 2
+        # Replayed jobs carry the same scan keys as the originals.
+        with resumed._lock:
+            keys = {job.scan_key for job in resumed._jobs.values()}
+        assert keys == set(submitted.values())
+        # Exactly once: a second resume finds only claim tombstones.
+        assert resumed.resume_from_journal() == 0
+        resumed.start()
+        with resumed._lock:
+            job_ids = list(resumed._jobs)
+        for job_id in job_ids:
+            assert _wait_terminal(resumed, job_id).state == "done"
+    finally:
+        resumed.stop(wait_s=5)
+    # Third service over the same journal: still nothing to replay.
+    third = _service(tmp_path, journal=journal, start=False)
+    try:
+        assert third.resume_from_journal() == 0
+    finally:
+        third.store.close()
+
+
+def test_crashed_job_is_contained_and_store_unpolluted(
+        tmp_path, sample_contract):
+    data, abi = sample_contract
+    # KeyboardInterrupt (the resilience suite's simulated mid-job
+    # kill) escapes the campaign taxonomy; the worker thread must
+    # survive and the job must land in failed, not poison the store.
+    install_fault_plan(Fault(stage="fuzz", kind="abort",
+                             match="victim"))
+    policy = ResiliencePolicy(max_retries=0, quarantine_after=5)
+    service = _service(tmp_path, policy=policy)
+    try:
+        submission = service.submit_bytes(data, abi, client="victim")
+        job = _wait_terminal(service, submission.job.job_id)
+        assert job.state == "failed"
+        assert "KeyboardInterrupt" in (job.error or "")
+        assert service.store.get_verdict(job.scan_key) is None
+        # The service is still alive: an untainted client succeeds.
+        ok = service.submit_bytes(data, abi, client="clean")
+        assert _wait_terminal(service, ok.job.job_id).state == "done"
+    finally:
+        service.stop(wait_s=5)

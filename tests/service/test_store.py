@@ -1,0 +1,85 @@
+"""ArtifactStore: content addressing, round-trips, persistence."""
+
+import threading
+
+from repro.scanner.detectors import ScanResult, VulnerabilityFinding
+from repro.parallel.campaigns import CampaignResult
+from repro.resilience import (campaign_result_from_doc,
+                              campaign_result_to_doc)
+from repro.service import ArtifactStore
+
+
+def _result(detected: bool = True) -> CampaignResult:
+    scan = ScanResult(target_account=7)
+    scan.findings["fake_eos"] = VulnerabilityFinding(
+        "fake_eos", detected, "evidence line")
+    return CampaignResult(
+        scans={"wasai": scan},
+        stage_seconds={"setup": 0.1, "fuzz": 0.5, "scan": 0.01},
+        coverage={"wasai": {"iterations": 42, "covered": 9,
+                            "timeline": [[0.0, 1], [1.5, 9]]}})
+
+
+def test_module_round_trip_and_idempotence():
+    store = ArtifactStore(":memory:")
+    store.put_module("h1", b"\x00asm contents")
+    store.put_module("h1", b"different")  # first write wins
+    assert store.get_module("h1") == b"\x00asm contents"
+    assert store.get_module("missing") is None
+    assert store.counts()["modules"] == 1
+
+
+def test_verdict_round_trip_is_byte_identical():
+    store = ArtifactStore(":memory:")
+    doc = campaign_result_to_doc(_result())
+    store.put_verdict("key", "h1", {"tool": "wasai"}, doc)
+    fetched = store.get_verdict("key")
+    assert fetched == doc
+    rehydrated = campaign_result_from_doc(fetched)
+    assert rehydrated.scans["wasai"] == _result().scans["wasai"]
+    assert rehydrated.coverage == _result().coverage
+
+
+def test_coverage_and_quarantine_tables():
+    store = ArtifactStore(":memory:")
+    timeline = {"wasai": {"timeline": [[0.0, 1], [2.0, 5]]}}
+    store.put_coverage("key", timeline)
+    assert store.get_coverage("key") == timeline
+    store.put_quarantine("bad", "h2", ["crash", "crash again"])
+    assert store.get_quarantine("bad") == ["crash", "crash again"]
+    assert store.quarantined_keys() == ["bad"]
+
+
+def test_persistence_across_reopen(tmp_path):
+    path = tmp_path / "artifacts.db"
+    store = ArtifactStore(path)
+    doc = campaign_result_to_doc(_result())
+    store.put_module("h1", b"bytes")
+    store.put_verdict("key", "h1", {"tool": "wasai"}, doc)
+    store.close()
+    reopened = ArtifactStore(path)
+    assert reopened.get_module("h1") == b"bytes"
+    assert reopened.get_verdict("key") == doc
+    reopened.close()
+
+
+def test_concurrent_writers_do_not_corrupt(tmp_path):
+    store = ArtifactStore(tmp_path / "artifacts.db")
+    errors = []
+
+    def write(index: int) -> None:
+        try:
+            for i in range(20):
+                store.put_module(f"h{index}-{i}", b"x" * 64)
+        except Exception as exc:  # noqa: BLE001 - collected for assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=write, args=(n,))
+               for n in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert store.counts()["modules"] == 80
+    store.close()

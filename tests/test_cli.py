@@ -115,3 +115,83 @@ def test_bench_resilience_flags_accepted(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_bench_reports_latency_percentiles(capsys):
+    code = main(["bench", "table4", "--scale", "0.004",
+                 "--timeout-ms", "5000"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "latency task" in output
+    assert "p95=" in output
+
+
+def test_bench_fail_on_quarantine_gates_exit_code(monkeypatch, capsys):
+    import repro.cli as cli_mod
+
+    def fake_evaluate_corpus(samples, **kwargs):
+        kwargs["perf"].quarantined = 2
+        return {}
+
+    monkeypatch.setattr(cli_mod, "evaluate_corpus",
+                        fake_evaluate_corpus)
+    # Without the flag the (lossy) run still exits 0 — the historical
+    # gap this flag closes.
+    code = main(["bench", "table4", "--scale", "0.004"])
+    assert code == 0
+    capsys.readouterr()
+    code = main(["bench", "table4", "--scale", "0.004",
+                 "--fail-on-quarantine"])
+    assert code == 3
+    assert "quarantined" in capsys.readouterr().err
+
+
+def test_submit_against_unreachable_daemon_fails_cleanly(tmp_path,
+                                                         capsys):
+    out = tmp_path / "victim"
+    main(["gen", "--out", str(out)])
+    capsys.readouterr()
+    with pytest.raises(Exception):
+        # No daemon on this port: urllib raises URLError, which the
+        # CLI deliberately does not swallow into a success code.
+        main(["submit", str(out.with_suffix(".wasm")),
+              "--abi", str(out.with_suffix(".abi.json")),
+              "--url", "http://127.0.0.1:9"])
+
+
+def test_serve_and_submit_round_trip(tmp_path, capsys):
+    import threading
+
+    from repro.service import (ScanService, ScanServiceConfig,
+                               make_server)
+
+    out = tmp_path / "victim"
+    main(["gen", "--out", str(out), "--no-fake-eos-guard"])
+    capsys.readouterr()
+    service = ScanService(
+        store=str(tmp_path / "store.db"),
+        config=ScanServiceConfig(workers=1, poll_s=0.02,
+                                 default_timeout_ms=4000.0))
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05},
+                              daemon=True)
+    thread.start()
+    try:
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        code = main(["submit", str(out.with_suffix(".wasm")),
+                     "--abi", str(out.with_suffix(".abi.json")),
+                     "--url", url, "--wait"])
+        output = capsys.readouterr().out
+        assert code == 1  # vulnerable contract => nonzero, like scan
+        assert "outcome: queued" in output
+        assert '"state": "done"' in output
+        code = main(["status", "--stats", "--url", url])
+        assert code == 0
+        assert '"completed": 1' in capsys.readouterr().out
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop(wait_s=5)
+        thread.join(timeout=5)

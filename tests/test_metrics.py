@@ -66,3 +66,34 @@ def test_property_f1_is_harmonic_mean(tp, fp, tn, fn):
     if p + r:
         assert abs(c.f1 - 2 * p * r / (p + r)) < 1e-12
     assert 0.0 <= c.f1 <= 1.0
+
+
+def test_percentile_interpolates():
+    from repro.metrics import percentile
+    samples = [1.0, 2.0, 3.0, 4.0]
+    assert percentile([], 50) == 0.0
+    assert percentile([7.0], 95) == 7.0
+    assert percentile(samples, 0) == 1.0
+    assert percentile(samples, 100) == 4.0
+    assert percentile(samples, 50) == 2.5
+    assert abs(percentile(samples, 95) - 3.85) < 1e-9
+    # Unsorted input is handled (sorted internally).
+    assert percentile([4.0, 1.0, 3.0, 2.0], 50) == 2.5
+
+
+def test_throughput_latency_percentiles():
+    from repro.metrics import ThroughputStats
+    stats = ThroughputStats()
+    for sample in (0.1, 0.2, 0.3, 0.4):
+        stats.record_latency("task", sample)
+    stats.record_latency("fuzz", 0.05)
+    tiles = stats.latency_percentiles()
+    assert tiles["task"]["n"] == 4
+    assert abs(tiles["task"]["p50_s"] - 0.25) < 1e-9
+    assert tiles["task"]["max_s"] == 0.4
+    assert tiles["fuzz"]["p50_s"] == 0.05
+    as_dict = stats.as_dict()
+    assert as_dict["latency"]["task"]["n"] == 4
+    text = stats.format()
+    assert "latency task" in text
+    assert "p95=" in text
