@@ -163,6 +163,29 @@ def main(argv: list[str] | None = None) -> int:
                             "by a drained daemon (exactly once)")
     serve.add_argument("--max-retries", type=int, default=1)
     serve.add_argument("--quarantine-after", type=int, default=3)
+    serve.add_argument("--job-ttl-s", type=float, default=None,
+                       help="default queue TTL per job; jobs still "
+                            "queued after it expire (terminal state "
+                            "'expired')")
+    serve.add_argument("--promote-after-s", type=float, default=None,
+                       help="anti-starvation: serve any job queued "
+                            "longer than this ahead of every "
+                            "priority band")
+    serve.add_argument("--task-deadline-s", type=float, default=300.0,
+                       help="claim age before the watchdog declares "
+                            "a worker hung and requeues its job "
+                            "(default 300)")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive per-stage failures before "
+                            "the circuit breaker trips (default 3)")
+    serve.add_argument("--breaker-cooldown-s", type=float,
+                       default=30.0,
+                       help="open->half-open cooldown; doubles per "
+                            "re-trip (default 30)")
+    serve.add_argument("--store-max-bytes", type=int, default=None,
+                       help="artifact-store disk budget; writes "
+                            "beyond it shed with HTTP 429 "
+                            "kind=disk")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
 
@@ -196,6 +219,21 @@ def main(argv: list[str] | None = None) -> int:
     status.add_argument("--stats", action="store_true",
                         help="print the daemon's /stats instead")
 
+    chaos = sub.add_parser("chaos",
+                           help="chaos-drill a live in-process daemon "
+                                "under a deterministic fault schedule")
+    chaos.add_argument("--schedule", choices=("ci", "quick"),
+                       default="ci",
+                       help="fault schedule: 'ci' runs every phase, "
+                            "'quick' a fast subset (default ci)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the machine-readable report")
+    chaos.add_argument("--keep-dir", type=Path, default=None,
+                       help="run in (and keep) this directory for "
+                            "post-mortem instead of a temp dir")
+    chaos.add_argument("--verbose", action="store_true",
+                       help="print each phase as it completes")
+
     args = parser.parse_args(argv)
     if args.command == "scan":
         return _cmd_scan(args)
@@ -209,6 +247,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_submit(args)
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return _cmd_bench(args)
 
 
@@ -403,7 +443,13 @@ def _cmd_serve(args) -> int:
         config=ScanServiceConfig(workers=args.workers,
                                  max_depth=args.queue_depth,
                                  max_inflight=args.max_inflight,
-                                 default_timeout_ms=args.timeout_ms),
+                                 default_timeout_ms=args.timeout_ms,
+                                 job_ttl_s=args.job_ttl_s,
+                                 promote_after_s=args.promote_after_s,
+                                 task_deadline_s=args.task_deadline_s,
+                                 breaker_threshold=args.breaker_threshold,
+                                 breaker_cooldown_s=args.breaker_cooldown_s,
+                                 store_max_bytes=args.store_max_bytes),
         policy=ResiliencePolicy(max_retries=args.max_retries,
                                 quarantine_after=args.quarantine_after),
         journal=CampaignJournal(args.journal) if args.journal else None)
@@ -471,6 +517,18 @@ def _cmd_status(args) -> int:
         return 4
     print(json.dumps(doc, indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from .service import run_chaos_drill
+    report = run_chaos_drill(
+        args.schedule, verbose=args.verbose,
+        keep_dir=str(args.keep_dir) if args.keep_dir else None)
+    if args.json:
+        print(json.dumps(report.to_doc(), indent=2, sort_keys=True))
+    else:
+        print(report.format())
+    return 0 if report.ok else 5
 
 
 if __name__ == "__main__":

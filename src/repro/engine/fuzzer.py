@@ -78,6 +78,12 @@ class FuzzReport:
     # every fault the loop absorbed instead of aborting.
     degraded: bool = False
     contained: list[str] = field(default_factory=list)
+    # Which pipeline stage the absorbed feedback failures blamed
+    # (e.g. "solve", "symback"), keyed by stage name with a hit count.
+    # The scan service's circuit breakers consume this: containment
+    # hides the fault from the campaign, but the service still needs
+    # to know *which* stage is failing across jobs.
+    feedback_failure_stages: dict = field(default_factory=dict)
     # Divergence-sentinel verdicts: one entry per trace whose symbolic
     # replay disagreed with the recorded concrete operands.  A sample
     # with any entry here is reported as its own row class, never
@@ -260,6 +266,9 @@ class WasaiFuzzer:
         on random + mutation seeds, exactly the EOSFuzzer loop)."""
         self._feedback_failures += 1
         self.report.contained.append(f"feedback: {exc}")
+        stage = exc.stage or "symback"
+        self.report.feedback_failure_stages[stage] = \
+            self.report.feedback_failure_stages.get(stage, 0) + 1
         if (self._feedback_failures >= self.max_feedback_failures
                 and self.feedback):
             self.feedback = False

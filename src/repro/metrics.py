@@ -100,6 +100,15 @@ class ThroughputStats:
     instr_cache_misses: int = 0
     solver_cache_hits: int = 0
     solver_cache_misses: int = 0
+    # Self-healing ledger (scan-service daemon): how often the runtime
+    # had to repair itself.  Non-zero values are not errors — they are
+    # the healing machinery *working* — but a climbing rate is the
+    # operator's early-warning signal.
+    worker_restarts: int = 0       # watchdog reaps (died + hung)
+    breaker_trips: int = 0         # circuit breakers tripped open
+    breaker_recoveries: int = 0    # breakers closed again via a probe
+    integrity_repairs: int = 0     # store quarantine-and-rebuild runs
+    journal_compactions: int = 0   # journal compaction passes
     # Per-task wall-clock samples, keyed by stage ("task" = whole
     # campaign task; "setup"/"fuzz"/"scan" = pipeline stages; the scan
     # service adds "job" for end-to-end job latency).  Samples feed the
@@ -174,6 +183,13 @@ class ThroughputStats:
                 "hit_rate": self.solver_cache_hit_rate,
             },
             "latency": self.latency_percentiles(),
+            "resilience": {
+                "worker_restarts": self.worker_restarts,
+                "breaker_trips": self.breaker_trips,
+                "breaker_recoveries": self.breaker_recoveries,
+                "integrity_repairs": self.integrity_repairs,
+                "journal_compactions": self.journal_compactions,
+            },
         }
 
     def format(self) -> str:
@@ -193,6 +209,16 @@ class ThroughputStats:
             f"{self.solver_cache_misses} misses "
             f"({self.solver_cache_hit_rate:.1%})",
         ]
+        healing = "".join(
+            f", {count} {label}" for count, label in
+            ((self.worker_restarts, "worker restarts"),
+             (self.breaker_trips, "breaker trips"),
+             (self.breaker_recoveries, "breaker recoveries"),
+             (self.integrity_repairs, "integrity repairs"),
+             (self.journal_compactions, "journal compactions"))
+            if count)
+        if healing:
+            lines.append(f"  self-healing  {healing.lstrip(', ')}")
         for stage in sorted(self.stage_seconds):
             lines.append(f"  stage {stage:<8} "
                          f"{self.stage_seconds[stage]:8.2f}s")

@@ -49,6 +49,11 @@ class CampaignTask:
     policy: ResiliencePolicy | None = None
     sample_key: str = ""      # human-readable sample id (fault scope)
     divergence_check: bool = True  # concolic divergence sentinel
+    # Forced black-box mode: skip the symbolic/solver side entirely
+    # and run WASAI as a pure mutation campaign.  Set by the scan
+    # service while a circuit breaker on a degradable stage is open —
+    # the stage is known-bad, so don't even attempt it.
+    blackbox: bool = False
 
 
 @dataclass
@@ -95,7 +100,8 @@ def _coverage_summary(report) -> dict:
 def _tool_runner(tool: str, task: CampaignTask,
                  stage_seconds: dict[str, float], harness,
                  feedback: bool = True,
-                 coverage: "dict[str, dict] | None" = None):
+                 coverage: "dict[str, dict] | None" = None,
+                 report_cell: "dict | None" = None):
     """A zero-argument closure running one tool once."""
     def run():
         if tool == "wasai":
@@ -109,6 +115,8 @@ def _tool_runner(tool: str, task: CampaignTask,
                 divergence_check=task.divergence_check)
             if coverage is not None:
                 coverage[tool] = _coverage_summary(run_.report)
+            if report_cell is not None:
+                report_cell["report"] = run_.report
             return run_.scan
         if tool == "eosfuzzer":
             run_ = harness.run_eosfuzzer(task.module, task.abi,
@@ -155,9 +163,15 @@ def run_campaign_task(task: CampaignTask) -> CampaignResult:
         degraded: list[str] = []
         retries = 0
         for tool in task.tools:
+            forced_blackbox = task.blackbox and tool == "wasai"
+            report_cell: dict = {}
             runner = _tool_runner(tool, task, stage_seconds, harness,
-                                  coverage=coverage)
+                                  feedback=not forced_blackbox,
+                                  coverage=coverage,
+                                  report_cell=report_cell)
             scan, error, attempts = run_with_retry(runner, policy)
+            if forced_blackbox and error is None:
+                degraded.append(tool)
             retries += attempts - 1
             if error is not None and tool == "wasai" \
                     and policy.should_degrade(error):
@@ -179,6 +193,29 @@ def run_campaign_task(task: CampaignTask) -> CampaignResult:
             if error is not None:
                 errors[tool] = error.to_doc()
                 continue
+            fuzz_report = report_cell.get("report")
+            if tool == "wasai" and tool not in degraded \
+                    and fuzz_report is not None and fuzz_report.degraded:
+                # The fuzzer absorbed repeated symbolic-feedback
+                # failures and fell back to black-box mid-campaign.
+                # Containment keeps the sample alive, but the failing
+                # stage must still be visible at the campaign level —
+                # the scan service's circuit breakers key off it.
+                stages = fuzz_report.feedback_failure_stages
+                stage = max(stages, key=stages.get) if stages \
+                    else "symback"
+                degraded.append(tool)
+                errors[tool] = {
+                    "type": ("SolverError" if stage == "solve"
+                             else "SymbackError"),
+                    "stage": stage,
+                    "message": ("campaign degraded to black-box after "
+                                f"{sum(stages.values())} contained "
+                                f"{stage} failures"),
+                    "sample_id": task.sample_key or None,
+                    "retryable": False,
+                    "degraded": True,
+                }
             scans[tool] = scan
         after = _cache_counters()
         return CampaignResult(

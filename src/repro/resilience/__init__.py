@@ -26,9 +26,9 @@ from .errors import (CampaignError, DEGRADABLE_STAGES, DeployError,
                      MalformedModule, STAGES, ScanError, SolverError,
                      SymbackError, TaskTimeout, TrapStorm, WorkerCrash,
                      task_result_error)
-from .faultinject import (Fault, FaultPlan, clear_fault_plan,
-                          fault_plan, fault_scope, inject,
-                          install_fault_plan, set_fault_scope)
+from .faultinject import (Fault, FaultPlan, WorkerKill,
+                          clear_fault_plan, fault_plan, fault_scope,
+                          inject, install_fault_plan, set_fault_scope)
 from .journal import (CampaignJournal, campaign_result_from_doc,
                       campaign_result_to_doc, campaign_task_key)
 from .policy import Quarantine, ResiliencePolicy, run_with_retry
@@ -39,7 +39,8 @@ __all__ = [
     "FuzzError", "TrapStorm", "SymbackError", "SolverError",
     "DivergenceError", "ScanError", "TaskTimeout", "WorkerCrash",
     "STAGES", "DEGRADABLE_STAGES", "task_result_error",
-    "Fault", "FaultPlan", "install_fault_plan", "clear_fault_plan",
+    "Fault", "FaultPlan", "WorkerKill", "install_fault_plan",
+    "clear_fault_plan",
     "fault_plan", "set_fault_scope", "fault_scope", "inject",
     "CampaignJournal", "campaign_task_key", "campaign_result_to_doc",
     "campaign_result_from_doc",

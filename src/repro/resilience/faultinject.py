@@ -33,9 +33,19 @@ from .errors import (CampaignError, DeployError, DivergenceError,
                      FuzzError, InstrumentError, MalformedModule,
                      ScanError, SolverError, SymbackError, TrapStorm)
 
-__all__ = ["Fault", "FaultPlan", "install_fault_plan",
+__all__ = ["Fault", "FaultPlan", "WorkerKill", "install_fault_plan",
            "clear_fault_plan", "fault_plan", "set_fault_scope",
            "fault_scope", "inject", "should_corrupt"]
+
+
+class WorkerKill(BaseException):
+    """Simulated in-thread worker death (service-scope chaos fault).
+
+    Deliberately a ``BaseException``: it must sail past every
+    ``except Exception`` containment layer, exactly like a real
+    thread-killing condition would, so the supervisor's watchdog — not
+    a try block — is what saves the job.
+    """
 
 _STAGE_ERRORS = {
     "ingest": MalformedModule,
@@ -52,8 +62,13 @@ _STAGE_ERRORS = {
 # "corrupt" is acted on by data-plane chokepoints (should_corrupt),
 # not by inject(): the caller flips recorded data instead of raising,
 # so the seeded defect travels the same path a real divergence would.
+# "kill" raises WorkerKill (a BaseException) — the service-scope
+# worker-death fault the chaos harness fires at the worker-loop
+# chokepoint ("worker"); other service-scope chokepoints are "disk"
+# (store disk-budget guard), "journal" (checkpoint writes) and the
+# data-plane "store" corruption seed.
 FAULT_KINDS = ("error", "transient", "trap_storm", "hang", "crash",
-               "abort", "count", "corrupt")
+               "abort", "count", "corrupt", "kill")
 
 
 @dataclass(frozen=True)
@@ -176,6 +191,8 @@ def inject(stage: str) -> None:
         return
     if fault.kind == "crash":
         os._exit(86)
+    if fault.kind == "kill":
+        raise WorkerKill(f"injected worker kill at {stage}")
     if fault.kind == "abort":
         raise KeyboardInterrupt(f"injected abort at {stage}")
     error_cls = _STAGE_ERRORS.get(stage, CampaignError)

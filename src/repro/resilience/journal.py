@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 
 __all__ = ["CampaignJournal", "campaign_task_key",
@@ -57,12 +58,44 @@ class CampaignJournal:
         return entries
 
     def record(self, key: str, result_doc: dict) -> None:
-        """Append one completed result (flushed line-atomically)."""
+        """Append one completed result (flushed line-atomically).
+
+        The write passes the ``journal`` fault-injection chokepoint so
+        chaos schedules can simulate a full disk / failing fsync; a
+        real ``OSError`` propagates typed to the caller the same way.
+        """
+        from .faultinject import inject
+        inject("journal")
         doc = {"v": _VERSION, "key": key, "result": result_doc}
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(doc, sort_keys=True) + "\n")
             handle.flush()
+
+    def compact(self) -> int:
+        """Rewrite the journal keeping only the last-wins line per key.
+
+        An append-only journal under a long-lived service grows without
+        bound (every retry checkpoint, claim tombstone and verdict
+        record appends a line, even when it supersedes an earlier one).
+        Compaction is crash-safe: the survivors are written to a
+        sibling temp file which atomically replaces the journal, so a
+        kill mid-compaction leaves either the old file or the new one,
+        never a mix.  Returns the number of superseded lines removed.
+        """
+        if not self.path.exists():
+            return 0
+        entries = self.load()
+        with open(self.path, "r", encoding="utf-8") as handle:
+            before = sum(1 for line in handle if line.strip())
+        tmp = self.path.with_suffix(self.path.suffix + ".compact")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for doc in entries.values():
+                handle.write(json.dumps(doc, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        return max(0, before - len(entries))
 
 
 def campaign_task_key(task) -> str:

@@ -1,40 +1,64 @@
-"""repro.service — WASAI as a long-lived scan service.
+"""repro.service — WASAI as a long-lived, self-healing scan service.
 
 The serving layer the ROADMAP's "heavy traffic" north star needs on
 top of the batch pipeline: instead of one-shot ``wasai scan``
 processes whose results die with them, a daemon that continuously
-ingests untrusted modules, answers queries about them and never
-re-fuzzes work it has already done.
+ingests untrusted modules, answers queries about them, never re-fuzzes
+work it has already done — and heals itself when workers die, pipeline
+stages fail in a loop, or its own storage corrupts.
 
 * :mod:`repro.service.store` — SQLite content-addressed artifact
-  store (modules, verdicts, coverage timelines, quarantine records),
-  keyed by the same content hash as the instrumentation cache and the
-  checkpoint journal;
+  store (modules, verdicts, coverage timelines, quarantine records)
+  with per-row content checksums and a disk-budget guard;
+* :mod:`repro.service.integrity` — the typed storage-integrity errors
+  (:class:`StoreCorruption`, :class:`StoreBudgetExceeded`) and the
+  checksum primitive;
 * :mod:`repro.service.queue` — bounded priority queue with per-client
-  fair scheduling and typed backpressure (:class:`QueueFull`);
+  fair scheduling, anti-starvation promotion, per-job TTLs and typed
+  backpressure (:class:`QueueFull`);
+* :mod:`repro.service.supervisor` — the worker watchdog
+  (heartbeats, hung/dead detection, restart-storm guard);
+* :mod:`repro.service.health` — per-stage circuit breakers
+  (:class:`CircuitBreaker`, :class:`BreakerBoard`);
 * :mod:`repro.service.scheduler` — :class:`ScanService`: admission
   (sandboxed ingest), store-level dedup, single-flight coalescing,
-  worker threads, retry/quarantine, drain/resume checkpoints;
+  supervised workers with claim tokens, retry/quarantine, breaker
+  gating, storage quarantine-and-rebuild, drain/resume checkpoints;
 * :mod:`repro.service.api` + :mod:`repro.service.server` — the JSON
   HTTP surface (``POST /scans``, ``GET /scans/{id}``, ``/healthz``,
-  ``/stats``) on a stdlib ``ThreadingHTTPServer``;
+  ``/stats``, ``/integrity``) on a stdlib ``ThreadingHTTPServer``;
 * :mod:`repro.service.client` — the urllib client behind
-  ``wasai submit`` / ``wasai status``.
+  ``wasai submit`` / ``wasai status`` (retries 429s and connection
+  failures with capped, deterministically-jittered backoff);
+* :mod:`repro.service.chaos` — the ``wasai chaos`` drill: a live
+  daemon run under a deterministic fault schedule, asserting the
+  liveness invariants above.
 """
 
 from .api import ServiceApi
+from .chaos import ChaosReport, run_chaos_drill
 from .client import ServiceClient, ServiceError
+from .health import (BLACKBOX_GATED_STAGES, BREAKER_STAGES, BreakerBoard,
+                     CircuitBreaker)
+from .integrity import (StoreBudgetExceeded, StoreCorruption,
+                        content_checksum)
 from .queue import JOB_STATES, Job, JobQueue, QueueFull
 from .scheduler import (DEFAULT_SCAN_CONFIG, ScanService,
                         ScanServiceConfig, Submission)
 from .server import ScanServer, make_server, serve_forever
 from .store import ArtifactStore
+from .supervisor import WorkerRecord, WorkerSupervisor
 
 __all__ = [
     "ArtifactStore",
+    "StoreCorruption", "StoreBudgetExceeded", "content_checksum",
     "Job", "JobQueue", "QueueFull", "JOB_STATES",
+    "WorkerRecord", "WorkerSupervisor",
+    "CircuitBreaker", "BreakerBoard", "BREAKER_STAGES",
+    "BLACKBOX_GATED_STAGES",
     "ScanService", "ScanServiceConfig", "Submission",
     "DEFAULT_SCAN_CONFIG",
     "ServiceApi", "ScanServer", "make_server", "serve_forever",
     "ServiceClient", "ServiceError",
+    "ChaosReport", "run_chaos_drill",
 ]

@@ -19,18 +19,34 @@ Endpoints
     * ``400`` — the upload failed sandboxed ingestion
       (``error: "malformed_module"``) or the request itself is bad;
     * ``429`` — typed backpressure shed (``error: "queue_full"``,
-      with the saturated bound in ``kind``/``limit``).
+      with the saturated bound in ``kind``/``limit`` and a
+      ``retry_after_s`` hint the HTTP layer mirrors as a
+      ``Retry-After`` header).
+
+    Optional body field ``ttl_s`` bounds how long the job may wait in
+    the queue before expiring with the terminal state ``expired``.
 
 ``GET /scans/{id}``
     Job lifecycle doc (``queued | running | done | failed |
-    quarantined``); terminal jobs include the verdict / error.
+    quarantined | expired``); terminal jobs include the verdict /
+    error.
 
 ``GET /healthz``
-    Liveness probe.
+    Readiness + health: ``status`` is ``ok`` (accepting, breakers
+    closed), ``degraded`` (serving, but some pipeline-stage breaker is
+    open — affected scans run black-box-only) or ``draining`` (not
+    accepting: graceful drain or a worker restart storm), plus the
+    supervisor's worker counts and the open breaker list.
 
 ``GET /stats``
-    Queue depth, in-flight, dedup hit rates, shed counts and p50/p95
-    job latency.
+    Queue depth, in-flight, dedup hit rates, shed counts, p50/p95 job
+    latency, per-stage breaker snapshots and the self-healing counters
+    (worker restarts, breaker trips, integrity repairs, journal
+    compactions).
+
+``GET /integrity``
+    On-demand storage integrity sweep: recomputes every stored row's
+    checksum and reports (and by default repairs) corruption.
 """
 
 from __future__ import annotations
@@ -58,10 +74,11 @@ class ServiceApi:
                body: bytes = b"") -> tuple[int, dict]:
         path = path.split("?", 1)[0].rstrip("/") or "/"
         if method == "GET" and path == "/healthz":
-            return 200, {"status": "ok",
-                         "accepting": self.service.stats()["accepting"]}
+            return 200, self.service.health()
         if method == "GET" and path == "/stats":
             return 200, self.service.stats()
+        if method == "GET" and path == "/integrity":
+            return 200, self.service.integrity_sweep()
         if method == "POST" and path == "/scans":
             return self._submit(body)
         if method == "GET" and path.startswith("/scans/"):
@@ -84,11 +101,13 @@ class ServiceApi:
         except (binascii.Error, ValueError) as exc:
             return 400, {"error": "bad_request",
                          "detail": f"module_b64 is not base64: {exc}"}
+        ttl_s = doc.get("ttl_s")
         try:
             submission = self.service.submit_bytes(
                 data, doc["abi"], config=doc.get("config"),
                 client=str(doc.get("client", "anon")),
-                priority=int(doc.get("priority", 0)))
+                priority=int(doc.get("priority", 0)),
+                ttl_s=float(ttl_s) if ttl_s is not None else None)
         except MalformedModule as exc:
             # Hostile upload rejected at admission — it never reached
             # a worker; the diagnostic names the offending byte range.
@@ -98,7 +117,8 @@ class ServiceApi:
         except QueueFull as exc:
             return 429, {"error": "queue_full", "detail": str(exc),
                          "kind": exc.kind, "depth": exc.depth,
-                         "limit": exc.limit}
+                         "limit": exc.limit,
+                         "retry_after_s": exc.retry_after_s}
         job_doc = self._job_doc(submission.job)
         # The job's own outcome says how *it* was admitted; the reply
         # reflects how *this submission* was satisfied (a coalesced

@@ -1,0 +1,423 @@
+"""``wasai chaos`` — drill the self-healing runtime against a live daemon.
+
+The drill boots a real HTTP scan daemon (ephemeral port, throwaway
+store + journal in a temp directory) and marches it through a
+deterministic fault schedule, phase by phase, asserting the liveness
+invariants the self-healing machinery promises:
+
+* **no lost job** — every admitted submission reaches a terminal
+  state, through worker kills, hangs, disk faults and store rebuilds;
+* **no wrong verdict** — every completed scan returns the same result
+  an undisturbed daemon would (verdicts recovered after storage
+  corruption are byte-identical to the originals; breaker-degraded
+  runs are flagged degraded and never cached);
+* **auto-recovery** — after the faults stop, the daemon converges back
+  to ``/healthz`` ``status: ok`` with a full worker complement, with
+  no operator intervention;
+* **accurate accounting** — ``/stats`` reports the healing events
+  (worker restarts, breaker trips/recoveries, integrity repairs,
+  journal compactions) that actually happened;
+* **exactly-once requeue** — a killed or hung worker's job is requeued
+  precisely once (claim-token revocation makes the zombie's result a
+  no-op).
+
+Faults come from the same deterministic
+:mod:`~repro.resilience.faultinject` plans the test suite uses, so a
+failing drill reproduces exactly under the same schedule.  Two
+schedules: ``ci`` (every phase; the chaos-drill CI job runs this) and
+``quick`` (a subset for fast local runs and the unit test).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..benchgen import ContractConfig, generate_contract
+from ..resilience import (CampaignJournal, Fault, clear_fault_plan,
+                          install_fault_plan)
+from ..wasm import encode_module
+from .client import ServiceClient
+from .scheduler import ScanService, ScanServiceConfig
+from .server import make_server
+
+__all__ = ["ChaosReport", "run_chaos_drill", "CHAOS_SCHEDULES"]
+
+# Phase order matters: later phases assert cumulative counters.
+CHAOS_SCHEDULES = {
+    "ci": ("baseline", "worker_kill", "worker_hang",
+           "store_corruption", "journal_truncation", "disk_full",
+           "breaker_cycle", "final_invariants"),
+    "quick": ("baseline", "worker_kill", "disk_full",
+              "breaker_cycle", "final_invariants"),
+}
+
+# Small virtual budget: one campaign lands well under a second of real
+# time while still exercising the full concolic pipeline.
+_DRILL_TIMEOUT_MS = 2_500.0
+_WAIT_S = 90.0
+
+
+class ChaosViolation(AssertionError):
+    """A liveness invariant did not hold under the fault schedule."""
+
+
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise ChaosViolation(message)
+
+
+@dataclass
+class ChaosReport:
+    """What the drill did and which invariants held."""
+
+    schedule: str
+    phases: list[dict] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.phases) and all(p["ok"] for p in self.phases)
+
+    def to_doc(self) -> dict:
+        return {"schedule": self.schedule, "ok": self.ok,
+                "phases": list(self.phases), "stats": self.stats}
+
+    def format(self) -> str:
+        lines = [f"--- chaos drill ({self.schedule}) ---"]
+        for phase in self.phases:
+            mark = "ok " if phase["ok"] else "FAIL"
+            lines.append(f"  [{mark}] {phase['name']:<20} "
+                         f"{phase['seconds']:6.2f}s  {phase['detail']}")
+        verdict = "PASSED" if self.ok else "FAILED"
+        lines.append(f"  drill {verdict}")
+        return "\n".join(lines)
+
+
+class _Drill:
+    """One live daemon plus the helpers the phases share."""
+
+    def __init__(self, root: Path, verbose: bool = False):
+        self.root = root
+        self.verbose = verbose
+        self.config = ScanServiceConfig(
+            workers=2, max_depth=32, poll_s=0.02,
+            default_timeout_ms=_DRILL_TIMEOUT_MS,
+            task_deadline_s=1.25, watchdog_poll_s=0.05,
+            max_restarts=64, restart_window_s=300.0,
+            restart_backoff_s=0.01,
+            breaker_threshold=2, breaker_cooldown_s=0.75)
+        self.journal = CampaignJournal(root / "chaos.jsonl")
+        self.service = ScanService(store=str(root / "chaos.db"),
+                                   config=self.config,
+                                   journal=self.journal)
+        self.server = make_server(self.service, port=0)
+        self.port = self.server.server_address[1]
+        self.thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="chaos-daemon", daemon=True)
+        self.thread.start()
+        self.client = ServiceClient(
+            f"http://127.0.0.1:{self.port}", timeout_s=30.0,
+            max_retries=4, backoff_base_s=0.02, backoff_cap_s=0.25)
+        self.job_ids: list[str] = []
+        self.results: dict[int, dict] = {}   # seed -> result doc
+
+    def close(self) -> None:
+        clear_fault_plan()
+        self.server.shutdown()
+        self.thread.join(timeout=10.0)
+        self.service.stop(wait_s=10.0)
+        self.server.server_close()
+
+    # -- helpers -----------------------------------------------------------
+    def contract(self, seed: int) -> tuple[bytes, str]:
+        generated = generate_contract(
+            ContractConfig(seed=seed, fake_eos_guard=False,
+                           maze_depth=2 + seed % 4))
+        return encode_module(generated.module), generated.abi.to_json()
+
+    def submit_and_wait(self, seed: int, client_name: str,
+                        expect_state: str = "done") -> dict:
+        data, abi = self.contract(seed)
+        doc = self.client.submit(data, abi, client=client_name)
+        job_id = doc["id"]
+        self.job_ids.append(job_id)
+        if doc.get("state") not in ("done", "failed", "quarantined",
+                                    "expired"):
+            doc = self.client.wait(job_id, timeout_s=_WAIT_S,
+                                   poll_s=0.02)
+        _expect(doc.get("state") == expect_state,
+                f"seed {seed} job {job_id} ended "
+                f"{doc.get('state')!r} (wanted {expect_state!r}); "
+                f"error={doc.get('error')!r}")
+        return doc
+
+    def stats(self) -> dict:
+        return self.client.stats()
+
+    # -- phases ------------------------------------------------------------
+    def baseline(self) -> str:
+        """Healthy daemon: scans complete, dedup works, /healthz ok."""
+        first = self.submit_and_wait(0, "baseline")
+        _expect(first.get("result") is not None,
+                "baseline job completed without a result doc")
+        self.results[0] = first["result"]
+        again = self.submit_and_wait(0, "baseline-redo")
+        _expect(again["outcome"] == "cached",
+                f"identical resubmit was {again['outcome']!r}, "
+                "not served from the store")
+        _expect(again["result"] == first["result"],
+                "cached verdict differs from the freshly computed one")
+        health = self.client.health()
+        _expect(health["status"] == "ok",
+                f"healthy daemon reports {health['status']!r}")
+        return "scan + dedup + health all nominal"
+
+    def worker_kill(self) -> str:
+        """A worker dies mid-claim; the watchdog requeues exactly once."""
+        install_fault_plan(Fault(stage="worker", kind="kill", times=1))
+        try:
+            doc = self.submit_and_wait(1, "kill-victim")
+        finally:
+            clear_fault_plan()
+        self.results[1] = doc.get("result")
+        _expect(doc.get("requeues") == 1,
+                f"killed worker's job requeued {doc.get('requeues', 0)} "
+                "times, not exactly once")
+        stats = self.stats()
+        _expect(stats["supervisor"]["reaps"]["died"] >= 1,
+                "watchdog never recorded the dead worker")
+        _expect(stats["resilience"]["worker_restarts"] >= 1,
+                "/stats does not report the worker restart")
+        return (f"worker died, job requeued once, "
+                f"{stats['supervisor']['restarts']} restart(s)")
+
+    def worker_hang(self) -> str:
+        """A worker wedges past the task deadline; the job is revoked
+        from the zombie and requeued exactly once."""
+        hang_s = self.config.task_deadline_s * 2
+        install_fault_plan(Fault(stage="worker", kind="hang",
+                                 hang_s=hang_s, times=1))
+        try:
+            doc = self.submit_and_wait(2, "hang-victim")
+        finally:
+            clear_fault_plan()
+        _expect(doc.get("requeues") == 1,
+                f"hung worker's job requeued {doc.get('requeues', 0)} "
+                "times, not exactly once")
+        stats = self.stats()
+        _expect(stats["supervisor"]["reaps"]["hung"] >= 1,
+                "watchdog never declared the wedged worker hung")
+        # Give the zombie time to wake and try to write: its claim was
+        # revoked, so the completed job's verdict must stay stable.
+        time.sleep(hang_s + 0.5)
+        after = self.client.status(doc["id"])
+        _expect(after["state"] == "done"
+                and after.get("result") == doc.get("result"),
+                "zombie worker's late result disturbed the job")
+        return "hung worker abandoned, zombie's late write discarded"
+
+    def store_corruption(self) -> str:
+        """A verdict row is corrupted at rest; the next read detects
+        it, quarantines the database and rebuilds from the journal."""
+        # after=1 skips the module write: the 2nd store write of the
+        # next submission is the verdict row.
+        install_fault_plan(Fault(stage="store", kind="corrupt",
+                                 after=1, times=1))
+        try:
+            first = self.submit_and_wait(3, "corrupt-victim")
+        finally:
+            clear_fault_plan()
+        self.results[3] = first["result"]
+        again = self.submit_and_wait(3, "corrupt-redo")
+        _expect(again["outcome"] == "cached",
+                "verdict not re-served after store recovery "
+                f"(outcome {again['outcome']!r})")
+        _expect(again["result"] == first["result"],
+                "recovered verdict differs from the original — "
+                "a wrong verdict was served")
+        stats = self.stats()
+        _expect(stats["resilience"]["integrity_repairs"] >= 1,
+                "/stats does not report the store repair")
+        sweep = self.client.integrity()
+        _expect(sweep["corrupt_rows"] == 0,
+                f"store still corrupt after rebuild: {sweep}")
+        quarantined = list(Path(self.root).glob("chaos.db.corrupt-*"))
+        _expect(len(quarantined) >= 1,
+                "corrupt database image was not quarantined aside")
+        return ("verdict row corrupted, store rebuilt from journal, "
+                "recovered verdict byte-identical")
+
+    def journal_truncation(self) -> str:
+        """A torn (truncated) journal line neither breaks resume
+        parsing nor survives compaction."""
+        path = self.journal.path
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "key": "torn-by-a-crash", "resu')
+        before = self.journal.load()
+        _expect("torn-by-a-crash" not in before,
+                "truncated journal line was parsed as a real entry")
+        removed = self.service.compact_journal()
+        _expect(removed >= 1,
+                f"compaction removed {removed} lines; the torn line "
+                "survived")
+        _expect(self.journal.load().keys() == before.keys(),
+                "compaction lost journal entries")
+        stats = self.stats()
+        _expect(stats["resilience"]["journal_compactions"] >= 1,
+                "/stats does not report the journal compaction")
+        doc = self.submit_and_wait(4, "post-compaction")
+        self.results[4] = doc.get("result")
+        return (f"torn line dropped, {removed} stale line(s) "
+                "compacted, journal still serving")
+
+    def disk_full(self) -> str:
+        """One store write fails like a full disk: the submission is
+        shed with typed 429 + Retry-After, and the client's backoff
+        absorbs it."""
+        sleeps: list[float] = []
+        patient = ServiceClient(self.client.base_url, timeout_s=30.0,
+                                max_retries=4, backoff_base_s=0.01,
+                                backoff_cap_s=0.1,
+                                sleep=lambda s: (sleeps.append(s),
+                                                 time.sleep(s)))
+        data, abi = self.contract(5)
+        install_fault_plan(Fault(stage="disk", kind="error", times=1))
+        try:
+            doc = patient.submit(data, abi, client="disk-victim")
+        finally:
+            clear_fault_plan()
+        self.job_ids.append(doc["id"])
+        final = patient.wait(doc["id"], timeout_s=_WAIT_S, poll_s=0.02)
+        _expect(final["state"] == "done",
+                f"job after disk fault ended {final['state']!r}")
+        self.results[5] = final.get("result")
+        _expect(len(sleeps) >= 1,
+                "client never backed off, yet the first attempt was "
+                "shed with 429")
+        stats = self.stats()
+        _expect(stats["shed"] >= 1,
+                "/stats does not count the disk-budget shed")
+        return (f"write shed with 429/Retry-After, client retried "
+                f"after {sleeps[0]:.3f}s and succeeded")
+
+    def breaker_cycle(self) -> str:
+        """A deterministically failing solver trips the stage breaker;
+        open-state jobs run black-box (and are not cached); a cooldown
+        probe closes it again."""
+        install_fault_plan(Fault(stage="solve", kind="error"))
+        try:
+            for seed, name in ((6, "solver-down-1"), (7, "solver-down-2")):
+                doc = self.submit_and_wait(seed, name)
+                _expect("wasai" in doc["result"].get("degraded", ()),
+                        f"seed {seed} did not degrade despite the "
+                        "dead solver")
+            health = self.client.health()
+            _expect(health["status"] == "degraded"
+                    and "solve" in health["breakers"]["open"],
+                    f"solve breaker not open after "
+                    f"{self.config.breaker_threshold} consecutive "
+                    f"failures: {health}")
+            forced = self.submit_and_wait(8, "blackbox-era")
+            _expect("wasai" in forced["result"].get("degraded", ()),
+                    "open breaker did not force black-box mode")
+            _expect(self.service.store.get_verdict(
+                        forced["scan_key"]) is None,
+                    "a breaker-degraded verdict was cached — it could "
+                    "be served as the full-pipeline answer later")
+        finally:
+            clear_fault_plan()
+        time.sleep(self.config.breaker_cooldown_s + 0.3)
+        probe = self.submit_and_wait(9, "probe")
+        _expect(not probe["result"].get("degraded"),
+                "the half-open probe did not run the full pipeline")
+        self.results[9] = probe["result"]
+        health = self.client.health()
+        _expect(health["status"] == "ok",
+                f"breaker did not close after the probe: {health}")
+        stats = self.stats()
+        _expect(stats["resilience"]["breaker_trips"] >= 1
+                and stats["resilience"]["breaker_recoveries"] >= 1,
+                "/stats does not report the breaker trip/recovery")
+        # The black-box-era contract now gets its full verdict.
+        full = self.submit_and_wait(8, "post-recovery")
+        _expect(not full["result"].get("degraded"),
+                "post-recovery rescan still degraded")
+        self.results[8] = full["result"]
+        return ("solve breaker tripped after 2 failures, black-box era "
+                "not cached, probe recovered, full verdict backfilled")
+
+    def final_invariants(self) -> str:
+        """Converged: nothing lost, health green, books balanced."""
+        lost = []
+        for job_id in self.job_ids:
+            doc = self.client.status(job_id)
+            if doc.get("state") not in ("done",):
+                lost.append((job_id, doc.get("state")))
+        _expect(not lost, f"jobs not completed after the drill: {lost}")
+        health = self.client.health()
+        _expect(health["status"] == "ok", f"not healthy: {health}")
+        _expect(health["workers"]["alive"] >= self.config.workers,
+                f"worker pool not restored: {health['workers']}")
+        redo = self.submit_and_wait(0, "final-redo")
+        _expect(redo["outcome"] == "cached"
+                and redo["result"] == self.results[0],
+                "post-drill verdict for the baseline contract changed")
+        stats = self.stats()
+        _expect(stats["accepting"] is True,
+                "daemon stopped accepting during the drill")
+        return (f"{len(self.job_ids)} jobs all terminal-done, "
+                "health ok, baseline verdict unchanged")
+
+
+def run_chaos_drill(schedule: str = "ci", *, verbose: bool = False,
+                    keep_dir: "str | None" = None) -> ChaosReport:
+    """Run one chaos schedule against a freshly booted daemon.
+
+    ``keep_dir``, when given, is used as the drill's working directory
+    and left on disk for post-mortem (default: a temp dir, removed)."""
+    if schedule not in CHAOS_SCHEDULES:
+        raise ValueError(
+            f"unknown chaos schedule {schedule!r}; "
+            f"choose from {sorted(CHAOS_SCHEDULES)}")
+    root = Path(keep_dir) if keep_dir else \
+        Path(tempfile.mkdtemp(prefix="wasai-chaos-"))
+    root.mkdir(parents=True, exist_ok=True)
+    report = ChaosReport(schedule=schedule)
+    drill = _Drill(root, verbose=verbose)
+    try:
+        for name in CHAOS_SCHEDULES[schedule]:
+            phase = getattr(drill, name)
+            started = time.monotonic()
+            try:
+                detail = phase()
+                ok = True
+            except ChaosViolation as exc:
+                detail, ok = str(exc), False
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                detail, ok = f"{type(exc).__name__}: {exc}", False
+            finally:
+                clear_fault_plan()
+            entry = {"name": name, "ok": ok, "detail": detail,
+                     "seconds": time.monotonic() - started}
+            report.phases.append(entry)
+            if verbose:
+                mark = "ok" if ok else "FAIL"
+                print(f"[chaos] {mark:<4} {name}: {detail}")
+            if not ok:
+                break
+        try:
+            report.stats = drill.stats()
+        except Exception:  # noqa: BLE001 - daemon may be wedged
+            report.stats = {}
+    finally:
+        drill.close()
+        if not keep_dir:
+            shutil.rmtree(root, ignore_errors=True)
+    return report

@@ -6,17 +6,39 @@ verdict is already in the response, a 202 is an admitted job to poll,
 a 429 is an explicit backpressure shed the caller should back off
 from, and a 400 ``malformed_module`` means the upload was rejected at
 admission and will never produce a verdict.
+
+Transient failures are the client's problem to absorb, not the
+caller's: a 429 shed, a connection refused (daemon restarting under
+its supervisor) or a reset mid-request (worker storm, drain race) is
+retried with capped exponential backoff before anything surfaces.
+The delay honors the daemon's ``Retry-After`` header when one is
+present; otherwise it is ``backoff_base_s * 2^attempt`` capped at
+``backoff_cap_s``, plus a *deterministic* jitter derived from the
+request path and attempt number (crc32, not ``random``) so retry
+storms from many clients de-synchronize while any single run stays
+reproducible.  A raw :class:`urllib.error.URLError` never escapes:
+exhausted retries surface as a typed :class:`ServiceError` with
+status 503.
 """
 
 from __future__ import annotations
 
 import json
 import base64
+import http.client
 import time
 import urllib.error
 import urllib.request
+import zlib
 
 __all__ = ["ServiceClient", "ServiceError"]
+
+# Connection-level failures worth retrying: the daemon is restarting,
+# draining, or the socket died mid-flight.  Anything else (DNS, bad
+# URL) fails fast.
+_TRANSIENT_EXCS = (ConnectionError, ConnectionResetError,
+                   ConnectionRefusedError, http.client.RemoteDisconnected,
+                   http.client.BadStatusLine)
 
 
 class ServiceError(Exception):
@@ -37,13 +59,37 @@ class ServiceClient:
     """Talk to one ``wasai serve`` daemon."""
 
     def __init__(self, base_url: str = "http://127.0.0.1:8734",
-                 timeout_s: float = 30.0):
+                 timeout_s: float = 30.0, *,
+                 max_retries: int = 3,
+                 backoff_base_s: float = 0.1,
+                 backoff_cap_s: float = 5.0,
+                 sleep=time.sleep):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._sleep = sleep
 
     # -- plumbing ----------------------------------------------------------
-    def _request(self, method: str, path: str,
-                 doc: dict | None = None) -> tuple[int, dict]:
+    def _retry_delay(self, path: str, attempt: int,
+                     retry_after: "str | None" = None) -> float:
+        if retry_after is not None:
+            try:
+                return min(max(0.0, float(retry_after)),
+                           self.backoff_cap_s)
+            except ValueError:
+                pass
+        delay = min(self.backoff_base_s * (2 ** attempt),
+                    self.backoff_cap_s)
+        # Deterministic jitter in [0, delay/2): same request + attempt
+        # always waits the same, different clients/paths spread out.
+        seed = zlib.crc32(f"{path}:{attempt}".encode("utf-8"))
+        return delay + (seed % 1000) / 1000.0 * delay / 2
+
+    def _request_once(self, method: str, path: str,
+                      doc: dict | None = None) -> tuple[int, dict, dict]:
+        """One attempt: (status, payload, headers)."""
         body = None
         headers = {"Accept": "application/json"}
         if doc is not None:
@@ -55,13 +101,54 @@ class ServiceClient:
         try:
             with urllib.request.urlopen(request,
                                         timeout=self.timeout_s) as resp:
-                return resp.status, json.loads(resp.read() or b"{}")
+                return (resp.status, json.loads(resp.read() or b"{}"),
+                        dict(resp.headers))
         except urllib.error.HTTPError as exc:
             try:
                 payload = json.loads(exc.read() or b"{}")
             except ValueError:
                 payload = {"error": "bad_response"}
-            return exc.code, payload
+            return exc.code, payload, dict(exc.headers or {})
+
+    def _request(self, method: str, path: str,
+                 doc: dict | None = None) -> tuple[int, dict]:
+        last_connect_error: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                status, payload, headers = self._request_once(
+                    method, path, doc)
+            except urllib.error.URLError as exc:
+                reason = getattr(exc, "reason", None)
+                if not isinstance(reason, _TRANSIENT_EXCS) \
+                        or attempt >= self.max_retries:
+                    if isinstance(reason, _TRANSIENT_EXCS):
+                        last_connect_error = exc
+                        break
+                    raise ServiceError(503, {
+                        "error": "unavailable",
+                        "detail": f"{type(exc).__name__}: {exc}",
+                    }) from exc
+                last_connect_error = exc
+                self._sleep(self._retry_delay(path, attempt))
+                continue
+            except _TRANSIENT_EXCS as exc:
+                # A reset can also surface bare (mid-body, keep-alive).
+                last_connect_error = exc
+                if attempt >= self.max_retries:
+                    break
+                self._sleep(self._retry_delay(path, attempt))
+                continue
+            if status == 429 and attempt < self.max_retries:
+                self._sleep(self._retry_delay(
+                    path, attempt, headers.get("Retry-After")))
+                continue
+            return status, payload
+        raise ServiceError(503, {
+            "error": "unavailable",
+            "detail": (f"daemon unreachable after "
+                       f"{self.max_retries + 1} attempts: "
+                       f"{last_connect_error}"),
+        }) from last_connect_error
 
     def _checked(self, method: str, path: str,
                  doc: dict | None = None) -> dict:
@@ -77,9 +164,14 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._checked("GET", "/stats")
 
+    def integrity(self) -> dict:
+        """Trigger (and fetch) an on-demand store integrity sweep."""
+        return self._checked("GET", "/integrity")
+
     def submit(self, wasm_bytes: bytes, abi_json: "str | dict",
                config: dict | None = None, client: str = "cli",
-               priority: int = 0) -> dict:
+               priority: int = 0,
+               ttl_s: float | None = None) -> dict:
         """Submit one module; returns the job doc (``outcome`` is
         ``cached`` / ``coalesced`` / ``queued``)."""
         doc = {
@@ -90,6 +182,8 @@ class ServiceClient:
         }
         if config:
             doc["config"] = config
+        if ttl_s is not None:
+            doc["ttl_s"] = ttl_s
         return self._checked("POST", "/scans", doc)
 
     def status(self, job_id: str) -> dict:
@@ -102,7 +196,7 @@ class ServiceClient:
         while True:
             doc = self.status(job_id)
             if doc.get("state") in ("done", "failed", "quarantined",
-                                    "rejected"):
+                                    "expired", "rejected"):
                 return doc
             if time.monotonic() >= deadline:
                 raise TimeoutError(

@@ -1,4 +1,5 @@
-"""Bounded priority job queue with per-client fair scheduling.
+"""Bounded priority job queue with fair scheduling, anti-starvation
+promotion and per-job TTLs.
 
 The queue is the service's only buffer, and it is *bounded by
 construction*: :meth:`JobQueue.put` raises the typed
@@ -12,37 +13,51 @@ Scheduling is two-level: strict priority first (higher number runs
 sooner), round-robin across clients within a priority band — one
 client flooding the queue cannot starve another client's single job,
 because each ``get`` takes the head job of the *next* client in
-rotation.
+rotation.  Two aging rules temper strict priority:
 
-Job lifecycle: ``queued → running → done | failed | quarantined``
-(plus terminal ``rejected`` for jobs shed at admission).  The
-:class:`Job` record itself is the single source of truth the HTTP
+* **anti-starvation promotion** — a job whose queue age exceeds
+  ``promote_after_s`` is served ahead of every band, oldest first, so
+  a hot high-priority client can delay low-priority work but never
+  park it forever;
+* **per-job TTL** — a job still queued after its ``ttl_s`` is expired
+  with the typed terminal state ``"expired"`` (reported through the
+  ``on_expired`` callback) instead of being scanned arbitrarily late;
+  a stale answer the submitter stopped waiting for is a wasted
+  campaign.
+
+Job lifecycle: ``queued → running → done | failed | quarantined |
+expired`` (plus terminal ``rejected`` for jobs shed at admission).
+The :class:`Job` record itself is the single source of truth the HTTP
 layer renders for ``GET /scans/{id}``.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Callable
 
 __all__ = ["Job", "JobQueue", "QueueFull", "JOB_STATES"]
 
 JOB_STATES = ("queued", "running", "done", "failed", "quarantined",
-              "rejected")
+              "expired", "rejected")
 
 
 class QueueFull(Exception):
     """Typed backpressure rejection: the queue (or the service's
-    in-flight budget) is saturated; the submission was shed."""
+    in-flight budget, or the store's disk budget) is saturated; the
+    submission was shed.  ``retry_after_s`` is the server's hint for
+    when a retry is worth attempting (emitted as ``Retry-After``)."""
 
     def __init__(self, message: str, *, depth: int, limit: int,
-                 kind: str = "depth"):
+                 kind: str = "depth", retry_after_s: float = 1.0):
         super().__init__(message)
         self.depth = depth
         self.limit = limit
-        self.kind = kind  # "depth" | "inflight"
+        self.kind = kind  # "depth" | "inflight" | "draining" | "disk"
+        self.retry_after_s = retry_after_s
 
 
 @dataclass
@@ -65,11 +80,15 @@ class Job:
     error: str | None = None
     outcome: str = "queued"   # queued | cached | coalesced
     waiters: int = 0          # coalesced submissions sharing this job
+    queued_s: float = 0.0     # queue clock at first enqueue (for aging)
+    ttl_s: float | None = None  # max queue age before "expired"
+    claim: str | None = None  # worker token currently owning the run
+    requeues: int = 0         # watchdog reap re-queues (exactly-once)
 
     @property
     def terminal(self) -> bool:
         return self.state in ("done", "failed", "quarantined",
-                              "rejected")
+                              "expired", "rejected")
 
     def to_doc(self) -> dict:
         doc = {
@@ -84,6 +103,8 @@ class Job:
             "attempts": self.attempts,
             "coalesced_waiters": self.waiters,
         }
+        if self.requeues:
+            doc["requeues"] = self.requeues
         if self.started_s and self.finished_s:
             doc["latency_s"] = self.finished_s - self.started_s
         if self.error is not None:
@@ -92,16 +113,25 @@ class Job:
 
 
 class JobQueue:
-    """Thread-safe bounded queue: priority bands, fair within a band."""
+    """Thread-safe bounded queue: priority bands, fair within a band,
+    age-promoted across bands, TTL-expired when stale."""
 
-    def __init__(self, max_depth: int = 64):
+    def __init__(self, max_depth: int = 64, *,
+                 promote_after_s: float | None = None,
+                 on_expired: "Callable[[Job], None] | None" = None,
+                 clock: Callable[[], float] = time.monotonic):
         self.max_depth = max_depth
+        self.promote_after_s = promote_after_s
+        self.on_expired = on_expired
+        self._clock = clock
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
         # priority -> client -> FIFO of jobs; clients rotate per get.
         self._bands: dict[int, "OrderedDict[str, deque[Job]]"] = {}
         self._depth = 0
         self.shed = 0
+        self.expired = 0
+        self.promoted = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -122,33 +152,103 @@ class JobQueue:
                     f"queue depth {self._depth} at limit "
                     f"{self.max_depth}", depth=self._depth,
                     limit=self.max_depth)
+            if job.queued_s == 0.0:
+                # First enqueue only: containment/watchdog re-queues
+                # keep their original age so aging rules still apply.
+                job.queued_s = self._clock()
             band = self._bands.setdefault(job.priority, OrderedDict())
             band.setdefault(job.client, deque()).append(job)
             self._depth += 1
             self._ready.notify()
 
     def get(self, timeout: float | None = None) -> Job | None:
-        """The next job by (priority, client rotation); None on
-        timeout."""
+        """The next job by (age promotion, priority, client rotation);
+        None on timeout.  TTL-expired jobs found on the way are
+        finalized through ``on_expired`` and never returned."""
+        job: Job | None = None
+        expired: list[Job] = []
         with self._lock:
-            while self._depth == 0:
+            while True:
+                self._sweep_expired_locked(expired)
+                if self._depth > 0:
+                    job = self._pick_locked()
+                    break
                 if not self._ready.wait(timeout=timeout):
-                    return None
-            priority = max(p for p, band in self._bands.items()
-                           if band)
+                    break
+        # Callbacks run outside the queue lock: the service finalizes
+        # expired jobs under its own lock, and lock order everywhere
+        # else is service -> queue.
+        if self.on_expired is not None:
+            for stale in expired:
+                self.on_expired(stale)
+        return job
+
+    # -- internals (lock held) ---------------------------------------------
+    def _sweep_expired_locked(self, out: list[Job]) -> None:
+        now = self._clock()
+        for priority in list(self._bands):
             band = self._bands[priority]
-            client, jobs = next(iter(band.items()))
-            job = jobs.popleft()
-            # Rotate: the client goes to the back of its band (or out
-            # of it entirely once drained) so siblings get the next
-            # slot.
-            del band[client]
-            if jobs:
-                band[client] = jobs
+            for client in list(band):
+                jobs = band[client]
+                keep: deque[Job] = deque()
+                stale: list[Job] = []
+                for job in jobs:
+                    if job.ttl_s is not None \
+                            and now - job.queued_s >= job.ttl_s:
+                        stale.append(job)
+                    else:
+                        keep.append(job)
+                if stale:
+                    out.extend(stale)
+                    self.expired += len(stale)
+                    self._depth -= len(stale)
+                    if keep:
+                        band[client] = keep
+                    else:
+                        del band[client]
             if not band:
                 del self._bands[priority]
-            self._depth -= 1
-            return job
+
+    def _pick_locked(self) -> Job:
+        promoted = self._promotable_locked()
+        if promoted is not None:
+            priority, client = promoted
+            self.promoted += 1
+        else:
+            priority = max(p for p, band in self._bands.items()
+                           if band)
+            client = next(iter(self._bands[priority]))
+        band = self._bands[priority]
+        jobs = band[client]
+        job = jobs.popleft()
+        # Rotate: the client goes to the back of its band (or out of
+        # it entirely once drained) so siblings get the next slot.
+        del band[client]
+        if jobs:
+            band[client] = jobs
+        if not band:
+            del self._bands[priority]
+        self._depth -= 1
+        return job
+
+    def _promotable_locked(self) -> "tuple[int, str] | None":
+        """(priority, client) of the oldest head job whose queue age
+        crossed ``promote_after_s``, or None."""
+        if self.promote_after_s is None:
+            return None
+        now = self._clock()
+        oldest: "tuple[float, int, str] | None" = None
+        for priority, band in self._bands.items():
+            for client, jobs in band.items():
+                head = jobs[0]
+                age = now - head.queued_s
+                if age < self.promote_after_s:
+                    continue
+                if oldest is None or head.queued_s < oldest[0]:
+                    oldest = (head.queued_s, priority, client)
+        if oldest is None:
+            return None
+        return oldest[1], oldest[2]
 
     def drain(self) -> list[Job]:
         """Remove and return every queued job (checkpoint path)."""

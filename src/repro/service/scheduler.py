@@ -1,14 +1,16 @@
-"""The scan service core: admission, single-flight dedup, workers.
+"""The scan service core: admission, dedup, supervised workers,
+circuit breakers and storage self-healing.
 
 :class:`ScanService` glues the persistent :class:`ArtifactStore`, the
-bounded :class:`JobQueue` and a pool of worker threads into the
-long-lived analyzer the HTTP daemon fronts.  One submission travels::
+bounded :class:`JobQueue` and a supervised pool of worker threads into
+the long-lived analyzer the HTTP daemon fronts.  One submission
+travels::
 
     bytes -> ingest (sandboxed, typed reject) -> scan_key
           -> store hit?        -> cached verdict, no job runs
           -> in-flight twin?   -> coalesce onto the running job
           -> admission bounds  -> typed QueueFull shed
-          -> queued -> running -> done | failed | quarantined
+          -> queued -> running -> done | failed | quarantined | expired
 
 Dedup levels:
 
@@ -20,34 +22,68 @@ Dedup levels:
   of enqueuing a twin, so N concurrent identical uploads cost exactly
   one fuzzing campaign.
 
+Self-healing (this PR's tentpole) has four pillars:
+
+* **worker supervision** — workers run under a
+  :class:`~repro.service.supervisor.WorkerSupervisor` watchdog.  Every
+  job carries a *claim token* (``worker-name#generation``) stamped
+  under the service lock; every completion path re-checks the claim,
+  so when the watchdog reaps a dead or hung worker and requeues its
+  job, whatever the zombie eventually produces is a no-op — the job is
+  requeued *exactly once*.  A restart storm (too many replacements per
+  window) degrades the service to draining instead of crash-looping.
+* **circuit breakers** — a :class:`~repro.service.health.BreakerBoard`
+  counts consecutive per-stage failures across jobs.  While a breaker
+  on a degradable stage (symbolic replay, solver) is open, new jobs
+  are forced into black-box-only scanning; one probe job per half-open
+  window runs the full pipeline to test recovery.  Forced-black-box
+  verdicts are *not* persisted: the store must never serve a weaker
+  verdict for a scan key that promises the full pipeline.
+* **storage integrity** — every store access routes through a healing
+  wrapper: a typed :class:`StoreCorruption` (checksum mismatch or a
+  malformed SQLite image) quarantines the corrupt database file aside
+  and rebuilds a fresh store from the journal's verdict records.
+  Budget exhaustion surfaces as typed disk backpressure
+  (``QueueFull(kind="disk")``), never a crash.
+* **chaos-ready chokepoints** — the worker loop, the store's disk
+  guard and the journal writes all pass deterministic fault-injection
+  chokepoints, so ``wasai chaos`` can rehearse every healing path
+  against a live daemon.
+
 Failure containment reuses the resilience policy end to end:
 ``run_campaign_task`` retries/degrades *inside* the job, and the
 service retries whole failed jobs up to ``policy.max_retries`` before
-benching the scan key after ``policy.quarantine_after`` failures
-(state ``quarantined``, recorded in the store's quarantine table).
+benching the scan key after ``policy.quarantine_after`` failures.
 
-Graceful drain checkpoints still-queued jobs into the PR-2 JSONL
-journal (module bytes stay in the store; the journal records the
-recipe); :meth:`resume_from_journal` replays them exactly once —
-each replayed key is claimed with a tombstone line, and the
-append-only last-wins journal makes double replay impossible.
+Graceful drain checkpoints still-queued jobs into the JSONL journal;
+:meth:`resume_from_journal` replays them exactly once (claim
+tombstones make double replay impossible) and then compacts the
+journal so it cannot grow without bound across daemon generations.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import uuid
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..eosio.abi import Abi
 from ..metrics import ThroughputStats
 from ..parallel.campaigns import CampaignTask, run_campaign_task
 from ..resilience import (CampaignJournal, MalformedModule, Quarantine,
-                          ResiliencePolicy, campaign_task_key)
+                          ResiliencePolicy, WorkerKill,
+                          campaign_task_key)
+from ..resilience.faultinject import inject
 from ..wasm.hardening import load_untrusted_module
+from .health import (BLACKBOX_GATED_STAGES, BREAKER_STAGES,
+                     BreakerBoard)
+from .integrity import StoreBudgetExceeded, StoreCorruption
 from .queue import Job, JobQueue, QueueFull
 from .store import ArtifactStore
+from .supervisor import WorkerRecord, WorkerSupervisor
 
 __all__ = ["ScanService", "ScanServiceConfig", "Submission",
            "DEFAULT_SCAN_CONFIG"]
@@ -70,6 +106,18 @@ class ScanServiceConfig:
     max_inflight: int | None = None  # queued+running bound; None = auto
     poll_s: float = 0.2          # worker queue poll interval
     default_timeout_ms: float = 30_000.0
+    # -- self-healing knobs ------------------------------------------------
+    job_ttl_s: float | None = None       # default per-job queue TTL
+    promote_after_s: float | None = None  # anti-starvation promotion age
+    task_deadline_s: float = 300.0       # claim age before "hung"
+    watchdog_poll_s: float = 0.25
+    max_restarts: int = 8                # per restart_window_s, then storm
+    restart_window_s: float = 60.0
+    restart_backoff_s: float = 0.05
+    breaker_threshold: int = 3           # consecutive failures to trip
+    breaker_cooldown_s: float = 30.0     # base open->half_open cooldown
+    breaker_max_cooldown_s: float = 300.0
+    store_max_bytes: int | None = None   # disk budget (typed shed)
 
     def inflight_budget(self) -> int:
         if self.max_inflight is not None:
@@ -97,24 +145,34 @@ class ScanService:
                  policy: ResiliencePolicy | None = None,
                  journal: "CampaignJournal | str | None" = None,
                  ingest_budget=None):
-        self.store = (store if isinstance(store, ArtifactStore)
-                      else ArtifactStore(store))
         self.config = config or ScanServiceConfig()
+        self.store = (store if isinstance(store, ArtifactStore)
+                      else ArtifactStore(
+                          store, max_bytes=self.config.store_max_bytes))
         self.policy = policy or ResiliencePolicy()
         if isinstance(journal, CampaignJournal) or journal is None:
             self.journal = journal
         else:
             self.journal = CampaignJournal(journal)
         self.ingest_budget = ingest_budget
-        self.queue = JobQueue(max_depth=self.config.max_depth)
+        self.queue = JobQueue(max_depth=self.config.max_depth,
+                              promote_after_s=self.config.promote_after_s,
+                              on_expired=self._job_expired)
         self.quarantine = Quarantine(self.policy.quarantine_after)
+        self.breakers = BreakerBoard(
+            threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+            max_cooldown_s=self.config.breaker_max_cooldown_s)
+        self.supervisor: WorkerSupervisor | None = None
         self.perf = ThroughputStats(jobs=self.config.workers)
         self.started_s = time.time()
 
         self._lock = threading.RLock()
+        self._heal_lock = threading.Lock()     # store recovery critical section
+        self._journal_lock = threading.Lock()  # append/compact exclusion
         self._jobs: dict[str, Job] = {}
         self._inflight: dict[str, Job] = {}   # scan_key -> live job
-        self._running = 0
+        self._running_jobs: set[str] = set()  # job ids claimed by workers
         self._submissions = 0
         self._cache_hits = 0
         self._coalesce_hits = 0
@@ -122,18 +180,28 @@ class ScanService:
         self._completed = 0
         self._failed = 0
         self._quarantined = 0
+        self._expired = 0
+        self._forced_blackbox = 0
+        self._store_recoveries = 0
+        self._storm = False
         self._accepting = True
         self._draining = False
-        self._threads: list[threading.Thread] = []
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
-        for index in range(self.config.workers):
-            thread = threading.Thread(target=self._worker_loop,
-                                      name=f"scan-worker-{index}",
-                                      daemon=True)
-            thread.start()
-            self._threads.append(thread)
+        if self.supervisor is not None:
+            return
+        cfg = self.config
+        self.supervisor = WorkerSupervisor(
+            self._worker_main, cfg.workers,
+            task_deadline_s=cfg.task_deadline_s,
+            watchdog_poll_s=cfg.watchdog_poll_s,
+            max_restarts=cfg.max_restarts,
+            restart_window_s=cfg.restart_window_s,
+            restart_backoff_s=cfg.restart_backoff_s,
+            on_reap=self._on_reap,
+            on_storm=self._on_storm)
+        self.supervisor.start()
 
     def drain(self, wait_s: float = 30.0) -> int:
         """Graceful shutdown: refuse new work, finish running jobs,
@@ -142,12 +210,12 @@ class ScanService:
         with self._lock:
             self._accepting = False
             self._draining = True
-        deadline = time.monotonic() + wait_s
-        for thread in self._threads:
-            thread.join(max(0.0, deadline - time.monotonic()))
+        if self.supervisor is not None:
+            self.supervisor.stop()
+            self.supervisor.join(wait_s)
         checkpointed = 0
         for job in self.queue.drain():
-            if self._checkpoint(job):
+            if not job.terminal and self._checkpoint(job):
                 checkpointed += 1
         return checkpointed
 
@@ -156,23 +224,143 @@ class ScanService:
         self.store.close()
         return checkpointed
 
+    # -- storage self-healing ----------------------------------------------
+    def _healed(self, op, default=None):
+        """Run one store operation; on typed corruption, quarantine and
+        rebuild the store, then retry once.  ``op`` must re-resolve
+        ``self.store`` itself (the recovery swaps the instance)."""
+        try:
+            return op()
+        except StoreCorruption as exc:
+            self._recover_store(str(exc))
+            try:
+                return op()
+            except StoreCorruption:
+                return default
+
+    def _recover_store(self, reason: str) -> int:
+        """Quarantine the corrupt database file aside and rebuild a
+        fresh store from the journal's verdict records.  Returns how
+        many verdicts were restored."""
+        # Lock order: the service lock may already be held by this
+        # thread (recovery can fire from inside admission); the heal
+        # lock must therefore never wrap an acquisition of self._lock.
+        with self._lock:
+            self._store_recoveries += 1
+        with self._heal_lock:
+            self.perf.integrity_repairs += 1
+            old = self.store
+            path = old.path
+            try:
+                old.close()
+            except Exception:  # noqa: BLE001 - conn may be unusable
+                pass
+            if path != ":memory:":
+                target = None
+                for index in range(1000):
+                    candidate = Path(f"{path}.corrupt-{index}")
+                    if not candidate.exists():
+                        target = candidate
+                        break
+                try:
+                    if target is not None:
+                        os.replace(path, target)
+                except OSError:
+                    pass
+                for suffix in ("-wal", "-shm"):
+                    # Sidecar files would resurrect the corrupt pages.
+                    try:
+                        os.remove(path + suffix)
+                    except OSError:
+                        pass
+            self.store = ArtifactStore(path, max_bytes=old.max_bytes)
+            return self._rebuild_store_from_journal()
+
+    def _rebuild_store_from_journal(self) -> int:
+        """Replay every journaled verdict into the (fresh) store."""
+        if self.journal is None:
+            return 0
+        try:
+            entries = self.journal.load()
+        except OSError:
+            return 0
+        restored = 0
+        for key, doc in entries.items():
+            inner = doc.get("result")
+            if not isinstance(inner, dict):
+                continue
+            verdict = inner.get("verdict")
+            if not isinstance(verdict, dict):
+                continue
+            try:
+                self.store.put_verdict(
+                    key, verdict.get("module_hash", ""),
+                    verdict.get("config", {}),
+                    verdict.get("result", {}))
+                restored += 1
+            except (StoreBudgetExceeded, StoreCorruption):
+                break
+        return restored
+
+    def integrity_sweep(self, repair: bool = True) -> dict:
+        """Recompute every stored row's checksum; with ``repair`` the
+        store is quarantined-and-rebuilt when anything is corrupt."""
+        try:
+            tables = self.store.verify_integrity()
+        except StoreCorruption as exc:
+            if not repair:
+                raise
+            self._recover_store(f"integrity sweep: {exc}")
+            return {"tables": self.store.verify_integrity(),
+                    "corrupt_rows": 0, "repaired": True}
+        corrupt = sum(len(entry["corrupt"])
+                      for entry in tables.values())
+        repaired = False
+        if corrupt and repair:
+            self._recover_store(
+                f"integrity sweep found {corrupt} corrupt rows")
+            tables = self.store.verify_integrity()
+            corrupt = sum(len(entry["corrupt"])
+                          for entry in tables.values())
+            repaired = True
+        return {"tables": tables, "corrupt_rows": corrupt,
+                "repaired": repaired}
+
+    def _journal_record(self, key: str, doc: dict) -> bool:
+        if self.journal is None:
+            return False
+        with self._journal_lock:
+            self.journal.record(key, doc)
+        return True
+
+    def compact_journal(self) -> int:
+        """Drop journal lines superseded by later writes (safe to run
+        on a live service; appends are excluded while compacting)."""
+        if self.journal is None:
+            return 0
+        with self._journal_lock:
+            removed = self.journal.compact()
+        self.perf.journal_compactions += 1
+        return removed
+
     # -- admission ---------------------------------------------------------
     def submit_bytes(self, data: bytes, abi_json: "str | dict",
                      config: dict | None = None, client: str = "anon",
-                     priority: int = 0) -> Submission:
+                     priority: int = 0,
+                     ttl_s: float | None = None) -> Submission:
         """Admit one scan request from raw (untrusted) contract bytes.
 
         Raises :class:`~repro.resilience.MalformedModule` when the
         bytes fail sandboxed ingestion (the hostile upload never
-        reaches a worker) and :class:`QueueFull` when the queue depth
-        or the in-flight budget is exceeded.
+        reaches a worker) and :class:`QueueFull` when the queue depth,
+        the in-flight budget or the store's disk budget is exceeded.
         """
         with self._lock:
             if not self._accepting:
                 raise QueueFull("service is draining",
                                 depth=self.queue.depth,
                                 limit=self.config.max_depth,
-                                kind="draining")
+                                kind="draining", retry_after_s=30.0)
         # Sandboxed ingestion *before* admission: a hostile module is
         # rejected here with a typed MalformedModule diagnostic.
         try:
@@ -203,13 +391,24 @@ class ScanService:
         stored_config = {key: merged[key] for key in DEFAULT_SCAN_CONFIG}
         # Persist the upload before admission decisions: the journal's
         # drain checkpoints reference modules by hash, so the bytes
-        # must already be durable by the time a job can be queued.
-        self.store.put_module(module_hash, data)
+        # must already be durable by the time a job can be queued.  A
+        # blown disk budget is typed backpressure, not a crash.
+        try:
+            self._healed(lambda: self.store.put_module(module_hash,
+                                                       data))
+        except StoreBudgetExceeded as exc:
+            with self._lock:
+                self.queue.shed += 1
+            raise QueueFull(
+                f"store disk budget exhausted: {exc}",
+                depth=self.queue.depth, limit=self.config.max_depth,
+                kind="disk", retry_after_s=5.0) from exc
 
         with self._lock:
             self._submissions += 1
             # Level 1: persistent store hit — serve the verdict now.
-            result_doc = self.store.get_verdict(scan_key)
+            result_doc = self._healed(
+                lambda: self.store.get_verdict(scan_key))
             if result_doc is not None:
                 self._cache_hits += 1
                 job = Job(job_id=uuid.uuid4().hex[:12], client=client,
@@ -228,7 +427,7 @@ class ScanService:
                 twin.waiters += 1
                 return Submission(twin, "coalesced")
             # Admission control: bounded queue + in-flight budget.
-            inflight = self.queue.depth + self._running
+            inflight = self.queue.depth + len(self._running_jobs)
             if inflight >= self.config.inflight_budget():
                 self.queue.shed += 1
                 raise QueueFull(
@@ -240,7 +439,9 @@ class ScanService:
             job = Job(job_id=uuid.uuid4().hex[:12], client=client,
                       scan_key=scan_key, module_hash=module_hash,
                       config=stored_config, task=task,
-                      priority=priority, submitted_s=time.time())
+                      priority=priority, submitted_s=time.time(),
+                      ttl_s=(ttl_s if ttl_s is not None
+                             else self.config.job_ttl_s))
             self.queue.put(job)          # may raise QueueFull (typed)
             self._jobs[job.job_id] = job
             self._inflight[scan_key] = job
@@ -251,42 +452,99 @@ class ScanService:
             return self._jobs.get(job_id)
 
     # -- workers -----------------------------------------------------------
-    def _worker_loop(self) -> None:
+    def _worker_main(self, record: WorkerRecord) -> None:
+        """One supervised worker's loop (``record`` is its identity).
+
+        The claim protocol: the job's ``claim`` field is stamped with
+        this worker's token under the service lock *before* the
+        campaign runs, and every completion path re-checks it.  When
+        the watchdog revokes the claim (worker declared hung) the
+        zombie's eventual result fails the check and is discarded —
+        the requeued job is the only one that can complete.
+        """
         while True:
-            if self._draining:
+            if self._draining or record.abandoned:
                 return
+            record.beat()
             job = self.queue.get(timeout=self.config.poll_s)
             if job is None:
                 continue
             with self._lock:
+                if self._draining or record.abandoned:
+                    self.queue.put(job, force=True)  # back for drain
+                    return
+                record.claim_job(job)
+                job.claim = record.token
                 job.state = "running"
                 job.started_s = time.time()
-                self._running += 1
-            try:
-                self._run_job(job)
-            finally:
-                with self._lock:
-                    self._running -= 1
+                self._running_jobs.add(job.job_id)
+                # Breaker gate: while a degradable-stage breaker is
+                # open, this job runs black-box-only (one probe per
+                # half-open window runs the full pipeline instead).
+                forced = self.breakers.force_blackbox()
+                if job.task is not None:
+                    job.task.blackbox = forced
+                if forced:
+                    self._forced_blackbox += 1
+            # The chaos chokepoint sits AFTER the claim on purpose: an
+            # injected kill/hang leaves a claimed job behind, which is
+            # exactly the mess the watchdog must be able to heal.
+            inject("worker")
+            self._run_job(job, record.token)
+            record.release_job()
 
-    def _run_job(self, job: Job) -> None:
+    def _run_job(self, job: Job, token: str) -> None:
         tool = job.config["tool"]
+        forced_blackbox = bool(job.task is not None
+                               and job.task.blackbox)
         try:
             result = run_campaign_task(job.task)
+        except WorkerKill:
+            raise  # real worker death: the watchdog heals it
         except BaseException as exc:  # noqa: BLE001 - thread must survive
-            self._job_failed(job, f"{type(exc).__name__}: {exc}")
+            self._job_failed(job, token,
+                             f"{type(exc).__name__}: {exc}")
             return
+        with self._lock:
+            self._record_stage_outcomes(
+                result, completed=tool in result.scans,
+                forced_blackbox=forced_blackbox)
         doc_error = result.errors.get(tool)
         if tool not in result.scans:
             message = (doc_error or {}).get("message", "campaign failed")
-            self._job_failed(job, message)
+            self._job_failed(job, token, message)
             return
         from ..resilience.journal import campaign_result_to_doc
         result_doc = campaign_result_to_doc(result)
-        self.store.put_verdict(job.scan_key, job.module_hash,
-                               job.config, result_doc)
-        if result.coverage:
-            self.store.put_coverage(job.scan_key, result.coverage)
         with self._lock:
+            if job.claim != token or job.terminal:
+                return  # claim revoked: the requeued twin owns the job
+        if not forced_blackbox:
+            # Persist (and journal, for store rebuilds) only full-
+            # pipeline verdicts: a breaker-degraded result must never
+            # become the cached answer for this scan key.
+            try:
+                self._healed(lambda: self.store.put_verdict(
+                    job.scan_key, job.module_hash, job.config,
+                    result_doc))
+                if result.coverage:
+                    self._healed(lambda: self.store.put_coverage(
+                        job.scan_key, result.coverage))
+            except StoreBudgetExceeded:
+                pass  # verdict still served from memory this once
+            try:
+                self._journal_record(job.scan_key, {"verdict": {
+                    "module_hash": job.module_hash,
+                    "config": dict(job.config),
+                    "result": result_doc,
+                }})
+            except OSError:
+                pass  # journal write failed; store still has it
+        with self._lock:
+            if job.claim != token or job.terminal:
+                return
+            job.claim = None
+            self._running_jobs.discard(job.job_id)
             job.result_doc = result_doc
             job.state = "done"
             job.finished_s = time.time()
@@ -294,29 +552,112 @@ class ScanService:
             self._inflight.pop(job.scan_key, None)
             self._record_latency(job, result)
 
-    def _job_failed(self, job: Job, message: str) -> None:
+    def _job_failed(self, job: Job, token: "str | None",
+                    message: str) -> None:
         with self._lock:
-            job.attempts += 1
-            job.error = message
-            self.quarantine.record_failure(job.scan_key, message)
-            if self.quarantine.is_quarantined(job.scan_key):
-                job.state = "quarantined"
-                job.finished_s = time.time()
-                self._quarantined += 1
-                self._inflight.pop(job.scan_key, None)
-                self.store.put_quarantine(
-                    job.scan_key, job.module_hash,
-                    self.quarantine.quarantined().get(job.scan_key, []))
-                return
-            if job.attempts <= self.policy.max_retries \
-                    and not self._draining:
-                job.state = "queued"
-                self.queue.put(job, force=True)  # containment re-queue
-                return
-            job.state = "failed"
+            if token is not None and (job.claim != token
+                                      or job.terminal):
+                return  # claim revoked: failure already handled
+            job.claim = None
+            self._running_jobs.discard(job.job_id)
+            self._fail_locked(job, message)
+
+    def _fail_locked(self, job: Job, message: str) -> None:
+        """Retry-or-quarantine one failed attempt (service lock held)."""
+        job.attempts += 1
+        job.error = message
+        self.quarantine.record_failure(job.scan_key, message)
+        if self.quarantine.is_quarantined(job.scan_key):
+            job.state = "quarantined"
             job.finished_s = time.time()
-            self._failed += 1
+            self._quarantined += 1
             self._inflight.pop(job.scan_key, None)
+            try:
+                self._healed(lambda: self.store.put_quarantine(
+                    job.scan_key, job.module_hash,
+                    self.quarantine.quarantined().get(job.scan_key,
+                                                      [])))
+            except StoreBudgetExceeded:
+                pass
+            return
+        if job.attempts <= self.policy.max_retries \
+                and not self._draining:
+            job.state = "queued"
+            self.queue.put(job, force=True)  # containment re-queue
+            return
+        job.state = "failed"
+        job.finished_s = time.time()
+        self._failed += 1
+        self._inflight.pop(job.scan_key, None)
+
+    # -- supervision callbacks ---------------------------------------------
+    def _on_reap(self, record: WorkerRecord, reason: str) -> None:
+        """The watchdog reaped ``record`` (died / hung): revoke its
+        claim and requeue-or-quarantine the orphaned job exactly once."""
+        job = record.job
+        record.release_job()
+        self.perf.worker_restarts += 1
+        if job is None:
+            return
+        with self._lock:
+            if job.claim != record.token or job.terminal:
+                return  # completed (or already requeued) before the sweep
+            job.claim = None
+            self._running_jobs.discard(job.job_id)
+            job.requeues += 1
+            self._fail_locked(job, f"worker {record.token} {reason} "
+                                   f"mid-campaign; job requeued")
+
+    def _on_storm(self) -> None:
+        """Too many worker restarts per window: something is
+        systemically wrong — degrade to draining mode (stop accepting)
+        instead of burning CPU in a crash loop."""
+        with self._lock:
+            self._storm = True
+            self._accepting = False
+
+    def _job_expired(self, job: Job) -> None:
+        """Queue TTL callback (invoked outside the queue lock)."""
+        with self._lock:
+            if job.terminal:
+                return
+            job.state = "expired"
+            job.error = (f"job exceeded its {job.ttl_s:g}s queue TTL "
+                         "before a worker was free")
+            job.finished_s = time.time()
+            self._expired += 1
+            if self._inflight.get(job.scan_key) is job:
+                self._inflight.pop(job.scan_key, None)
+
+    def _record_stage_outcomes(self, result, *, completed: bool,
+                               forced_blackbox: bool) -> None:
+        """Feed per-stage outcomes of one campaign to the breaker
+        board (service lock held).  A stage named in an error doc is a
+        failure.  A *completed* campaign is a success for every other
+        stage it exercised — with one carve-out: the black-box-gated
+        stages (symbolic replay, solver) only count as successes when
+        the campaign actually ran the full pipeline, i.e. it was
+        neither breaker-forced into black-box mode nor internally
+        degraded, so a degraded run can never close the very breaker
+        that is protecting it."""
+        failed_stages = set()
+        for doc in result.errors.values():
+            stage = doc.get("stage")
+            if stage:
+                failed_stages.add(stage)
+        for stage in failed_stages:
+            if self.breakers.record_failure(stage):
+                self.perf.breaker_trips += 1
+        if not completed:
+            return
+        ran_full = not forced_blackbox and not result.degraded
+        for stage in BREAKER_STAGES:
+            if stage in failed_stages:
+                continue
+            if stage in BLACKBOX_GATED_STAGES and not ran_full:
+                continue
+            if self.breakers.record_success(stage):
+                self.perf.breaker_recoveries += 1
 
     def _record_latency(self, job: Job, result) -> None:
         if job.started_s and job.finished_s:
@@ -340,7 +681,7 @@ class ScanService:
         if self.journal is None:
             return False
         abi_json = job.task.abi.to_json() if job.task is not None else ""
-        self.journal.record(job.scan_key, {"pending": {
+        self._journal_record(job.scan_key, {"pending": {
             "module_hash": job.module_hash,
             "abi": abi_json,
             "config": dict(job.config),
@@ -354,7 +695,9 @@ class ScanService:
         how many were replayed.  A replayed key is immediately claimed
         with a tombstone line — the journal is append-only and
         last-wins, so a second resume (or a crash between replays)
-        can never run the same checkpoint twice."""
+        can never run the same checkpoint twice.  The journal is
+        compacted afterwards so claim/verdict churn from previous
+        daemon generations is dropped."""
         if self.journal is None:
             return 0
         replayed = 0
@@ -364,10 +707,11 @@ class ScanService:
                 continue
             pending = inner.get("pending")
             if not isinstance(pending, dict):
-                continue  # claimed tombstone or a campaign result
-            data = self.store.get_module(pending.get("module_hash", ""))
+                continue  # claim tombstone / verdict / campaign result
+            data = self._healed(lambda: self.store.get_module(
+                pending.get("module_hash", "")))
             if data is None:
-                self.journal.record(key, {"claimed": "module lost"})
+                self._journal_record(key, {"claimed": "module lost"})
                 continue
             try:
                 submission = self.submit_bytes(
@@ -378,32 +722,73 @@ class ScanService:
             except QueueFull:
                 continue  # stays pending for the next resume
             except MalformedModule:
-                self.journal.record(key, {"claimed": "rejected"})
+                self._journal_record(key, {"claimed": "rejected"})
                 continue
-            self.journal.record(key,
-                                {"claimed": submission.job.job_id})
+            self._journal_record(key,
+                                 {"claimed": submission.job.job_id})
             replayed += 1
+        try:
+            self.compact_journal()
+        except OSError:
+            pass  # compaction is best-effort; the journal still works
         return replayed
 
-    # -- stats -------------------------------------------------------------
+    # -- health / stats ----------------------------------------------------
+    def health(self) -> dict:
+        """The liveness/readiness doc behind ``GET /healthz``.
+
+        ``ok`` — accepting, all breakers closed; ``degraded`` — serving
+        but some breaker is open/half-open (affected jobs run
+        black-box-only); ``draining`` — not accepting (graceful drain
+        or a restart storm)."""
+        with self._lock:
+            open_stages = self.breakers.open_stages()
+            accepting = self._accepting
+            storm = self._storm
+        status = "ok"
+        if open_stages:
+            status = "degraded"
+        if not accepting:
+            status = "draining"
+        doc = {
+            "status": status,
+            "accepting": accepting,
+            "storm": storm,
+            "breakers": {"open": open_stages},
+            "workers": (self.supervisor.stats()
+                        if self.supervisor is not None
+                        else {"alive": 0,
+                              "configured": self.config.workers,
+                              "restarts": 0,
+                              "reaps": {"died": 0, "hung": 0},
+                              "storm": False}),
+        }
+        return doc
+
     def stats(self) -> dict:
         with self._lock:
             states: dict[str, int] = {}
             for job in self._jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
             total = self._cache_hits + self._coalesce_hits
+            running = len(self._running_jobs)
             return {
                 "uptime_s": time.time() - self.started_s,
                 "queue_depth": self.queue.depth,
-                "running": self._running,
+                "running": running,
                 "inflight_budget": self.config.inflight_budget(),
                 "workers": self.config.workers,
                 "accepting": self._accepting,
+                "health": ("draining" if not self._accepting else
+                           "degraded" if self.breakers.open_stages()
+                           else "ok"),
                 "submissions": self._submissions,
                 "jobs": states,
                 "completed": self._completed,
                 "failed": self._failed,
                 "quarantined": self._quarantined,
+                "expired": self._expired,
+                "promoted": self.queue.promoted,
                 "admission_rejected": self._admission_rejected,
                 "shed": self.queue.shed,
                 "dedup": {
@@ -411,6 +796,19 @@ class ScanService:
                     "coalesce_hits": self._coalesce_hits,
                     "hit_rate": (total / self._submissions
                                  if self._submissions else 0.0),
+                },
+                "breakers": self.breakers.snapshot(),
+                "supervisor": (self.supervisor.stats()
+                               if self.supervisor is not None else None),
+                "resilience": {
+                    "worker_restarts": self.perf.worker_restarts,
+                    "breaker_trips": self.perf.breaker_trips,
+                    "breaker_recoveries": self.perf.breaker_recoveries,
+                    "integrity_repairs": self.perf.integrity_repairs,
+                    "journal_compactions":
+                        self.perf.journal_compactions,
+                    "store_recoveries": self._store_recoveries,
+                    "forced_blackbox": self._forced_blackbox,
                 },
                 "latency": self.perf.latency_percentiles(),
                 "store": self.store.counts(),

@@ -57,6 +57,12 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        if status == 429 and doc.get("retry_after_s") is not None:
+            # The shed hint clients honor before retrying (RFC 9110
+            # allows a delay in seconds; round up so 0.5s isn't "0").
+            self.send_header(
+                "Retry-After",
+                str(max(1, int(-(-float(doc["retry_after_s"]) // 1)))))
         self.end_headers()
         self.wfile.write(payload)
 

@@ -19,10 +19,24 @@ produce.  Verdicts are stored as the journal's ``CampaignResult`` JSON
 docs, so the store and the checkpoint journal can never drift apart in
 what a "result" means.
 
+Integrity: every row carries an end-to-end sha256 content checksum
+(:func:`~repro.service.integrity.content_checksum` over the row's key
++ payload), written at insert and verified on every read — a silently
+bit-flipped page or a hand-edited row surfaces as a typed
+:class:`~repro.service.integrity.StoreCorruption` instead of a wrong
+verdict, and :meth:`ArtifactStore.verify_integrity` sweeps the whole
+database on demand.  ``sqlite3.DatabaseError`` (malformed database
+image) is lifted into the same type.  Writes pass a disk-budget guard
+(``max_bytes``) that raises typed
+:class:`~repro.service.integrity.StoreBudgetExceeded` backpressure
+instead of crashing into a full disk; the guard doubles as the
+``disk`` fault-injection chokepoint for chaos drills.
+
 SQLite specifics: one connection (``check_same_thread=False``) behind
 an ``RLock`` — the daemon serves concurrent HTTP threads; WAL mode so
 readers never block the writer.  ``path=":memory:"`` gives the tests a
-throwaway store.
+throwaway store.  Pre-checksum (PR-4) database files are migrated in
+place: the ``checksum`` column is added and backfilled on open.
 """
 
 from __future__ import annotations
@@ -33,6 +47,11 @@ import threading
 import time
 from pathlib import Path
 
+from ..resilience.errors import CampaignError
+from ..resilience.faultinject import inject, should_corrupt
+from .integrity import (StoreBudgetExceeded, StoreCorruption,
+                        content_checksum)
+
 __all__ = ["ArtifactStore"]
 
 _SCHEMA = """
@@ -40,63 +59,166 @@ CREATE TABLE IF NOT EXISTS modules (
     content_hash TEXT PRIMARY KEY,
     size         INTEGER NOT NULL,
     data         BLOB NOT NULL,
-    created_s    REAL NOT NULL
+    created_s    REAL NOT NULL,
+    checksum     TEXT
 );
 CREATE TABLE IF NOT EXISTS verdicts (
     scan_key     TEXT PRIMARY KEY,
     module_hash  TEXT NOT NULL,
     config       TEXT NOT NULL,
     result       TEXT NOT NULL,
-    created_s    REAL NOT NULL
+    created_s    REAL NOT NULL,
+    checksum     TEXT
 );
 CREATE TABLE IF NOT EXISTS coverage (
     scan_key     TEXT PRIMARY KEY,
     timeline     TEXT NOT NULL,
-    created_s    REAL NOT NULL
+    created_s    REAL NOT NULL,
+    checksum     TEXT
 );
 CREATE TABLE IF NOT EXISTS quarantine (
     scan_key     TEXT PRIMARY KEY,
     module_hash  TEXT NOT NULL,
     reasons      TEXT NOT NULL,
-    created_s    REAL NOT NULL
+    created_s    REAL NOT NULL,
+    checksum     TEXT
 );
 """
+
+_TABLES = ("modules", "verdicts", "coverage", "quarantine")
 
 
 class ArtifactStore:
     """Persistent artifacts of every scan the service has ever run."""
 
-    def __init__(self, path: "str | Path" = ":memory:"):
+    def __init__(self, path: "str | Path" = ":memory:",
+                 max_bytes: int | None = None):
         self.path = str(path)
+        self.max_bytes = max_bytes
         if self.path != ":memory:":
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
         self._conn = sqlite3.connect(self.path,
                                      check_same_thread=False)
-        with self._lock, self._conn:
-            if self.path != ":memory:":
-                self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.executescript(_SCHEMA)
+        try:
+            with self._lock, self._conn:
+                if self.path != ":memory:":
+                    self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.executescript(_SCHEMA)
+                self._migrate()
+        except sqlite3.DatabaseError as exc:
+            # A mangled database image fails at open time, before any
+            # row read; the typed error routes it into the service's
+            # quarantine-and-rebuild path like row corruption would.
+            raise StoreCorruption(
+                f"cannot open store {self.path!r}: {exc}") from exc
 
     def close(self) -> None:
         with self._lock:
             self._conn.close()
 
+    # -- integrity plumbing ------------------------------------------------
+    def _migrate(self) -> None:
+        """Add + backfill the checksum column on pre-checksum stores
+        (the CREATE above only covers fresh databases)."""
+        for table in _TABLES:
+            columns = [row[1] for row in self._conn.execute(
+                f"PRAGMA table_info({table})")]
+            if "checksum" not in columns:
+                self._conn.execute(
+                    f"ALTER TABLE {table} ADD COLUMN checksum TEXT")
+        for hash_, data in self._conn.execute(
+                "SELECT content_hash, data FROM modules "
+                "WHERE checksum IS NULL").fetchall():
+            self._conn.execute(
+                "UPDATE modules SET checksum = ? WHERE content_hash = ?",
+                (content_checksum(hash_, bytes(data)), hash_))
+        for table, key_col, payload_col in (
+                ("verdicts", "scan_key", "result"),
+                ("coverage", "scan_key", "timeline"),
+                ("quarantine", "scan_key", "reasons")):
+            for key, payload in self._conn.execute(
+                    f"SELECT {key_col}, {payload_col} FROM {table} "
+                    "WHERE checksum IS NULL").fetchall():
+                self._conn.execute(
+                    f"UPDATE {table} SET checksum = ? "
+                    f"WHERE {key_col} = ?",
+                    (content_checksum(key, payload), key))
+
+    def _write_checksum(self, *parts: "bytes | str") -> str:
+        """The checksum to store for a new row — deliberately wrong
+        when a ``store``-scope corruption fault is armed, so chaos
+        tests can seed a detectable defect through the real path."""
+        checksum = content_checksum(*parts)
+        if should_corrupt("store"):
+            return "corrupt:" + checksum
+        return checksum
+
+    def _verify(self, table: str, key: str, stored: "str | None",
+                *parts: "bytes | str") -> None:
+        if stored is not None and stored != content_checksum(*parts):
+            raise StoreCorruption(
+                f"checksum mismatch in {table} row {key!r}",
+                table=table, key=key)
+
+    def _guard_write(self, incoming: int) -> None:
+        """Disk-budget guard (and the ``disk`` chaos chokepoint)."""
+        try:
+            inject("disk")
+        except CampaignError as exc:
+            raise StoreBudgetExceeded(
+                f"store write refused: {exc}",
+                used_bytes=self.size_bytes(),
+                budget_bytes=self.max_bytes or 0) from exc
+        if self.max_bytes is not None \
+                and self.size_bytes() + incoming > self.max_bytes:
+            raise StoreBudgetExceeded(
+                f"store at {self.size_bytes()} bytes; writing "
+                f"{incoming} more would exceed the {self.max_bytes}"
+                f"-byte budget",
+                used_bytes=self.size_bytes(),
+                budget_bytes=self.max_bytes)
+
+    def size_bytes(self) -> int:
+        with self._lock:
+            pages = self._conn.execute(
+                "PRAGMA page_count").fetchone()[0]
+            page_size = self._conn.execute(
+                "PRAGMA page_size").fetchone()[0]
+        return int(pages) * int(page_size)
+
+    def _execute(self, sql: str, params: tuple = ()):
+        """Run one statement, lifting driver-level corruption into the
+        typed :class:`StoreCorruption` the scheduler heals from."""
+        try:
+            return self._conn.execute(sql, params)
+        except sqlite3.DatabaseError as exc:
+            raise StoreCorruption(f"sqlite failure: {exc}") from exc
+
     # -- modules -----------------------------------------------------------
     def put_module(self, content_hash: str, data: bytes) -> None:
         """Store the raw uploaded bytes under the module's canonical
         content hash (idempotent; first write wins)."""
+        self._guard_write(len(data))
         with self._lock, self._conn:
-            self._conn.execute(
-                "INSERT OR IGNORE INTO modules VALUES (?, ?, ?, ?)",
-                (content_hash, len(data), data, time.time()))
+            self._execute(
+                "INSERT OR IGNORE INTO modules "
+                "(content_hash, size, data, created_s, checksum) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (content_hash, len(data), data, time.time(),
+                 self._write_checksum(content_hash, data)))
 
     def get_module(self, content_hash: str) -> bytes | None:
         with self._lock:
-            row = self._conn.execute(
-                "SELECT data FROM modules WHERE content_hash = ?",
-                (content_hash,)).fetchone()
-        return bytes(row[0]) if row else None
+            row = self._execute(
+                "SELECT data, checksum FROM modules "
+                "WHERE content_hash = ?", (content_hash,)).fetchone()
+        if not row:
+            return None
+        data = bytes(row[0])
+        self._verify("modules", content_hash, row[1], content_hash,
+                     data)
+        return data
 
     # -- verdicts ----------------------------------------------------------
     def put_verdict(self, scan_key: str, module_hash: str,
@@ -104,65 +226,116 @@ class ArtifactStore:
         """Record one completed campaign's result doc (last wins —
         campaigns are deterministic in ``scan_key``, so a rewrite can
         only ever store the same value)."""
+        result_json = json.dumps(result_doc, sort_keys=True)
+        self._guard_write(len(result_json))
         with self._lock, self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO verdicts VALUES (?, ?, ?, ?, ?)",
+            self._execute(
+                "INSERT OR REPLACE INTO verdicts "
+                "(scan_key, module_hash, config, result, created_s, "
+                "checksum) VALUES (?, ?, ?, ?, ?, ?)",
                 (scan_key, module_hash,
                  json.dumps(config, sort_keys=True),
-                 json.dumps(result_doc, sort_keys=True), time.time()))
+                 result_json, time.time(),
+                 self._write_checksum(scan_key, result_json)))
 
     def get_verdict(self, scan_key: str) -> dict | None:
         """The stored ``CampaignResult`` doc, or None on a miss."""
         with self._lock:
-            row = self._conn.execute(
-                "SELECT result FROM verdicts WHERE scan_key = ?",
-                (scan_key,)).fetchone()
-        return json.loads(row[0]) if row else None
+            row = self._execute(
+                "SELECT result, checksum FROM verdicts "
+                "WHERE scan_key = ?", (scan_key,)).fetchone()
+        if not row:
+            return None
+        self._verify("verdicts", scan_key, row[1], scan_key, row[0])
+        return json.loads(row[0])
 
     # -- coverage timelines ------------------------------------------------
     def put_coverage(self, scan_key: str, coverage: dict) -> None:
+        timeline = json.dumps(coverage, sort_keys=True)
+        self._guard_write(len(timeline))
         with self._lock, self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO coverage VALUES (?, ?, ?)",
-                (scan_key, json.dumps(coverage, sort_keys=True),
-                 time.time()))
+            self._execute(
+                "INSERT OR REPLACE INTO coverage "
+                "(scan_key, timeline, created_s, checksum) "
+                "VALUES (?, ?, ?, ?)",
+                (scan_key, timeline, time.time(),
+                 self._write_checksum(scan_key, timeline)))
 
     def get_coverage(self, scan_key: str) -> dict | None:
         with self._lock:
-            row = self._conn.execute(
-                "SELECT timeline FROM coverage WHERE scan_key = ?",
-                (scan_key,)).fetchone()
-        return json.loads(row[0]) if row else None
+            row = self._execute(
+                "SELECT timeline, checksum FROM coverage "
+                "WHERE scan_key = ?", (scan_key,)).fetchone()
+        if not row:
+            return None
+        self._verify("coverage", scan_key, row[1], scan_key, row[0])
+        return json.loads(row[0])
 
     # -- quarantine records ------------------------------------------------
     def put_quarantine(self, scan_key: str, module_hash: str,
                        reasons: list[str]) -> None:
+        reasons_json = json.dumps(list(reasons))
+        self._guard_write(len(reasons_json))
         with self._lock, self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO quarantine VALUES (?, ?, ?, ?)",
-                (scan_key, module_hash,
-                 json.dumps(list(reasons)), time.time()))
+            self._execute(
+                "INSERT OR REPLACE INTO quarantine "
+                "(scan_key, module_hash, reasons, created_s, checksum) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (scan_key, module_hash, reasons_json, time.time(),
+                 self._write_checksum(scan_key, reasons_json)))
 
     def get_quarantine(self, scan_key: str) -> list[str] | None:
         with self._lock:
-            row = self._conn.execute(
-                "SELECT reasons FROM quarantine WHERE scan_key = ?",
-                (scan_key,)).fetchone()
-        return json.loads(row[0]) if row else None
+            row = self._execute(
+                "SELECT reasons, checksum FROM quarantine "
+                "WHERE scan_key = ?", (scan_key,)).fetchone()
+        if not row:
+            return None
+        self._verify("quarantine", scan_key, row[1], scan_key, row[0])
+        return json.loads(row[0])
 
     def quarantined_keys(self) -> list[str]:
         with self._lock:
-            rows = self._conn.execute(
+            rows = self._execute(
                 "SELECT scan_key FROM quarantine ORDER BY scan_key")
             return [row[0] for row in rows.fetchall()]
+
+    # -- integrity sweep ---------------------------------------------------
+    def verify_integrity(self) -> dict[str, dict]:
+        """Recompute every row's checksum; returns a per-table report
+        ``{"rows": n, "corrupt": [keys...]}``.  Raises
+        :class:`StoreCorruption` if SQLite itself cannot read the
+        database (malformed image)."""
+        specs = (
+            ("modules", "content_hash", "data",
+             lambda key, payload: (key, bytes(payload))),
+            ("verdicts", "scan_key", "result",
+             lambda key, payload: (key, payload)),
+            ("coverage", "scan_key", "timeline",
+             lambda key, payload: (key, payload)),
+            ("quarantine", "scan_key", "reasons",
+             lambda key, payload: (key, payload)),
+        )
+        report: dict[str, dict] = {}
+        with self._lock:
+            for table, key_col, payload_col, parts in specs:
+                rows = self._execute(
+                    f"SELECT {key_col}, {payload_col}, checksum "
+                    f"FROM {table}").fetchall()
+                corrupt = [
+                    key for key, payload, stored in rows
+                    if stored is not None
+                    and stored != content_checksum(*parts(key, payload))
+                ]
+                report[table] = {"rows": len(rows), "corrupt": corrupt}
+        return report
 
     # -- accounting --------------------------------------------------------
     def counts(self) -> dict[str, int]:
         out = {}
         with self._lock:
-            for table in ("modules", "verdicts", "coverage",
-                          "quarantine"):
-                row = self._conn.execute(
+            for table in _TABLES:
+                row = self._execute(
                     f"SELECT COUNT(*) FROM {table}").fetchone()
                 out[table] = row[0]
         return out

@@ -22,14 +22,16 @@ from .conftest import FAST_TIMEOUT_MS, contract_bytes
 def _service(tmp_path=None, workers: int = 1, max_depth: int = 8,
              policy: ResiliencePolicy | None = None,
              journal=None, start: bool = True,
-             max_inflight: int | None = None) -> ScanService:
+             max_inflight: int | None = None,
+             **config_kwargs) -> ScanService:
     store = str(tmp_path / "store.db") if tmp_path else ":memory:"
     service = ScanService(
         store=store,
         config=ScanServiceConfig(workers=workers, max_depth=max_depth,
                                  max_inflight=max_inflight,
                                  poll_s=0.02,
-                                 default_timeout_ms=FAST_TIMEOUT_MS),
+                                 default_timeout_ms=FAST_TIMEOUT_MS,
+                                 **config_kwargs),
         policy=policy, journal=journal)
     if start:
         service.start()
@@ -226,6 +228,153 @@ def test_drain_checkpoints_and_resume_replays_exactly_once(
         assert third.resume_from_journal() == 0
     finally:
         third.store.close()
+
+
+def test_killed_worker_job_requeued_exactly_once(sample_contract):
+    data, abi = sample_contract
+    # The first worker to claim a job dies on the spot (a BaseException
+    # that sails past every except-Exception layer); the watchdog must
+    # reap it, requeue the claimed job exactly once and restart a
+    # worker — the job still completes.
+    install_fault_plan(Fault(stage="worker", kind="kill", times=1))
+    service = _service(workers=1, watchdog_poll_s=0.05,
+                       restart_backoff_s=0.0)
+    try:
+        submission = service.submit_bytes(data, abi)
+        job = _wait_terminal(service, submission.job.job_id)
+        assert job.state == "done"
+        assert job.requeues == 1
+        stats = service.stats()
+        assert stats["supervisor"]["reaps"]["died"] >= 1
+        assert stats["resilience"]["worker_restarts"] >= 1
+        assert service.health()["status"] == "ok"
+    finally:
+        service.stop(wait_s=5)
+
+
+def test_hung_worker_claim_revoked_and_job_requeued(sample_contract):
+    data, abi = sample_contract
+    # The first worker wedges past the task deadline; the watchdog
+    # abandons it (claim revoked — the zombie's eventual result is
+    # discarded) and a replacement finishes the job.
+    install_fault_plan(Fault(stage="worker", kind="hang", hang_s=1.0,
+                             times=1))
+    service = _service(workers=1, task_deadline_s=0.2,
+                       watchdog_poll_s=0.05, restart_backoff_s=0.0)
+    try:
+        submission = service.submit_bytes(data, abi)
+        job = _wait_terminal(service, submission.job.job_id)
+        assert job.state == "done"
+        assert job.requeues == 1
+        assert service.stats()["supervisor"]["reaps"]["hung"] >= 1
+        fingerprint = job.result_doc
+        time.sleep(1.2)             # let the zombie wake and finish
+        assert job.state == "done"
+        assert job.result_doc == fingerprint   # zombie write discarded
+    finally:
+        service.stop(wait_s=5)
+
+
+def test_open_breaker_forces_blackbox_and_never_caches(sample_contract):
+    data, abi = sample_contract
+    # A deterministically dead solver: the first campaign degrades
+    # internally, trips the stage breaker (threshold 1), and the *next*
+    # job is forced black-box before it even starts.  Forced verdicts
+    # must not be cached — the store would otherwise serve the weaker
+    # answer forever.
+    install_fault_plan(Fault(stage="solve", kind="error"))
+    service = _service(workers=1, breaker_threshold=1,
+                       breaker_cooldown_s=60.0)
+    try:
+        first = service.submit_bytes(data, abi, client="one")
+        job1 = _wait_terminal(service, first.job.job_id)
+        assert job1.state == "done"
+        assert "wasai" in job1.result_doc.get("degraded", [])
+        assert service.health()["status"] == "degraded"
+        assert "solve" in service.health()["breakers"]["open"]
+        assert service.stats()["resilience"]["breaker_trips"] >= 1
+
+        other_data, other_abi = contract_bytes(seed=7)
+        second = service.submit_bytes(other_data, other_abi)
+        job2 = _wait_terminal(service, second.job.job_id)
+        assert job2.state == "done"
+        assert "wasai" in job2.result_doc.get("degraded", [])
+        # Not cached: a resubmission after recovery gets the full run.
+        assert service.store.get_verdict(job2.scan_key) is None
+        assert service.stats()["resilience"]["forced_blackbox"] >= 1
+    finally:
+        service.stop(wait_s=5)
+
+
+def test_queued_job_expires_after_ttl(sample_contract):
+    data, abi = sample_contract
+    service = _service(workers=1, start=False)
+    try:
+        submission = service.submit_bytes(data, abi, ttl_s=0.05)
+        time.sleep(0.1)             # TTL elapses with no worker around
+        service.start()             # first queue poll sweeps it
+        job = _wait_terminal(service, submission.job.job_id)
+        assert job.state == "expired"
+        assert "TTL" in (job.error or "")
+        stats = service.stats()
+        assert stats["expired"] == 1
+        assert stats["jobs"].get("expired") == 1
+    finally:
+        service.stop(wait_s=5)
+
+
+def test_drain_under_load_resumes_every_job_exactly_once(tmp_path):
+    """The SIGTERM story under load: drain mid-burst, restart, resume.
+
+    Six distinct contracts, two workers; drain fires while jobs are
+    still queued/running.  Every job must end done exactly once —
+    finished in generation 1 or checkpointed and replayed in
+    generation 2 — with six distinct verdicts in the store and no
+    duplicate campaign for any scan key.
+    """
+    journal = CampaignJournal(tmp_path / "drain.jsonl")
+    seeds = (1, 2, 3, 4, 5, 6)
+    contracts = {seed: contract_bytes(seed=seed) for seed in seeds}
+    service = _service(tmp_path, workers=2, journal=journal)
+    keys = {}
+    try:
+        for seed, (data, abi) in contracts.items():
+            keys[seed] = service.submit_bytes(data, abi,
+                                              client=f"c{seed}").job
+        # Drain immediately: the burst is still mostly queued.
+        checkpointed = service.drain(wait_s=30)
+        done_gen1 = sum(1 for job in keys.values()
+                        if job.state == "done")
+        # Drain is lossless: every admitted job either finished or was
+        # checkpointed (claimed jobs are allowed to finish).
+        assert done_gen1 + checkpointed == len(seeds)
+        assert checkpointed >= 1    # the drain really hit a loaded queue
+    finally:
+        service.store.close()
+
+    resumed = _service(tmp_path, workers=2, journal=journal,
+                       start=False)
+    try:
+        assert resumed.resume_from_journal() == checkpointed
+        # Exactly once: an immediate second resume replays nothing.
+        assert resumed.resume_from_journal() == 0
+        resumed.start()
+        with resumed._lock:
+            job_ids = list(resumed._jobs)
+        for job_id in job_ids:
+            assert _wait_terminal(resumed, job_id).state == "done"
+        # Replays dedup against the store, so no scan key ran twice:
+        # generation totals add up and the store holds one verdict per
+        # distinct contract.
+        assert resumed.store.counts()["verdicts"] == len(seeds)
+        gen1_keys = {job.scan_key for job in keys.values()}
+        with resumed._lock:
+            gen2_keys = {job.scan_key
+                         for job in resumed._jobs.values()}
+        assert gen2_keys <= gen1_keys
+        assert resumed.stats()["completed"] == checkpointed
+    finally:
+        resumed.stop(wait_s=5)
 
 
 def test_crashed_job_is_contained_and_store_unpolluted(

@@ -1,0 +1,158 @@
+"""WorkerSupervisor: watchdog reap/replace, hang revocation, storms.
+
+Detection is driven through the public ``check_once`` sweep with an
+injectable clock and sleep, so nothing here depends on wall-time.
+"""
+
+import threading
+import time
+
+from repro.service import WorkerSupervisor
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _wait_for(predicate, timeout_s: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.005)
+    raise AssertionError("condition never became true")
+
+
+def _supervisor(worker_main, clock, workers=1, **kwargs):
+    kwargs.setdefault("task_deadline_s", 10.0)
+    kwargs.setdefault("restart_backoff_s", 0.0)
+    kwargs.setdefault("max_restarts", 4)
+    kwargs.setdefault("restart_window_s", 100.0)
+    supervisor = WorkerSupervisor(worker_main, workers, clock=clock,
+                                  sleep=lambda s: None, **kwargs)
+    # No background watchdog: tests call check_once() themselves.
+    for index in range(workers):
+        supervisor._spawn(f"{supervisor.name_prefix}-{index}")
+    return supervisor
+
+
+def test_dead_worker_is_reaped_once_and_replaced():
+    clock = FakeClock()
+    reaps = []
+    lives = []
+    crash_first = threading.Event()
+
+    def worker_main(record):
+        lives.append(record.token)
+        if not crash_first.is_set():
+            crash_first.set()
+            raise RuntimeError("worker death")
+        # Replacement: park until the test ends.
+        time.sleep(30)
+
+    supervisor = _supervisor(worker_main, clock,
+                             on_reap=lambda r, why: reaps.append(
+                                 (r.token, why)))
+    try:
+        _wait_for(lambda: crash_first.is_set())
+        _wait_for(lambda: not supervisor._records[0].thread.is_alive())
+        supervisor.check_once()
+        assert reaps == [(lives[0], "died")]
+        _wait_for(lambda: len(lives) == 2)      # replacement spawned
+        assert supervisor.alive() == 1
+        # The dead record is never reaped twice.
+        supervisor.check_once()
+        assert len(reaps) == 1
+        stats = supervisor.stats()
+        assert stats["reaps"] == {"died": 1, "hung": 0}
+        assert stats["restarts"] == 1
+    finally:
+        supervisor.stop()
+
+
+def test_hung_worker_is_abandoned_after_deadline():
+    clock = FakeClock()
+    reaps = []
+    release = threading.Event()
+
+    def worker_main(record):
+        if record.generation == 1:
+            record.claim_job(object())          # wedged with a claim
+            release.wait(timeout=30)
+        else:
+            time.sleep(30)
+
+    supervisor = _supervisor(worker_main, clock,
+                             on_reap=lambda r, why: reaps.append(why))
+    try:
+        _wait_for(lambda: supervisor._records[0].job is not None)
+        supervisor.check_once()
+        assert reaps == []                      # deadline not crossed
+        clock.advance(10.1)
+        supervisor.check_once()
+        assert reaps == ["hung"]
+        first = supervisor._records[0]
+        assert first.abandoned                  # claim revoked
+        # The zombie still runs but no longer counts as alive capacity.
+        assert first.thread.is_alive()
+        _wait_for(lambda: supervisor.alive() == 1)
+        supervisor.check_once()                 # abandoned: swept once
+        assert reaps == ["hung"]
+    finally:
+        release.set()
+        supervisor.stop()
+
+
+def test_restart_storm_trips_once_and_stops_replacing():
+    clock = FakeClock()
+    storms = []
+
+    def worker_main(record):
+        raise RuntimeError("crash loop")
+
+    supervisor = _supervisor(worker_main, clock, max_restarts=3,
+                             on_storm=lambda: storms.append(True))
+    try:
+        # Each sweep reaps the crashed worker and spawns a replacement
+        # that crashes too; the 4th replacement request trips the storm.
+        for _ in range(10):
+            _wait_for(lambda: all(
+                not r.thread.is_alive() or r.reaped
+                for r in supervisor._records))
+            supervisor.check_once()
+            if supervisor.storm_tripped:
+                break
+        assert storms == [True]
+        assert supervisor.restarts == 3
+        replacements_after_storm = supervisor.restarts
+        supervisor.check_once()
+        assert supervisor.restarts == replacements_after_storm
+        assert storms == [True]                 # on_storm fired once
+        assert supervisor.stats()["storm"] is True
+    finally:
+        supervisor.stop()
+
+
+def test_heartbeat_age_reflects_injected_clock():
+    clock = FakeClock()
+    started = threading.Event()
+
+    def worker_main(record):
+        record.beat()
+        started.set()
+        time.sleep(30)
+
+    supervisor = _supervisor(worker_main, clock)
+    try:
+        _wait_for(lambda: started.is_set())
+        clock.advance(7.5)
+        assert supervisor.stats()["max_heartbeat_age_s"] >= 7.5
+    finally:
+        supervisor.stop()

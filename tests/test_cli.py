@@ -151,12 +151,16 @@ def test_submit_against_unreachable_daemon_fails_cleanly(tmp_path,
     out = tmp_path / "victim"
     main(["gen", "--out", str(out)])
     capsys.readouterr()
-    with pytest.raises(Exception):
-        # No daemon on this port: urllib raises URLError, which the
-        # CLI deliberately does not swallow into a success code.
-        main(["submit", str(out.with_suffix(".wasm")),
-              "--abi", str(out.with_suffix(".abi.json")),
-              "--url", "http://127.0.0.1:9"])
+    # No daemon on this port: the client retries the connection
+    # failure, then surfaces a typed ServiceError — which the CLI
+    # turns into a clean nonzero exit, never a raw URLError traceback.
+    code = main(["submit", str(out.with_suffix(".wasm")),
+                 "--abi", str(out.with_suffix(".abi.json")),
+                 "--url", "http://127.0.0.1:9"])
+    assert code == 4
+    err = capsys.readouterr().err
+    assert "unreachable" in err
+    assert "Traceback" not in err
 
 
 def test_serve_and_submit_round_trip(tmp_path, capsys):

@@ -81,6 +81,36 @@ def test_percentile_interpolates():
     assert percentile([4.0, 1.0, 3.0, 2.0], 50) == 2.5
 
 
+def test_throughput_resilience_counters():
+    from repro.metrics import ThroughputStats
+    stats = ThroughputStats()
+    # Zeroed counters exist in the dict form but stay out of the
+    # human-readable output — a healthy daemon's report is quiet.
+    doc = stats.as_dict()
+    assert doc["resilience"] == {
+        "worker_restarts": 0,
+        "breaker_trips": 0,
+        "breaker_recoveries": 0,
+        "integrity_repairs": 0,
+        "journal_compactions": 0,
+    }
+    assert "self-healing" not in stats.format()
+
+    stats.worker_restarts = 2
+    stats.breaker_trips = 1
+    stats.breaker_recoveries = 1
+    stats.integrity_repairs = 3
+    stats.journal_compactions = 4
+    doc = stats.as_dict()
+    assert doc["resilience"]["worker_restarts"] == 2
+    assert doc["resilience"]["integrity_repairs"] == 3
+    text = stats.format()
+    assert "self-healing" in text
+    assert "2 worker restarts" in text
+    assert "1 breaker trips" in text
+    assert "4 journal compactions" in text
+
+
 def test_throughput_latency_percentiles():
     from repro.metrics import ThroughputStats
     stats = ThroughputStats()
