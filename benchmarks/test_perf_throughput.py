@@ -19,7 +19,9 @@ import pytest
 
 from repro import build_table4_corpus, evaluate_corpus, ThroughputStats
 from repro.engine import configure_instrumentation_cache
+from repro.sharedcache import configure_shared_cache, shared_cache_dir
 from repro.smt import configure_solver_cache
+from repro.wasm import translation_enabled
 
 PARALLEL_JOBS = 4
 
@@ -30,20 +32,31 @@ def corpus(bench_scale):
 
 
 @pytest.fixture(scope="module")
-def runs(corpus, bench_timeout_ms):
-    """Serial and 4-worker evaluations of the same corpus."""
+def runs(corpus, bench_timeout_ms, tmp_path_factory):
+    """Serial and 4-worker evaluations of the same corpus.
+
+    Each run gets its own fresh shared-cache directory: within the
+    parallel run the forked workers share one disk tier (the thing
+    being measured), while serial and parallel stay independent of
+    each other and of anything a previous invocation left behind.
+    """
+    previous_dir = shared_cache_dir()
     outcome = {}
-    for label, jobs in (("serial", 1), ("parallel", PARALLEL_JOBS)):
+    try:
+        for label, jobs in (("serial", 1), ("parallel", PARALLEL_JOBS)):
+            configure_shared_cache(tmp_path_factory.mktemp(f"cache_{label}"))
+            configure_instrumentation_cache(enabled=True)
+            configure_solver_cache(enabled=True)
+            perf = ThroughputStats()
+            started = time.perf_counter()
+            tables = evaluate_corpus(corpus, timeout_ms=bench_timeout_ms,
+                                     jobs=jobs, perf=perf)
+            wall = time.perf_counter() - started
+            outcome[label] = (tables, perf, wall)
+    finally:
+        configure_shared_cache(previous_dir)
         configure_instrumentation_cache(enabled=True)
         configure_solver_cache(enabled=True)
-        perf = ThroughputStats()
-        started = time.perf_counter()
-        tables = evaluate_corpus(corpus, timeout_ms=bench_timeout_ms,
-                                 jobs=jobs, perf=perf)
-        wall = time.perf_counter() - started
-        outcome[label] = (tables, perf, wall)
-    configure_instrumentation_cache(enabled=True)
-    configure_solver_cache(enabled=True)
     return outcome
 
 
@@ -87,6 +100,19 @@ def test_parallel_speedup(runs):
     assert speedup >= 2.0
 
 
+def test_parallel_never_slower(runs):
+    """Perf-smoke floor: warm workers + shared caches must keep the
+    4-worker run at least as fast as serial whenever there is any
+    parallelism to exploit.  CI fails the build on a regression here."""
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip(f"needs >= 2 CPUs (host has {os.cpu_count()})")
+    serial_wall = runs["serial"][2]
+    parallel_wall = runs["parallel"][2]
+    speedup = serial_wall / max(parallel_wall, 1e-9)
+    assert speedup >= 1.0, \
+        f"parallel run slower than serial ({speedup:.2f}x)"
+
+
 def test_write_throughput_report(runs, bench_scale, bench_timeout_ms):
     serial_tables, serial_perf, serial_wall = runs["serial"]
     _, parallel_perf, parallel_wall = runs["parallel"]
@@ -102,6 +128,8 @@ def test_write_throughput_report(runs, bench_scale, bench_timeout_ms):
         "serial": serial_perf.as_dict(),
         "parallel": parallel_perf.as_dict(),
         "speedup": serial_wall / max(parallel_wall, 1e-9),
+        "translation_enabled": translation_enabled(),
+        "shared_cache": True,
         "wasai_total_f1": serial_tables["wasai"].total().f1,
     }
     out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

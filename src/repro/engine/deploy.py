@@ -21,6 +21,7 @@ from ..instrument import SiteTable, instrument_module
 from ..resilience import faultinject
 from ..resilience.errors import (CampaignError, DeployError,
                                  InstrumentError)
+from ..sharedcache import SharedDiskCache
 from ..wasm.module import Module
 
 __all__ = ["FuzzTarget", "deploy_target", "setup_chain",
@@ -63,6 +64,12 @@ class InstrumentationCache:
     rewrite, so amortising it is a large win.  Entries (instrumented
     module + site table) are shared read-only: execution state lives in
     per-transaction ``Instance`` objects, never in the module itself.
+
+    Below the in-memory memo sits an optional shared on-disk tier
+    (:mod:`repro.sharedcache`): parallel workers are separate processes
+    with separate memos, so a sibling's instrumentation work is only
+    reusable through the disk.  A memory miss consults the disk before
+    rewriting; fresh rewrites are written through.
     """
 
     def __init__(self, max_entries: int = 128):
@@ -72,6 +79,7 @@ class InstrumentationCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.disk = SharedDiskCache("instrument", serializer="pickle")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -84,7 +92,15 @@ class InstrumentationCache:
             self._entries.move_to_end(key)
             return found
         self.misses += 1
-        entry = instrument_module(module)
+        entry = None
+        if self.disk.enabled:
+            cached = self.disk.get(key)
+            if (isinstance(cached, tuple) and len(cached) == 2
+                    and isinstance(cached[0], Module)):
+                entry = cached
+        if entry is None:
+            entry = instrument_module(module)
+            self.disk.put(key, entry)
         self._entries[key] = entry
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
@@ -100,9 +116,11 @@ class InstrumentationCache:
         return self.hits / total if total else 0.0
 
     def stats_dict(self) -> dict[str, "int | float"]:
-        return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions, "entries": len(self._entries),
-                "hit_rate": self.hit_rate}
+        stats = {"hits": self.hits, "misses": self.misses,
+                 "evictions": self.evictions, "entries": len(self._entries),
+                 "hit_rate": self.hit_rate}
+        stats.update(self.disk.stats_dict())
+        return stats
 
 
 # One cache per process; parallel workers each grow their own.

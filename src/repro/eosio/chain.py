@@ -19,14 +19,14 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 
-from ..wasm.interpreter import (ExecutionLimits, HostFunc, Instance, Trap,
-                                TrapResourceLimit)
+from ..wasm.interpreter import (ExecutionLimits, HostFunc, Instance,
+                                InstanceTemplate, Trap, TrapResourceLimit)
 from ..wasm.module import Module
 from .abi import Abi
 from .database import Database, DbOperation
 from .errors import (AssertionFailure, ChainError, MissingAuthorization,
                      TransactionFailed, UnknownAccount)
-from .host import HostCall, build_host_imports
+from .host import ContextCell, HostCall, build_host_imports
 from .name import Name, name_to_string
 from .serialize import Encoder
 
@@ -179,40 +179,80 @@ class WasmContract(Contract):
         self.module = module
         self._abi = abi or Abi()
         self.site_table = site_table
+        # Per-chain execution state, built lazily on the first apply:
+        # the host-import dict (bound through a ContextCell so it is
+        # constructed once, not per action) and the instance template
+        # that rewinds one cached Instance instead of re-instantiating.
+        self._bound_chain: "Chain | None" = None
+        self._cell: ContextCell | None = None
+        self._imports: dict | None = None
+        self._limits: ExecutionLimits | None = None
+        self._template: InstanceTemplate | None = None
 
     @property
     def abi(self) -> Abi:
         return self._abi
 
     def apply(self, chain: "Chain", ctx: ApplyContext) -> None:
-        imports = build_host_imports(chain, ctx)
+        if self._bound_chain is not chain:
+            self._bind(chain)
+        self._cell.ctx = ctx
+        if self.module.start is None:
+            # Applies never overlap (inline actions and notifications
+            # run after the triggering apply returns), so the contract
+            # can rewind one cached instance per action.
+            if self._template is None:
+                self._template = InstanceTemplate(
+                    self.module, self._imports, self._limits)
+            instance = self._template.fresh()
+        else:
+            # A start function must observe fresh per-instantiation
+            # state, so these modules are re-instantiated each apply.
+            instance = Instance(self.module, self._imports,
+                                limits=self._limits)
+        instance.invoke("apply", [ctx.receiver, ctx.code, ctx.action_name])
+
+    def _bind(self, chain: "Chain") -> None:
+        cell = ContextCell()
+        imports = build_host_imports(chain, cell)
         for imp in self.module.imports:
             if imp.kind == "func" and imp.module == "wasabi":
                 imports[(imp.module, imp.name)] = self._hook(
-                    chain, ctx, imp.name,
-                    self.module.types[imp.desc])
-        instance = Instance(self.module, imports,
-                            limits=ExecutionLimits(**chain.execution_limits))
-        instance.invoke("apply", [ctx.receiver, ctx.code, ctx.action_name])
+                    chain, cell, imp.name, self.module.types[imp.desc])
+        self._cell = cell
+        self._imports = imports
+        self._limits = ExecutionLimits(**chain.execution_limits)
+        self._template = None
+        self._bound_chain = chain
 
     @staticmethod
-    def _hook(chain: "Chain", ctx: ApplyContext, hook_name: str, func_type):
+    def _hook(chain: "Chain", ctx, hook_name: str, func_type):
         # The trace buffer is host memory an instrumented contract can
         # write into at one entry per executed hook, so it is metered:
         # a hostile contract spinning in a hooked loop traps instead of
-        # filling RAM with trace entries.
+        # filling RAM with trace entries.  The budgets and the event
+        # size are resolved once at bind time; per event only the two
+        # threshold compares and the append into the per-action buffer
+        # remain (the buffer lands on the ActionRecord wholesale, so
+        # there is no flush copy either).
+        cell = ctx if isinstance(ctx, ContextCell) else ContextCell(ctx)
+        limits = ExecutionLimits(**chain.execution_limits)
+        max_events = limits.max_trace_events
+        max_bytes = limits.max_trace_bytes
+        event_bytes = 16 + 8 * len(func_type.params)
+
         def impl(instance, args):
-            limits = instance.limits
-            if limits.max_trace_events is not None \
-                    and len(ctx.wasm_trace) >= limits.max_trace_events:
+            ctx = cell.ctx
+            trace = ctx.wasm_trace
+            if max_events is not None and len(trace) >= max_events:
                 raise TrapResourceLimit(
-                    f"trace exceeds {limits.max_trace_events} events")
-            ctx.wasm_trace_bytes += 16 + 8 * len(args)
-            if limits.max_trace_bytes is not None \
-                    and ctx.wasm_trace_bytes > limits.max_trace_bytes:
+                    f"trace exceeds {max_events} events")
+            ctx.wasm_trace_bytes += event_bytes
+            if max_bytes is not None \
+                    and ctx.wasm_trace_bytes > max_bytes:
                 raise TrapResourceLimit(
-                    f"trace exceeds {limits.max_trace_bytes} bytes")
-            ctx.wasm_trace.append((hook_name, tuple(args)))
+                    f"trace exceeds {max_bytes} bytes")
+            trace.append((hook_name, tuple(args)))
             return []
         return HostFunc(func_type, impl)
 

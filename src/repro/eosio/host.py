@@ -21,7 +21,8 @@ from ..wasm.types import F32, F64, FuncType, I32, I64
 from .errors import AssertionFailure, MissingAuthorization
 from .serialize import Decoder
 
-__all__ = ["HostCall", "build_host_imports", "HOST_API_SIGNATURES"]
+__all__ = ["ContextCell", "HostCall", "build_host_imports",
+           "HOST_API_SIGNATURES"]
 
 MASK32 = 0xFFFFFFFF
 MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -69,13 +70,34 @@ HOST_API_SIGNATURES: dict[str, tuple[tuple, tuple]] = {
 }
 
 
+class ContextCell:
+    """Mutable slot holding the apply context of the action in flight.
+
+    Building the ~30 host-import closures costs more than a typical
+    apply() executes, so the chain binds the imports once per contract
+    against a cell and repoints ``cell.ctx`` at the start of each
+    apply.  Applies never nest (inline actions and notifications run
+    after the triggering apply returns), so one slot per contract is
+    enough.  Passing a plain :class:`ApplyContext` where a cell is
+    expected still works — it is wrapped in a single-use cell.
+    """
+
+    __slots__ = ("ctx",)
+
+    def __init__(self, ctx=None):
+        self.ctx = ctx
+
+
 def build_host_imports(chain, ctx) -> dict[tuple[str, str], HostFunc]:
     """Bind the library APIs to a chain and an apply context.
 
-    Returns the host-import dict for :class:`repro.wasm.Instance`.
-    Tracing hooks (``wasabi.*``) are added separately by the chain when
-    the contract is instrumented.
+    ``ctx`` may be an apply context (bound for one action) or a
+    :class:`ContextCell` the caller repoints per action.  Returns the
+    host-import dict for :class:`repro.wasm.Instance`.  Tracing hooks
+    (``wasabi.*``) are added separately by the chain when the contract
+    is instrumented.
     """
+    cell = ctx if isinstance(ctx, ContextCell) else ContextCell(ctx)
     imports: dict[tuple[str, str], HostFunc] = {}
 
     def register(api: str, impl) -> None:
@@ -84,23 +106,23 @@ def build_host_imports(chain, ctx) -> dict[tuple[str, str], HostFunc]:
         def wrapped(instance: Instance, args: list) -> list:
             result = impl(instance, *args)
             out = [] if result is None else [result]
-            ctx.host_calls.append(HostCall(api, tuple(args),
-                                           out[0] if out else None))
+            cell.ctx.host_calls.append(HostCall(api, tuple(args),
+                                                out[0] if out else None))
             return out
 
         imports[("env", api)] = HostFunc(FuncType(params, results), wrapped)
 
     # -- permissions ------------------------------------------------------
     def require_auth(instance, account):
-        if not ctx.has_authorization(account):
+        if not cell.ctx.has_authorization(account):
             raise MissingAuthorization(account)
 
     def require_auth2(instance, account, permission):
-        if not ctx.has_authorization(account):
+        if not cell.ctx.has_authorization(account):
             raise MissingAuthorization(account)
 
     def has_auth(instance, account):
-        return 1 if ctx.has_authorization(account) else 0
+        return 1 if cell.ctx.has_authorization(account) else 0
 
     register("require_auth", require_auth)
     register("require_auth2", require_auth2)
@@ -110,8 +132,8 @@ def build_host_imports(chain, ctx) -> dict[tuple[str, str], HostFunc]:
 
     # -- notifications / receiver ------------------------------------------
     register("require_recipient",
-             lambda instance, account: ctx.add_recipient(account))
-    register("current_receiver", lambda instance: ctx.receiver)
+             lambda instance, account: cell.ctx.add_recipient(account))
+    register("current_receiver", lambda instance: cell.ctx.receiver)
 
     # -- assertions -----------------------------------------------------------
     def eosio_assert(instance, condition, msg_ptr):
@@ -127,21 +149,21 @@ def build_host_imports(chain, ctx) -> dict[tuple[str, str], HostFunc]:
 
     # -- action data -------------------------------------------------------------
     def read_action_data(instance, ptr, length):
-        data = ctx.data[:length]
+        data = cell.ctx.data[:length]
         instance.mem_write(ptr, data)
         return len(data)
 
     register("read_action_data", read_action_data)
-    register("action_data_size", lambda instance: len(ctx.data))
+    register("action_data_size", lambda instance: len(cell.ctx.data))
 
     # -- inline / deferred actions --------------------------------------------------
     def send_inline(instance, ptr, length):
         payload = instance.mem_read(ptr, length)
-        ctx.add_inline_action(_decode_packed_action(payload))
+        cell.ctx.add_inline_action(_decode_packed_action(payload))
 
     def send_deferred(instance, sender_id, payer, ptr, length):
         payload = instance.mem_read(ptr, length)
-        ctx.add_deferred_action(_decode_packed_action(payload))
+        cell.ctx.add_deferred_action(_decode_packed_action(payload))
 
     register("send_inline", send_inline)
     register("send_deferred", send_deferred)
@@ -155,7 +177,8 @@ def build_host_imports(chain, ctx) -> dict[tuple[str, str], HostFunc]:
     # -- database ------------------------------------------------------------------------
     def db_store(instance, scope, table, payer, key, ptr, length):
         data = instance.mem_read(ptr, length)
-        return chain.db.store(ctx.receiver, scope, table, payer, key, data)
+        return chain.db.store(cell.ctx.receiver, scope, table, payer, key,
+                              data)
 
     def db_find(instance, code, scope, table, key):
         return chain.db.find(code, scope, table, key) & MASK32
@@ -191,10 +214,11 @@ def build_host_imports(chain, ctx) -> dict[tuple[str, str], HostFunc]:
 
     # -- console ------------------------------------------------------------------------------
     register("prints",
-             lambda instance, ptr: ctx.console.append(
+             lambda instance, ptr: cell.ctx.console.append(
                  instance.mem_read_cstr(ptr)))
-    register("printi", lambda instance, value: ctx.console.append(str(value)))
-    register("printn", lambda instance, value: ctx.console.append(
+    register("printi",
+             lambda instance, value: cell.ctx.console.append(str(value)))
+    register("printn", lambda instance, value: cell.ctx.console.append(
         _render_name(value)))
 
     # -- libc shims ------------------------------------------------------------------------------

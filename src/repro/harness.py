@@ -263,5 +263,10 @@ def evaluate_corpus(samples: list[BenchmarkSample],
             perf.add_cache_deltas(outcome.instr_cache_hits,
                                   outcome.instr_cache_misses,
                                   outcome.solver_cache_hits,
-                                  outcome.solver_cache_misses)
+                                  outcome.solver_cache_misses,
+                                  outcome.instr_disk_hits,
+                                  outcome.instr_disk_misses,
+                                  outcome.solver_disk_hits,
+                                  outcome.solver_disk_misses,
+                                  worker_id=outcome.worker_id or None)
     return tables

@@ -52,16 +52,26 @@ def hook_func_type(hook_name: str) -> FuncType:
     return FuncType((I32, *types), ())
 
 
+# Trace decoding calls this once per event; there are only a handful
+# of distinct hook names, so the parse is memoised.
+_PARSE_MEMO: dict[str, tuple[str, tuple[ValType, ...]]] = {}
+
+
 def parse_hook_name(hook_name: str) -> tuple[str, tuple[ValType, ...]]:
     """Split ``"trace_i32_i64"`` into ("trace", (I32, I64))."""
+    cached = _PARSE_MEMO.get(hook_name)
+    if cached is not None:
+        return cached
     if hook_name in (BEGIN_FUNCTION, END_FUNCTION):
-        return (hook_name, ())
-    parts = hook_name.split("_")
-    kind = parts[0]
-    if kind not in ("trace", "post"):
-        raise ValueError(f"unknown hook {hook_name!r}")
-    types = tuple(_SUFFIX[p] for p in parts[1:])
-    return (kind, types)
+        parsed = (hook_name, ())
+    else:
+        parts = hook_name.split("_")
+        kind = parts[0]
+        if kind not in ("trace", "post"):
+            raise ValueError(f"unknown hook {hook_name!r}")
+        parsed = (kind, tuple(_SUFFIX[p] for p in parts[1:]))
+    _PARSE_MEMO[hook_name] = parsed
+    return parsed
 
 
 class HookEvent:

@@ -100,6 +100,16 @@ class ThroughputStats:
     instr_cache_misses: int = 0
     solver_cache_hits: int = 0
     solver_cache_misses: int = 0
+    # Shared on-disk cache tier (repro.sharedcache): summed per-task
+    # deltas, zero when no cache dir is configured.
+    instr_disk_hits: int = 0
+    instr_disk_misses: int = 0
+    solver_disk_hits: int = 0
+    solver_disk_misses: int = 0
+    # Per-worker cache efficiency, keyed by worker process id.  One
+    # cold worker in an otherwise warm pool is invisible in the summed
+    # counters but obvious here.
+    per_worker: dict[int, dict[str, int]] = field(default_factory=dict)
     # Self-healing ledger (scan-service daemon): how often the runtime
     # had to repair itself.  Non-zero values are not errors — they are
     # the healing machinery *working* — but a climbing rate is the
@@ -138,11 +148,41 @@ class ThroughputStats:
 
     def add_cache_deltas(self, instr_hits: int = 0, instr_misses: int = 0,
                          solver_hits: int = 0,
-                         solver_misses: int = 0) -> None:
+                         solver_misses: int = 0,
+                         instr_disk_hits: int = 0,
+                         instr_disk_misses: int = 0,
+                         solver_disk_hits: int = 0,
+                         solver_disk_misses: int = 0,
+                         worker_id: int | None = None) -> None:
         self.instr_cache_hits += instr_hits
         self.instr_cache_misses += instr_misses
         self.solver_cache_hits += solver_hits
         self.solver_cache_misses += solver_misses
+        self.instr_disk_hits += instr_disk_hits
+        self.instr_disk_misses += instr_disk_misses
+        self.solver_disk_hits += solver_disk_hits
+        self.solver_disk_misses += solver_disk_misses
+        if worker_id is not None:
+            per = self.per_worker.setdefault(worker_id, {
+                "tasks": 0, "instr_hits": 0, "instr_misses": 0,
+                "solver_hits": 0, "solver_misses": 0})
+            per["tasks"] += 1
+            per["instr_hits"] += instr_hits
+            per["instr_misses"] += instr_misses
+            per["solver_hits"] += solver_hits
+            per["solver_misses"] += solver_misses
+
+    def per_worker_hit_rates(self) -> dict[int, dict[str, float]]:
+        """Combined (instr + solver) cache hit rate per worker."""
+        out: dict[int, dict[str, float]] = {}
+        for worker_id, per in self.per_worker.items():
+            hits = per["instr_hits"] + per["solver_hits"]
+            total = hits + per["instr_misses"] + per["solver_misses"]
+            out[worker_id] = {
+                "tasks": per["tasks"],
+                "hit_rate": hits / total if total else 0.0,
+            }
+        return out
 
     def record_latency(self, stage: str, seconds: float) -> None:
         """Add one per-task wall-clock sample for ``stage``."""
@@ -182,6 +222,16 @@ class ThroughputStats:
                 "misses": self.solver_cache_misses,
                 "hit_rate": self.solver_cache_hit_rate,
             },
+            "shared_disk_cache": {
+                "instr_hits": self.instr_disk_hits,
+                "instr_misses": self.instr_disk_misses,
+                "solver_hits": self.solver_disk_hits,
+                "solver_misses": self.solver_disk_misses,
+            },
+            "per_worker": {
+                str(worker_id): stats for worker_id, stats
+                in sorted(self.per_worker_hit_rates().items())
+            },
             "latency": self.latency_percentiles(),
             "resilience": {
                 "worker_restarts": self.worker_restarts,
@@ -209,6 +259,18 @@ class ThroughputStats:
             f"{self.solver_cache_misses} misses "
             f"({self.solver_cache_hit_rate:.1%})",
         ]
+        disk_total = (self.instr_disk_hits + self.instr_disk_misses
+                      + self.solver_disk_hits + self.solver_disk_misses)
+        if disk_total:
+            lines.append(
+                f"  disk cache    instr {self.instr_disk_hits}/"
+                f"{self.instr_disk_hits + self.instr_disk_misses} hits, "
+                f"solver {self.solver_disk_hits}/"
+                f"{self.solver_disk_hits + self.solver_disk_misses} hits")
+        for worker_id, stats in sorted(self.per_worker_hit_rates().items()):
+            lines.append(
+                f"  worker {worker_id:<7} {stats['tasks']} tasks, "
+                f"cache hit rate {stats['hit_rate']:.1%}")
         healing = "".join(
             f", {count} {label}" for count, label in
             ((self.worker_restarts, "worker restarts"),

@@ -23,6 +23,7 @@ the child traceback) rather than aborting the whole task.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -71,6 +72,15 @@ class CampaignResult:
     instr_cache_misses: int = 0
     solver_cache_hits: int = 0
     solver_cache_misses: int = 0
+    # Shared on-disk tier deltas (repro.sharedcache): how much of this
+    # task's work a sibling worker (or an earlier run) had already done.
+    instr_disk_hits: int = 0
+    instr_disk_misses: int = 0
+    solver_disk_hits: int = 0
+    solver_disk_misses: int = 0
+    # The worker process that ran the task; lets the harness attribute
+    # cache efficiency per worker (a cold worker shows up immediately).
+    worker_id: int = 0
     errors: dict[str, dict] = field(default_factory=dict)
     degraded: tuple[str, ...] = ()
     retries: int = 0
@@ -80,13 +90,17 @@ class CampaignResult:
     coverage: dict[str, dict] = field(default_factory=dict)
 
 
-def _cache_counters() -> tuple[int, int, int, int]:
+def _cache_counters() -> tuple[int, ...]:
     from ..engine.deploy import instrumentation_cache
     from ..smt.solver import solver_cache
     instr = instrumentation_cache()
     solver = solver_cache()
     return (instr.hits if instr else 0, instr.misses if instr else 0,
-            solver.hits if solver else 0, solver.misses if solver else 0)
+            solver.hits if solver else 0, solver.misses if solver else 0,
+            instr.disk.hits if instr else 0,
+            instr.disk.misses if instr else 0,
+            solver.disk.hits if solver else 0,
+            solver.disk.misses if solver else 0)
 
 
 def _coverage_summary(report) -> dict:
@@ -225,6 +239,11 @@ def run_campaign_task(task: CampaignTask) -> CampaignResult:
             instr_cache_misses=after[1] - before[1],
             solver_cache_hits=after[2] - before[2],
             solver_cache_misses=after[3] - before[3],
+            instr_disk_hits=after[4] - before[4],
+            instr_disk_misses=after[5] - before[5],
+            solver_disk_hits=after[6] - before[6],
+            solver_disk_misses=after[7] - before[7],
+            worker_id=os.getpid(),
             errors=errors,
             degraded=tuple(degraded),
             retries=retries,

@@ -148,6 +148,11 @@ def campaign_result_to_doc(result) -> dict:
         "instr_cache_misses": result.instr_cache_misses,
         "solver_cache_hits": result.solver_cache_hits,
         "solver_cache_misses": result.solver_cache_misses,
+        "instr_disk_hits": result.instr_disk_hits,
+        "instr_disk_misses": result.instr_disk_misses,
+        "solver_disk_hits": result.solver_disk_hits,
+        "solver_disk_misses": result.solver_disk_misses,
+        "worker_id": result.worker_id,
         "errors": dict(result.errors),
         "degraded": list(result.degraded),
         "retries": result.retries,
@@ -166,6 +171,11 @@ def campaign_result_from_doc(doc: dict):
         instr_cache_misses=doc.get("instr_cache_misses", 0),
         solver_cache_hits=doc.get("solver_cache_hits", 0),
         solver_cache_misses=doc.get("solver_cache_misses", 0),
+        instr_disk_hits=doc.get("instr_disk_hits", 0),
+        instr_disk_misses=doc.get("instr_disk_misses", 0),
+        solver_disk_hits=doc.get("solver_disk_hits", 0),
+        solver_disk_misses=doc.get("solver_disk_misses", 0),
+        worker_id=doc.get("worker_id", 0),
         errors=dict(doc.get("errors", {})),
         degraded=tuple(doc.get("degraded", ())),
         retries=doc.get("retries", 0),

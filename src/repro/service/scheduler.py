@@ -671,7 +671,12 @@ class ScanService:
         self.perf.add_cache_deltas(result.instr_cache_hits,
                                    result.instr_cache_misses,
                                    result.solver_cache_hits,
-                                   result.solver_cache_misses)
+                                   result.solver_cache_misses,
+                                   result.instr_disk_hits,
+                                   result.instr_disk_misses,
+                                   result.solver_disk_hits,
+                                   result.solver_disk_misses,
+                                   worker_id=result.worker_id or None)
 
     # -- checkpoint / resume ----------------------------------------------
     def _checkpoint(self, job: Job) -> bool:

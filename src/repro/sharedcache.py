@@ -1,0 +1,165 @@
+"""Cross-process warm caching: a shared on-disk cache tier.
+
+The parallel executor runs campaigns in separate worker processes
+(``parallel/executor.py``), so the in-memory instrumentation and solver
+caches are per-worker: at ``--jobs 4`` every worker re-instruments and
+re-solves what a sibling already computed.  This module provides the
+shared tier both caches promote into — one file per key under a cache
+directory, so siblings (and later runs pointed at the same directory)
+start warm.
+
+Concurrency model: writers serialise into a unique temporary file in
+the cache directory and ``os.replace`` it over the final name, so
+readers only ever observe complete entries (rename is atomic on POSIX).
+Two workers racing on the same key both write the same deterministic
+content; last rename wins and nothing is lost.  Any read error — a
+missing file, a truncated entry from a legacy crash, a corrupt pickle —
+degrades to a cache miss, never to a failure of the campaign.
+
+The tier is off by default (``shared_cache_dir()`` is None) and enabled
+either programmatically via :func:`configure_shared_cache` or through
+the ``REPRO_CACHE_DIR`` environment variable, which worker processes
+inherit on fork.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+import tempfile
+
+__all__ = ["SharedDiskCache", "configure_shared_cache", "shared_cache_dir"]
+
+_CACHE_DIR: str | None = os.environ.get("REPRO_CACHE_DIR") or None
+
+# Keys become file names; digests pass through untouched, anything
+# else is re-hashed so hostile key material cannot escape the dir.
+_SAFE_KEY = re.compile(r"^[A-Za-z0-9_.-]{1,200}$")
+
+
+def configure_shared_cache(directory: "str | os.PathLike | None",
+                           ) -> str | None:
+    """Set (or, with None, disable) the process-wide cache directory.
+
+    Returns the new directory.  Existing :class:`SharedDiskCache`
+    instances that were created without an explicit directory pick the
+    change up immediately — they resolve the directory per operation.
+    """
+    global _CACHE_DIR
+    _CACHE_DIR = os.fspath(directory) if directory else None
+    return _CACHE_DIR
+
+
+def shared_cache_dir() -> str | None:
+    """The process-wide shared cache directory (None when disabled)."""
+    return _CACHE_DIR
+
+
+class SharedDiskCache:
+    """File-per-key cache namespace under the shared cache directory.
+
+    ``serializer`` selects the on-disk encoding: "pickle" for arbitrary
+    object graphs (instrumented modules), "json" for plain data (solver
+    verdicts) where a human-inspectable entry is worth more than
+    generality.  A cache created without ``directory`` follows the
+    process-wide setting dynamically, so it can sit in a module global
+    and still honour a later :func:`configure_shared_cache` call or the
+    inherited ``REPRO_CACHE_DIR`` of a worker process.
+    """
+
+    def __init__(self, namespace: str, directory: str | None = None,
+                 serializer: str = "pickle"):
+        if serializer not in ("pickle", "json"):
+            raise ValueError(f"unknown serializer {serializer!r}")
+        if not _SAFE_KEY.match(namespace):
+            raise ValueError(f"invalid cache namespace {namespace!r}")
+        self.namespace = namespace
+        self._directory = os.fspath(directory) if directory else None
+        self.serializer = serializer
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+
+    # -- plumbing --------------------------------------------------------
+    def _root(self) -> str | None:
+        return self._directory if self._directory is not None else _CACHE_DIR
+
+    @property
+    def enabled(self) -> bool:
+        return self._root() is not None
+
+    def _path(self, key: str) -> str | None:
+        root = self._root()
+        if root is None:
+            return None
+        if not _SAFE_KEY.match(key):
+            key = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        suffix = "json" if self.serializer == "json" else "bin"
+        return os.path.join(root, self.namespace, f"{key}.{suffix}")
+
+    # -- cache interface -------------------------------------------------
+    def get(self, key: str):
+        """The stored value, or None on a miss (including any entry
+        that fails to read back — corruption degrades to a miss)."""
+        path = self._path(key)
+        if path is None:
+            return None
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            if self.serializer == "json":
+                value = json.loads(blob.decode("utf-8"))
+            else:
+                value = pickle.loads(blob)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self.errors += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value) -> bool:
+        """Store ``value`` atomically; returns False when the tier is
+        disabled or the write fails (a full disk must not kill the
+        campaign — the entry is simply not shared)."""
+        path = self._path(key)
+        if path is None:
+            return False
+        try:
+            if self.serializer == "json":
+                blob = json.dumps(value, sort_keys=True).encode("utf-8")
+            else:
+                blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            parent = os.path.dirname(path)
+            os.makedirs(parent, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            self.errors += 1
+            return False
+        return True
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats_dict(self) -> dict[str, "int | float"]:
+        return {"disk_hits": self.hits, "disk_misses": self.misses,
+                "disk_errors": self.errors, "disk_hit_rate": self.hit_rate,
+                "enabled": self.enabled}

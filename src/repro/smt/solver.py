@@ -18,17 +18,20 @@ three layers, cheapest first:
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 
 from ..resilience import faultinject
 from ..resilience.errors import CampaignError, SolverError
+from ..sharedcache import SharedDiskCache
 from .bitblast import BitBlaster
 from .interval import Interval, propagate_comparison
 from .sat import SAT, UNKNOWN, UNSAT, SatSolver
 from .terms import (FALSE, TRUE, Term, evaluate, free_variables, mask)
 
 __all__ = ["Solver", "Model", "SolverStats", "SolverCache", "solver_cache",
-           "configure_solver_cache", "SAT", "UNSAT", "UNKNOWN"]
+           "configure_solver_cache", "constraint_digest",
+           "SAT", "UNSAT", "UNKNOWN"]
 
 
 class Model:
@@ -75,6 +78,55 @@ class SolverStats:
         }
 
 
+# Per-term structural digests.  Terms are interned and the intern
+# table is never pruned, so ids are stable for the process lifetime
+# and the memo can be keyed on them; the digest itself is computed
+# from structure only (op, payload, sort, child digests), so it is
+# identical across processes — that is what makes it usable as the
+# shared on-disk cache key.
+_DIGEST_MEMO: dict[int, str] = {}
+
+
+def _term_digest(root: Term) -> str:
+    memo = _DIGEST_MEMO
+    found = memo.get(id(root))
+    if found is not None:
+        return found
+    # Iterative post-order: symbolic expressions from long traces can
+    # nest past the recursion limit.
+    stack = [root]
+    while stack:
+        term = stack[-1]
+        if id(term) in memo:
+            stack.pop()
+            continue
+        pending = [c for c in term.args if id(c) not in memo]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        width = getattr(term.sort, "width", None)
+        sort_tag = "b" if width is None else f"v{width}"
+        body = "\x1f".join((term.op, repr(term.payload), sort_tag,
+                            *(memo[id(c)] for c in term.args)))
+        memo[id(term)] = hashlib.sha256(body.encode("utf-8")).hexdigest()
+    return memo[id(root)]
+
+
+def constraint_digest(constraints: "list[Term]",
+                      max_conflicts: int) -> str:
+    """A process-independent content key for a solver query.
+
+    The in-memory cache keys on interned term identity, which only
+    means something inside one process; the shared disk tier needs a
+    key two workers derive identically, so this walks the constraint
+    DAG and hashes structure.  Order-preserving, like the in-memory
+    key: a hit returns exactly what a fresh solve would have."""
+    parts = [str(max_conflicts)]
+    parts.extend(_term_digest(c) for c in constraints)
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
+
 class SolverCache:
     """A bounded memo of solved conjunctions.
 
@@ -96,6 +148,10 @@ class SolverCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Shared on-disk tier (repro.sharedcache), consulted only when
+        # a query is headed for the expensive bit-blasting layer — the
+        # fast paths are cheaper than a disk read.
+        self.disk = SharedDiskCache("solver", serializer="json")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -126,9 +182,11 @@ class SolverCache:
         return self.hits / total if total else 0.0
 
     def stats_dict(self) -> dict[str, "int | float"]:
-        return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions, "entries": len(self._entries),
-                "hit_rate": self.hit_rate}
+        stats = {"hits": self.hits, "misses": self.misses,
+                 "evictions": self.evictions, "entries": len(self._entries),
+                 "hit_rate": self.hit_rate}
+        stats.update(self.disk.stats_dict())
+        return stats
 
 
 # One cache per process; worker processes each grow their own.
@@ -211,12 +269,23 @@ class Solver:
                 if status == SAT:
                     self._model = Model(values)
                 return status
+        digest: str | None = None
+        from_disk = False
         try:
             result = self._try_fast_path(constraints)
             if result is not None:
                 self.stats.fast_path_hits += 1
             else:
-                result = self._check_sat(constraints)
+                # The query is headed for bit-blasting; that is the
+                # point where a sibling worker's result (shared disk
+                # tier) is worth a file read.
+                if cache is not None and cache.disk.enabled:
+                    digest = constraint_digest(constraints,
+                                               self.max_conflicts)
+                    result = self._lookup_disk(cache.disk, digest)
+                    from_disk = result is not None
+                if result is None:
+                    result = self._check_sat(constraints)
         except CampaignError:
             raise
         except Exception as exc:
@@ -224,7 +293,27 @@ class Solver:
         if cache is not None and result in (SAT, UNSAT):
             values = self._model.as_dict() if result == SAT else None
             cache.store(key, result, values)
+            if digest is not None and not from_disk:
+                cache.disk.put(digest, {"status": result, "model": values})
         return result
+
+    def _lookup_disk(self, disk, digest: str) -> str | None:
+        """A decided verdict from the shared disk tier, or None.
+
+        Anything malformed degrades to a miss — the solve just runs."""
+        entry = disk.get(digest)
+        if not isinstance(entry, dict):
+            return None
+        status = entry.get("status")
+        if status == UNSAT:
+            return UNSAT
+        if status == SAT:
+            values = entry.get("model")
+            if not isinstance(values, dict):
+                return None
+            self._model = Model({str(k): int(v) for k, v in values.items()})
+            return SAT
+        return None
 
     def model(self) -> Model:
         if self._model is None:

@@ -11,12 +11,13 @@ from .builder import FunctionBuilder, ModuleBuilder
 from .encoder import encode_module
 from .hardening import (DEFAULT_BUDGET, IngestBudget,
                         load_untrusted_module)
-from .interpreter import (ExecutionLimits, HostFunc, Instance, Trap,
-                          TrapDeadline, TrapIndirectCall,
-                          TrapIntegerDivide, TrapIntegerOverflow,
-                          TrapMemoryOutOfBounds, TrapOutOfFuel,
-                          TrapResourceLimit, TrapStackOverflow,
-                          TrapUnreachable)
+from .interpreter import (ExecutionLimits, HostFunc, Instance,
+                          InstanceTemplate, Trap, TrapDeadline,
+                          TrapIndirectCall, TrapIntegerDivide,
+                          TrapIntegerOverflow, TrapMemoryOutOfBounds,
+                          TrapOutOfFuel, TrapResourceLimit,
+                          TrapStackOverflow, TrapUnreachable,
+                          configure_translation, translation_enabled)
 from .module import (DataSegment, Element, Export, Function, Global, Import,
                      Module, PAGE_SIZE)
 from .opcodes import (Instr, MEMORY_INSTRUCTIONS, is_load, is_store,
@@ -30,6 +31,7 @@ from .validation import (InstructionTyping, ValidationError, type_function,
 __all__ = [
     "FunctionBuilder", "ModuleBuilder", "encode_module", "ExecutionLimits",
     "HostFunc", "DEFAULT_BUDGET", "IngestBudget", "Instance",
+    "InstanceTemplate", "configure_translation", "translation_enabled",
     "load_untrusted_module",
     "Trap", "TrapDeadline", "TrapIndirectCall", "TrapIntegerDivide",
     "TrapIntegerOverflow", "TrapMemoryOutOfBounds", "TrapOutOfFuel",

@@ -14,6 +14,7 @@ EOSIO chain layer converts into reverted transactions.
 from __future__ import annotations
 
 import math
+import os
 import struct
 import time as _time
 from dataclasses import dataclass
@@ -26,10 +27,32 @@ from .types import F32, F64, FuncType, I32, I64, ValType
 __all__ = ["Instance", "HostFunc", "Trap", "TrapUnreachable",
            "TrapIntegerDivide", "TrapMemoryOutOfBounds", "TrapStackOverflow",
            "TrapOutOfFuel", "TrapIndirectCall", "TrapIntegerOverflow",
-           "TrapResourceLimit", "TrapDeadline", "ExecutionLimits"]
+           "TrapResourceLimit", "TrapDeadline", "ExecutionLimits",
+           "InstanceTemplate", "configure_translation", "translation_enabled"]
 
 MASK32 = 0xFFFFFFFF
 MASK64 = 0xFFFFFFFFFFFFFFFF
+
+# Process default for the direct-threaded translation layer
+# (:mod:`repro.wasm.translate`).  On by default — the differential
+# suite holds it to byte-identical behaviour — with two opt-outs: the
+# REPRO_WASM_TRANSLATE=0 environment kill-switch and the per-instance
+# ``ExecutionLimits.translate`` override (the generic interpreter stays
+# the reference semantics either way).
+_TRANSLATE_DEFAULT = os.environ.get("REPRO_WASM_TRANSLATE", "1") != "0"
+
+
+def configure_translation(enabled: bool = True) -> bool:
+    """Set the process-wide default for direct-threaded translation
+    (``ExecutionLimits.translate=None`` resolves here).  Returns the
+    new default.  Forked workers inherit the parent's setting."""
+    global _TRANSLATE_DEFAULT
+    _TRANSLATE_DEFAULT = bool(enabled)
+    return _TRANSLATE_DEFAULT
+
+
+def translation_enabled() -> bool:
+    return _TRANSLATE_DEFAULT
 
 
 class Trap(Exception):
@@ -107,6 +130,10 @@ class ExecutionLimits:
     max_trace_events: int | None = 1_000_000
     max_trace_bytes: int | None = 64 * 1024 * 1024
     deadline_s: float | None = None
+    # Direct-threaded translation (repro.wasm.translate): True/False
+    # force it on/off for instances run under these limits; None defers
+    # to the process default (see configure_translation).
+    translate: bool | None = None
 
 
 class _ControlEntry:
@@ -161,6 +188,15 @@ class Instance:
         self.host_imports = host_imports or {}
         self._call_depth = 0
         self._deadline: float | None = None
+        # Resolve the translation opt-in once; the lazy import breaks
+        # the interpreter <-> translate module cycle.
+        wants_translate = self.limits.translate
+        if wants_translate is None:
+            wants_translate = _TRANSLATE_DEFAULT
+        self._translated_for = None
+        if wants_translate:
+            from .translate import translated_function
+            self._translated_for = translated_function
         # Resolve imported functions in index order.
         self._imported: list[HostFunc] = []
         for imp in module.imports:
@@ -295,7 +331,13 @@ class Instance:
             locals_list = list(args)
             for valtype in func.locals:
                 locals_list.append(0.0 if valtype.is_float else 0)
-            result = self._execute(func, locals_list)
+            code = None
+            if self._translated_for is not None:
+                code = self._translated_for(self.module, func)
+            if code is not None:
+                result = code.run(self, locals_list)
+            else:
+                result = self._execute(func, locals_list)
             arity = len(func_type.results)
             return result[-arity:] if arity else []
         finally:
@@ -463,6 +505,51 @@ class Instance:
         if addr + len(data) > len(self.memory) or addr < 0:
             raise TrapMemoryOutOfBounds(f"{instr.op} at {addr}")
         self.memory[addr:addr + len(data)] = data
+
+
+class InstanceTemplate:
+    """Reusable instantiation state for repeated runs of one module.
+
+    ``Instance.__init__`` re-resolves imports, re-allocates memory, and
+    re-applies data and element segments on every instantiation, but a
+    scan campaign applies the same contract thousands of times with the
+    same host imports and limits.  The template instantiates once,
+    snapshots the post-init memory/globals/table images, and
+    ``fresh()`` rewinds the single cached instance in place.
+
+    Not valid for modules with a ``start`` function: start must observe
+    fresh state once per instantiation, so callers re-instantiate those
+    the ordinary way.
+    """
+
+    __slots__ = ("instance", "_memory_image", "_globals_image",
+                 "_table_image")
+
+    def __init__(self, module: Module,
+                 host_imports: dict[tuple[str, str], HostFunc] | None = None,
+                 limits: ExecutionLimits | None = None):
+        if module.start is not None:
+            raise ValueError("modules with a start function cannot be "
+                             "templated")
+        self.instance = Instance(module, host_imports, limits)
+        self._memory_image = bytes(self.instance.memory)
+        self._globals_image = list(self.instance.globals)
+        self._table_image = list(self.instance.table)
+
+    def fresh(self) -> Instance:
+        """Rewind the cached instance to its post-instantiation state."""
+        inst = self.instance
+        inst.fuel = inst.limits.fuel
+        inst._call_depth = 0
+        inst._deadline = None
+        image = self._memory_image
+        if len(inst.memory) == len(image):
+            inst.memory[:] = image
+        else:
+            inst.memory = bytearray(image)
+        inst.globals[:] = self._globals_image
+        inst.table[:] = self._table_image
+        return inst
 
 
 # ---------------------------------------------------------------------------

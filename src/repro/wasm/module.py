@@ -82,12 +82,22 @@ class Module:
     data_segments: list[DataSegment] = field(default_factory=list)
 
     # -- index-space helpers (imports precede local definitions) ---------
+    # The function-index space is consulted on every ``call`` the
+    # interpreter executes, so the import scan is memoised.  The memo
+    # is keyed on ``len(self.imports)``: the builders only ever append
+    # imports while a module is under construction, so a stale entry
+    # is invalidated by the very mutation that would make it wrong.
     def imported_functions(self) -> list[Import]:
-        return [imp for imp in self.imports if imp.kind == "func"]
+        cached = getattr(self, "_imported_funcs_memo", None)
+        if cached is not None and cached[0] == len(self.imports):
+            return cached[1]
+        imported = [imp for imp in self.imports if imp.kind == "func"]
+        self._imported_funcs_memo = (len(self.imports), imported)
+        return imported
 
     @property
     def num_imported_functions(self) -> int:
-        return sum(1 for imp in self.imports if imp.kind == "func")
+        return len(self.imported_functions())
 
     def function_type(self, func_index: int) -> FuncType:
         """Resolve a function index (imports first) to its signature."""

@@ -21,6 +21,12 @@ class ValType:
     def __repr__(self) -> str:
         return self.name
 
+    def __reduce__(self):
+        # Equality is identity (these are singletons); unpickling must
+        # resolve to the canonical instance, not construct a copy —
+        # modules round-trip through the shared on-disk caches.
+        return (ValType.from_name, (self.name,))
+
     @property
     def is_float(self) -> bool:
         return self.name.startswith("f")

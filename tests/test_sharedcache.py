@@ -1,0 +1,171 @@
+"""The shared on-disk cache tier (repro.sharedcache) and its two
+consumers: the instrumentation cache and the solver cache."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.sharedcache import (SharedDiskCache, configure_shared_cache,
+                               shared_cache_dir)
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    previous = shared_cache_dir()
+    configure_shared_cache(tmp_path)
+    yield str(tmp_path)
+    configure_shared_cache(previous)
+
+
+class TestSharedDiskCache:
+    def test_disabled_without_directory(self):
+        previous = shared_cache_dir()
+        configure_shared_cache(None)
+        try:
+            cache = SharedDiskCache("t")
+            assert not cache.enabled
+            assert cache.get("k") is None
+            assert cache.put("k", 1) is False
+        finally:
+            configure_shared_cache(previous)
+
+    def test_pickle_round_trip(self, cache_dir):
+        cache = SharedDiskCache("t")
+        assert cache.put("abc123", {"x": (1, 2)}) is True
+        assert cache.get("abc123") == {"x": (1, 2)}
+        assert cache.hits == 1
+
+    def test_json_round_trip(self, cache_dir):
+        cache = SharedDiskCache("t", serializer="json")
+        cache.put("abc123", {"status": "sat", "model": {"a": 7}})
+        assert cache.get("abc123") == {"status": "sat",
+                                       "model": {"a": 7}}
+
+    def test_miss_and_corruption_degrade(self, cache_dir):
+        cache = SharedDiskCache("t")
+        assert cache.get("missing") is None
+        assert cache.misses == 1
+        cache.put("bad", [1, 2, 3])
+        path = cache._path("bad")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00not a pickle")
+        assert cache.get("bad") is None
+        assert cache.errors == 1
+
+    def test_hostile_key_is_hashed(self, cache_dir):
+        cache = SharedDiskCache("t")
+        cache.put("../../escape", 42)
+        assert cache.get("../../escape") == 42
+        # Nothing may land outside the namespace directory.
+        root = os.path.join(cache_dir, "t")
+        for name in os.listdir(root):
+            assert "/" not in name and not name.startswith(".")
+
+    def test_explicit_directory_ignores_global(self, tmp_path):
+        cache = SharedDiskCache("t", directory=str(tmp_path))
+        assert cache.enabled
+        cache.put("k1", "v")
+        assert SharedDiskCache("t", directory=str(tmp_path)).get("k1") == "v"
+
+    def test_dynamic_reconfiguration(self, tmp_path):
+        previous = shared_cache_dir()
+        try:
+            cache = SharedDiskCache("t")
+            configure_shared_cache(None)
+            assert not cache.enabled
+            configure_shared_cache(tmp_path)
+            assert cache.enabled
+        finally:
+            configure_shared_cache(previous)
+
+
+class TestValTypePickling:
+    def test_singletons_survive_pickling(self):
+        from repro.wasm.types import F32, F64, FuncType, I32, I64
+        for singleton in (I32, I64, F32, F64):
+            assert pickle.loads(pickle.dumps(singleton)) is singleton
+        func_type = FuncType((I32, I64), (I32,))
+        assert pickle.loads(pickle.dumps(func_type)) == func_type
+
+
+class TestInstrumentationDiskTier:
+    def test_second_cache_hits_disk(self, cache_dir):
+        from repro.benchgen.corpus import build_table4_corpus
+        from repro.engine.deploy import (InstrumentationCache,
+                                         module_content_hash)
+        module = build_table4_corpus(scale=0.01)[0].module
+        first = InstrumentationCache()
+        instrumented, sites = first.instrument(module)
+        assert first.disk.hits == 0 and first.disk.misses == 1
+        # A different cache object (stands in for a sibling worker)
+        # must find the entry on disk instead of re-instrumenting.
+        second = InstrumentationCache()
+        instrumented2, sites2 = second.instrument(module)
+        assert second.disk.hits == 1
+        assert module_content_hash(instrumented2) \
+            == module_content_hash(instrumented)
+        assert len(sites2.sites) == len(sites.sites)
+
+    def test_unpickled_module_executes(self, cache_dir):
+        from repro.benchgen.corpus import build_table4_corpus
+        from repro.engine.deploy import InstrumentationCache
+        from tests.wasm.test_translate_differential import \
+            _apply_fingerprint
+        sample = build_table4_corpus(scale=0.01)[0]
+        warm = InstrumentationCache()
+        warm.instrument(sample.module)
+        # Force the disk path: fresh memory cache, warm disk.
+        cold = InstrumentationCache()
+        cold.instrument(sample.module)
+        assert cold.disk.hits == 1
+        # The fingerprint helper instruments through the process-global
+        # cache; what matters here is simply that a campaign over the
+        # sample still runs to completion with the disk tier active.
+        trace, calls, error, fuel, memory = _apply_fingerprint(
+            sample.module, sample.contract.abi, translate=True)
+        assert trace
+
+
+class TestSolverDiskTier:
+    def _hard_query(self):
+        # xor of two variables defeats the interval fast path, so the
+        # query reaches the bit-blasting layer (and the disk tier).
+        from repro.smt.terms import BitVec, Eq
+        a = BitVec("dsk_a", 8)
+        b = BitVec("dsk_b", 8)
+        return Eq(a ^ b, 0x3C)
+
+    def test_solver_writes_and_reads_disk(self, cache_dir):
+        from repro.smt.solver import (SAT, Solver, configure_solver_cache,
+                                      solver_cache)
+        configure_solver_cache(True)
+        try:
+            solver = Solver()
+            constraint = self._hard_query()
+            solver.add(constraint)
+            assert solver.check() == SAT
+            model = solver.model()
+            assert solver_cache().disk.misses == 1
+            # Fresh in-memory cache, same disk: the solve is skipped.
+            configure_solver_cache(True)
+            solver2 = Solver()
+            solver2.add(constraint)
+            assert solver2.check() == SAT
+            assert solver_cache().disk.hits == 1
+            assert solver2.model().as_dict() == model.as_dict()
+        finally:
+            configure_solver_cache(True)
+
+    def test_constraint_digest_is_stable_and_dag_aware(self):
+        from repro.smt.solver import constraint_digest
+        from repro.smt.terms import BitVec, Eq
+        a = BitVec("dsk_c", 32)
+        shared = a + 1
+        deep = Eq(shared + shared, 10)
+        first = constraint_digest([deep], 1000)
+        second = constraint_digest([deep], 1000)
+        assert first == second
+        assert constraint_digest([deep], 2000) != first
