@@ -201,6 +201,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="artifact-store disk budget; writes "
                             "beyond it shed with HTTP 429 "
                             "kind=disk")
+    serve.add_argument("--tenants", type=Path, default=None,
+                       help="JSON file of per-tenant API keys and "
+                            "quotas; submissions are admission-gated "
+                            "(401 unknown key, typed 429 kind=quota)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
 
@@ -209,7 +213,11 @@ def main(argv: list[str] | None = None) -> int:
                                  "scan daemon")
     submit.add_argument("wasm", type=Path, help="contract .wasm file")
     submit.add_argument("--abi", type=Path, required=True)
-    submit.add_argument("--url", default="http://127.0.0.1:8734")
+    submit.add_argument("--url", default="http://127.0.0.1:8734",
+                        help="daemon base URL; a comma-separated list "
+                             "enables multi-endpoint failover")
+    submit.add_argument("--api-key", default=None,
+                        help="tenant API key (sent as X-Api-Key)")
     submit.add_argument("--timeout-ms", type=float, default=None,
                         help="virtual fuzzing budget (default: the "
                              "daemon's)")
@@ -237,7 +245,7 @@ def main(argv: list[str] | None = None) -> int:
     chaos = sub.add_parser("chaos",
                            help="chaos-drill a live in-process daemon "
                                 "under a deterministic fault schedule")
-    chaos.add_argument("--schedule", choices=("ci", "quick"),
+    chaos.add_argument("--schedule", choices=("ci", "quick", "fleet"),
                        default="ci",
                        help="fault schedule: 'ci' runs every phase, "
                             "'quick' a fast subset (default ci)")
@@ -476,8 +484,13 @@ def _cmd_serve(args) -> int:
         policy=ResiliencePolicy(max_retries=args.max_retries,
                                 quarantine_after=args.quarantine_after),
         journal=CampaignJournal(args.journal) if args.journal else None)
+    tenants = None
+    if args.tenants is not None:
+        from .service import TenantBook
+        tenants = TenantBook.from_doc(
+            json.loads(args.tenants.read_text(encoding="utf-8")))
     server = make_server(service, host=args.host, port=args.port,
-                         verbose=args.verbose)
+                         verbose=args.verbose, tenants=tenants)
     host, port = server.server_address[:2]
     print(f"wasai scan service on http://{host}:{port} "
           f"(store {args.store}, {args.workers} workers, "
@@ -494,7 +507,7 @@ def _cmd_serve(args) -> int:
 
 def _cmd_submit(args) -> int:
     from .service import ServiceClient, ServiceError
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url.split(","), api_key=args.api_key)
     config = {}
     if args.timeout_ms is not None:
         config["timeout_ms"] = args.timeout_ms

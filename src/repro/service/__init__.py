@@ -32,22 +32,36 @@ stages fail in a loop, or its own storage corrupts.
   failures with capped, deterministically-jittered backoff);
 * :mod:`repro.service.chaos` — the ``wasai chaos`` drill: a live
   daemon run under a deterministic fault schedule, asserting the
-  liveness invariants above.
+  liveness invariants above;
+* :mod:`repro.service.backend` — the coordinator/worker seam
+  (:class:`CoordinatorBackend`) with in-process, child-process and
+  remote-HTTP node implementations plus the consistent-hash
+  :class:`HashRing`;
+* :mod:`repro.service.fleet` — :class:`ScanFleet`: consistent-hash
+  sharding, work stealing, journal-shipped read replicas,
+  exactly-once failover on node death, partition control;
+* :mod:`repro.service.tenants` — per-tenant API keys with
+  admission-time rate limits and quotas (:class:`TenantBook`).
 """
 
 from .api import ServiceApi
-from .chaos import ChaosReport, run_chaos_drill
+from .backend import (BackendUnavailable, CoordinatorBackend, HashRing,
+                      InProcessBackend, ProcessBackend, RemoteBackend,
+                      module_hash_of)
+from .chaos import CHAOS_SCHEDULES, ChaosReport, run_chaos_drill
 from .client import ServiceClient, ServiceError
+from .fleet import FleetConfig, FleetJob, ScanFleet
 from .health import (BLACKBOX_GATED_STAGES, BREAKER_STAGES, BreakerBoard,
                      CircuitBreaker)
 from .integrity import (StoreBudgetExceeded, StoreCorruption,
                         content_checksum)
 from .queue import JOB_STATES, Job, JobQueue, QueueFull
-from .scheduler import (DEFAULT_SCAN_CONFIG, ScanService,
-                        ScanServiceConfig, Submission)
+from .scheduler import (DEFAULT_SCAN_CONFIG, NodePartitioned,
+                        ScanService, ScanServiceConfig, Submission)
 from .server import ScanServer, make_server, serve_forever
 from .store import ArtifactStore
 from .supervisor import WorkerRecord, WorkerSupervisor
+from .tenants import QuotaExceeded, TenantBook, TenantQuota, UnknownApiKey
 
 __all__ = [
     "ArtifactStore",
@@ -57,8 +71,13 @@ __all__ = [
     "CircuitBreaker", "BreakerBoard", "BREAKER_STAGES",
     "BLACKBOX_GATED_STAGES",
     "ScanService", "ScanServiceConfig", "Submission",
-    "DEFAULT_SCAN_CONFIG",
+    "DEFAULT_SCAN_CONFIG", "NodePartitioned",
     "ServiceApi", "ScanServer", "make_server", "serve_forever",
     "ServiceClient", "ServiceError",
-    "ChaosReport", "run_chaos_drill",
+    "ChaosReport", "run_chaos_drill", "CHAOS_SCHEDULES",
+    "BackendUnavailable", "CoordinatorBackend", "HashRing",
+    "InProcessBackend", "ProcessBackend", "RemoteBackend",
+    "module_hash_of",
+    "ScanFleet", "FleetConfig", "FleetJob",
+    "TenantBook", "TenantQuota", "QuotaExceeded", "UnknownApiKey",
 ]

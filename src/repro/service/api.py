@@ -47,6 +47,24 @@ Endpoints
 ``GET /integrity``
     On-demand storage integrity sweep: recomputes every stored row's
     checksum and reports (and by default repairs) corruption.
+
+Fleet surface
+-------------
+
+When the daemon is part of a fleet, four more endpoints carry the
+coordinator verbs on the wire — ``POST /fleet/steal`` (donate
+unclaimed queue entries as base64 recipes), ``GET
+/fleet/journal?cursor=N`` (ship verdict-journal entries past a byte
+cursor), ``POST /fleet/replicate`` (apply shipped verdicts
+idempotently) and ``POST /fleet/partition`` (chaos/topology control).
+Submissions gain three admission outcomes: ``401 unauthorized`` (a
+required/unknown API key when a :class:`~repro.service.tenants.
+TenantBook` is installed), ``429`` with ``kind: "quota"`` (a known
+tenant over its rate limit or absolute quota), and ``307
+wrong_shard`` with a ``Location`` header when a shard router says a
+different node owns this module's hash arc.  A partitioned minority
+node answers every write ``503 partitioned`` with ``stale: true``
+while reads keep flowing (stale-marked).
 """
 
 from __future__ import annotations
@@ -54,24 +72,38 @@ from __future__ import annotations
 import base64
 import binascii
 import json
+from urllib.parse import parse_qs
 
 from ..resilience import MalformedModule
 from ..resilience.journal import campaign_result_from_doc
 from ..scanner.report import report_to_json
 from .queue import QueueFull
-from .scheduler import ScanService
+from .scheduler import NodePartitioned, ScanService
+from .tenants import QuotaExceeded, TenantBook, UnknownApiKey
 
 __all__ = ["ServiceApi"]
 
 
 class ServiceApi:
-    """Route one parsed request against a :class:`ScanService`."""
+    """Route one parsed request against a :class:`ScanService`.
 
-    def __init__(self, service: ScanService):
+    ``tenants`` (optional) gates submissions behind API keys and
+    quotas; ``router`` (optional) is a callable mapping a module
+    content hash to the owning node's base URL, or ``None`` when this
+    node owns the shard — non-``None`` turns the submission into a
+    307 redirect.
+    """
+
+    def __init__(self, service: ScanService,
+                 tenants: TenantBook | None = None,
+                 router=None):
         self.service = service
+        self.tenants = tenants
+        self.router = router
 
-    def handle(self, method: str, path: str,
-               body: bytes = b"") -> tuple[int, dict]:
+    def handle(self, method: str, path: str, body: bytes = b"",
+               headers: dict | None = None) -> tuple[int, dict]:
+        raw_path = path
         path = path.split("?", 1)[0].rstrip("/") or "/"
         if method == "GET" and path == "/healthz":
             return 200, self.service.health()
@@ -80,13 +112,30 @@ class ServiceApi:
         if method == "GET" and path == "/integrity":
             return 200, self.service.integrity_sweep()
         if method == "POST" and path == "/scans":
-            return self._submit(body)
+            return self._submit(body, headers or {})
         if method == "GET" and path.startswith("/scans/"):
             return self._status(path[len("/scans/"):])
+        if method == "POST" and path == "/fleet/steal":
+            return self._fleet_steal(body)
+        if method == "GET" and path == "/fleet/journal":
+            return self._fleet_journal(raw_path)
+        if method == "POST" and path == "/fleet/replicate":
+            return self._fleet_replicate(body)
+        if method == "POST" and path == "/fleet/partition":
+            return self._fleet_partition(body)
         return 404, {"error": "not_found", "path": path}
 
     # -- POST /scans -------------------------------------------------------
-    def _submit(self, body: bytes) -> tuple[int, dict]:
+    @staticmethod
+    def _api_key(doc: dict, headers: dict) -> str | None:
+        for name, value in headers.items():
+            if name.lower() == "x-api-key":
+                return str(value)
+        key = doc.get("api_key")
+        return str(key) if key is not None else None
+
+    def _submit(self, body: bytes,
+                headers: dict) -> tuple[int, dict]:
         try:
             doc = json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
@@ -101,6 +150,51 @@ class ServiceApi:
         except (binascii.Error, ValueError) as exc:
             return 400, {"error": "bad_request",
                          "detail": f"module_b64 is not base64: {exc}"}
+        if self.service.partitioned:
+            # A minority-side node refuses every write before it costs
+            # anyone quota or parsing; reads keep flowing stale-marked.
+            return 503, {"error": "partitioned", "stale": True,
+                         "detail": "node is on the minority side of "
+                                   "a network partition",
+                         "retry_after_s": 5.0}
+        tenant = None
+        api_key = self._api_key(doc, headers)
+        if self.tenants is not None:
+            # Identity gate BEFORE any module parsing: an unknown key
+            # costs the node nothing but this lookup.  The quota is
+            # charged only after routing, so a wrong-shard redirect
+            # never double-bills the tenant.
+            try:
+                self.tenants.validate(api_key)
+            except UnknownApiKey as exc:
+                return 401, {"error": "unauthorized",
+                             "detail": str(exc)}
+        if self.router is not None:
+            try:
+                from .backend import module_hash_of
+                location = self.router(module_hash_of(data))
+            except MalformedModule as exc:
+                return 400, {"error": "malformed_module",
+                             "detail": str(exc), "stage": "ingest"}
+            if location is not None:
+                # Wrong shard: this node does not own the module's
+                # hash arc.  The server layer mirrors ``location``
+                # into a Location header for the 307.
+                return 307, {"error": "wrong_shard",
+                             "location": location.rstrip("/")
+                             + "/scans"}
+        if self.tenants is not None:
+            try:
+                tenant = self.tenants.admit(api_key)
+            except QuotaExceeded as exc:
+                return 429, {"error": "queue_full",
+                             "detail": str(exc), "kind": exc.kind,
+                             "depth": exc.depth, "limit": exc.limit,
+                             "retry_after_s": exc.retry_after_s,
+                             "tenant": exc.tenant}
+            except UnknownApiKey as exc:
+                return 401, {"error": "unauthorized",
+                             "detail": str(exc)}
         ttl_s = doc.get("ttl_s")
         try:
             submission = self.service.submit_bytes(
@@ -114,6 +208,10 @@ class ServiceApi:
             return 400, {"error": "malformed_module",
                          "detail": str(exc),
                          "stage": "ingest"}
+        except NodePartitioned as exc:
+            return 503, {"error": "partitioned", "stale": True,
+                         "detail": str(exc),
+                         "retry_after_s": exc.retry_after_s}
         except QueueFull as exc:
             return 429, {"error": "queue_full", "detail": str(exc),
                          "kind": exc.kind, "depth": exc.depth,
@@ -124,11 +222,67 @@ class ServiceApi:
         # reflects how *this submission* was satisfied (a coalesced
         # duplicate shares a job whose outcome is "queued").
         job_doc["outcome"] = submission.outcome
+        if tenant is not None:
+            job_doc["tenant"] = tenant
         if submission.cached:
             # "409-style" dedup: the verdict already exists, so the
             # reply carries it immediately instead of a pending job.
             return 200, job_doc
         return 202, job_doc
+
+    # -- fleet verbs -------------------------------------------------------
+    def _fleet_steal(self, body: bytes) -> tuple[int, dict]:
+        try:
+            doc = json.loads(body.decode("utf-8") or "{}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return 400, {"error": "bad_request",
+                         "detail": f"body is not JSON: {exc}"}
+        recipes = self.service.steal_unclaimed(
+            max(0, int(doc.get("max_jobs", 1))),
+            thief=str(doc.get("thief", "fleet")))
+        wire = []
+        for recipe in recipes:
+            recipe = dict(recipe)
+            module = recipe.pop("module", b"")
+            recipe["module_b64"] = base64.b64encode(module) \
+                .decode("ascii")
+            wire.append(recipe)
+        return 200, {"recipes": wire, "stolen": len(wire)}
+
+    def _fleet_journal(self, raw_path: str) -> tuple[int, dict]:
+        query = parse_qs(raw_path.partition("?")[2])
+        try:
+            cursor = int(query.get("cursor", ["0"])[0])
+        except ValueError:
+            return 400, {"error": "bad_request",
+                         "detail": "cursor must be an integer"}
+        entries, new_cursor = self.service.ship_journal(cursor)
+        return 200, {"entries": entries, "cursor": new_cursor}
+
+    def _fleet_replicate(self, body: bytes) -> tuple[int, dict]:
+        try:
+            doc = json.loads(body.decode("utf-8") or "{}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return 400, {"error": "bad_request",
+                         "detail": f"body is not JSON: {exc}"}
+        entries = doc.get("entries")
+        if not isinstance(entries, list):
+            return 400, {"error": "bad_request",
+                         "detail": "need an entries list"}
+        applied = self.service.apply_replica_verdicts(entries)
+        return 200, {"applied": applied}
+
+    def _fleet_partition(self, body: bytes) -> tuple[int, dict]:
+        try:
+            doc = json.loads(body.decode("utf-8") or "{}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return 400, {"error": "bad_request",
+                         "detail": f"body is not JSON: {exc}"}
+        partitioned = bool(doc.get("partitioned", True))
+        reason = doc.get("reason")
+        self.service.set_partitioned(
+            partitioned, str(reason) if reason is not None else None)
+        return 200, {"ok": True, "partitioned": partitioned}
 
     # -- GET /scans/{id} ---------------------------------------------------
     def _status(self, job_id: str) -> tuple[int, dict]:

@@ -19,6 +19,16 @@ storms from many clients de-synchronize while any single run stays
 reproducible.  A raw :class:`urllib.error.URLError` never escapes:
 exhausted retries surface as a typed :class:`ServiceError` with
 status 503.
+
+Fleet awareness rides on the same retry loop.  The client accepts a
+*list* of base URLs and rotates to the next endpoint whenever the
+current one refuses connections or answers 5xx (single-endpoint
+behavior is unchanged: a 5xx surfaces immediately).  A 307/308 with a
+``Location`` header — the fleet's "wrong shard, ask that node"
+redirect — is followed in place, bounded by ``max_redirects`` so two
+confused nodes cannot bounce a request forever.  An optional
+``api_key`` is attached to every request as ``X-Api-Key`` for
+tenant-quota admission.
 """
 
 from __future__ import annotations
@@ -56,20 +66,46 @@ class ServiceError(Exception):
 
 
 class ServiceClient:
-    """Talk to one ``wasai serve`` daemon."""
+    """Talk to one ``wasai serve`` daemon — or a fleet of them."""
 
-    def __init__(self, base_url: str = "http://127.0.0.1:8734",
+    def __init__(self,
+                 base_url: "str | list[str] | tuple[str, ...]"
+                 = "http://127.0.0.1:8734",
                  timeout_s: float = 30.0, *,
                  max_retries: int = 3,
                  backoff_base_s: float = 0.1,
                  backoff_cap_s: float = 5.0,
+                 max_redirects: int = 3,
+                 api_key: "str | None" = None,
                  sleep=time.sleep):
-        self.base_url = base_url.rstrip("/")
+        if isinstance(base_url, str):
+            base_url = [base_url]
+        self.endpoints = [url.rstrip("/") for url in base_url]
+        if not self.endpoints:
+            raise ValueError("at least one endpoint is required")
+        self._endpoint_index = 0
         self.timeout_s = timeout_s
         self.max_retries = max_retries
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
+        self.max_redirects = max_redirects
+        self.api_key = api_key
         self._sleep = sleep
+
+    @property
+    def base_url(self) -> str:
+        """The endpoint currently in rotation (back-compat alias)."""
+        return self.endpoints[self._endpoint_index]
+
+    @base_url.setter
+    def base_url(self, value: str) -> None:
+        self.endpoints = [value.rstrip("/")]
+        self._endpoint_index = 0
+
+    def _rotate(self) -> None:
+        if len(self.endpoints) > 1:
+            self._endpoint_index = \
+                (self._endpoint_index + 1) % len(self.endpoints)
 
     # -- plumbing ----------------------------------------------------------
     def _retry_delay(self, path: str, attempt: int,
@@ -88,14 +124,18 @@ class ServiceClient:
         return delay + (seed % 1000) / 1000.0 * delay / 2
 
     def _request_once(self, method: str, path: str,
-                      doc: dict | None = None) -> tuple[int, dict, dict]:
+                      doc: dict | None = None, *,
+                      url: "str | None" = None
+                      ) -> tuple[int, dict, dict]:
         """One attempt: (status, payload, headers)."""
         body = None
         headers = {"Accept": "application/json"}
         if doc is not None:
             body = json.dumps(doc).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(self.base_url + path,
+        if self.api_key is not None:
+            headers["X-Api-Key"] = self.api_key
+        request = urllib.request.Request(url or (self.base_url + path),
                                          data=body, headers=headers,
                                          method=method)
         try:
@@ -113,34 +153,68 @@ class ServiceClient:
     def _request(self, method: str, path: str,
                  doc: dict | None = None) -> tuple[int, dict]:
         last_connect_error: Exception | None = None
-        for attempt in range(self.max_retries + 1):
+        url: "str | None" = None        # set while following a redirect
+        redirects = 0
+        attempt = 0
+        while attempt <= self.max_retries:
             try:
-                status, payload, headers = self._request_once(
-                    method, path, doc)
+                if url is None:
+                    status, payload, headers = self._request_once(
+                        method, path, doc)
+                else:
+                    status, payload, headers = self._request_once(
+                        method, path, doc, url=url)
             except urllib.error.URLError as exc:
                 reason = getattr(exc, "reason", None)
-                if not isinstance(reason, _TRANSIENT_EXCS) \
-                        or attempt >= self.max_retries:
-                    if isinstance(reason, _TRANSIENT_EXCS):
-                        last_connect_error = exc
-                        break
+                if not isinstance(reason, _TRANSIENT_EXCS):
                     raise ServiceError(503, {
                         "error": "unavailable",
                         "detail": f"{type(exc).__name__}: {exc}",
                     }) from exc
                 last_connect_error = exc
+                self._rotate()
+                url = None
+                if attempt >= self.max_retries:
+                    break
                 self._sleep(self._retry_delay(path, attempt))
+                attempt += 1
                 continue
             except _TRANSIENT_EXCS as exc:
                 # A reset can also surface bare (mid-body, keep-alive).
                 last_connect_error = exc
+                self._rotate()
+                url = None
                 if attempt >= self.max_retries:
                     break
                 self._sleep(self._retry_delay(path, attempt))
+                attempt += 1
+                continue
+            if status in (307, 308) and headers.get("Location") \
+                    and redirects < self.max_redirects:
+                # Shard redirect: the node we asked does not own this
+                # module's hash arc; retry against the owner.  Does
+                # not consume the retry budget — it is routing, not
+                # failure — but is bounded by max_redirects.
+                redirects += 1
+                location = str(headers["Location"])
+                if location.startswith(("http://", "https://")):
+                    url = location
+                else:
+                    path, url = location, None
                 continue
             if status == 429 and attempt < self.max_retries:
                 self._sleep(self._retry_delay(
                     path, attempt, headers.get("Retry-After")))
+                attempt += 1
+                continue
+            if status >= 500 and len(self.endpoints) > 1 \
+                    and attempt < self.max_retries:
+                # A sick-but-talking node: fail over to the next
+                # endpoint (with one endpoint, surface it untouched).
+                self._rotate()
+                url = None
+                self._sleep(self._retry_delay(path, attempt))
+                attempt += 1
                 continue
             return status, payload
         raise ServiceError(503, {
@@ -196,7 +270,7 @@ class ServiceClient:
         while True:
             doc = self.status(job_id)
             if doc.get("state") in ("done", "failed", "quarantined",
-                                    "expired", "rejected"):
+                                    "expired", "rejected", "stolen"):
                 return doc
             if time.monotonic() >= deadline:
                 raise TimeoutError(

@@ -42,21 +42,25 @@ from typing import Any, Callable
 __all__ = ["Job", "JobQueue", "QueueFull", "JOB_STATES"]
 
 JOB_STATES = ("queued", "running", "done", "failed", "quarantined",
-              "expired", "rejected")
+              "expired", "rejected", "stolen")
 
 
 class QueueFull(Exception):
     """Typed backpressure rejection: the queue (or the service's
-    in-flight budget, or the store's disk budget) is saturated; the
-    submission was shed.  ``retry_after_s`` is the server's hint for
-    when a retry is worth attempting (emitted as ``Retry-After``)."""
+    in-flight budget, the store's disk budget, or a tenant's quota) is
+    saturated; the submission was shed.  ``retry_after_s`` is the
+    server's hint for when a retry is worth attempting (emitted as
+    ``Retry-After``).  Every 429 the service emits carries the same
+    schema: ``kind`` names the saturated bound so clients and fleet
+    peers can dispatch without string-matching the message."""
 
     def __init__(self, message: str, *, depth: int, limit: int,
-                 kind: str = "depth", retry_after_s: float = 1.0):
+                 kind: str = "queue", retry_after_s: float = 1.0):
         super().__init__(message)
         self.depth = depth
         self.limit = limit
-        self.kind = kind  # "depth" | "inflight" | "draining" | "disk"
+        # "queue" | "inflight" | "draining" | "disk" | "quota"
+        self.kind = kind
         self.retry_after_s = retry_after_s
 
 
@@ -84,11 +88,12 @@ class Job:
     ttl_s: float | None = None  # max queue age before "expired"
     claim: str | None = None  # worker token currently owning the run
     requeues: int = 0         # watchdog reap re-queues (exactly-once)
+    stolen_by: str | None = None  # fleet thief token once work-stolen
 
     @property
     def terminal(self) -> bool:
         return self.state in ("done", "failed", "quarantined",
-                              "expired", "rejected")
+                              "expired", "rejected", "stolen")
 
     def to_doc(self) -> dict:
         doc = {
@@ -105,6 +110,8 @@ class Job:
         }
         if self.requeues:
             doc["requeues"] = self.requeues
+        if self.stolen_by is not None:
+            doc["stolen_by"] = self.stolen_by
         if self.started_s and self.finished_s:
             doc["latency_s"] = self.finished_s - self.started_s
         if self.error is not None:
@@ -132,6 +139,7 @@ class JobQueue:
         self.shed = 0
         self.expired = 0
         self.promoted = 0
+        self.stolen = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -249,6 +257,36 @@ class JobQueue:
         if oldest is None:
             return None
         return oldest[1], oldest[2]
+
+    def steal(self, max_jobs: int) -> list[Job]:
+        """Remove and return up to ``max_jobs`` queued entries for a
+        fleet peer to run instead (work stealing).
+
+        Only *unclaimed* queue entries can ever be here — a claimed
+        job left the queue at ``get``, so stealing can never touch an
+        in-flight claim by construction.  Stealing takes the youngest
+        jobs of the lowest priority band first: those would have run
+        last locally, so the donor's latency profile is disturbed the
+        least while the thief gets real backlog off this node."""
+        out: list[Job] = []
+        with self._lock:
+            for priority in sorted(self._bands):
+                band = self._bands[priority]
+                for client in list(reversed(band)):
+                    jobs = band[client]
+                    while jobs and len(out) < max_jobs:
+                        out.append(jobs.pop())
+                    if not jobs:
+                        del band[client]
+                    if len(out) >= max_jobs:
+                        break
+                if not band and priority in self._bands:
+                    del self._bands[priority]
+                if len(out) >= max_jobs:
+                    break
+            self._depth -= len(out)
+            self.stolen += len(out)
+        return out
 
     def drain(self) -> list[Job]:
         """Remove and return every queued job (checkpoint path)."""

@@ -63,6 +63,7 @@ journal so it cannot grow without bound across daemon generations.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
@@ -86,7 +87,19 @@ from .store import ArtifactStore
 from .supervisor import WorkerRecord, WorkerSupervisor
 
 __all__ = ["ScanService", "ScanServiceConfig", "Submission",
-           "DEFAULT_SCAN_CONFIG"]
+           "NodePartitioned", "DEFAULT_SCAN_CONFIG"]
+
+
+class NodePartitioned(Exception):
+    """This node believes it is on the minority side of a network
+    partition: it refuses writes (new submissions) so a split brain
+    can never produce two authoritative verdict histories, and serves
+    reads marked ``stale`` until the partition heals and the journal
+    replay catches it back up."""
+
+    def __init__(self, message: str, *, retry_after_s: float = 5.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 DEFAULT_SCAN_CONFIG = {
     "tool": "wasai",
@@ -183,9 +196,14 @@ class ScanService:
         self._expired = 0
         self._forced_blackbox = 0
         self._store_recoveries = 0
+        self._steals = 0              # jobs donated to fleet peers
+        self._replica_applied = 0     # verdicts applied from peers
         self._storm = False
         self._accepting = True
         self._draining = False
+        self._dead = False            # chaos kill(): node is gone
+        self._partitioned = False
+        self._partition_reason: str | None = None
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
@@ -223,6 +241,42 @@ class ScanService:
         checkpointed = self.drain(wait_s)
         self.store.close()
         return checkpointed
+
+    def kill(self) -> None:
+        """Abrupt chaos-style death: no drain, no checkpoint, no
+        store close.  Worker loops exit at their next poll; a worker
+        mid-campaign becomes a zombie whose result is never consulted
+        because the node is dead to its fleet.  The in-proc backend
+        uses this to rehearse node-kill without a real process."""
+        with self._lock:
+            self._accepting = False
+            self._draining = True
+            self._dead = True
+        if self.supervisor is not None:
+            self.supervisor.abandon_all()
+
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    # -- partition tolerance -----------------------------------------------
+    def set_partitioned(self, partitioned: bool,
+                        reason: str | None = None) -> None:
+        """Enter/leave minority-partition mode.  While set, new
+        submissions are refused with the typed
+        :class:`NodePartitioned` and every health/stats read carries
+        ``stale: true`` — the node keeps serving what it already
+        knows, clearly labelled, but never diverges the write
+        history.  Healing is the fleet's journal replay, not a local
+        state change, so leaving the mode is just clearing the flag."""
+        with self._lock:
+            self._partitioned = partitioned
+            self._partition_reason = reason if partitioned else None
+
+    @property
+    def partitioned(self) -> bool:
+        with self._lock:
+            return self._partitioned
 
     # -- storage self-healing ----------------------------------------------
     def _healed(self, op, default=None):
@@ -356,6 +410,11 @@ class ScanService:
         the in-flight budget or the store's disk budget is exceeded.
         """
         with self._lock:
+            if self._partitioned:
+                raise NodePartitioned(
+                    "node is on the minority side of a network "
+                    f"partition ({self._partition_reason or 'unknown'});"
+                    " writes refused until the partition heals")
             if not self._accepting:
                 raise QueueFull("service is draining",
                                 depth=self.queue.depth,
@@ -738,6 +797,129 @@ class ScanService:
             pass  # compaction is best-effort; the journal still works
         return replayed
 
+    # -- fleet seam: work stealing -----------------------------------------
+    def steal_unclaimed(self, max_jobs: int,
+                        thief: str = "fleet") -> list[dict]:
+        """Donate up to ``max_jobs`` *unclaimed* queue entries to a
+        fleet peer; returns self-contained recipes the thief can
+        resubmit (module bytes + ABI + config + client + priority).
+
+        Only queued, unclaimed jobs are eligible — a claimed job left
+        the queue when its worker took it, so stealing can never race
+        an in-flight campaign.  Each stolen job is stamped with a
+        thief claim token in the same ``owner#generation`` shape
+        workers use: if the job ever reappears here (a zombie worker
+        from an earlier hang-requeue cycle waking up late), the claim
+        check discards its result exactly like any other revoked
+        claim, so a stolen job resolves exactly once fleet-wide."""
+        with self._lock:
+            jobs = self.queue.steal(max_jobs)
+            recipes: list[dict] = []
+            for job in jobs:
+                self._steals += 1
+                token = f"{thief}#{self._steals}"
+                job.claim = token
+                job.stolen_by = token
+                job.state = "stolen"
+                job.outcome = "stolen"
+                job.finished_s = time.time()
+                if self._inflight.get(job.scan_key) is job:
+                    self._inflight.pop(job.scan_key, None)
+                abi_json = (job.task.abi.to_json()
+                            if job.task is not None else "")
+                data = self._healed(
+                    lambda h=job.module_hash: self.store.get_module(h))
+                if data is None:
+                    # Module bytes lost (store rebuild raced the
+                    # steal): fail the job locally instead of handing
+                    # the thief an unrunnable recipe.
+                    job.state = "failed"
+                    job.error = "module bytes lost before steal"
+                    self._failed += 1
+                    continue
+                recipes.append({
+                    "job_id": job.job_id,
+                    "scan_key": job.scan_key,
+                    "module_hash": job.module_hash,
+                    "module": data,
+                    "abi": abi_json,
+                    "config": dict(job.config),
+                    "client": job.client,
+                    "priority": job.priority,
+                })
+        return recipes
+
+    # -- fleet seam: journal shipping / read replicas ----------------------
+    def ship_journal(self, cursor: int = 0) -> tuple[list[dict], int]:
+        """Read journal entries appended since byte offset ``cursor``;
+        returns ``(entries, new_cursor)``.
+
+        The cursor is monotonic over one journal generation: it only
+        ever advances past *complete* lines, so a torn tail is re-read
+        next time.  If the file shrank below the cursor (compaction,
+        or a truncating crash), the cursor resets to zero and the
+        whole journal is re-shipped — replica application is
+        idempotent (verdicts are deterministic in their scan key), so
+        replay-from-zero is the catch-up path, not an error."""
+        if self.journal is None:
+            return [], cursor
+        path = Path(self.journal.path)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return [], 0
+        if cursor > size:
+            cursor = 0              # truncated/compacted: replay all
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(cursor)
+                blob = handle.read()
+        except OSError:
+            return [], cursor
+        end = blob.rfind(b"\n") + 1
+        entries: list[dict] = []
+        for line in blob[:end].splitlines():
+            try:
+                doc = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue            # malformed line: skip, keep cursor
+            if isinstance(doc, dict):
+                entries.append(doc)
+        return entries, cursor + end
+
+    def apply_replica_verdicts(self, entries: list[dict]) -> int:
+        """Apply a peer's shipped journal entries to this node's store
+        (read-replica ingestion).  Only verdict records are applied —
+        pending checkpoints and claim tombstones are the primary's
+        business.  Idempotent: a scan key this store already holds is
+        skipped, so replay-from-zero after a cursor reset costs reads,
+        never wrong writes."""
+        applied = 0
+        for doc in entries:
+            key = doc.get("key")
+            inner = doc.get("result")
+            if not isinstance(key, str) or not isinstance(inner, dict):
+                continue
+            verdict = inner.get("verdict")
+            if not isinstance(verdict, dict):
+                continue
+            if self._healed(lambda k=key: self.store.has_verdict(k),
+                            default=False):
+                continue
+            try:
+                self._healed(lambda k=key, v=verdict:
+                             self.store.put_verdict(
+                                 k, v.get("module_hash", ""),
+                                 v.get("config", {}),
+                                 v.get("result", {})))
+            except StoreBudgetExceeded:
+                break
+            applied += 1
+        if applied:
+            with self._lock:
+                self._replica_applied += applied
+        return applied
+
     # -- health / stats ----------------------------------------------------
     def health(self) -> dict:
         """The liveness/readiness doc behind ``GET /healthz``.
@@ -750,14 +932,20 @@ class ScanService:
             open_stages = self.breakers.open_stages()
             accepting = self._accepting
             storm = self._storm
+            partitioned = self._partitioned
         status = "ok"
         if open_stages:
             status = "degraded"
         if not accepting:
             status = "draining"
+        if partitioned:
+            # Partition-mode reads are served but explicitly stale:
+            # the node cannot know what the majority decided since.
+            status = "partitioned"
         doc = {
             "status": status,
-            "accepting": accepting,
+            "accepting": accepting and not partitioned,
+            "stale": partitioned,
             "storm": storm,
             "breakers": {"open": open_stages},
             "workers": (self.supervisor.stats()
@@ -783,8 +971,10 @@ class ScanService:
                 "running": running,
                 "inflight_budget": self.config.inflight_budget(),
                 "workers": self.config.workers,
-                "accepting": self._accepting,
-                "health": ("draining" if not self._accepting else
+                "accepting": self._accepting and not self._partitioned,
+                "stale": self._partitioned,
+                "health": ("partitioned" if self._partitioned else
+                           "draining" if not self._accepting else
                            "degraded" if self.breakers.open_stages()
                            else "ok"),
                 "submissions": self._submissions,
@@ -796,6 +986,10 @@ class ScanService:
                 "promoted": self.queue.promoted,
                 "admission_rejected": self._admission_rejected,
                 "shed": self.queue.shed,
+                "fleet": {
+                    "stolen_away": self._steals,
+                    "replica_applied": self._replica_applied,
+                },
                 "dedup": {
                     "cache_hits": self._cache_hits,
                     "coalesce_hits": self._coalesce_hits,

@@ -46,7 +46,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             body = self.rfile.read(length)
         try:
-            status, doc = api.handle(method, self.path, body)
+            status, doc = api.handle(method, self.path, body,
+                                     headers=dict(self.headers))
         except Exception as exc:  # noqa: BLE001 - keep the daemon up
             status, doc = 500, {"error": "internal",
                                 "detail": f"{type(exc).__name__}: {exc}"}
@@ -57,7 +58,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
-        if status == 429 and doc.get("retry_after_s") is not None:
+        if status in (307, 308) and doc.get("location"):
+            # Shard redirect: clients retry the same request verbatim
+            # against the owning node.
+            self.send_header("Location", str(doc["location"]))
+        if status in (429, 503) and doc.get("retry_after_s") is not None:
             # The shed hint clients honor before retrying (RFC 9110
             # allows a delay in seconds; round up so 0.5s isn't "0").
             self.send_header(
@@ -83,17 +88,23 @@ class ScanServer(ThreadingHTTPServer):
     daemon_threads = True
 
     def __init__(self, address: tuple[str, int], service: ScanService,
-                 verbose: bool = False):
+                 verbose: bool = False, tenants=None, router=None):
         super().__init__(address, _Handler)
         self.service = service
-        self.api = ServiceApi(service)
+        self.api = ServiceApi(service, tenants=tenants, router=router)
         self.verbose = verbose
 
 
 def make_server(service: ScanService, host: str = "127.0.0.1",
-                port: int = 0, verbose: bool = False) -> ScanServer:
-    """Bind (port 0 = ephemeral) and start the scan workers."""
-    server = ScanServer((host, port), service, verbose=verbose)
+                port: int = 0, verbose: bool = False,
+                tenants=None, router=None) -> ScanServer:
+    """Bind (port 0 = ephemeral) and start the scan workers.
+
+    ``tenants`` installs API-key/quota admission; ``router`` installs
+    shard redirects (see :class:`~repro.service.api.ServiceApi`).
+    """
+    server = ScanServer((host, port), service, verbose=verbose,
+                        tenants=tenants, router=router)
     service.start()
     return server
 

@@ -238,6 +238,16 @@ class ArtifactStore:
                  result_json, time.time(),
                  self._write_checksum(scan_key, result_json)))
 
+    def has_verdict(self, scan_key: str) -> bool:
+        """Existence check without checksum verification — the cheap
+        idempotence probe replica ingestion runs per shipped entry (a
+        corrupt row still surfaces on the eventual read)."""
+        with self._lock:
+            row = self._execute(
+                "SELECT 1 FROM verdicts WHERE scan_key = ?",
+                (scan_key,)).fetchone()
+        return row is not None
+
     def get_verdict(self, scan_key: str) -> dict | None:
         """The stored ``CampaignResult`` doc, or None on a miss."""
         with self._lock:

@@ -40,7 +40,7 @@ def test_bounded_depth_sheds_with_typed_rejection():
     queue.put(_job(n=2))
     with pytest.raises(QueueFull) as excinfo:
         queue.put(_job(n=3))
-    assert excinfo.value.kind == "depth"
+    assert excinfo.value.kind == "queue"
     assert excinfo.value.depth == 2
     assert excinfo.value.limit == 2
     assert queue.shed == 1

@@ -142,7 +142,7 @@ def test_bounded_queue_sheds_typed(sample_contract):
         data, abi = contract_bytes(seed=3)
         with pytest.raises(QueueFull) as excinfo:
             service.submit_bytes(data, abi)
-        assert excinfo.value.kind in ("depth", "inflight")
+        assert excinfo.value.kind in ("queue", "inflight")
         assert service.stats()["shed"] == 1
         # A duplicate of an already-queued module still coalesces —
         # dedup is checked before admission control sheds.
