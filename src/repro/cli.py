@@ -205,6 +205,18 @@ def main(argv: list[str] | None = None) -> int:
                        help="JSON file of per-tenant API keys and "
                             "quotas; submissions are admission-gated "
                             "(401 unknown key, typed 429 kind=quota)")
+    serve.add_argument("--capture-traces", action="store_true",
+                       help="persist a durable trace-IR pack per "
+                            "completed scan so oracles can later be "
+                            "replayed without re-fuzzing")
+    serve.add_argument("--drift-audit-s", type=float, default=None,
+                       help="background drift auditor cadence: every "
+                            "N seconds replay a sample of stored "
+                            "traces and flag verdict drift (default "
+                            "off)")
+    serve.add_argument("--drift-audit-sample", type=int, default=4,
+                       help="traces replayed per audit round "
+                            "(default 4)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
 
@@ -242,6 +254,25 @@ def main(argv: list[str] | None = None) -> int:
     status.add_argument("--stats", action="store_true",
                         help="print the daemon's /stats instead")
 
+    reverdict = sub.add_parser(
+        "reverdict",
+        help="replay the scanner oracles over stored trace-IR packs "
+             "(zero re-fuzzing) and rewrite the verdicts")
+    reverdict.add_argument("--oracle-version", type=int, default=None,
+                           help="oracle version to stamp into the "
+                                "rewritten verdicts' provenance "
+                                "(default: the registered version)")
+    reverdict.add_argument("--store", type=Path, default=None,
+                           help="run offline against this SQLite "
+                                "artifact store instead of a daemon")
+    reverdict.add_argument("--url", default="http://127.0.0.1:8734",
+                           help="daemon base URL (ignored with "
+                                "--store)")
+    reverdict.add_argument("--wait-timeout-s", type=float,
+                           default=300.0)
+    reverdict.add_argument("--json", action="store_true",
+                           help="emit the sweep report as JSON")
+
     chaos = sub.add_parser("chaos",
                            help="chaos-drill a live in-process daemon "
                                 "under a deterministic fault schedule")
@@ -278,6 +309,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_submit(args)
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "reverdict":
+        return _cmd_reverdict(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     return _cmd_bench(args)
@@ -480,7 +513,10 @@ def _cmd_serve(args) -> int:
                                  task_deadline_s=args.task_deadline_s,
                                  breaker_threshold=args.breaker_threshold,
                                  breaker_cooldown_s=args.breaker_cooldown_s,
-                                 store_max_bytes=args.store_max_bytes),
+                                 store_max_bytes=args.store_max_bytes,
+                                 capture_traces=args.capture_traces,
+                                 drift_audit_s=args.drift_audit_s,
+                                 drift_audit_sample=args.drift_audit_sample),
         policy=ResiliencePolicy(max_retries=args.max_retries,
                                 quarantine_after=args.quarantine_after),
         journal=CampaignJournal(args.journal) if args.journal else None)
@@ -553,6 +589,60 @@ def _cmd_status(args) -> int:
         return 4
     print(json.dumps(doc, indent=2, sort_keys=True))
     return 0
+
+
+def _format_reverdict_report(doc: dict) -> str:
+    lines = [
+        f"# reverdict: oracle v{doc.get('oracle_version')}, "
+        f"trace IR v{doc.get('traceir_version')}",
+        f"  replayed   {doc.get('replayed', 0)} "
+        f"(rewritten {doc.get('rewritten', 0)}, "
+        f"orphaned {doc.get('orphaned', 0)})",
+        f"  matched    {doc.get('matched', 0)}",
+        f"  drift      {doc.get('drift', 0)}",
+        f"  corrupt    {doc.get('corrupt', 0)} (quarantined)",
+    ]
+    for incident in doc.get("incidents", ()):
+        kind = incident.get("kind", "incident")
+        key = incident.get("scan_key", "?")
+        detail = incident.get("detail", "")
+        lines.append(f"    {kind} {key[:16]} {detail}".rstrip())
+    return "\n".join(lines)
+
+
+def _cmd_reverdict(args) -> int:
+    if args.store is not None:
+        # Offline: open the artifact store directly — the sweep needs
+        # no fuzzing workers, so no daemon is required.
+        from .service.reverdict import reverdict_store
+        from .service.store import ArtifactStore
+        store = ArtifactStore(str(args.store))
+        try:
+            report_doc = reverdict_store(
+                store, oracle_version=args.oracle_version).to_doc()
+        finally:
+            store.close()
+    else:
+        from .service import ServiceClient, ServiceError
+        client = ServiceClient(args.url.split(","))
+        try:
+            doc = client.reverdict(oracle_version=args.oracle_version,
+                                   wait=True,
+                                   timeout_s=args.wait_timeout_s)
+        except (ServiceError, TimeoutError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 4
+        if doc.get("state") != "done":
+            print(f"error: reverdict job {doc.get('id')} ended "
+                  f"{doc.get('state')}: {doc.get('error')}",
+                  file=sys.stderr)
+            return 4
+        report_doc = doc.get("result", {})
+    if args.json:
+        print(json.dumps(report_doc, indent=2, sort_keys=True))
+    else:
+        print(_format_reverdict_report(report_doc))
+    return 1 if report_doc.get("drift") else 0
 
 
 def _cmd_chaos(args) -> int:

@@ -84,6 +84,8 @@ def run_wasai(module: Module, abi: Abi, account: str = "victim",
               feedback: bool = True,
               divergence_check: bool = True,
               limits=None,
+              trace_dir: "str | None" = None,
+              trace_format: str = "jsonl",
               timings: "dict[str, float] | None" = None) -> WasaiRun:
     """Fuzz one contract with WASAI and scan the observations.
 
@@ -95,7 +97,9 @@ def run_wasai(module: Module, abi: Abi, account: str = "victim",
     concolic divergence sentinel (cross-checking the symbolic replay's
     concrete shadow state against the recorded trace); ``limits`` is
     an optional :class:`~repro.wasm.ExecutionLimits` for the chain's
-    Wasm interpreter.
+    Wasm interpreter.  ``trace_dir`` redirects every observation's
+    trace to its own offline file (§3.3.1) in the given directory,
+    encoded per ``trace_format`` ("jsonl" or the columnar "ir").
     """
     started = time.perf_counter()
     chain, target = _deploy(account, module, abi, limits=limits)
@@ -106,6 +110,8 @@ def run_wasai(module: Module, abi: Abi, account: str = "victim",
                          smt_max_conflicts=smt_max_conflicts,
                          address_pool=address_pool,
                          feedback=feedback,
+                         trace_dir=trace_dir,
+                         trace_format=trace_format,
                          divergence_check=divergence_check)
     try:
         report = fuzzer.run()
@@ -174,6 +180,7 @@ def evaluate_corpus(samples: list[BenchmarkSample],
                     journal: "str | None" = None,
                     resume: bool = False,
                     divergence_check: bool = True,
+                    capture_traces: bool = False,
                     ) -> dict[str, MetricsTable]:
     """Run the selected tools over a labelled corpus; returns one
     metrics table per tool (the Table 4/5/6 rows).
@@ -200,6 +207,11 @@ def evaluate_corpus(samples: list[BenchmarkSample],
     its verdict is excluded from the confusion counts (the trace the
     detectors scanned is untrustworthy) and the sample is recorded in
     the quarantine ledger.
+
+    ``capture_traces`` distills each finished WASAI campaign into a
+    durable trace-IR pack (:mod:`repro.traceir`) carried on the result
+    and journaled alongside the verdict, so scanner oracles can later
+    be replayed with zero re-fuzzing.
     """
     policy = policy or ResiliencePolicy()
     vuln_types = tuple(sorted({s.vuln_type for s in samples}))
@@ -207,7 +219,8 @@ def evaluate_corpus(samples: list[BenchmarkSample],
     tasks = [CampaignTask(sample.module, sample.contract.abi, tuple(tools),
                           timeout_ms, rng_seed + index, policy=policy,
                           sample_key=f"{sample.vuln_type}[{index}]",
-                          divergence_check=divergence_check)
+                          divergence_check=divergence_check,
+                          capture_traces=capture_traces)
              for index, sample in enumerate(samples)]
     wall_started = time.perf_counter()
     run = run_resilient_tasks(run_campaign_task, tasks, jobs=jobs,

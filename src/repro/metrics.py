@@ -119,6 +119,12 @@ class ThroughputStats:
     breaker_recoveries: int = 0    # breakers closed again via a probe
     integrity_repairs: int = 0     # store quarantine-and-rebuild runs
     journal_compactions: int = 0   # journal compaction passes
+    # Trace-IR / re-verdict ledger (repro.traceir): durable trace packs
+    # written, scanner replays over them, and what those replays found.
+    traces_stored: int = 0         # trace-IR packs persisted
+    reverdicts: int = 0            # stored traces replayed by oracles
+    trace_corruptions: int = 0     # undecodable packs quarantined
+    verdict_drift: int = 0         # replay verdict != stored verdict
     # Per-task wall-clock samples, keyed by stage ("task" = whole
     # campaign task; "setup"/"fuzz"/"scan" = pipeline stages; the scan
     # service adds "job" for end-to-end job latency).  Samples feed the
@@ -240,6 +246,12 @@ class ThroughputStats:
                 "integrity_repairs": self.integrity_repairs,
                 "journal_compactions": self.journal_compactions,
             },
+            "traceir": {
+                "traces_stored": self.traces_stored,
+                "reverdicts": self.reverdicts,
+                "trace_corruptions": self.trace_corruptions,
+                "verdict_drift": self.verdict_drift,
+            },
         }
 
     def format(self) -> str:
@@ -281,6 +293,15 @@ class ThroughputStats:
             if count)
         if healing:
             lines.append(f"  self-healing  {healing.lstrip(', ')}")
+        traceir = "".join(
+            f", {count} {label}" for count, label in
+            ((self.traces_stored, "traces stored"),
+             (self.reverdicts, "reverdicts"),
+             (self.trace_corruptions, "trace corruptions"),
+             (self.verdict_drift, "verdict drift"))
+            if count)
+        if traceir:
+            lines.append(f"  trace IR      {traceir.lstrip(', ')}")
         for stage in sorted(self.stage_seconds):
             lines.append(f"  stage {stage:<8} "
                          f"{self.stage_seconds[stage]:8.2f}s")

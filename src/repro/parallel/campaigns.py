@@ -55,6 +55,11 @@ class CampaignTask:
     # service while a circuit breaker on a degradable stage is open —
     # the stage is known-bad, so don't even attempt it.
     blackbox: bool = False
+    # Opt-in trace capture: distill the finished campaign into a
+    # durable trace-IR pack (repro.traceir) shipped alongside the
+    # verdict, so scanner oracles can be replayed later with zero
+    # re-fuzzing.  Does not alter the verdict or the task key.
+    capture_traces: bool = False
 
 
 @dataclass
@@ -88,6 +93,11 @@ class CampaignResult:
     # branch count) timeline plus totals, persisted by the scan
     # service's artifact store alongside the verdict.
     coverage: dict[str, dict] = field(default_factory=dict)
+    # tool -> encoded trace-IR pack (only when the task opted in).
+    traces: dict[str, bytes] = field(default_factory=dict)
+    # How the verdict came to be: oracle + trace-IR versions and
+    # whether it was produced fresh or replayed from a stored trace.
+    provenance: "dict | None" = None
 
 
 def _cache_counters() -> tuple[int, ...]:
@@ -111,6 +121,15 @@ def _coverage_summary(report) -> dict:
     }
 
 
+def _fresh_provenance() -> dict:
+    """Provenance stamp for a verdict produced by actually fuzzing."""
+    from ..scanner.oracles import ORACLE_VERSION
+    from ..traceir.codec import TRACEIR_VERSION
+    return {"oracle_version": ORACLE_VERSION,
+            "traceir_version": TRACEIR_VERSION,
+            "source": "fresh"}
+
+
 def _tool_runner(tool: str, task: CampaignTask,
                  stage_seconds: dict[str, float], harness,
                  feedback: bool = True,
@@ -131,6 +150,7 @@ def _tool_runner(tool: str, task: CampaignTask,
                 coverage[tool] = _coverage_summary(run_.report)
             if report_cell is not None:
                 report_cell["report"] = run_.report
+                report_cell["target"] = run_.target
             return run_.scan
         if tool == "eosfuzzer":
             run_ = harness.run_eosfuzzer(task.module, task.abi,
@@ -176,6 +196,7 @@ def run_campaign_task(task: CampaignTask) -> CampaignResult:
         coverage: dict[str, dict] = {}
         degraded: list[str] = []
         retries = 0
+        traces: dict[str, bytes] = {}
         for tool in task.tools:
             forced_blackbox = task.blackbox and tool == "wasai"
             report_cell: dict = {}
@@ -231,6 +252,16 @@ def run_campaign_task(task: CampaignTask) -> CampaignResult:
                     "degraded": True,
                 }
             scans[tool] = scan
+            if task.capture_traces and tool == "wasai" \
+                    and tool not in degraded \
+                    and report_cell.get("report") is not None \
+                    and report_cell.get("target") is not None:
+                # Degraded campaigns are excluded on purpose: their
+                # verdicts are never cached, so a replay pack for
+                # them would only ever disagree with a fresh scan.
+                from ..traceir import build_trace_pack, encode_pack
+                traces[tool] = encode_pack(build_trace_pack(
+                    report_cell["report"], report_cell["target"]))
         after = _cache_counters()
         return CampaignResult(
             scans=scans,
@@ -248,6 +279,8 @@ def run_campaign_task(task: CampaignTask) -> CampaignResult:
             degraded=tuple(degraded),
             retries=retries,
             coverage=coverage,
+            traces=traces,
+            provenance=_fresh_provenance(),
         )
     finally:
         faultinject.set_fault_scope("")

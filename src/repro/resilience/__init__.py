@@ -24,8 +24,8 @@ This package makes every corpus-scale pipeline survivable:
 from .errors import (CampaignError, DEGRADABLE_STAGES, DeployError,
                      DivergenceError, FuzzError, InstrumentError,
                      MalformedModule, STAGES, ScanError, SolverError,
-                     SymbackError, TaskTimeout, TrapStorm, WorkerCrash,
-                     task_result_error)
+                     SymbackError, TaskTimeout, TraceCorruption, TrapStorm,
+                     WorkerCrash, task_result_error)
 from .faultinject import (Fault, FaultPlan, WorkerKill,
                           clear_fault_plan, fault_plan, fault_scope,
                           inject, install_fault_plan, set_fault_scope)
@@ -37,8 +37,8 @@ from .runner import ResilientRun, run_resilient_tasks
 __all__ = [
     "CampaignError", "MalformedModule", "InstrumentError", "DeployError",
     "FuzzError", "TrapStorm", "SymbackError", "SolverError",
-    "DivergenceError", "ScanError", "TaskTimeout", "WorkerCrash",
-    "STAGES", "DEGRADABLE_STAGES", "task_result_error",
+    "DivergenceError", "ScanError", "TraceCorruption", "TaskTimeout",
+    "WorkerCrash", "STAGES", "DEGRADABLE_STAGES", "task_result_error",
     "Fault", "FaultPlan", "WorkerKill", "install_fault_plan",
     "clear_fault_plan",
     "fault_plan", "set_fault_scope", "fault_scope", "inject",

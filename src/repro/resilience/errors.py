@@ -21,8 +21,8 @@ import traceback as _tb
 __all__ = [
     "CampaignError", "MalformedModule", "InstrumentError", "DeployError",
     "FuzzError", "TrapStorm", "SymbackError", "SolverError",
-    "DivergenceError", "ScanError", "TaskTimeout", "WorkerCrash",
-    "STAGES", "DEGRADABLE_STAGES", "task_result_error",
+    "DivergenceError", "ScanError", "TraceCorruption", "TaskTimeout",
+    "WorkerCrash", "STAGES", "DEGRADABLE_STAGES", "task_result_error",
 ]
 
 # Pipeline stages, in execution order, plus the executor envelope.
@@ -30,9 +30,11 @@ __all__ = [
 # parsed and validated under budget.  ``divergence`` is raised out of
 # symbolic replay but is policed separately from ``symback`` because it
 # must never be degraded away (a diverged replay means the *oracles*
-# would lie, not that replay is merely unavailable).
+# would lie, not that replay is merely unavailable).  ``trace`` is the
+# durable trace IR layer: decoding a stored/offline trace back into
+# events, which can fail independently of the run that produced it.
 STAGES = ("ingest", "instrument", "deploy", "fuzz", "symback", "solve",
-          "divergence", "scan", "task")
+          "divergence", "trace", "scan", "task")
 
 # Stages whose failure leaves the black-box mutation loop intact: a
 # campaign that cannot replay or solve can still fuzz (ConFuzzius-style
@@ -96,7 +98,8 @@ class CampaignError(Exception):
         # Subclass payload fields (offset/section, pc/opcode, ...)
         # round-trip without each subclass writing its own from_doc.
         for extra in ("offset", "section", "func_index", "pc", "opcode",
-                      "shadow", "traced", "elapsed_s", "exitcode"):
+                      "shadow", "traced", "elapsed_s", "exitcode",
+                      "path", "line"):
             if extra in doc and hasattr(error, extra):
                 setattr(error, extra, doc[extra])
         return error
@@ -233,6 +236,55 @@ class ScanError(CampaignError):
     stage = "scan"
 
 
+class TraceCorruption(CampaignError):
+    """A stored trace failed to decode losslessly back into events.
+
+    Raised by the trace IR codec (:mod:`repro.traceir`) and the
+    offline trace-file loaders for every way a durable trace can rot:
+    truncation, a flipped bit caught by a section CRC, an unknown
+    ``TRACEIR_VERSION``, a malformed JSONL line, framing that runs
+    past the blob.  Never retryable — the bytes on disk will not
+    improve — and never degradable: a trace that cannot be decoded
+    must be quarantined and its module re-scanned, because *any*
+    events recovered from it could make the oracles lie.  ``path`` /
+    ``line`` locate the defect in an offline trace file; ``section``
+    / ``offset`` locate it inside an IR blob.
+    """
+
+    stage = "trace"
+    retryable = False
+
+    def __init__(self, message: str = "", *, path: str | None = None,
+                 line: int | None = None, section: str | None = None,
+                 offset: int | None = None, **kwargs):
+        super().__init__(message, **kwargs)
+        self.path = path
+        self.line = line
+        self.section = section
+        self.offset = offset
+
+    def to_doc(self) -> dict:
+        doc = super().to_doc()
+        doc["path"] = self.path
+        doc["line"] = self.line
+        doc["section"] = self.section
+        doc["offset"] = self.offset
+        return doc
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        context = []
+        if self.path is not None:
+            context.append(f"path={self.path}")
+        if self.line is not None:
+            context.append(f"line={self.line}")
+        if self.section is not None:
+            context.append(f"section={self.section}")
+        if self.offset is not None:
+            context.append(f"byte={self.offset}")
+        return f"{base} ({', '.join(context)})" if context else base
+
+
 class TaskTimeout(CampaignError):
     """The executor killed an overrunning worker (real wall-clock)."""
 
@@ -270,7 +322,7 @@ class WorkerCrash(CampaignError):
 _REGISTRY = {cls.__name__: cls for cls in (
     CampaignError, MalformedModule, InstrumentError, DeployError,
     FuzzError, TrapStorm, SymbackError, SolverError, DivergenceError,
-    ScanError, TaskTimeout, WorkerCrash)}
+    ScanError, TraceCorruption, TaskTimeout, WorkerCrash)}
 
 
 def task_result_error(result) -> CampaignError | None:

@@ -19,6 +19,7 @@ at import time (the campaign layer imports :mod:`repro.resilience`).
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import json
 import os
@@ -158,7 +159,11 @@ def campaign_result_to_doc(result) -> dict:
         "retries": result.retries,
         "coverage": {tool: dict(summary)
                      for tool, summary in result.coverage.items()},
-    }
+    } | ({"traces": {tool: base64.b64encode(blob).decode("ascii")
+                     for tool, blob in result.traces.items()}}
+         if getattr(result, "traces", None) else {}) \
+      | ({"provenance": dict(result.provenance)}
+         if getattr(result, "provenance", None) else {})
 
 
 def campaign_result_from_doc(doc: dict):
@@ -180,4 +185,8 @@ def campaign_result_from_doc(doc: dict):
         degraded=tuple(doc.get("degraded", ())),
         retries=doc.get("retries", 0),
         coverage=dict(doc.get("coverage", {})),
+        traces={tool: base64.b64decode(text)
+                for tool, text in doc.get("traces", {}).items()},
+        provenance=(dict(doc["provenance"])
+                    if doc.get("provenance") else None),
     )

@@ -3,15 +3,15 @@
 from .exploit import ExploitPayload, synthesize_exploits, verify_exploit
 from .detectors import (AUTH_APIS, BLOCKINFO_APIS, Detector, EFFECT_APIS, ScanResult,
                         VulnerabilityFinding, scan_report)
-from .oracles import (AdversarySetup, ForwardingAgent, PAYLOAD_KINDS,
-                      build_payload, setup_adversaries)
+from .oracles import (AdversarySetup, ForwardingAgent, ORACLE_VERSION,
+                      PAYLOAD_KINDS, build_payload, setup_adversaries)
 from .report import VULN_TITLES, format_report, report_to_json
 
 __all__ = [
     "ExploitPayload", "synthesize_exploits", "verify_exploit",
     "AUTH_APIS", "BLOCKINFO_APIS", "Detector", "EFFECT_APIS", "ScanResult",
     "VulnerabilityFinding", "scan_report", "AdversarySetup",
-    "ForwardingAgent", "PAYLOAD_KINDS", "build_payload",
+    "ForwardingAgent", "ORACLE_VERSION", "PAYLOAD_KINDS", "build_payload",
     "setup_adversaries", "VULN_TITLES", "format_report",
     "report_to_json",
 ]

@@ -41,7 +41,10 @@ stages fail in a loop, or its own storage corrupts.
   sharding, work stealing, journal-shipped read replicas,
   exactly-once failover on node death, partition control;
 * :mod:`repro.service.tenants` — per-tenant API keys with
-  admission-time rate limits and quotas (:class:`TenantBook`).
+  admission-time rate limits and quotas (:class:`TenantBook`);
+* :mod:`repro.service.reverdict` — oracle replay over stored trace-IR
+  packs (``POST /reverdict`` / ``wasai reverdict``) and the rotating
+  drift auditor, with corrupt-trace quarantine.
 """
 
 from .api import ServiceApi
@@ -56,6 +59,7 @@ from .health import (BLACKBOX_GATED_STAGES, BREAKER_STAGES, BreakerBoard,
 from .integrity import (StoreBudgetExceeded, StoreCorruption,
                         content_checksum)
 from .queue import JOB_STATES, Job, JobQueue, QueueFull
+from .reverdict import ReverdictReport, audit_traces, reverdict_store
 from .scheduler import (DEFAULT_SCAN_CONFIG, NodePartitioned,
                         ScanService, ScanServiceConfig, Submission)
 from .server import ScanServer, make_server, serve_forever
@@ -80,4 +84,5 @@ __all__ = [
     "module_hash_of",
     "ScanFleet", "FleetConfig", "FleetJob",
     "TenantBook", "TenantQuota", "QuotaExceeded", "UnknownApiKey",
+    "ReverdictReport", "reverdict_store", "audit_traces",
 ]

@@ -48,6 +48,13 @@ Endpoints
     On-demand storage integrity sweep: recomputes every stored row's
     checksum and reports (and by default repairs) corruption.
 
+``POST /reverdict``
+    Queue a fleet-wide oracle replay over the stored trace-IR packs
+    (zero re-fuzzing).  JSON body ``{"oracle_version": N}`` (optional);
+    replies ``202`` with a job whose ``result`` is the sweep report —
+    replayed / rewritten / matched / drift / corrupt counts plus the
+    itemised ``verdict_drift`` / ``trace_corruption`` incidents.
+
 Fleet surface
 -------------
 
@@ -113,6 +120,8 @@ class ServiceApi:
             return 200, self.service.integrity_sweep()
         if method == "POST" and path == "/scans":
             return self._submit(body, headers or {})
+        if method == "POST" and path == "/reverdict":
+            return self._reverdict(body)
         if method == "GET" and path.startswith("/scans/"):
             return self._status(path[len("/scans/"):])
         if method == "POST" and path == "/fleet/steal":
@@ -230,6 +239,44 @@ class ServiceApi:
             return 200, job_doc
         return 202, job_doc
 
+    # -- POST /reverdict ---------------------------------------------------
+    def _reverdict(self, body: bytes) -> tuple[int, dict]:
+        """Queue a fleet-wide oracle replay over the stored traces.
+
+        JSON body (all fields optional): ``{"oracle_version": N,
+        "client": ..., "priority": ...}``.  Replies ``202`` with the
+        job doc; the sweep report (replayed / rewritten / drift /
+        corrupt counts plus itemised incidents) lands in the job's
+        ``result`` once it completes.
+        """
+        try:
+            doc = json.loads(body.decode("utf-8") or "{}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return 400, {"error": "bad_request",
+                         "detail": f"body is not JSON: {exc}"}
+        if not isinstance(doc, dict):
+            return 400, {"error": "bad_request",
+                         "detail": "body must be a JSON object"}
+        oracle_version = doc.get("oracle_version")
+        try:
+            submission = self.service.submit_reverdict(
+                oracle_version=(int(oracle_version)
+                                if oracle_version is not None else None),
+                client=str(doc.get("client", "reverdict")),
+                priority=int(doc.get("priority", 0)))
+        except NodePartitioned as exc:
+            return 503, {"error": "partitioned", "stale": True,
+                         "detail": str(exc),
+                         "retry_after_s": exc.retry_after_s}
+        except QueueFull as exc:
+            return 429, {"error": "queue_full", "detail": str(exc),
+                         "kind": exc.kind, "depth": exc.depth,
+                         "limit": exc.limit,
+                         "retry_after_s": exc.retry_after_s}
+        job_doc = self._job_doc(submission.job)
+        job_doc["outcome"] = submission.outcome
+        return 202, job_doc
+
     # -- fleet verbs -------------------------------------------------------
     def _fleet_steal(self, body: bytes) -> tuple[int, dict]:
         try:
@@ -293,6 +340,12 @@ class ServiceApi:
 
     def _job_doc(self, job) -> dict:
         doc = job.to_doc()
+        if job.config.get("kind") == "reverdict":
+            # Re-verdict jobs carry a sweep report, not a campaign
+            # result doc; there is no per-tool verdict to decode.
+            if job.result_doc is not None:
+                doc["result"] = job.result_doc
+            return doc
         if job.state == "done" and job.result_doc is not None:
             result = campaign_result_from_doc(job.result_doc)
             tool = job.config["tool"]

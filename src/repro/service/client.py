@@ -263,6 +263,22 @@ class ServiceClient:
     def status(self, job_id: str) -> dict:
         return self._checked("GET", f"/scans/{job_id}")
 
+    def reverdict(self, oracle_version: int | None = None,
+                  wait: bool = False,
+                  timeout_s: float = 300.0) -> dict:
+        """Queue a fleet-wide oracle replay over the stored trace-IR
+        packs; returns the job doc.  With ``wait`` the call polls
+        until the sweep is terminal, so the returned doc carries the
+        sweep report (replayed / drift / corrupt counts)."""
+        doc: dict = {"client": "cli"}
+        if oracle_version is not None:
+            doc["oracle_version"] = int(oracle_version)
+        job_doc = self._checked("POST", "/reverdict", doc)
+        if wait and job_doc.get("state") not in (
+                "done", "failed", "quarantined", "expired"):
+            return self.wait(job_doc["id"], timeout_s)
+        return job_doc
+
     def wait(self, job_id: str, timeout_s: float = 120.0,
              poll_s: float = 0.2) -> dict:
         """Poll until the job is terminal; raises TimeoutError."""

@@ -131,6 +131,10 @@ class ScanServiceConfig:
     breaker_cooldown_s: float = 30.0     # base open->half_open cooldown
     breaker_max_cooldown_s: float = 300.0
     store_max_bytes: int | None = None   # disk budget (typed shed)
+    # -- trace IR / re-verdict knobs ---------------------------------------
+    capture_traces: bool = False         # persist trace-IR packs
+    drift_audit_s: float | None = None   # drift auditor cadence; None = off
+    drift_audit_sample: int = 4          # traces replayed per audit round
 
     def inflight_budget(self) -> int:
         if self.max_inflight is not None:
@@ -204,6 +208,12 @@ class ScanService:
         self._dead = False            # chaos kill(): node is gone
         self._partitioned = False
         self._partition_reason: str | None = None
+        # -- trace IR / re-verdict state --------------------------------
+        self._auditor: threading.Thread | None = None
+        self._auditor_stop = threading.Event()
+        self._audit_cursor = 0
+        self._drift_audits = 0
+        self._drift_incidents: list[dict] = []  # bounded, newest-last
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
@@ -220,6 +230,12 @@ class ScanService:
             on_reap=self._on_reap,
             on_storm=self._on_storm)
         self.supervisor.start()
+        if cfg.drift_audit_s is not None and self._auditor is None:
+            self._auditor_stop.clear()
+            self._auditor = threading.Thread(
+                target=self._auditor_main, name="drift-auditor",
+                daemon=True)
+            self._auditor.start()
 
     def drain(self, wait_s: float = 30.0) -> int:
         """Graceful shutdown: refuse new work, finish running jobs,
@@ -228,6 +244,10 @@ class ScanService:
         with self._lock:
             self._accepting = False
             self._draining = True
+        self._auditor_stop.set()
+        if self._auditor is not None:
+            self._auditor.join(wait_s)
+            self._auditor = None
         if self.supervisor is not None:
             self.supervisor.stop()
             self.supervisor.join(wait_s)
@@ -445,7 +465,8 @@ class ScanService:
             address_pool=bool(merged["address_pool"]),
             policy=self.policy,
             sample_key=f"{client}:{module_hash[:12]}",
-            divergence_check=bool(merged["divergence_check"]))
+            divergence_check=bool(merged["divergence_check"]),
+            capture_traces=self.config.capture_traces)
         scan_key = campaign_task_key(task)
         stored_config = {key: merged[key] for key in DEFAULT_SCAN_CONFIG}
         # Persist the upload before admission decisions: the journal's
@@ -510,6 +531,40 @@ class ScanService:
         with self._lock:
             return self._jobs.get(job_id)
 
+    def submit_reverdict(self, oracle_version: int | None = None,
+                         client: str = "reverdict",
+                         priority: int = 0) -> Submission:
+        """Queue a fleet-wide re-verdict sweep as a first-class job.
+
+        The sweep replays the scanner oracles over every stored
+        trace-IR pack (see :mod:`repro.service.reverdict`) — zero
+        re-fuzzing — and rewrites the affected verdicts with
+        ``source: "replay"`` provenance.  Runs under the same worker
+        supervision, claim protocol and admission gates as scan jobs.
+        """
+        with self._lock:
+            if self._partitioned:
+                raise NodePartitioned(
+                    "node is on the minority side of a network "
+                    f"partition ({self._partition_reason or 'unknown'});"
+                    " writes refused until the partition heals")
+            if not self._accepting:
+                raise QueueFull("service is draining",
+                                depth=self.queue.depth,
+                                limit=self.config.max_depth,
+                                kind="draining", retry_after_s=30.0)
+            self._submissions += 1
+            job_id = uuid.uuid4().hex[:12]
+            job = Job(job_id=job_id, client=client,
+                      scan_key=f"reverdict:{job_id}", module_hash="",
+                      config={"kind": "reverdict", "tool": "wasai",
+                              "oracle_version": oracle_version},
+                      priority=priority, submitted_s=time.time())
+            self.queue.put(job)          # may raise QueueFull (typed)
+            self._jobs[job.job_id] = job
+            self._inflight[job.scan_key] = job
+        return Submission(job, "queued")
+
     # -- workers -----------------------------------------------------------
     def _worker_main(self, record: WorkerRecord) -> None:
         """One supervised worker's loop (``record`` is its identity).
@@ -553,6 +608,9 @@ class ScanService:
             record.release_job()
 
     def _run_job(self, job: Job, token: str) -> None:
+        if job.config.get("kind") == "reverdict":
+            self._run_reverdict_job(job, token)
+            return
         tool = job.config["tool"]
         forced_blackbox = bool(job.task is not None
                                and job.task.blackbox)
@@ -575,6 +633,10 @@ class ScanService:
             return
         from ..resilience.journal import campaign_result_to_doc
         result_doc = campaign_result_to_doc(result)
+        # Trace-IR packs travel separately: the store's content-
+        # addressed ``traces`` table holds the blob; the verdict doc
+        # (and the journal line) must not carry a base64 twin of it.
+        result_doc.pop("traces", None)
         with self._lock:
             if job.claim != token or job.terminal:
                 return  # claim revoked: the requeued twin owns the job
@@ -589,6 +651,13 @@ class ScanService:
                 if result.coverage:
                     self._healed(lambda: self.store.put_coverage(
                         job.scan_key, result.coverage))
+                if self.config.capture_traces and result.traces:
+                    for trace_tool, blob in result.traces.items():
+                        self._healed(
+                            lambda t=trace_tool, b=blob:
+                            self.store.put_trace(job.scan_key,
+                                                 job.module_hash, t, b))
+                        self.perf.traces_stored += 1
             except StoreBudgetExceeded:
                 pass  # verdict still served from memory this once
             try:
@@ -610,6 +679,87 @@ class ScanService:
             self._completed += 1
             self._inflight.pop(job.scan_key, None)
             self._record_latency(job, result)
+
+    def _run_reverdict_job(self, job: Job, token: str) -> None:
+        """Worker-side execution of one queued re-verdict sweep."""
+        try:
+            report = self.reverdict(
+                oracle_version=job.config.get("oracle_version"))
+        except WorkerKill:
+            raise  # real worker death: the watchdog heals it
+        except BaseException as exc:  # noqa: BLE001 - thread must survive
+            self._job_failed(job, token,
+                             f"{type(exc).__name__}: {exc}")
+            return
+        with self._lock:
+            if job.claim != token or job.terminal:
+                return  # claim revoked: the requeued twin owns the job
+            job.claim = None
+            self._running_jobs.discard(job.job_id)
+            job.result_doc = report.to_doc()
+            job.state = "done"
+            job.finished_s = time.time()
+            self._completed += 1
+            self._inflight.pop(job.scan_key, None)
+
+    # -- trace IR: re-verdict + drift audit ---------------------------------
+    def reverdict(self, oracle_version: int | None = None,
+                  extra_detectors=()):
+        """Replay the oracles over every stored trace and rewrite the
+        verdicts (synchronous; :meth:`submit_reverdict` queues it)."""
+        from .reverdict import ReverdictReport, reverdict_store
+        report = self._healed(
+            lambda: reverdict_store(self.store,
+                                    oracle_version=oracle_version,
+                                    extra_detectors=extra_detectors))
+        if report is None:       # store unrecoverable: empty sweep
+            from ..scanner.oracles import ORACLE_VERSION
+            report = ReverdictReport(
+                oracle_version=(ORACLE_VERSION if oracle_version is None
+                                else oracle_version))
+        self._absorb_reverdict(report)
+        return report
+
+    def audit_drift(self, sample: int | None = None):
+        """One drift-audit round: replay a rotating sample of stored
+        traces and compare against their verdicts without rewriting."""
+        from .reverdict import ReverdictReport, audit_traces
+        if sample is None:
+            sample = self.config.drift_audit_sample
+        out = self._healed(
+            lambda: audit_traces(self.store, sample=sample,
+                                 cursor=self._audit_cursor))
+        if out is None:          # store unrecoverable: empty round
+            from ..scanner.oracles import ORACLE_VERSION
+            report = ReverdictReport(oracle_version=ORACLE_VERSION)
+        else:
+            report, self._audit_cursor = out
+        self._absorb_reverdict(report, audit=True)
+        return report
+
+    def _absorb_reverdict(self, report, *, audit: bool = False) -> None:
+        """Fold one sweep's outcome into counters + incident ledger."""
+        with self._lock:
+            if audit:
+                self._drift_audits += 1
+            self.perf.reverdicts += report.replayed
+            self.perf.trace_corruptions += report.corrupt
+            self.perf.verdict_drift += report.drift
+            self._drift_incidents.extend(report.incidents)
+            del self._drift_incidents[:-32]   # bounded, newest kept
+        for incident in report.incidents:
+            detail = incident.get("detail") or incident.get("tool", "")
+            self.quarantine.record_failure(
+                incident["scan_key"], f"{incident['kind']}: {detail}")
+
+    def _auditor_main(self) -> None:
+        """Background drift auditor: one sampled round per cadence."""
+        cadence = self.config.drift_audit_s or 1.0
+        while not self._auditor_stop.wait(cadence):
+            try:
+                self.audit_drift()
+            except Exception:  # noqa: BLE001 - auditor outlives bad rounds
+                continue
 
     def _job_failed(self, job: Job, token: "str | None",
                     message: str) -> None:
@@ -1008,6 +1158,15 @@ class ScanService:
                         self.perf.journal_compactions,
                     "store_recoveries": self._store_recoveries,
                     "forced_blackbox": self._forced_blackbox,
+                },
+                "traceir": {
+                    "traces_stored": self.perf.traces_stored,
+                    "reverdicts": self.perf.reverdicts,
+                    "trace_corruptions": self.perf.trace_corruptions,
+                    "verdict_drift": self.perf.verdict_drift,
+                    "drift_audits": self._drift_audits,
+                    "drift_incidents":
+                        list(self._drift_incidents[-8:]),
                 },
                 "latency": self.perf.latency_percentiles(),
                 "store": self.store.counts(),

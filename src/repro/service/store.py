@@ -1,9 +1,9 @@
 """SQLite-backed, content-addressed artifact store for the scan service.
 
 The store is the service's memory across requests *and* across process
-restarts: uploaded modules, scan verdicts, coverage timelines and
-quarantine records all live in one SQLite file, keyed by the same
-identities the rest of the pipeline already uses —
+restarts: uploaded modules, scan verdicts, coverage timelines,
+trace-IR packs and quarantine records all live in one SQLite file,
+keyed by the same identities the rest of the pipeline already uses —
 
 * modules by :func:`~repro.engine.module_content_hash` (the canonical
   ``sha256(encode_module(...))`` digest shared with the
@@ -83,9 +83,19 @@ CREATE TABLE IF NOT EXISTS quarantine (
     created_s    REAL NOT NULL,
     checksum     TEXT
 );
+CREATE TABLE IF NOT EXISTS traces (
+    scan_key        TEXT PRIMARY KEY,
+    module_hash     TEXT NOT NULL,
+    tool            TEXT NOT NULL,
+    traceir_version INTEGER NOT NULL,
+    size            INTEGER NOT NULL,
+    blob            BLOB NOT NULL,
+    created_s       REAL NOT NULL,
+    checksum        TEXT
+);
 """
 
-_TABLES = ("modules", "verdicts", "coverage", "quarantine")
+_TABLES = ("modules", "verdicts", "coverage", "quarantine", "traces")
 
 
 class ArtifactStore:
@@ -133,6 +143,12 @@ class ArtifactStore:
             self._conn.execute(
                 "UPDATE modules SET checksum = ? WHERE content_hash = ?",
                 (content_checksum(hash_, bytes(data)), hash_))
+        for key, blob in self._conn.execute(
+                "SELECT scan_key, blob FROM traces "
+                "WHERE checksum IS NULL").fetchall():
+            self._conn.execute(
+                "UPDATE traces SET checksum = ? WHERE scan_key = ?",
+                (content_checksum(key, bytes(blob)), key))
         for table, key_col, payload_col in (
                 ("verdicts", "scan_key", "result"),
                 ("coverage", "scan_key", "timeline"),
@@ -238,6 +254,28 @@ class ArtifactStore:
                  result_json, time.time(),
                  self._write_checksum(scan_key, result_json)))
 
+    def delete_verdict(self, scan_key: str) -> None:
+        """Drop one verdict (marks the module re-scannable after its
+        backing trace was quarantined)."""
+        with self._lock, self._conn:
+            self._execute("DELETE FROM verdicts WHERE scan_key = ?",
+                          (scan_key,))
+
+    def verdict_record(self, scan_key: str) -> dict | None:
+        """The full verdict row (module hash + config + result doc),
+        checksum-verified — what a re-verdict sweep rewrites."""
+        with self._lock:
+            row = self._execute(
+                "SELECT module_hash, config, result, checksum "
+                "FROM verdicts WHERE scan_key = ?",
+                (scan_key,)).fetchone()
+        if not row:
+            return None
+        self._verify("verdicts", scan_key, row[3], scan_key, row[2])
+        return {"scan_key": scan_key, "module_hash": row[0],
+                "config": json.loads(row[1]),
+                "result": json.loads(row[2])}
+
     def has_verdict(self, scan_key: str) -> bool:
         """Existence check without checksum verification — the cheap
         idempotence probe replica ingestion runs per shipped entry (a
@@ -280,6 +318,55 @@ class ArtifactStore:
             return None
         self._verify("coverage", scan_key, row[1], scan_key, row[0])
         return json.loads(row[0])
+
+    # -- trace IR blobs ----------------------------------------------------
+    def put_trace(self, scan_key: str, module_hash: str, tool: str,
+                  blob: bytes, traceir_version: int | None = None) -> None:
+        """Store one campaign's encoded trace-IR pack alongside its
+        verdict (same key).  Checksummed like every other row and
+        counted against the disk budget; last write wins."""
+        if traceir_version is None:
+            from ..traceir.codec import TRACEIR_VERSION
+            traceir_version = TRACEIR_VERSION
+        blob = bytes(blob)
+        self._guard_write(len(blob))
+        with self._lock, self._conn:
+            self._execute(
+                "INSERT OR REPLACE INTO traces "
+                "(scan_key, module_hash, tool, traceir_version, size, "
+                "blob, created_s, checksum) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (scan_key, module_hash, tool, traceir_version,
+                 len(blob), blob, time.time(),
+                 self._write_checksum(scan_key, blob)))
+
+    def get_trace(self, scan_key: str) -> dict | None:
+        """The stored trace row, or None.  Row-level corruption (a
+        flipped page) surfaces as :class:`StoreCorruption`; blob-level
+        damage is the trace IR decoder's to judge."""
+        with self._lock:
+            row = self._execute(
+                "SELECT module_hash, tool, traceir_version, blob, "
+                "checksum FROM traces WHERE scan_key = ?",
+                (scan_key,)).fetchone()
+        if not row:
+            return None
+        blob = bytes(row[3])
+        self._verify("traces", scan_key, row[4], scan_key, blob)
+        return {"scan_key": scan_key, "module_hash": row[0],
+                "tool": row[1], "traceir_version": row[2],
+                "blob": blob}
+
+    def trace_keys(self) -> list[str]:
+        with self._lock:
+            rows = self._execute(
+                "SELECT scan_key FROM traces ORDER BY scan_key")
+            return [row[0] for row in rows.fetchall()]
+
+    def delete_trace(self, scan_key: str) -> None:
+        with self._lock, self._conn:
+            self._execute("DELETE FROM traces WHERE scan_key = ?",
+                          (scan_key,))
 
     # -- quarantine records ------------------------------------------------
     def put_quarantine(self, scan_key: str, module_hash: str,
@@ -325,6 +412,8 @@ class ArtifactStore:
              lambda key, payload: (key, payload)),
             ("quarantine", "scan_key", "reasons",
              lambda key, payload: (key, payload)),
+            ("traces", "scan_key", "blob",
+             lambda key, payload: (key, bytes(payload))),
         )
         report: dict[str, dict] = {}
         with self._lock:

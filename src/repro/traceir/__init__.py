@@ -1,0 +1,32 @@
+"""repro.traceir — the durable, versioned trace IR.
+
+Today's verdict should never be the end of a trace's life: oracles
+iterate far faster than fuzzing does, so the executions behind every
+verdict are worth keeping in a form scanners can replay.  This package
+defines that form:
+
+* :mod:`repro.traceir.codec` — the columnar binary container
+  (``WTIR`` magic, explicit ``TRACEIR_VERSION``, per-section CRC32,
+  delta+zigzag varint columns, interned strings) with a streaming
+  encoder and a paranoid decoder that lifts **every** defect —
+  truncation, bit flip, version skew, framing damage — to a typed,
+  non-retryable :class:`~repro.resilience.errors.TraceCorruption`;
+* :mod:`repro.traceir.pack` — :class:`TracePack`, the self-contained
+  replay unit distilled from a finished campaign
+  (:func:`build_trace_pack`) and re-scannable with zero re-fuzzing
+  (:func:`replay_scan`).
+"""
+
+from ..resilience.errors import TraceCorruption
+from .codec import (EventStreamEncoder, TRACEIR_MAGIC, TRACEIR_VERSION,
+                    decode_events, encode_events, iter_events)
+from .pack import (PackObservation, TracePack, build_trace_pack,
+                   decode_pack, encode_pack, replay_scan)
+
+__all__ = [
+    "TRACEIR_VERSION", "TRACEIR_MAGIC", "TraceCorruption",
+    "EventStreamEncoder", "encode_events", "decode_events",
+    "iter_events",
+    "TracePack", "PackObservation", "build_trace_pack",
+    "encode_pack", "decode_pack", "replay_scan",
+]

@@ -3,9 +3,12 @@
 import pytest
 
 from repro.instrument import (BEGIN_FUNCTION, END_FUNCTION, HookEvent,
-                              TraceStore, hook_func_type, parse_hook_name,
-                              post_hook_name, read_trace_file,
-                              trace_hook_name, write_trace_file)
+                              TraceStore, hook_func_type, load_trace_file,
+                              parse_hook_name, post_hook_name,
+                              read_trace_file, read_trace_ir,
+                              trace_hook_name, write_trace_file,
+                              write_trace_ir)
+from repro.resilience import TraceCorruption
 from repro.wasm import F32, F64, FuncType, I32, I64
 
 
@@ -79,3 +82,71 @@ def test_trace_store_finalize_clears_buffer(tmp_path):
     store.finalize("t")
     assert store.pending_tokens() == []
     assert read_trace_file(store.finalize("t")) == []
+
+
+def test_write_is_atomic_no_temp_residue(tmp_path):
+    """After a successful write the directory holds exactly the trace
+    file — the temp staging file has been renamed away, never left."""
+    path = tmp_path / "t.jsonl"
+    write_trace_file(path, [("trace_i32", (0, 1))])
+    write_trace_file(path, [("trace_i32", (0, 2))])  # overwrite in place
+    assert [p.name for p in tmp_path.iterdir()] == ["t.jsonl"]
+    assert read_trace_file(path)[0].operands == (2,)
+
+
+def test_malformed_line_raises_typed_with_location(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('["trace_i32", [0, 1]]\nnot json at all\n')
+    with pytest.raises(TraceCorruption) as info:
+        read_trace_file(path)
+    assert info.value.path == str(path)
+    assert info.value.line == 2
+    assert info.value.retryable is False
+
+
+def test_wellformed_json_wrong_shape_raises_typed(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('["mystery_hook", [1]]\n')
+    with pytest.raises(TraceCorruption) as info:
+        read_trace_file(path)
+    assert info.value.line == 1
+
+
+def test_trace_ir_file_roundtrip(tmp_path):
+    raw = [("trace_i32", (0, 42)), (BEGIN_FUNCTION, (1,)),
+           ("post_i64", (2, -7)), (END_FUNCTION, (1,))]
+    path = tmp_path / "t.tir"
+    write_trace_ir(path, raw)
+    events = read_trace_ir(path)
+    assert [e.kind for e in events] == ["instr", "begin", "post", "end"]
+    assert events[0].operands == (42,)
+    assert events[2].operands == (-7,)
+    # load_trace_file dispatches on extension
+    loaded = load_trace_file(path)
+    assert [(e.kind, e.site_id, e.func_id, e.operands) for e in loaded] \
+        == [(e.kind, e.site_id, e.func_id, e.operands) for e in events]
+
+
+def test_trace_ir_corruption_carries_path(tmp_path):
+    path = tmp_path / "t.tir"
+    write_trace_ir(path, [("trace_i32", (0, 42))])
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    with pytest.raises(TraceCorruption) as info:
+        read_trace_ir(path)
+    assert info.value.path == str(path)
+    with pytest.raises(TraceCorruption):
+        read_trace_ir(tmp_path / "missing.tir")
+
+
+def test_trace_store_ir_format(tmp_path):
+    store = TraceStore(tmp_path, fmt="ir")
+    store.append("t", "trace", (5,))
+    store.append("t", "post_i32", (5, 9))
+    path = store.finalize("t")
+    assert path.suffix == ".tir"
+    events = load_trace_file(path)
+    assert [e.kind for e in events] == ["instr", "post"]
+    with pytest.raises(ValueError):
+        TraceStore(tmp_path, fmt="csv")

@@ -127,3 +127,30 @@ def test_throughput_latency_percentiles():
     text = stats.format()
     assert "latency task" in text
     assert "p95=" in text
+
+
+def test_throughput_traceir_counters():
+    from repro.metrics import ThroughputStats
+    stats = ThroughputStats()
+    doc = stats.as_dict()
+    assert doc["traceir"] == {
+        "traces_stored": 0,
+        "reverdicts": 0,
+        "trace_corruptions": 0,
+        "verdict_drift": 0,
+    }
+    assert "trace IR" not in stats.format()
+
+    stats.traces_stored = 5
+    stats.reverdicts = 3
+    stats.trace_corruptions = 1
+    stats.verdict_drift = 2
+    doc = stats.as_dict()
+    assert doc["traceir"]["traces_stored"] == 5
+    assert doc["traceir"]["verdict_drift"] == 2
+    text = stats.format()
+    assert "trace IR" in text
+    assert "5 traces stored" in text
+    assert "3 reverdicts" in text
+    assert "1 trace corruptions" in text
+    assert "2 verdict drift" in text

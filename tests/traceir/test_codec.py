@@ -1,0 +1,184 @@
+"""Trace IR codec: round-trip properties and a corrupted-blob corpus.
+
+The contract under test is absolute: a blob either decodes to exactly
+the events that were encoded, or it raises the typed, non-retryable
+:class:`TraceCorruption` — never garbage events, never a raw
+``struct``/``IndexError`` leak.
+"""
+
+import random
+
+import pytest
+
+from repro.instrument.hooks import HookEvent
+from repro.resilience import TraceCorruption
+from repro.traceir import (TRACEIR_MAGIC, TRACEIR_VERSION, decode_events,
+                           encode_events, iter_events)
+from repro.traceir.codec import (STREAM_EVENTS, STREAM_PACK,
+                                 EventStreamEncoder, pack_sections,
+                                 unpack_sections)
+
+
+def random_events(rng: random.Random, count: int) -> list[HookEvent]:
+    """A stream covering every kind, operand type and value regime."""
+    events = []
+    for _ in range(count):
+        kind = rng.choice(("instr", "post", "begin", "end"))
+        if kind in ("begin", "end"):
+            events.append(HookEvent(kind, None, rng.randrange(0, 512), ()))
+            continue
+        operands = []
+        for _ in range(rng.randrange(0, 4)):
+            if rng.random() < 0.25:
+                operands.append(rng.choice(
+                    (0.0, -1.5, 3.14159, 1e300, -2.0 ** 63)))
+            else:
+                operands.append(rng.choice((
+                    0, 1, -1, 2 ** 31 - 1, -(2 ** 31), 2 ** 63 - 1,
+                    -(2 ** 63), 2 ** 64 - 1, rng.randrange(-10 ** 6,
+                                                           10 ** 6))))
+        events.append(HookEvent(kind, rng.randrange(0, 4096), None,
+                                tuple(operands)))
+    return events
+
+
+def assert_same_events(decoded, original):
+    assert len(decoded) == len(original)
+    for got, want in zip(decoded, original):
+        assert got.kind == want.kind
+        assert got.site_id == want.site_id
+        assert got.func_id == want.func_id
+        assert got.operands == want.operands
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 7])
+def test_roundtrip_random_streams(seed):
+    rng = random.Random(seed)
+    events = random_events(rng, 200)
+    blob = encode_events(events)
+    assert blob.startswith(TRACEIR_MAGIC)
+    assert_same_events(decode_events(blob), events)
+
+
+def test_roundtrip_empty_stream():
+    blob = encode_events([])
+    assert decode_events(blob) == []
+
+
+def test_encode_is_byte_stable():
+    events = random_events(random.Random(3), 64)
+    assert encode_events(events) == encode_events(events)
+
+
+def test_iter_events_matches_decode():
+    events = random_events(random.Random(5), 50)
+    blob = encode_events(events)
+    assert_same_events(list(iter_events(blob)), events)
+
+
+def test_bool_operands_encode_as_ints():
+    blob = encode_events([HookEvent("instr", 1, None, (True, False))])
+    (event,) = decode_events(blob)
+    assert event.operands == (1, 0)
+
+
+def test_unencodable_operand_rejected_at_encode_time():
+    encoder = EventStreamEncoder()
+    with pytest.raises(ValueError):
+        encoder.add(HookEvent("instr", 1, None, ("not-a-number",)))
+
+
+# -- the corrupted-blob corpus ---------------------------------------------
+
+def reference_blob() -> bytes:
+    return encode_events(random_events(random.Random(11), 40))
+
+
+def assert_corrupt(mutant: bytes, what: str) -> None:
+    """Every mutant must raise TraceCorruption — nothing else, and
+    never a successful decode."""
+    try:
+        decode_events(mutant)
+    except TraceCorruption as exc:
+        assert exc.retryable is False
+        assert exc.stage == "trace"
+        return
+    except Exception as exc:  # noqa: BLE001 - the failure we hunt
+        pytest.fail(f"{what}: raw {type(exc).__name__} leaked: {exc}")
+    pytest.fail(f"{what}: corrupted blob decoded successfully")
+
+
+def test_every_truncation_is_typed():
+    blob = reference_blob()
+    for length in range(len(blob)):
+        assert_corrupt(blob[:length], f"truncation to {length} bytes")
+
+
+def test_bit_flips_never_decode_to_garbage():
+    """Flip bits across every byte position: each mutant must either
+    raise TraceCorruption or (never) decode.  CRC coverage makes a
+    silent wrong decode impossible."""
+    blob = reference_blob()
+    for position in range(len(blob)):
+        for bit in (0, 3, 7):
+            mutant = bytearray(blob)
+            mutant[position] ^= 1 << bit
+            assert_corrupt(bytes(mutant),
+                           f"bit {bit} flipped at byte {position}")
+
+
+def test_unknown_version_rejected():
+    blob = bytearray(reference_blob())
+    assert blob[4] == TRACEIR_VERSION
+    blob[4] = TRACEIR_VERSION + 1
+    assert_corrupt(bytes(blob), "version bump")
+
+
+def test_wrong_magic_rejected():
+    blob = bytearray(reference_blob())
+    blob[:4] = b"NOPE"
+    assert_corrupt(bytes(blob), "wrong magic")
+
+
+def test_wrong_stream_kind_rejected():
+    blob = bytearray(reference_blob())
+    blob[5] = STREAM_PACK
+    assert_corrupt(bytes(blob), "stream kind swap")
+
+
+def test_trailing_bytes_rejected():
+    assert_corrupt(reference_blob() + b"\x00", "trailing byte")
+
+
+def test_checksum_smash_is_typed():
+    """Zero out each section's stored CRC32 in turn."""
+    blob = reference_blob()
+    smashed = 0
+    for start in range(len(blob) - 4):
+        mutant = bytearray(blob)
+        mutant[start:start + 4] = b"\x00\x00\x00\x00"
+        if bytes(mutant) == blob:
+            continue
+        assert_corrupt(bytes(mutant), f"4 bytes zeroed at {start}")
+        smashed += 1
+    assert smashed > 0
+
+
+def test_unknown_section_id_rejected():
+    blob = pack_sections(STREAM_EVENTS, [(42, b"payload")])
+    with pytest.raises(TraceCorruption):
+        unpack_sections(blob, STREAM_EVENTS, known_sections=(1, 2, 3))
+
+
+def test_duplicate_section_rejected():
+    blob = pack_sections(STREAM_EVENTS, [(1, b"a"), (1, b"b")])
+    with pytest.raises(TraceCorruption):
+        unpack_sections(blob, STREAM_EVENTS, known_sections=(1,))
+
+
+def test_corruption_carries_diagnostics():
+    with pytest.raises(TraceCorruption) as info:
+        decode_events(b"WT")
+    message = str(info.value)
+    assert "trace" in repr(info.value.stage) or info.value.stage == "trace"
+    assert message  # human-readable, non-empty diagnostic

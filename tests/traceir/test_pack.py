@@ -1,0 +1,111 @@
+"""Trace packs: a real campaign distilled, replayed, and proven to
+re-scan without any fuzzing.
+
+The byte-identity property the re-verdict pipeline rests on: replaying
+the scanner oracles over a decoded pack produces a scan whose JSON doc
+equals the fresh campaign's scan doc byte-for-byte.
+"""
+
+import random
+
+import pytest
+
+from repro.benchgen import ContractConfig, generate_contract
+from repro.harness import run_wasai
+from repro.parallel import CampaignTask, run_campaign_task
+from repro.resilience import (CampaignError, Fault, ResiliencePolicy,
+                              TraceCorruption, clear_fault_plan,
+                              install_fault_plan)
+from repro.resilience.journal import _scan_to_doc
+from repro.traceir import (build_trace_pack, decode_pack, encode_pack,
+                           replay_scan)
+
+FAST_TIMEOUT_MS = 4_000.0
+
+# Replay must never touch an execution stage: arm every one of them.
+EXEC_STAGE_FAULTS = tuple(
+    Fault(stage=stage, kind="error")
+    for stage in ("ingest", "instrument", "deploy", "fuzz",
+                  "symback", "solve"))
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state():
+    clear_fault_plan()
+    yield
+    clear_fault_plan()
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    generated = generate_contract(
+        ContractConfig(seed=0, fake_eos_guard=False, maze_depth=2))
+    run = run_wasai(generated.module, generated.abi,
+                    timeout_ms=FAST_TIMEOUT_MS)
+    return generated, run
+
+
+def test_pack_roundtrip_replays_identically(campaign):
+    _generated, run = campaign
+    pack = build_trace_pack(run.report, run.target)
+    blob = encode_pack(pack)
+    replayed = replay_scan(decode_pack(blob))
+    assert _scan_to_doc(replayed) == _scan_to_doc(run.scan)
+    assert replayed.findings["fake_eos"].detected
+
+
+def test_pack_encode_is_byte_stable(campaign):
+    _generated, run = campaign
+    pack = build_trace_pack(run.report, run.target)
+    first = encode_pack(pack)
+    again = encode_pack(build_trace_pack(run.report, run.target))
+    assert first == again
+    # decode -> re-encode of the decoded pack is also stable
+    assert encode_pack(decode_pack(first)) == first
+
+
+def test_replay_runs_zero_execution_stages(campaign):
+    """With every execution-stage chokepoint armed to fail, replay
+    still succeeds — proof it fuzzes, instruments and solves nothing.
+    The control run shows the same plan kills a fresh campaign."""
+    generated, run = campaign
+    blob = encode_pack(build_trace_pack(run.report, run.target))
+    install_fault_plan(*EXEC_STAGE_FAULTS)
+    replayed = replay_scan(decode_pack(blob))
+    assert _scan_to_doc(replayed) == _scan_to_doc(run.scan)
+    # Control: a fresh campaign under the same plan dies on an
+    # execution stage, proving the armed chokepoints do fire.
+    with pytest.raises(CampaignError):
+        run_wasai(generated.module, generated.abi,
+                  timeout_ms=FAST_TIMEOUT_MS)
+
+
+def test_campaign_task_carries_trace_and_provenance():
+    generated = generate_contract(
+        ContractConfig(seed=1, fake_eos_guard=False, maze_depth=3))
+    task = CampaignTask(generated.module, generated.abi, ("wasai",),
+                        FAST_TIMEOUT_MS, 1, policy=ResiliencePolicy(),
+                        sample_key="pack-test", capture_traces=True)
+    result = run_campaign_task(task)
+    assert result.provenance == {"oracle_version": 1,
+                                 "traceir_version": 1,
+                                 "source": "fresh"}
+    blob = result.traces["wasai"]
+    replayed = replay_scan(decode_pack(blob))
+    assert _scan_to_doc(replayed) == _scan_to_doc(result.scans["wasai"])
+
+
+def test_corrupted_pack_raises_typed(campaign):
+    _generated, run = campaign
+    blob = encode_pack(build_trace_pack(run.report, run.target))
+    rng = random.Random(5)
+    for _ in range(32):
+        mutant = bytearray(blob)
+        mutant[rng.randrange(len(blob))] ^= 1 << rng.randrange(8)
+        if bytes(mutant) == blob:
+            continue
+        with pytest.raises(TraceCorruption):
+            decode_pack(bytes(mutant))
+    for length in (0, 4, len(blob) // 2, len(blob) - 1):
+        with pytest.raises(TraceCorruption):
+            decode_pack(blob[:length])
