@@ -1,0 +1,139 @@
+"""Semantic re-verdict drill: new oracle families, zero re-fuzzing.
+
+The scenario the semantic-oracle subsystem exists for:
+
+1. A scan service (trace capture on, paper-five oracles) fuzzes a
+   contract whose deposit arithmetic wraps — a bug the paper's five
+   API-shape oracles cannot see.  The stored verdict says *clean*.
+2. The oracle set evolves: a re-verdict sweep replays the **stored
+   trace packs** with the semantic families enabled and an upgraded
+   oracle version.  The wrapped-arithmetic verdict flips to
+   vulnerable — without a single re-fuzzed campaign — and every
+   rewritten verdict carries replay provenance.
+3. One pack predates the semantic surface (simulated by stripping the
+   surface section).  The sweep counts it ``insufficient`` and
+   re-queues a fresh scan; it is never reported as drift.
+
+Run: ``PYTHONPATH=src python examples/semoracle_drill.py``
+"""
+
+import dataclasses
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.benchgen import SemanticConfig, generate_semantic_contract
+from repro.scanner import ORACLE_VERSION
+from repro.service import ScanService, ScanServiceConfig
+from repro.traceir import decode_pack, encode_pack
+from repro.wasm import encode_module
+
+TIMEOUT_MS = 8_000.0
+
+
+def wait_done(service, job_id, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        job = service.job(job_id)
+        if job is not None and job.terminal:
+            assert job.state == "done", f"job ended {job.state}"
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+def submit(service, contract):
+    data = encode_module(contract.module)
+    submission = service.submit_bytes(data, contract.abi.to_json())
+    return wait_done(service, submission.job.job_id), data
+
+
+def detected(record, family):
+    (scan,) = record["result"]["scans"].values()
+    return scan["findings"][family]["detected"]
+
+
+def main() -> int:
+    buggy = generate_semantic_contract(
+        SemanticConfig(family="token_arith", vulnerable=True, seed=1))
+    clean = generate_semantic_contract(
+        SemanticConfig(family="token_arith", vulnerable=False, seed=2))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        service = ScanService(
+            store=str(Path(tmp) / "drill.db"),
+            config=ScanServiceConfig(workers=1, poll_s=0.02,
+                                     default_timeout_ms=TIMEOUT_MS,
+                                     capture_traces=True))
+        service.start()
+        try:
+            buggy_job, buggy_bytes = submit(service, buggy)
+            clean_job, _ = submit(service, clean)
+            store = service.store
+
+            before = store.verdict_record(buggy_job.scan_key)
+            findings = before["result"]["scans"]["wasai"]["findings"]
+            assert "token_arith" not in findings, \
+                "paper-five default must stay byte-compatible"
+            assert not any(f["detected"] for f in findings.values()), \
+                "the paper's five oracles should miss the arithmetic bug"
+            print("phase 1  fuzzed 2 contracts under the paper's five "
+                  "oracles; wrapped arithmetic stored as CLEAN")
+
+            # Simulate a pack captured before the semantic surface
+            # existed: strip the surface off the clean contract's pack.
+            row = store.get_trace(clean_job.scan_key)
+            bare = dataclasses.replace(decode_pack(row["blob"]),
+                                       semantic=None)
+            store.put_trace(clean_job.scan_key, row["module_hash"],
+                            row["tool"], encode_pack(bare),
+                            row["traceir_version"])
+
+            bumped = ORACLE_VERSION + 1
+            report = service.reverdict(oracle_version=bumped,
+                                       oracles="all")
+            assert report.replayed == 1 and report.rewritten == 1
+            assert report.insufficient == 1, report.to_doc()
+            assert report.corrupt == 0
+            assert all(i["kind"] != "verdict_drift" or
+                       i["scan_key"] != clean_job.scan_key
+                       for i in report.incidents), \
+                "insufficient pack must never masquerade as drift"
+            print(f"phase 2  re-verdict sweep: {report.replayed} pack "
+                  f"replayed, {report.insufficient} insufficient "
+                  "(re-queued), zero campaigns re-fuzzed")
+
+            after = store.verdict_record(buggy_job.scan_key)
+            provenance = after["result"]["provenance"]
+            assert detected(after, "token_arith"), \
+                "replay with the semantic families must flip the verdict"
+            assert provenance["source"] == "replay"
+            assert provenance["oracle_version"] == bumped
+            assert "token_arith" in provenance["oracles"]
+            print(f"phase 3  stored verdict flipped to VULNERABLE "
+                  f"(token_arith) under oracle v{bumped}, "
+                  "provenance source=replay")
+
+            # The insufficient pack's module is re-scannable: same
+            # bytes miss the dedup cache and fuzz fresh.
+            assert store.verdict_record(clean_job.scan_key) is None
+            resub = service.submit_bytes(
+                encode_module(clean.module), clean.abi.to_json())
+            assert resub.outcome == "queued", resub.outcome
+            wait_done(service, resub.job.job_id)
+            assert service.stats()["traceir"][
+                "insufficient_surface"] == 1
+            print("phase 4  insufficient pack's contract re-queued and "
+                  "re-scanned fresh; /stats counted it")
+        finally:
+            service.drain()
+
+    print("ok: semantic re-verdict drill passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

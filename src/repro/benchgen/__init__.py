@@ -10,6 +10,8 @@ from .hostile import (HostileSample, base_module_bytes,
                       build_hostile_corpus,
                       build_resource_hostile_modules)
 from .obfuscate import obfuscate_module, popcount_encode_constant
+from .semantic import (SEMANTIC_FAMILY_TYPES, SemanticConfig,
+                       build_semantic_corpus, generate_semantic_contract)
 from .verification import VerificationSpec, inject_verification
 
 __all__ = ["ContractConfig", "GeneratedContract", "VULN_TYPES",
@@ -20,4 +22,6 @@ __all__ = ["ContractConfig", "GeneratedContract", "VULN_TYPES",
            "VerificationSpec", "inject_verification",
            "MANIFEST_NAME", "export_corpus", "load_corpus",
            "HostileSample", "base_module_bytes", "build_hostile_corpus",
-           "build_resource_hostile_modules"]
+           "build_resource_hostile_modules",
+           "SEMANTIC_FAMILY_TYPES", "SemanticConfig",
+           "build_semantic_corpus", "generate_semantic_contract"]

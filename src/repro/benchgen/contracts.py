@@ -183,11 +183,14 @@ class _ContractEmitter:
         transfer = self._emit_transfer_impl()
         init = self._emit_init_impl()
         payout = self._emit_payout_impl() if self.config.has_payout else None
-        self._emit_apply(transfer, init, payout)
+        extras = self._emit_extra_actions()
+        self._emit_apply(transfer, init, payout, extras)
         b.add_table_entry(SLOT_TRANSFER, transfer)
         b.add_table_entry(SLOT_INIT, init)
         if payout is not None:
             b.add_table_entry(SLOT_PAYOUT, payout)
+        for _name, slot, func, _dispatch in extras:
+            b.add_table_entry(slot, func)
         # Inline-action template for rewards/payouts.
         template = self._reward_template()
         self._data.append((TEMPLATE_ADDR, template))
@@ -195,9 +198,17 @@ class _ContractEmitter:
             b.add_data(addr, data)
         return b.build()
 
+    def _emit_extra_actions(self) -> list:
+        """Hook for subclass emitters (e.g. the semantic corpus) to add
+        actions beyond transfer/init/payout.  Returns a list of
+        ``(action_name, table_slot, function, dispatch)`` tuples where
+        ``dispatch(f)`` pushes the arguments and the indirect call."""
+        return []
+
     # -- the dispatcher (§2.2) ---------------------------------------------------
     def _emit_apply(self, transfer: FunctionBuilder, init: FunctionBuilder,
-                    payout: FunctionBuilder | None) -> None:
+                    payout: FunctionBuilder | None,
+                    extras: list = ()) -> None:
         b = self.builder
         f = b.function("apply", params=["i64", "i64", "i64"])
         size = f.add_local("i32")
@@ -232,6 +243,11 @@ class _ContractEmitter:
             self._emit_action_compare(f, N("payout"))
             f.emit("if", None)
             self._dispatch_payout(f)
+            f.emit("end")
+        for name, _slot, _func, dispatch in extras:
+            self._emit_action_compare(f, N(name))
+            f.emit("if", None)
+            dispatch(f)
             f.emit("end")
         f.emit("end")
         f.emit("end")

@@ -1,0 +1,363 @@
+"""Multi-contract benchmark scenarios for the semantic oracle families.
+
+Every sample here is an *exchange-style* victim: a contract that
+accepts ``eosio.token`` deposits (forwarded as notifications, possibly
+through the ``fake.notif`` relay) and maintains its own on-chain
+ledger.  The fuzzing harness already deploys the full triad — the
+system token, the forwarding relay and the victim — so each scenario
+exercises genuine cross-contract traffic, not a single contract in a
+vacuum.
+
+All four contracts share the same *safe deposit prologue*: credit a
+balance only when ``code == eosio.token`` (the Listing 1 guard, in the
+dispatcher), the notification names us as recipient (``to == _self``,
+the Listing 2 guard) and the amount is positive.  Each family's buggy
+variant then breaks exactly one semantic invariant the paper's five
+API-shape oracles cannot see:
+
+* ``token_arith`` — the deposit credit *subtracts* where it should
+  add, driving an asset row's signed amount negative (wrapped
+  arithmetic on an unsigned quantity);
+* ``permission`` — a ``grantrole`` admin action probes ``has_auth``
+  but ignores the result, so the role table is writable by anyone
+  (the AChecker pattern: the auth *API* is present, its verdict is
+  not enforced — invisible to MissAuth's call-presence rule);
+* ``notif_chain`` — the deposit handler drops the ``to == _self``
+  check, crediting deposits the ``fake.notif`` relay forwarded with
+  the original ``code`` intact;
+* ``data_consistency`` — the contract maintains a currency-stats row
+  but never folds deposits into its recorded supply, so the ledger
+  and the statistics diverge.
+
+The clean twin of every variant keeps all guards and honest
+arithmetic, giving each family its own precision/recall row with a
+ground-truth zero-FP expectation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..eosio.abi import Abi, TRANSFER_SIGNATURE
+from ..eosio.name import N
+from ..wasm.builder import FunctionBuilder
+from .contracts import (ContractConfig, GeneratedContract, INPUT_ADDR,
+                        _ContractEmitter)
+from .corpus import BenchmarkSample
+
+__all__ = ["SEMANTIC_FAMILY_TYPES", "SemanticConfig",
+           "generate_semantic_contract", "build_semantic_corpus"]
+
+SEMANTIC_FAMILY_TYPES = ("token_arith", "permission", "notif_chain",
+                         "data_consistency")
+
+# Scratch memory for row images, clear of the generator's other
+# regions (ERR 256+, TEMPLATE 512, INPUT 1024).
+_DEPOSIT_ADDR = 3200     # 16-byte asset row (amount i64 + symbol u64)
+_STAT_ADDR = 3264        # 40-byte stat row (supply + max + issuer)
+_ROLE_ADDR = 3328        # 8-byte role row
+
+_SLOT_GRANT = 3          # indirect-call table slot for grantrole
+_TYPE_GRANT = -2         # (i64, i64) -> (): same shape as init
+
+
+@dataclass(frozen=True)
+class SemanticConfig:
+    """One semantic-corpus sample: which family, buggy or clean."""
+
+    family: str
+    vulnerable: bool
+    seed: int = 0
+    account: str = "victim"
+
+    def __post_init__(self):
+        if self.family not in SEMANTIC_FAMILY_TYPES:
+            raise ValueError(
+                f"unknown semantic family {self.family!r}")
+
+
+def generate_semantic_contract(config: SemanticConfig) -> GeneratedContract:
+    """Emit the exchange-style contract for one semantic sample."""
+    base = ContractConfig(
+        account=config.account,
+        seed=config.seed,
+        fake_eos_guard=True,
+        # The notif_chain bug IS the missing to == _self check.
+        fake_notif_guard=not (config.family == "notif_chain"
+                              and config.vulnerable),
+        auth_check=True,
+        use_blockinfo=False,
+        reward_scheme="none",
+        has_payout=False,
+        dispatcher_style="canonical",
+        maze_depth=0,
+    )
+    rng = random.Random(config.seed)
+    emitter = _SemanticEmitter(base, rng, config)
+    module = emitter.build()
+    signatures = {
+        "transfer": TRANSFER_SIGNATURE,
+        "init": (("owner", "name"),),
+    }
+    if config.family == "permission":
+        signatures["grantrole"] = (("account", "name"),)
+    abi = Abi.from_signatures(signatures)
+    ground_truth = base.ground_truth()
+    ground_truth[config.family] = config.vulnerable
+    return GeneratedContract(base, module, abi, ground_truth, None)
+
+
+def build_semantic_corpus(pairs: int = 1,
+                          seed: int = 20260807) -> list[BenchmarkSample]:
+    """The labelled semantic benchmark: per family, ``pairs`` buggy
+    samples and ``pairs`` clean twins, each its own MetricsTable row
+    (``vuln_type`` is the family name)."""
+    rng = random.Random(seed)
+    samples: list[BenchmarkSample] = []
+    for family in SEMANTIC_FAMILY_TYPES:
+        for label in (True, False):
+            for _ in range(max(1, pairs)):
+                config = SemanticConfig(family=family, vulnerable=label,
+                                        seed=rng.getrandbits(32))
+                contract = generate_semantic_contract(config)
+                samples.append(BenchmarkSample(family, label, contract))
+    return samples
+
+
+class _SemanticEmitter(_ContractEmitter):
+    """The shared exchange-contract emitter, parameterised by family."""
+
+    def __init__(self, base: ContractConfig, rng: random.Random,
+                 semantic: SemanticConfig):
+        super().__init__(base, rng)
+        self.semantic = semantic
+
+    def build(self):
+        # Pre-declare the extra imports before any function is
+        # emitted, keeping the import index space stable (same reason
+        # the base emitter pre-declares its own list).
+        if self.semantic.family == "permission":
+            self.imp("has_auth")
+        return super().build()
+
+    # -- the deposit body (replaces the reward path) -----------------------
+    def _emit_reward_body(self, f: FunctionBuilder) -> None:
+        family = self.semantic.family
+        vulnerable = self.semantic.vulnerable
+        if family == "permission":
+            # The permission scenario keeps its deposits inert; the
+            # writer path under test is the grantrole action.
+            self._emit_filler(f)
+            return
+        negate = family == "token_arith" and vulnerable
+        self._emit_deposit_credit(f, negate=negate)
+        if family == "data_consistency":
+            self._emit_stat_update(f, credit=not vulnerable)
+
+    def _emit_deposit_credit(self, f: FunctionBuilder,
+                             negate: bool) -> None:
+        """Credit ``accounts[from]`` with the paid amount (or, in the
+        token_arith bug, *debit* it — wrapped arithmetic that leaves a
+        negative signed amount in the asset row)."""
+        amt = f.add_local("i64")
+        it = f.add_local("i32")
+        # amount = quantity.amount; only positive payments credit.
+        f.local_get(3)
+        f.emit("i64.load", 3, 0)
+        f.local_set(amt)
+        f.local_get(amt)
+        f.i64_const(0)
+        f.emit("i64.le_s")
+        f.emit("if", None)
+        f.emit("return")
+        f.emit("end")
+        # Row symbol = quantity.symbol.
+        f.i32_const(_DEPOSIT_ADDR)
+        f.local_get(3)
+        f.emit("i64.load", 3, 8)
+        f.emit("i64.store", 3, 8)
+        # it = db_find(self, self, accounts, from)
+        f.emit("call", self.imp("current_receiver"))
+        f.emit("call", self.imp("current_receiver"))
+        f.i64_const(N("accounts"))
+        f.local_get(1)
+        f.emit("call", self.imp("db_find_i64"))
+        f.local_set(it)
+        f.local_get(it)
+        f.i32_const(-1)
+        f.emit("i32.eq")
+        f.emit("if", None)
+        # Fresh row: amount (or 0 - amount).
+        f.i32_const(_DEPOSIT_ADDR)
+        if negate:
+            f.i64_const(0)
+            f.local_get(amt)
+            f.emit("i64.sub")
+        else:
+            f.local_get(amt)
+        f.emit("i64.store", 3, 0)
+        f.emit("call", self.imp("current_receiver"))
+        f.i64_const(N("accounts"))
+        f.local_get(0)
+        f.local_get(1)
+        f.i32_const(_DEPOSIT_ADDR)
+        f.i32_const(16)
+        f.emit("call", self.imp("db_store_i64"))
+        f.emit("drop")
+        f.emit("else")
+        # Existing row: old +/- amount.
+        f.local_get(it)
+        f.i32_const(_DEPOSIT_ADDR)
+        f.i32_const(16)
+        f.emit("call", self.imp("db_get_i64"))
+        f.emit("drop")
+        f.i32_const(_DEPOSIT_ADDR)
+        f.i32_const(_DEPOSIT_ADDR)
+        f.emit("i64.load", 3, 0)
+        f.local_get(amt)
+        f.emit("i64.sub" if negate else "i64.add")
+        f.emit("i64.store", 3, 0)
+        f.local_get(it)
+        f.local_get(0)
+        f.i32_const(_DEPOSIT_ADDR)
+        f.i32_const(16)
+        f.emit("call", self.imp("db_update_i64"))
+        f.emit("end")
+
+    def _emit_stat_update(self, f: FunctionBuilder, credit: bool) -> None:
+        """Maintain the currency-stats row.  The clean twin folds each
+        deposit into the recorded supply; the buggy one lazily creates
+        the row with supply 0 and never updates it."""
+        amt = f.add_local("i64")
+        sym = f.add_local("i64")
+        it = f.add_local("i32")
+        f.local_get(3)
+        f.emit("i64.load", 3, 0)
+        f.local_set(amt)
+        f.local_get(3)
+        f.emit("i64.load", 3, 8)
+        f.local_set(sym)
+        # it = db_find(self, self, stat, symbol)
+        f.emit("call", self.imp("current_receiver"))
+        f.emit("call", self.imp("current_receiver"))
+        f.i64_const(N("stat"))
+        f.local_get(sym)
+        f.emit("call", self.imp("db_find_i64"))
+        f.local_set(it)
+        f.local_get(it)
+        f.i32_const(-1)
+        f.emit("i32.eq")
+        f.emit("if", None)
+        # supply = amount (clean) or 0 (buggy, never corrected).
+        f.i32_const(_STAT_ADDR)
+        if credit:
+            f.local_get(amt)
+        else:
+            f.i64_const(0)
+        f.emit("i64.store", 3, 0)
+        f.i32_const(_STAT_ADDR)
+        f.local_get(sym)
+        f.emit("i64.store", 3, 8)
+        f.i32_const(_STAT_ADDR)
+        f.i64_const(1 << 60)             # max supply
+        f.emit("i64.store", 3, 16)
+        f.i32_const(_STAT_ADDR)
+        f.local_get(sym)
+        f.emit("i64.store", 3, 24)
+        f.i32_const(_STAT_ADDR)
+        f.local_get(0)                   # issuer = self
+        f.emit("i64.store", 3, 32)
+        f.emit("call", self.imp("current_receiver"))
+        f.i64_const(N("stat"))
+        f.local_get(0)
+        f.local_get(sym)
+        f.i32_const(_STAT_ADDR)
+        f.i32_const(40)
+        f.emit("call", self.imp("db_store_i64"))
+        f.emit("drop")
+        f.emit("else")
+        if credit:
+            f.local_get(it)
+            f.i32_const(_STAT_ADDR)
+            f.i32_const(40)
+            f.emit("call", self.imp("db_get_i64"))
+            f.emit("drop")
+            f.i32_const(_STAT_ADDR)
+            f.i32_const(_STAT_ADDR)
+            f.emit("i64.load", 3, 0)
+            f.local_get(amt)
+            f.emit("i64.add")
+            f.emit("i64.store", 3, 0)
+            f.local_get(it)
+            f.local_get(0)
+            f.i32_const(_STAT_ADDR)
+            f.i32_const(40)
+            f.emit("call", self.imp("db_update_i64"))
+        else:
+            f.emit("nop")
+        f.emit("end")
+
+    # -- the grantrole action (the permission writer path) -----------------
+    def _emit_extra_actions(self) -> list:
+        if self.semantic.family != "permission":
+            return []
+        func = self._emit_grantrole_impl()
+
+        def dispatch(f: FunctionBuilder) -> None:
+            f.local_get(0)
+            f.i32_const(INPUT_ADDR)
+            f.emit("i64.load", 3, 0)     # account
+            f.i32_const(_SLOT_GRANT)
+            f.emit("call_indirect", _TYPE_GRANT)
+
+        return [("grantrole", _SLOT_GRANT, func, dispatch)]
+
+    def _emit_grantrole_impl(self) -> FunctionBuilder:
+        f = self.builder.function("grantrole_impl",
+                                  params=["i64", "i64"])
+        # locals: 0=self 1=account
+        granted = f.add_local("i32")
+        f.i64_const(N("admin"))
+        f.emit("call", self.imp("has_auth"))
+        f.local_set(granted)
+        if self.semantic.vulnerable:
+            # The bug: the probe ran, its verdict is never enforced.
+            self._emit_role_write(f)
+        else:
+            f.local_get(granted)
+            f.emit("if", None)
+            self._emit_role_write(f)
+            f.emit("end")
+        return f
+
+    def _emit_role_write(self, f: FunctionBuilder) -> None:
+        it = f.add_local("i32")
+        f.i32_const(_ROLE_ADDR)
+        f.local_get(1)
+        f.emit("i64.store", 3, 0)
+        f.emit("call", self.imp("current_receiver"))
+        f.emit("call", self.imp("current_receiver"))
+        f.i64_const(N("roles"))
+        f.local_get(1)
+        f.emit("call", self.imp("db_find_i64"))
+        f.local_set(it)
+        f.local_get(it)
+        f.i32_const(-1)
+        f.emit("i32.eq")
+        f.emit("if", None)
+        f.emit("call", self.imp("current_receiver"))
+        f.i64_const(N("roles"))
+        f.local_get(0)
+        f.local_get(1)
+        f.i32_const(_ROLE_ADDR)
+        f.i32_const(8)
+        f.emit("call", self.imp("db_store_i64"))
+        f.emit("drop")
+        f.emit("else")
+        f.local_get(it)
+        f.local_get(0)
+        f.i32_const(_ROLE_ADDR)
+        f.i32_const(8)
+        f.emit("call", self.imp("db_update_i64"))
+        f.emit("end")

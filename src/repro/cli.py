@@ -36,6 +36,21 @@ from .wasm import encode_module
 __all__ = ["main"]
 
 
+def _oracles_spec(text: str) -> tuple:
+    """argparse type for ``--oracles``: resolve family names/aliases,
+    turning a typo into a usage error (exit 2), not a stack trace."""
+    from .semoracle import UnknownOracleFamily, resolve_oracles
+    try:
+        return resolve_oracles(text)
+    except UnknownOracleFamily as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+_ORACLES_HELP = ("comma-separated oracle families to enable "
+                 "(names or the aliases paper5/semantic/all; "
+                 "default: the paper's five)")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="wasai",
@@ -77,6 +92,8 @@ def main(argv: list[str] | None = None) -> int:
                       action="store_false",
                       help="disable the concolic divergence sentinel "
                            "(trace/replay cross-checking)")
+    scan.add_argument("--oracles", type=_oracles_spec, default=None,
+                      help=_ORACLES_HELP)
 
     gen = sub.add_parser("gen", help="generate a benchmark contract")
     gen.add_argument("--out", type=Path, default=Path("victim"),
@@ -96,7 +113,8 @@ def main(argv: list[str] | None = None) -> int:
 
     bench = sub.add_parser("bench", help="run a paper experiment")
     bench.add_argument("experiment",
-                       choices=("table4", "table5", "table6", "hostile"))
+                       choices=("table4", "table5", "table6", "hostile",
+                                "semantic"))
     bench.add_argument("--scale", type=float, default=0.02)
     bench.add_argument("--timeout-ms", type=float, default=20_000.0)
     bench.add_argument("--jobs", type=int, default=1,
@@ -142,6 +160,12 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--fail-on-quarantine", action="store_true",
                        help="exit non-zero when any sample was "
                             "quarantined (CI containment gate)")
+    bench.add_argument("--oracles", type=_oracles_spec, default=None,
+                       help=_ORACLES_HELP)
+    bench.add_argument("--fail-on-family-fp", action="store_true",
+                       help="exit 6 when any semantic oracle family "
+                            "records a false positive (CI precision "
+                            "gate)")
 
     corpus = sub.add_parser("gen-corpus",
                             help="write a labelled benchmark corpus "
@@ -217,6 +241,9 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--drift-audit-sample", type=int, default=4,
                        help="traces replayed per audit round "
                             "(default 4)")
+    serve.add_argument("--oracles", type=_oracles_spec, default=None,
+                       help=_ORACLES_HELP + "; applies to every "
+                            "submitted job and re-verdict sweep")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
 
@@ -270,6 +297,8 @@ def main(argv: list[str] | None = None) -> int:
                                 "--store)")
     reverdict.add_argument("--wait-timeout-s", type=float,
                            default=300.0)
+    reverdict.add_argument("--oracles", type=_oracles_spec, default=None,
+                           help=_ORACLES_HELP)
     reverdict.add_argument("--json", action="store_true",
                            help="emit the sweep report as JSON")
 
@@ -342,6 +371,7 @@ def _cmd_scan(args) -> int:
         kwargs = {}
         if args.tool == "wasai":
             kwargs["divergence_check"] = args.divergence_check
+            kwargs["oracles"] = args.oracles
             if args.address_pool:
                 kwargs["address_pool"] = True
             if args.max_memory_pages is not None:
@@ -463,11 +493,23 @@ def _cmd_bench(args) -> int:
     from .resilience import CampaignJournal, ResiliencePolicy
     if args.experiment == "hostile":
         return _cmd_bench_hostile(args)
-    samples = build_table4_corpus(scale=args.scale)
-    if args.experiment == "table5":
-        samples = [obfuscated_variant(s) for s in samples]
-    elif args.experiment == "table6":
-        samples = [verification_variant(s) for s in samples]
+    tools = ("wasai", "eosfuzzer", "eosafe")
+    oracles = args.oracles
+    if args.experiment == "semantic":
+        # The semantic corpus: per family, one buggy/clean pair per
+        # unit of scale.  Only WASAI evaluates the semantic families,
+        # so the comparison tools sit this experiment out.
+        from .benchgen import build_semantic_corpus
+        samples = build_semantic_corpus(pairs=max(1, round(args.scale * 50)))
+        tools = ("wasai",)
+        if oracles is None:
+            oracles = _oracles_spec("all")
+    else:
+        samples = build_table4_corpus(scale=args.scale)
+        if args.experiment == "table5":
+            samples = [obfuscated_variant(s) for s in samples]
+        elif args.experiment == "table6":
+            samples = [verification_variant(s) for s in samples]
     print(f"# {args.experiment}: {len(samples)} samples "
           f"(scale {args.scale}, jobs {args.jobs or 'auto'})")
     if args.resume and args.journal is None:
@@ -479,12 +521,14 @@ def _cmd_bench(args) -> int:
                               degrade=args.degrade)
     journal = CampaignJournal(args.journal) if args.journal else None
     perf = ThroughputStats()
-    tables = evaluate_corpus(samples, timeout_ms=args.timeout_ms,
+    tables = evaluate_corpus(samples, tools=tools,
+                             timeout_ms=args.timeout_ms,
                              jobs=args.jobs,
                              task_timeout_s=args.task_timeout_s,
                              perf=perf, policy=policy,
                              journal=journal, resume=args.resume,
-                             divergence_check=args.divergence_check)
+                             divergence_check=args.divergence_check,
+                             oracles=oracles)
     for table in tables.values():
         print(table.format())
     print(perf.format())
@@ -492,6 +536,19 @@ def _cmd_bench(args) -> int:
         print(f"error: {perf.quarantined} sample(s) quarantined "
               "(--fail-on-quarantine)", file=sys.stderr)
         return 3
+    if args.fail_on_family_fp:
+        from .semoracle import SEMANTIC_FAMILIES
+        family_fps = {
+            f"{tool}/{family}": count
+            for tool, table in tables.items()
+            for family, count in
+            table.false_positives(SEMANTIC_FAMILIES).items()}
+        if family_fps:
+            detail = ", ".join(f"{k}: {v}"
+                               for k, v in sorted(family_fps.items()))
+            print(f"error: semantic family false positives — {detail} "
+                  "(--fail-on-family-fp)", file=sys.stderr)
+            return 6
     return 0
 
 
@@ -516,7 +573,8 @@ def _cmd_serve(args) -> int:
                                  store_max_bytes=args.store_max_bytes,
                                  capture_traces=args.capture_traces,
                                  drift_audit_s=args.drift_audit_s,
-                                 drift_audit_sample=args.drift_audit_sample),
+                                 drift_audit_sample=args.drift_audit_sample,
+                                 oracles=args.oracles),
         policy=ResiliencePolicy(max_retries=args.max_retries,
                                 quarantine_after=args.quarantine_after),
         journal=CampaignJournal(args.journal) if args.journal else None)
@@ -592,15 +650,20 @@ def _cmd_status(args) -> int:
 
 
 def _format_reverdict_report(doc: dict) -> str:
+    header = (f"# reverdict: oracle v{doc.get('oracle_version')}, "
+              f"trace IR v{doc.get('traceir_version')}")
+    if doc.get("oracles"):
+        header += f", families: {','.join(doc['oracles'])}"
     lines = [
-        f"# reverdict: oracle v{doc.get('oracle_version')}, "
-        f"trace IR v{doc.get('traceir_version')}",
+        header,
         f"  replayed   {doc.get('replayed', 0)} "
         f"(rewritten {doc.get('rewritten', 0)}, "
         f"orphaned {doc.get('orphaned', 0)})",
         f"  matched    {doc.get('matched', 0)}",
         f"  drift      {doc.get('drift', 0)}",
         f"  corrupt    {doc.get('corrupt', 0)} (quarantined)",
+        f"  insufficient {doc.get('insufficient', 0)} "
+        "(surface too old; re-queued for fresh scans)",
     ]
     for incident in doc.get("incidents", ()):
         kind = incident.get("kind", "incident")
@@ -619,7 +682,8 @@ def _cmd_reverdict(args) -> int:
         store = ArtifactStore(str(args.store))
         try:
             report_doc = reverdict_store(
-                store, oracle_version=args.oracle_version).to_doc()
+                store, oracle_version=args.oracle_version,
+                oracles=args.oracles).to_doc()
         finally:
             store.close()
     else:
@@ -628,7 +692,8 @@ def _cmd_reverdict(args) -> int:
         try:
             doc = client.reverdict(oracle_version=args.oracle_version,
                                    wait=True,
-                                   timeout_s=args.wait_timeout_s)
+                                   timeout_s=args.wait_timeout_s,
+                                   oracles=args.oracles)
         except (ServiceError, TimeoutError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 4

@@ -92,6 +92,10 @@ class FuzzReport:
     # Sentinel cross-checks that passed across all replays (evidence
     # the sentinel was armed, not just silent).
     sentinel_checkpoints: int = 0
+    # End-of-campaign DB snapshot (plain bytes, keyed by
+    # (code, scope, table) then primary key) — the read surface of the
+    # semantic ``data_consistency`` oracle family.
+    db_state: dict = field(default_factory=dict)
 
     def observations_of(self, payload_kind: str) -> list[Observation]:
         return [o for o in self.observations
@@ -156,6 +160,7 @@ class WasaiFuzzer:
             self._iteration()
         self.report.coverage_timeline.append(
             (self.clock.now_ms, len(self.report.covered)))
+        self.report.db_state = self.chain.db.export_state()
         return self.report
 
     def _initiate(self) -> None:

@@ -17,12 +17,21 @@ TableKey = tuple[int, int, int]  # (code, scope, table)
 
 @dataclass(frozen=True)
 class DbOperation:
-    """One journalled database access: the ⟨op, tb⟩ pairs of §3.3.2."""
+    """One journalled database access: the ⟨op, tb⟩ pairs of §3.3.2.
+
+    Writes additionally carry the primary key and the before/after
+    row images — the semantic oracle families
+    (:mod:`repro.semoracle`) reason about *values*, not just which
+    tables were touched.  Reads leave all three at None.
+    """
 
     kind: str  # "read" or "write"
     code: int
     scope: int
     table: int
+    pkey: int | None = None
+    before: bytes | None = None   # row image prior to the write
+    after: bytes | None = None    # row image after the write
 
     @property
     def table_key(self) -> TableKey:
@@ -65,7 +74,8 @@ class Database:
         if key in rows:
             raise ValueError(f"duplicate primary key {key}")
         rows[key] = _Row(key, payer, bytes(data))
-        self.journal.append(DbOperation("write", *table_key))
+        self.journal.append(DbOperation("write", *table_key, pkey=key,
+                                        before=None, after=bytes(data)))
         return self._new_iterator(table_key, key)
 
     def find(self, code: int, scope: int, table: int, key: int) -> int:
@@ -85,16 +95,21 @@ class Database:
     def update(self, iterator: int, payer: int, data: bytes) -> None:
         table_key, key = self._resolve(iterator)
         row = self._tables[table_key][key]
+        before = row.data
         row.data = bytes(data)
         if payer:
             row.payer = payer
-        self.journal.append(DbOperation("write", *table_key))
+        self.journal.append(DbOperation("write", *table_key, pkey=key,
+                                        before=before,
+                                        after=bytes(data)))
 
     def remove(self, iterator: int) -> None:
         table_key, key = self._resolve(iterator)
+        before = self._tables[table_key][key].data
         del self._tables[table_key][key]
         self._iterators[iterator] = None
-        self.journal.append(DbOperation("write", *table_key))
+        self.journal.append(DbOperation("write", *table_key, pkey=key,
+                                        before=before, after=None))
 
     def next(self, iterator: int) -> tuple[int, int]:
         """(next iterator, next key); (-1, 0) at the end of the table."""
@@ -132,18 +147,37 @@ class Database:
                 key: int, data: bytes) -> None:
         table_key = (code, scope, table)
         rows = self._tables.setdefault(table_key, {})
+        previous = rows.get(key)
         rows[key] = _Row(key, payer, bytes(data))
-        self.journal.append(DbOperation("write", *table_key))
+        self.journal.append(DbOperation(
+            "write", *table_key, pkey=key,
+            before=None if previous is None else previous.data,
+            after=bytes(data)))
 
     def erase_row(self, code: int, scope: int, table: int, key: int) -> None:
         table_key = (code, scope, table)
         rows = self._tables.get(table_key, {})
-        rows.pop(key, None)
-        self.journal.append(DbOperation("write", *table_key))
+        previous = rows.pop(key, None)
+        self.journal.append(DbOperation(
+            "write", *table_key, pkey=key,
+            before=None if previous is None else previous.data,
+            after=None))
 
     def table_rows(self, code: int, scope: int, table: int) -> dict[int, bytes]:
         rows = self._tables.get((code, scope, table), {})
         return {k: row.data for k, row in rows.items()}
+
+    def export_state(self) -> dict[TableKey, dict[int, bytes]]:
+        """A plain-bytes snapshot of every table, for invariant checks.
+
+        Unlike :meth:`snapshot` this drops payer/iterator bookkeeping:
+        it is the read surface of the ``data_consistency`` oracle
+        family, not a restore point.
+        """
+        return {
+            table_key: {k: row.data for k, row in rows.items()}
+            for table_key, rows in self._tables.items()
+        }
 
     # -- snapshot / rollback --------------------------------------------------
     def snapshot(self) -> dict:

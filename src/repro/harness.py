@@ -86,7 +86,8 @@ def run_wasai(module: Module, abi: Abi, account: str = "victim",
               limits=None,
               trace_dir: "str | None" = None,
               trace_format: str = "jsonl",
-              timings: "dict[str, float] | None" = None) -> WasaiRun:
+              timings: "dict[str, float] | None" = None,
+              oracles=None) -> WasaiRun:
     """Fuzz one contract with WASAI and scan the observations.
 
     ``timings``, when given, accumulates real per-stage wall-clock
@@ -100,6 +101,9 @@ def run_wasai(module: Module, abi: Abi, account: str = "victim",
     Wasm interpreter.  ``trace_dir`` redirects every observation's
     trace to its own offline file (§3.3.1) in the given directory,
     encoded per ``trace_format`` ("jsonl" or the columnar "ir").
+    ``oracles`` selects the enabled oracle families (any spec
+    :func:`repro.semoracle.resolve_oracles` accepts; None = the
+    paper's five).
     """
     started = time.perf_counter()
     chain, target = _deploy(account, module, abi, limits=limits)
@@ -122,7 +126,7 @@ def run_wasai(module: Module, abi: Abi, account: str = "victim",
     started = _charge_stage(timings, "fuzz", started)
     faultinject.inject("scan")
     try:
-        scan = scan_report(report, target)
+        scan = scan_report(report, target, oracles=oracles)
     except CampaignError:
         raise
     except Exception as exc:
@@ -181,6 +185,7 @@ def evaluate_corpus(samples: list[BenchmarkSample],
                     resume: bool = False,
                     divergence_check: bool = True,
                     capture_traces: bool = False,
+                    oracles=None,
                     ) -> dict[str, MetricsTable]:
     """Run the selected tools over a labelled corpus; returns one
     metrics table per tool (the Table 4/5/6 rows).
@@ -220,7 +225,8 @@ def evaluate_corpus(samples: list[BenchmarkSample],
                           timeout_ms, rng_seed + index, policy=policy,
                           sample_key=f"{sample.vuln_type}[{index}]",
                           divergence_check=divergence_check,
-                          capture_traces=capture_traces)
+                          capture_traces=capture_traces,
+                          oracles=oracles)
              for index, sample in enumerate(samples)]
     wall_started = time.perf_counter()
     run = run_resilient_tasks(run_campaign_task, tasks, jobs=jobs,

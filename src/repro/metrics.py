@@ -75,6 +75,9 @@ class Confusion:
         return (f"P={self.precision:6.1%} R={self.recall:6.1%} "
                 f"F1={self.f1:6.1%}")
 
+    def counts_row(self) -> str:
+        return f"TP={self.tp:<4} FP={self.fp:<4} FN={self.fn:<4}"
+
 
 @dataclass
 class ThroughputStats:
@@ -125,6 +128,7 @@ class ThroughputStats:
     reverdicts: int = 0            # stored traces replayed by oracles
     trace_corruptions: int = 0     # undecodable packs quarantined
     verdict_drift: int = 0         # replay verdict != stored verdict
+    insufficient_surface: int = 0  # packs lacking a family's surface
     # Per-task wall-clock samples, keyed by stage ("task" = whole
     # campaign task; "setup"/"fuzz"/"scan" = pipeline stages; the scan
     # service adds "job" for end-to-end job latency).  Samples feed the
@@ -251,6 +255,7 @@ class ThroughputStats:
                 "reverdicts": self.reverdicts,
                 "trace_corruptions": self.trace_corruptions,
                 "verdict_drift": self.verdict_drift,
+                "insufficient_surface": self.insufficient_surface,
             },
         }
 
@@ -298,7 +303,8 @@ class ThroughputStats:
             ((self.traces_stored, "traces stored"),
              (self.reverdicts, "reverdicts"),
              (self.trace_corruptions, "trace corruptions"),
-             (self.verdict_drift, "verdict drift"))
+             (self.verdict_drift, "verdict drift"),
+             (self.insufficient_surface, "insufficient surface"))
             if count)
         if traceir:
             lines.append(f"  trace IR      {traceir.lstrip(', ')}")
@@ -360,13 +366,30 @@ class MetricsTable:
             out = out.merged(confusion)
         return out
 
+    def false_positives(self, vuln_types=None) -> dict[str, int]:
+        """Per-type false-positive counts, non-zero entries only.
+
+        ``vuln_types`` restricts the query (e.g. to the enabled
+        semantic oracle families); None means every recorded type.
+        Backs the ``--fail-on-family-fp`` bench gate: any non-empty
+        result is a family flagging a clean variant.
+        """
+        if vuln_types is None:
+            selected = self.per_type.items()
+        else:
+            wanted = set(vuln_types)
+            selected = ((t, c) for t, c in self.per_type.items()
+                        if t in wanted)
+        return {t: c.fp for t, c in selected if c.fp}
+
     def format(self) -> str:
         lines = [f"--- {self.tool} ---"]
         for vuln_type, confusion in self.per_type.items():
             lines.append(f"  {vuln_type:<13} n={confusion.total:<5} "
-                         f"{confusion.row()}")
+                         f"{confusion.counts_row()} {confusion.row()}")
         total = self.total()
-        lines.append(f"  {'Total':<13} n={total.total:<5} {total.row()}")
+        lines.append(f"  {'Total':<13} n={total.total:<5} "
+                     f"{total.counts_row()} {total.row()}")
         if self.skipped:
             lines.append(f"  skipped       {self.skipped_count()} "
                          "(excluded from the counts above)")

@@ -60,6 +60,11 @@ class CampaignTask:
     # verdict, so scanner oracles can be replayed later with zero
     # re-fuzzing.  Does not alter the verdict or the task key.
     capture_traces: bool = False
+    # Enabled oracle families (any spec repro.semoracle.resolve_oracles
+    # accepts).  None — the default — means exactly the paper's five,
+    # and keeps the task key byte-compatible with pre-semantic
+    # journals and stores.
+    oracles: "tuple | str | None" = None
 
 
 @dataclass
@@ -121,12 +126,14 @@ def _coverage_summary(report) -> dict:
     }
 
 
-def _fresh_provenance() -> dict:
+def _fresh_provenance(oracles=None) -> dict:
     """Provenance stamp for a verdict produced by actually fuzzing."""
     from ..scanner.oracles import ORACLE_VERSION
+    from ..semoracle.registry import resolve_oracles
     from ..traceir.codec import TRACEIR_VERSION
     return {"oracle_version": ORACLE_VERSION,
             "traceir_version": TRACEIR_VERSION,
+            "oracles": list(resolve_oracles(oracles)),
             "source": "fresh"}
 
 
@@ -145,7 +152,8 @@ def _tool_runner(tool: str, task: CampaignTask,
                 address_pool=task.address_pool,
                 timings=stage_seconds,
                 feedback=feedback,
-                divergence_check=task.divergence_check)
+                divergence_check=task.divergence_check,
+                oracles=task.oracles)
             if coverage is not None:
                 coverage[tool] = _coverage_summary(run_.report)
             if report_cell is not None:
@@ -280,7 +288,7 @@ def run_campaign_task(task: CampaignTask) -> CampaignResult:
             retries=retries,
             coverage=coverage,
             traces=traces,
-            provenance=_fresh_provenance(),
+            provenance=_fresh_provenance(task.oracles),
         )
     finally:
         faultinject.set_fault_scope("")

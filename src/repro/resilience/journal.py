@@ -100,16 +100,29 @@ class CampaignJournal:
 
 
 def campaign_task_key(task) -> str:
-    """The resume key of one :class:`~repro.parallel.CampaignTask`."""
+    """The resume key of one :class:`~repro.parallel.CampaignTask`.
+
+    The enabled oracle-family set is key material only when it differs
+    from the default paper-five — a task that never asked for semantic
+    families hashes byte-identically to a pre-semantic build, so
+    existing journals and artifact stores keep deduplicating.
+    """
     from ..engine.deploy import module_content_hash
-    material = "|".join((
+    parts = [
         module_content_hash(task.module),
         ",".join(task.tools),
         f"{task.timeout_ms:g}",
         str(task.rng_seed),
         str(bool(task.address_pool)),
         str(bool(getattr(task, "divergence_check", True))),
-    ))
+    ]
+    oracles = getattr(task, "oracles", None)
+    if oracles is not None:
+        from ..semoracle.registry import PAPER5, resolve_oracles
+        resolved = resolve_oracles(oracles)
+        if resolved != PAPER5:
+            parts.append("oracles=" + ",".join(resolved))
+    material = "|".join(parts)
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 

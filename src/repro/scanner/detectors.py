@@ -77,18 +77,49 @@ class Detector:
 
 
 def scan_report(report: "FuzzReport", target,
-                extra_detectors: list[Detector] = ()) -> ScanResult:
-    """Run the five built-in detectors (plus any extras) over a
-    finished campaign."""
+                extra_detectors: list[Detector] = (),
+                oracles=None) -> ScanResult:
+    """Run the enabled detectors (plus any extras) over a finished
+    campaign.
+
+    ``oracles`` selects the oracle families by name (any spec
+    :func:`repro.semoracle.resolve_oracles` accepts).  None — the
+    default everywhere — runs exactly the paper's five, producing a
+    byte-identical result to the pre-semantic scanner so stored
+    verdicts stay replay-stable.  Semantic family names evaluate over
+    the report's semantic surface (built on the fly for fresh
+    campaigns, carried by the pack for replays).
+    """
     result = ScanResult(target_account=report.target_account)
     result.divergences = list(getattr(report, "divergences", ()))
     eosponser_id = _resolve_eosponser(report, target)
-    result.findings["fake_eos"] = _detect_fake_eos(report, eosponser_id)
-    result.findings["fake_notif"] = _detect_fake_notif(report, target,
-                                                       eosponser_id)
-    result.findings["missauth"] = _detect_missauth(report)
-    result.findings["blockinfodep"] = _detect_blockinfodep(report)
-    result.findings["rollback"] = _detect_rollback(report)
+    paper = {
+        "fake_eos": lambda: _detect_fake_eos(report, eosponser_id),
+        "fake_notif": lambda: _detect_fake_notif(report, target,
+                                                 eosponser_id),
+        "missauth": lambda: _detect_missauth(report),
+        "blockinfodep": lambda: _detect_blockinfodep(report),
+        "rollback": lambda: _detect_rollback(report),
+    }
+    if oracles is None:
+        for name, detect in paper.items():
+            result.findings[name] = detect()
+    else:
+        from ..semoracle.registry import (FAMILIES, resolve_oracles,
+                                          semantic_names)
+        names = resolve_oracles(oracles)
+        for name in names:
+            if name in paper:
+                result.findings[name] = paper[name]()
+        semantic = semantic_names(names)
+        if semantic:
+            surface = getattr(report, "semantic_surface", None)
+            if surface is None:
+                from ..semoracle.surface import build_semantic_surface
+                surface = build_semantic_surface(report)
+            for name in semantic:
+                result.findings[name] = FAMILIES[name].evaluate(
+                    report, target, surface)
     for detector in extra_detectors:
         result.findings[detector.vuln_type] = detector.detect(
             report, target, eosponser_id)

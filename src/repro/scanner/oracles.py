@@ -32,12 +32,13 @@ __all__ = ["ORACLE_VERSION", "PAYLOAD_KINDS", "AdversarySetup",
            "setup_adversaries", "build_payload", "ForwardingAgent"]
 
 # Version of the registered scanner-oracle set (the five detectors of
-# §3.5 plus their payload templates).  Bump whenever a detector's
-# verdict logic or an oracle's payload changes — stored verdicts carry
-# it as provenance, so a re-verdict sweep (`wasai reverdict`) can tell
+# §3.5 plus their payload templates, and since v2 the semantic oracle
+# families of repro.semoracle).  Bump whenever a detector's verdict
+# logic or an oracle's payload changes — stored verdicts carry it as
+# provenance, so a re-verdict sweep (`wasai reverdict`) can tell
 # which verdicts predate a fix and the drift auditor can distinguish
 # "oracle evolved" from "verdict rotted".
-ORACLE_VERSION = 1
+ORACLE_VERSION = 2
 
 PAYLOAD_KINDS = ("legit", "direct", "fake_token", "fake_notif")
 

@@ -15,6 +15,11 @@ VULN_TITLES = {
     "missauth": "Missing Authorization Verification (§2.3.3)",
     "blockinfodep": "Blockinfo Dependency (§2.3.4)",
     "rollback": "Rollback (§2.3.5)",
+    # Semantic oracle families (repro.semoracle).
+    "token_arith": "Token Arithmetic (semantic)",
+    "permission": "Permission Misuse (semantic)",
+    "notif_chain": "Notification-Chain Abuse (semantic)",
+    "data_consistency": "On-Chain Data Consistency (semantic)",
 }
 
 

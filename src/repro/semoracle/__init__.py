@@ -1,0 +1,44 @@
+"""repro.semoracle — the pluggable semantic-oracle subsystem.
+
+The paper's scanner ships five *general* oracles; the majority of
+exploitable contract bugs are functional and invisible to them.  This
+package grows the scanner with registered **oracle families** that
+evaluate the campaign's trace events *and* chain-DB read/write
+surface:
+
+* ``token_arith`` — integer overflow/truncation in balance updates;
+* ``permission`` — state-mutating actions reachable without any auth
+  check on the writer path;
+* ``notif_chain`` — forwarded notifications triggering state writes
+  with the original ``code`` unchecked;
+* ``data_consistency`` — end-of-campaign DB invariants (supply vs
+  sum of balances).
+
+Families declare the pack surface they require
+(:class:`OracleFamily.required_surface`); stored trace packs that
+cannot satisfy an enabled family raise the typed
+:class:`InsufficientSurface` on replay so re-verdict sweeps count
+them ``insufficient`` and re-queue a fresh scan instead of reporting
+phantom drift.
+"""
+
+from .families import (evaluate_data_consistency, evaluate_notif_chain,
+                       evaluate_permission, evaluate_token_arith)
+from .registry import (ALL_FAMILIES, FAMILIES, InsufficientSurface,
+                       OracleFamily, PAPER5, SEMANTIC_FAMILIES,
+                       UnknownOracleFamily, required_surfaces,
+                       resolve_oracles, semantic_names)
+from .surface import (BASE_SURFACES, DbWrite, HostArgCall,
+                      SEMANTIC_SURFACES, SemanticSurface, SurfaceRecord,
+                      build_semantic_surface)
+
+__all__ = [
+    "OracleFamily", "FAMILIES", "PAPER5", "SEMANTIC_FAMILIES",
+    "ALL_FAMILIES", "UnknownOracleFamily", "InsufficientSurface",
+    "resolve_oracles", "required_surfaces", "semantic_names",
+    "BASE_SURFACES", "SEMANTIC_SURFACES", "SemanticSurface",
+    "SurfaceRecord", "DbWrite", "HostArgCall",
+    "build_semantic_surface",
+    "evaluate_token_arith", "evaluate_permission",
+    "evaluate_notif_chain", "evaluate_data_consistency",
+]

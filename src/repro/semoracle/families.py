@@ -1,0 +1,191 @@
+"""The four initial semantic oracle families.
+
+Each family is a pure function over ``(report, target, surface)``
+returning a :class:`~repro.scanner.detectors.VulnerabilityFinding` —
+the same currency the paper's five detectors deal in, so family
+verdicts flow through :class:`ScanResult`, the verdict docs and the
+metrics tables without a parallel reporting path.
+
+Unlike the paper's oracles, which key off *which* host APIs ran, the
+families reason about what the contract **did to state**: the i64
+values written into balance rows, the auth-check results guarding
+writer paths, the notification provenance of the record that wrote,
+and the database's end-of-campaign invariants.  All four are written
+to be conservative — they only fire on concrete evidence shapes
+(asset-sized rows, falsy ``has_auth`` results, counterfeit payload
+kinds) so clean contracts cannot trip them.
+"""
+
+from __future__ import annotations
+
+from ..eosio.name import N, name_to_string
+from ..scanner.detectors import VulnerabilityFinding
+
+__all__ = ["evaluate_token_arith", "evaluate_permission",
+           "evaluate_notif_chain", "evaluate_data_consistency"]
+
+# EOSIO asset layout: i64 amount (LE) followed by a u64 symbol.
+_ASSET_BYTES = 16
+# token.stat row: asset supply + asset max_supply + name issuer.
+_STAT_BYTES = 40
+
+_WRITE_APIS = ("db_store_i64", "db_update_i64", "db_remove_i64")
+_REQUIRE_APIS = ("require_auth", "require_auth2")
+
+_ACCOUNTS_TABLE = N("accounts")
+_STAT_TABLE = N("stat")
+_EOSIO_TOKEN = N("eosio.token")
+
+
+def _amount(data: bytes) -> int:
+    return int.from_bytes(data[:8], "little", signed=True)
+
+
+def _symbol(data: bytes) -> int:
+    return int.from_bytes(data[8:16], "little", signed=False)
+
+
+def _action_of(report, index: int) -> str:
+    observations = report.observations
+    if 0 <= index < len(observations):
+        return observations[index].action_name
+    return "?"
+
+
+def evaluate_token_arith(report, target, surface) -> VulnerabilityFinding:
+    """Integer wrap in balance updates.
+
+    A balance row is an asset (16 bytes, signed i64 amount first).  No
+    legitimate sequence of credits/debits drives an amount negative —
+    the reference token contract sub-asserts before subtracting — so a
+    write that leaves a *negative* amount in an asset-sized row of the
+    victim's own tables is arithmetic that wrapped (``0 - x``,
+    truncation, or an unchecked debit).
+    """
+    victim = report.target_account
+    for index, record in enumerate(surface.records):
+        if record is None:
+            continue
+        for write in record.writes:
+            if write.code != victim or write.after is None:
+                continue
+            if len(write.after) != _ASSET_BYTES:
+                continue
+            amount = _amount(write.after)
+            if amount < 0:
+                return VulnerabilityFinding(
+                    "token_arith", True,
+                    f"{_action_of(report, index)} wrote a negative "
+                    f"balance amount {amount} into an asset row of "
+                    f"table {name_to_string(write.table)} — wrapped "
+                    "arithmetic on an unsigned quantity")
+    return VulnerabilityFinding("token_arith", False)
+
+
+def _result_value(result) -> int | None:
+    if result is None:
+        return None
+    if isinstance(result, (list, tuple)):
+        return _result_value(result[0]) if result else None
+    try:
+        return int(result)
+    except (TypeError, ValueError):
+        return None
+
+
+def evaluate_permission(report, target, surface) -> VulnerabilityFinding:
+    """Role-mined permission misuse on a writer path.
+
+    ``require_auth`` never returns on failure (a failing call aborts
+    the record and is not journalled), so any ``require_auth`` in the
+    call log *succeeded* and authorises what follows.  ``has_auth``
+    merely reports: a record where ``has_auth`` returned 0 and a DB
+    write still happened — with no successful ``require_auth``
+    anywhere before that write — mutated state on a path the contract
+    itself observed to be unauthorised.
+    """
+    for index, calls in enumerate(surface.calls):
+        auth_denied = False
+        require_seen = False
+        for call in calls:
+            if call.api in _REQUIRE_APIS:
+                require_seen = True
+            elif call.api == "has_auth" and _result_value(call.result) == 0:
+                auth_denied = True
+            elif call.api in _WRITE_APIS and auth_denied \
+                    and not require_seen:
+                return VulnerabilityFinding(
+                    "permission", True,
+                    f"{_action_of(report, index)} reached {call.api} "
+                    "after has_auth reported no authority and no "
+                    "require_auth guarded the writer path")
+    return VulnerabilityFinding("permission", False)
+
+
+def evaluate_notif_chain(report, target, surface) -> VulnerabilityFinding:
+    """Notification-chain abuse: a *forwarded* notification writes.
+
+    Under the ``fake_notif`` payload the forwarding agent re-targets a
+    genuine eosio.token notification at the victim, preserving
+    ``code == eosio.token`` while ``to`` names the agent, not the
+    victim.  A victim record that is a notification and still performs
+    a DB write under that payload credited a deposit it never
+    received — the ``code`` check alone is not sufficient provenance.
+    """
+    victim = report.target_account
+    for index, obs in enumerate(report.observations):
+        if obs.payload_kind != "fake_notif":
+            continue
+        record = surface.records[index] \
+            if index < len(surface.records) else None
+        if record is None or not record.is_notification:
+            continue
+        if record.receiver != victim:
+            continue
+        for write in record.writes:
+            if write.code == victim:
+                return VulnerabilityFinding(
+                    "notif_chain", True,
+                    "a forwarded eosio.token notification (to != "
+                    "_self) still triggered a state write in "
+                    f"table {name_to_string(write.table)}")
+    return VulnerabilityFinding("notif_chain", False)
+
+
+def evaluate_data_consistency(report, target, surface) -> VulnerabilityFinding:
+    """On-chain data invariants over the end-of-campaign DB state.
+
+    For every currency statistics row the victim maintains, the
+    recorded supply must equal the sum of all balance rows of the same
+    symbol across the victim's scopes.  Contracts that keep no stat
+    table are skipped — the invariant only exists once the contract
+    claims to track a supply.
+    """
+    victim = report.target_account
+    supplies: dict[int, int] = {}
+    for (code, scope, table), rows in surface.db_state.items():
+        if code != victim or table != _STAT_TABLE:
+            continue
+        for data in rows.values():
+            if len(data) == _STAT_BYTES:
+                supplies[_symbol(data)] = _amount(data)
+    if not supplies:
+        return VulnerabilityFinding("data_consistency", False)
+    balances: dict[int, int] = {}
+    for (code, scope, table), rows in surface.db_state.items():
+        if code != victim or table != _ACCOUNTS_TABLE:
+            continue
+        for data in rows.values():
+            if len(data) == _ASSET_BYTES:
+                symbol = _symbol(data)
+                balances[symbol] = balances.get(symbol, 0) \
+                    + _amount(data)
+    for symbol, supply in supplies.items():
+        total = balances.get(symbol, 0)
+        if total != supply:
+            return VulnerabilityFinding(
+                "data_consistency", True,
+                f"recorded supply {supply} disagrees with the sum of "
+                f"balances {total} for the same symbol — the ledger "
+                "and the statistics row have diverged")
+    return VulnerabilityFinding("data_consistency", False)

@@ -1,0 +1,150 @@
+"""The oracle-family registry: names, surfaces, resolution.
+
+Oracles are addressed by family name everywhere a user or a config
+doc can reach — ``--oracles token_arith,permission``, the service's
+scan config, verdict provenance, reverdict requests.  This module
+owns that namespace:
+
+* the paper's five general oracles (:data:`PAPER5`) — always
+  satisfiable by any pack, since they read only events + host-call
+  names;
+* the semantic families (:data:`SEMANTIC_FAMILIES`), each registered
+  as an :class:`OracleFamily` with the surface capabilities it
+  *requires* from a pack before it can replay
+  (``required_surface``);
+* :func:`resolve_oracles`, the single resolver every entry point
+  funnels through, raising the typed :class:`UnknownOracleFamily` so
+  CLIs can turn a typo into a usage error instead of a stack trace.
+
+:class:`InsufficientSurface` is the replay-side counterpart: raised
+by :func:`repro.traceir.pack.replay_scan` when a stored pack cannot
+satisfy the enabled families, so re-verdict sweeps can count the pack
+``insufficient`` and re-queue a fresh scan instead of reporting
+phantom drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .families import (evaluate_data_consistency, evaluate_notif_chain,
+                       evaluate_permission, evaluate_token_arith)
+from .surface import BASE_SURFACES
+
+__all__ = ["OracleFamily", "PAPER5", "SEMANTIC_FAMILIES",
+           "ALL_FAMILIES", "FAMILIES", "UnknownOracleFamily",
+           "InsufficientSurface", "resolve_oracles",
+           "required_surfaces", "semantic_names"]
+
+PAPER5 = ("fake_eos", "fake_notif", "missauth", "blockinfodep",
+          "rollback")
+SEMANTIC_FAMILIES = ("token_arith", "permission", "notif_chain",
+                     "data_consistency")
+ALL_FAMILIES = PAPER5 + SEMANTIC_FAMILIES
+
+# Spelled-out set aliases accepted wherever family names are.
+_ALIASES = {"paper5": PAPER5, "semantic": SEMANTIC_FAMILIES,
+            "all": ALL_FAMILIES}
+
+
+class UnknownOracleFamily(ValueError):
+    """A family name outside the registry (typo or version skew)."""
+
+    def __init__(self, family: str):
+        self.family = family
+        known = ", ".join(ALL_FAMILIES + tuple(sorted(_ALIASES)))
+        super().__init__(f"unknown oracle family {family!r} "
+                         f"(known: {known})")
+
+
+class InsufficientSurface(Exception):
+    """A stored pack lacks surface the enabled families require.
+
+    Not a corruption: the pack is intact, it simply predates the
+    richer capture.  Carries the missing capability names so sweeps
+    can report *why* a fresh scan is needed.
+    """
+
+    def __init__(self, missing):
+        self.missing = frozenset(missing)
+        super().__init__("stored pack lacks required surface: "
+                         + ", ".join(sorted(self.missing)))
+
+
+@dataclass(frozen=True)
+class OracleFamily:
+    """One registered semantic family."""
+
+    name: str
+    title: str
+    required_surface: frozenset
+    evaluate: Callable  # (report, target, surface) -> VulnerabilityFinding
+
+
+FAMILIES = {
+    "token_arith": OracleFamily(
+        name="token_arith",
+        title="Token Arithmetic (overflow/truncation in balances)",
+        required_surface=frozenset({"db_writes"}),
+        evaluate=evaluate_token_arith),
+    "permission": OracleFamily(
+        name="permission",
+        title="Permission Misuse (unauthorised writer path)",
+        required_surface=frozenset({"host_args"}),
+        evaluate=evaluate_permission),
+    "notif_chain": OracleFamily(
+        name="notif_chain",
+        title="Notification-Chain Abuse (forwarded code unchecked)",
+        required_surface=frozenset({"record_chain", "db_writes"}),
+        evaluate=evaluate_notif_chain),
+    "data_consistency": OracleFamily(
+        name="data_consistency",
+        title="On-Chain Data Consistency (supply vs balances)",
+        required_surface=frozenset({"db_state"}),
+        evaluate=evaluate_data_consistency),
+}
+
+
+def resolve_oracles(spec) -> tuple:
+    """Normalise any oracle spec to an ordered, deduplicated tuple.
+
+    ``spec`` may be None (the paper's five), a comma-separated string,
+    or an iterable of names; the aliases ``paper5``, ``semantic`` and
+    ``all`` expand in place.  Unknown names raise the typed
+    :class:`UnknownOracleFamily`.
+    """
+    if spec is None:
+        return PAPER5
+    if isinstance(spec, str):
+        tokens = [t.strip() for t in spec.split(",") if t.strip()]
+    else:
+        tokens = [str(t).strip() for t in spec]
+    if not tokens:
+        return PAPER5
+    resolved: list = []
+    for token in tokens:
+        expansion = _ALIASES.get(token)
+        if expansion is None:
+            if token not in ALL_FAMILIES:
+                raise UnknownOracleFamily(token)
+            expansion = (token,)
+        for name in expansion:
+            if name not in resolved:
+                resolved.append(name)
+    return tuple(resolved)
+
+
+def semantic_names(names) -> tuple:
+    """The subset of ``names`` that are semantic families, in order."""
+    return tuple(n for n in names if n in FAMILIES)
+
+
+def required_surfaces(names) -> frozenset:
+    """Union of the surfaces the given family names need from a pack."""
+    needed = set(BASE_SURFACES)
+    for name in names:
+        family = FAMILIES.get(name)
+        if family is not None:
+            needed |= family.required_surface
+    return frozenset(needed)

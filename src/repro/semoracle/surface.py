@@ -1,0 +1,299 @@
+"""The semantic read surface: what the oracle families consume.
+
+The paper's five oracles read payload outcomes — which functions ran,
+which host APIs were invoked.  The semantic families of
+:mod:`repro.semoracle.families` need strictly more: host-call
+*arguments and results*, the DB writes each record performed
+(primary key plus before/after row images), whether the victim's
+record arrived as a notification and under which ``code``, and the
+chain database's end-of-campaign state.  :class:`SemanticSurface`
+bundles exactly that, per observation, in a shape that can be built
+live from a finished campaign (:func:`build_semantic_surface`) or
+decoded back out of a stored trace pack — the two must agree, since
+re-verdicting replays the same families over the stored surface.
+
+Surface capability names (``required_surface`` declarations):
+
+* ``events`` / ``host_calls`` — the classic pack payload, always there;
+* ``host_args`` — host-call argument/result values per observation;
+* ``db_writes`` — per-record DB writes with row images;
+* ``record_chain`` — the victim record's (receiver, code,
+  is_notification) provenance;
+* ``db_state`` — the end-of-campaign database snapshot.
+
+This module deliberately imports nothing from the scanner or the
+engine so the trace IR can serialise surfaces without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..resilience.errors import TraceCorruption
+from ..traceir.codec import Reader, write_svarint, write_uvarint
+
+__all__ = ["BASE_SURFACES", "SEMANTIC_SURFACES", "DbWrite",
+           "SurfaceRecord", "HostArgCall", "SemanticSurface",
+           "build_semantic_surface", "encode_semantic_section",
+           "decode_semantic_section"]
+
+# What every pack offers, with or without a semantic section.
+BASE_SURFACES = frozenset({"events", "host_calls"})
+# What the semantic section adds (all-or-nothing: one section).
+SEMANTIC_SURFACES = frozenset({"host_args", "db_writes", "record_chain",
+                               "db_state"})
+
+_MAX_ROW_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class DbWrite:
+    """One journalled DB write with its row images."""
+
+    code: int
+    scope: int
+    table: int
+    pkey: int | None
+    before: bytes | None        # row image prior to the write (None: insert)
+    after: bytes | None         # row image after the write (None: delete)
+
+
+@dataclass(frozen=True)
+class HostArgCall:
+    """One host-API invocation with its concrete arguments/result."""
+
+    api: str
+    args: tuple
+    result: object = None
+
+
+@dataclass
+class SurfaceRecord:
+    """The victim record's provenance plus its write set."""
+
+    receiver: int
+    code: int
+    is_notification: bool
+    writes: list = field(default_factory=list)
+
+
+@dataclass
+class SemanticSurface:
+    """Per-observation semantic data plus the end-of-campaign DB state.
+
+    ``calls[i]`` and ``records[i]`` align with ``observations[i]`` of
+    the report (or pack) the surface belongs to; ``records[i]`` is
+    None when the victim never executed under that observation.
+    ``db_state`` maps ``(code, scope, table)`` to ``{pkey: row bytes}``.
+    """
+
+    calls: list = field(default_factory=list)       # list[list[HostArgCall]]
+    records: list = field(default_factory=list)     # list[SurfaceRecord|None]
+    db_state: dict = field(default_factory=dict)
+
+
+def _writes_of(record) -> list:
+    writes = []
+    for op in getattr(record, "db_ops", ()):
+        if op.kind != "write":
+            continue
+        writes.append(DbWrite(code=op.code, scope=op.scope,
+                              table=op.table,
+                              pkey=getattr(op, "pkey", None),
+                              before=getattr(op, "before", None),
+                              after=getattr(op, "after", None)))
+    return writes
+
+
+def build_semantic_surface(report) -> SemanticSurface:
+    """Distill a finished campaign's semantic surface.
+
+    Tolerates reports predating the enriched capture (missing
+    ``db_ops`` row images, missing ``db_state``): the surface is then
+    simply emptier, and families that need the missing parts see no
+    evidence rather than wrong evidence.
+    """
+    surface = SemanticSurface()
+    for obs in report.observations:
+        record = obs.record
+        calls = [HostArgCall(api=call.api,
+                             args=tuple(getattr(call, "args", ())),
+                             result=getattr(call, "result", None))
+                 for call in getattr(record, "host_calls", ())] \
+            if record is not None else []
+        surface.calls.append(calls)
+        if record is None:
+            surface.records.append(None)
+        else:
+            surface.records.append(SurfaceRecord(
+                receiver=int(getattr(record, "receiver", 0)),
+                code=int(getattr(record, "code", 0)),
+                is_notification=bool(getattr(record, "is_notification",
+                                             False)),
+                writes=_writes_of(record)))
+    state = getattr(report, "db_state", None) or {}
+    surface.db_state = {
+        tuple(table_key): {int(k): bytes(v) for k, v in rows.items()}
+        for table_key, rows in state.items()}
+    return surface
+
+
+# -- serialisation (rides the trace IR container as one section) -----------
+
+_RESULT_NONE = 0
+_RESULT_INT = 1
+_RESULT_FLOAT = 2
+
+
+def encode_semantic_section(surface: SemanticSurface,
+                            intern) -> bytes:
+    """Encode a surface into one section payload.
+
+    ``intern`` is the enclosing pack's string-interning callable, so
+    API names share the pack-wide string table.  Deterministic: table
+    and row keys are emitted sorted.
+    """
+    import struct
+
+    out = bytearray()
+    write_uvarint(out, len(surface.calls))
+    for calls in surface.calls:
+        write_uvarint(out, len(calls))
+        for call in calls:
+            write_uvarint(out, intern(call.api))
+            write_uvarint(out, len(call.args))
+            for arg in call.args:
+                write_svarint(out, int(arg))
+            result = call.result
+            if result is None:
+                out.append(_RESULT_NONE)
+            elif isinstance(result, float):
+                out.append(_RESULT_FLOAT)
+                out += struct.pack("<d", result)
+            else:
+                out.append(_RESULT_INT)
+                write_svarint(out, int(result))
+    for record in surface.records:
+        if record is None:
+            out.append(0)
+            continue
+        out.append(1)
+        write_uvarint(out, record.receiver)
+        write_uvarint(out, record.code)
+        out.append(1 if record.is_notification else 0)
+        write_uvarint(out, len(record.writes))
+        for write in record.writes:
+            write_uvarint(out, write.code)
+            write_uvarint(out, write.scope)
+            write_uvarint(out, write.table)
+            if write.pkey is None:
+                out.append(0)
+            else:
+                out.append(1)
+                write_uvarint(out, write.pkey)
+            for image in (write.before, write.after):
+                if image is None:
+                    out.append(0)
+                else:
+                    out.append(1)
+                    write_uvarint(out, len(image))
+                    out += image
+    write_uvarint(out, len(surface.db_state))
+    for table_key in sorted(surface.db_state):
+        code, scope, table = table_key
+        rows = surface.db_state[table_key]
+        write_uvarint(out, code)
+        write_uvarint(out, scope)
+        write_uvarint(out, table)
+        write_uvarint(out, len(rows))
+        for key in sorted(rows):
+            write_uvarint(out, key)
+            data = rows[key]
+            write_uvarint(out, len(data))
+            out += data
+    return bytes(out)
+
+
+def _read_flag(reader: Reader) -> bool:
+    flag = reader.u8()
+    if flag > 1:
+        reader.fail(f"flag byte {flag} is not boolean")
+    return bool(flag)
+
+
+def _read_image(reader: Reader) -> bytes | None:
+    if not _read_flag(reader):
+        return None
+    length = reader.uvarint()
+    if length > _MAX_ROW_BYTES:
+        reader.fail(f"absurd row image length {length}")
+    return reader.raw(length)
+
+
+def decode_semantic_section(payload: bytes, lookup,
+                            obs_count: int) -> SemanticSurface:
+    """Decode one semantic section, or raise ``TraceCorruption``.
+
+    ``lookup(ident)`` resolves string ids against the pack's string
+    table; ``obs_count`` is the observation count the pack's meta
+    section declared — a disagreeing surface is corruption.
+    """
+    reader = Reader(payload, "semantic")
+    surface = SemanticSurface()
+    count = reader.uvarint()
+    if count != obs_count:
+        raise TraceCorruption(
+            f"semantic surface covers {count} observations but the "
+            f"pack holds {obs_count}", section="semantic")
+    for _ in range(count):
+        calls = []
+        for _ in range(reader.uvarint()):
+            api = lookup(reader.uvarint())
+            args = tuple(reader.svarint()
+                         for _ in range(reader.uvarint()))
+            tag = reader.u8()
+            if tag == _RESULT_NONE:
+                result = None
+            elif tag == _RESULT_INT:
+                result = reader.svarint()
+            elif tag == _RESULT_FLOAT:
+                result = reader.f64()
+            else:
+                reader.fail(f"unknown result tag {tag}")
+            calls.append(HostArgCall(api=api, args=args, result=result))
+        surface.calls.append(calls)
+    for _ in range(count):
+        if not _read_flag(reader):
+            surface.records.append(None)
+            continue
+        receiver = reader.uvarint()
+        code = reader.uvarint()
+        is_notification = _read_flag(reader)
+        writes = []
+        for _ in range(reader.uvarint()):
+            w_code = reader.uvarint()
+            w_scope = reader.uvarint()
+            w_table = reader.uvarint()
+            pkey = reader.uvarint() if _read_flag(reader) else None
+            before = _read_image(reader)
+            after = _read_image(reader)
+            writes.append(DbWrite(code=w_code, scope=w_scope,
+                                  table=w_table, pkey=pkey,
+                                  before=before, after=after))
+        surface.records.append(SurfaceRecord(
+            receiver=receiver, code=code,
+            is_notification=is_notification, writes=writes))
+    for _ in range(reader.uvarint()):
+        code = reader.uvarint()
+        scope = reader.uvarint()
+        table = reader.uvarint()
+        rows = {}
+        for _ in range(reader.uvarint()):
+            key = reader.uvarint()
+            length = reader.uvarint()
+            if length > _MAX_ROW_BYTES:
+                reader.fail(f"absurd row length {length}")
+            rows[key] = reader.raw(length)
+        surface.db_state[(code, scope, table)] = rows
+    reader.done()
+    return surface

@@ -244,10 +244,11 @@ class ServiceApi:
         """Queue a fleet-wide oracle replay over the stored traces.
 
         JSON body (all fields optional): ``{"oracle_version": N,
-        "client": ..., "priority": ...}``.  Replies ``202`` with the
-        job doc; the sweep report (replayed / rewritten / drift /
-        corrupt counts plus itemised incidents) lands in the job's
-        ``result`` once it completes.
+        "oracles": "token_arith,..." | [...], "client": ...,
+        "priority": ...}``.  Replies ``202`` with the job doc; the
+        sweep report (replayed / rewritten / drift / corrupt /
+        insufficient counts plus itemised incidents) lands in the
+        job's ``result`` once it completes.
         """
         try:
             doc = json.loads(body.decode("utf-8") or "{}")
@@ -258,12 +259,21 @@ class ServiceApi:
             return 400, {"error": "bad_request",
                          "detail": "body must be a JSON object"}
         oracle_version = doc.get("oracle_version")
+        oracles = doc.get("oracles")
+        if oracles is not None:
+            from ..semoracle import UnknownOracleFamily, resolve_oracles
+            try:
+                oracles = list(resolve_oracles(oracles))
+            except UnknownOracleFamily as exc:
+                return 400, {"error": "unknown_oracle",
+                             "detail": str(exc)}
         try:
             submission = self.service.submit_reverdict(
                 oracle_version=(int(oracle_version)
                                 if oracle_version is not None else None),
                 client=str(doc.get("client", "reverdict")),
-                priority=int(doc.get("priority", 0)))
+                priority=int(doc.get("priority", 0)),
+                oracles=oracles)
         except NodePartitioned as exc:
             return 503, {"error": "partitioned", "stale": True,
                          "detail": str(exc),

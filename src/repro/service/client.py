@@ -265,14 +265,21 @@ class ServiceClient:
 
     def reverdict(self, oracle_version: int | None = None,
                   wait: bool = False,
-                  timeout_s: float = 300.0) -> dict:
+                  timeout_s: float = 300.0,
+                  oracles=None) -> dict:
         """Queue a fleet-wide oracle replay over the stored trace-IR
         packs; returns the job doc.  With ``wait`` the call polls
         until the sweep is terminal, so the returned doc carries the
-        sweep report (replayed / drift / corrupt counts)."""
+        sweep report (replayed / drift / corrupt counts).  ``oracles``
+        selects the enabled families (names, aliases, or a
+        comma-separated string; default: the daemon's configured
+        set)."""
         doc: dict = {"client": "cli"}
         if oracle_version is not None:
             doc["oracle_version"] = int(oracle_version)
+        if oracles is not None:
+            doc["oracles"] = (oracles if isinstance(oracles, str)
+                              else list(oracles))
         job_doc = self._checked("POST", "/reverdict", doc)
         if wait and job_doc.get("state") not in (
                 "done", "failed", "quarantined", "expired"):

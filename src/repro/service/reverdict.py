@@ -22,6 +22,13 @@ the typed :class:`~repro.resilience.errors.TraceCorruption` is caught
 per key, the blob is deleted, the key lands in the store's quarantine
 table with the decoder's diagnosis, and the verdict is dropped so the
 module is re-scannable from the module blob that is still stored.
+
+Intact packs that simply *predate* the surface an enabled semantic
+oracle family requires are a third outcome, distinct from both match
+and drift: they are counted ``insufficient``, the trace and verdict
+are dropped so a resubmission fuzzes fresh (with the richer capture),
+and no drift incident is raised — the stored verdict never disagreed,
+it just cannot be re-derived from what was stored.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from dataclasses import dataclass, field
 from ..resilience.errors import TraceCorruption
 from ..resilience.journal import _scan_to_doc
 from ..scanner.oracles import ORACLE_VERSION
+from ..semoracle.registry import InsufficientSurface, resolve_oracles
 from ..traceir.codec import TRACEIR_VERSION
 from ..traceir.pack import decode_pack, replay_scan
 
@@ -43,11 +51,13 @@ class ReverdictReport:
 
     oracle_version: int
     traceir_version: int = TRACEIR_VERSION
+    oracles: tuple = ()         # enabled family names, resolved
     replayed: int = 0           # traces decoded and re-scanned
     rewritten: int = 0          # verdicts rewritten with replay provenance
     matched: int = 0            # replay verdict == stored verdict
     drift: int = 0              # replay verdict != stored verdict
     corrupt: int = 0            # traces quarantined as TraceCorruption
+    insufficient: int = 0       # intact packs lacking required surface
     orphaned: int = 0           # traces with no stored verdict to compare
     incidents: list = field(default_factory=list)
 
@@ -55,11 +65,13 @@ class ReverdictReport:
         return {
             "oracle_version": self.oracle_version,
             "traceir_version": self.traceir_version,
+            "oracles": list(self.oracles),
             "replayed": self.replayed,
             "rewritten": self.rewritten,
             "matched": self.matched,
             "drift": self.drift,
             "corrupt": self.corrupt,
+            "insufficient": self.insufficient,
             "orphaned": self.orphaned,
             "incidents": list(self.incidents),
         }
@@ -84,45 +96,80 @@ def _quarantine_corrupt(store, key: str, module_hash: str,
     })
 
 
+def _requeue_insufficient(store, key: str, module_hash: str,
+                          exc: InsufficientSurface,
+                          report: ReverdictReport) -> None:
+    """Handle one intact-but-too-old pack: drop, count, re-queue.
+
+    Deliberately *not* quarantined: nothing is wrong with the module
+    or the blob.  Dropping the trace and the verdict makes the module
+    re-scannable — a resubmission misses the dedup cache and fuzzes
+    fresh, capturing the richer surface the enabled families need.
+    """
+    store.delete_trace(key)
+    store.delete_verdict(key)
+    report.insufficient += 1
+    report.incidents.append({
+        "kind": "insufficient_surface",
+        "scan_key": key,
+        "module_hash": module_hash,
+        "detail": str(exc),
+        "missing": sorted(exc.missing),
+    })
+
+
 def _examine(store, key: str, report: ReverdictReport,
-             extra_detectors=()) -> "tuple[dict, dict] | None":
+             extra_detectors=(), oracles=None) -> "tuple[dict, dict] | None":
     """Decode + replay one stored trace.
 
     Returns ``(trace_row, replay_scan_doc)`` or None when the key was
-    consumed (corrupt and quarantined, or already gone).
+    consumed (corrupt and quarantined, insufficient and re-queued, or
+    already gone).
     """
     row = store.get_trace(key)
     if row is None:
         return None
     try:
         pack = decode_pack(row["blob"])
-        scan = replay_scan(pack, extra_detectors)
+        scan = replay_scan(pack, extra_detectors, oracles=oracles)
     except TraceCorruption as exc:
         _quarantine_corrupt(store, key, row["module_hash"], exc, report)
+        return None
+    except InsufficientSurface as exc:
+        _requeue_insufficient(store, key, row["module_hash"], exc,
+                              report)
         return None
     report.replayed += 1
     return row, _scan_to_doc(scan)
 
 
 def reverdict_store(store, oracle_version: int | None = None,
-                    extra_detectors=()) -> ReverdictReport:
+                    extra_detectors=(), oracles=None) -> ReverdictReport:
     """Replay the oracles over every stored trace; rewrite verdicts.
 
     ``oracle_version`` is what the rewritten provenance records
-    (default: the registered :data:`ORACLE_VERSION`).  Each rewritten
-    verdict keeps everything the fresh campaign reported except its
-    scan doc, which is replaced by the replay's, and its provenance::
+    (default: the registered :data:`ORACLE_VERSION`).  ``oracles``
+    selects the enabled families (None = the paper's five — the one
+    set every stored pack can satisfy).  Each rewritten verdict keeps
+    everything the fresh campaign reported except its scan doc, which
+    is replaced by the replay's, and its provenance::
 
-        {"oracle_version": N, "traceir_version": V, "source": "replay"}
+        {"oracle_version": N, "traceir_version": V,
+         "oracles": [...], "source": "replay"}
 
     Drift (the replay disagreeing with the stored scan doc) is
     expected when the oracle set changed and alarming when it did not;
     either way it is counted and itemised, never silently absorbed.
+    A pack that cannot satisfy an enabled family's required surface
+    is counted ``insufficient`` and re-queued for a fresh scan — it
+    is never compared, so it can never masquerade as drift.
     """
     version = ORACLE_VERSION if oracle_version is None else oracle_version
-    report = ReverdictReport(oracle_version=version)
+    names = resolve_oracles(oracles)
+    report = ReverdictReport(oracle_version=version, oracles=names)
     for key in store.trace_keys():
-        examined = _examine(store, key, report, extra_detectors)
+        examined = _examine(store, key, report, extra_detectors,
+                            oracles=oracles)
         if examined is None:
             continue
         row, scan_doc = examined
@@ -149,6 +196,7 @@ def reverdict_store(store, oracle_version: int | None = None,
         result_doc["provenance"] = {
             "oracle_version": version,
             "traceir_version": row["traceir_version"],
+            "oracles": list(names),
             "source": "replay",
         }
         store.put_verdict(key, record["module_hash"],
@@ -158,7 +206,8 @@ def reverdict_store(store, oracle_version: int | None = None,
 
 
 def audit_traces(store, sample: int = 4, cursor: int = 0,
-                 extra_detectors=()) -> tuple[ReverdictReport, int]:
+                 extra_detectors=(),
+                 oracles=None) -> tuple[ReverdictReport, int]:
     """One drift-audit round: replay up to ``sample`` stored traces
     and compare against their verdicts without rewriting anything.
 
@@ -168,14 +217,16 @@ def audit_traces(store, sample: int = 4, cursor: int = 0,
     treatment even in audit mode — an undecodable blob must never
     survive to the next round.
     """
-    report = ReverdictReport(oracle_version=ORACLE_VERSION)
+    report = ReverdictReport(oracle_version=ORACLE_VERSION,
+                             oracles=resolve_oracles(oracles))
     keys = store.trace_keys()
     if not keys:
         return report, 0
     cursor %= len(keys)
     for key in (keys[(cursor + i) % len(keys)]
                 for i in range(min(sample, len(keys)))):
-        examined = _examine(store, key, report, extra_detectors)
+        examined = _examine(store, key, report, extra_detectors,
+                            oracles=oracles)
         if examined is None:
             continue
         row, scan_doc = examined

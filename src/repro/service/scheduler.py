@@ -107,6 +107,10 @@ DEFAULT_SCAN_CONFIG = {
     "rng_seed": 1,
     "address_pool": False,
     "divergence_check": True,
+    # Enabled oracle families (any repro.semoracle.resolve_oracles
+    # spec).  None = the paper's five; keeps scan keys byte-compatible
+    # with pre-semantic stores.
+    "oracles": None,
 }
 
 
@@ -135,6 +139,8 @@ class ScanServiceConfig:
     capture_traces: bool = False         # persist trace-IR packs
     drift_audit_s: float | None = None   # drift auditor cadence; None = off
     drift_audit_sample: int = 4          # traces replayed per audit round
+    # -- semantic oracle knobs ---------------------------------------------
+    oracles: "tuple | str | None" = None  # default family set for jobs
 
     def inflight_budget(self) -> int:
         if self.max_inflight is not None:
@@ -454,7 +460,8 @@ class ScanService:
             abi_json = _json.dumps(abi_json)
         abi = Abi.from_json(abi_json)
         merged = dict(DEFAULT_SCAN_CONFIG,
-                      timeout_ms=self.config.default_timeout_ms)
+                      timeout_ms=self.config.default_timeout_ms,
+                      oracles=self.config.oracles)
         merged.update(config or {})
         from ..engine.deploy import module_content_hash
         module_hash = module_content_hash(module)
@@ -466,9 +473,14 @@ class ScanService:
             policy=self.policy,
             sample_key=f"{client}:{module_hash[:12]}",
             divergence_check=bool(merged["divergence_check"]),
-            capture_traces=self.config.capture_traces)
+            capture_traces=self.config.capture_traces,
+            oracles=merged["oracles"])
         scan_key = campaign_task_key(task)
         stored_config = {key: merged[key] for key in DEFAULT_SCAN_CONFIG}
+        if stored_config["oracles"] is not None:
+            from ..semoracle.registry import resolve_oracles
+            stored_config["oracles"] = list(
+                resolve_oracles(stored_config["oracles"]))
         # Persist the upload before admission decisions: the journal's
         # drain checkpoints reference modules by hash, so the bytes
         # must already be durable by the time a job can be queued.  A
@@ -533,7 +545,8 @@ class ScanService:
 
     def submit_reverdict(self, oracle_version: int | None = None,
                          client: str = "reverdict",
-                         priority: int = 0) -> Submission:
+                         priority: int = 0,
+                         oracles=None) -> Submission:
         """Queue a fleet-wide re-verdict sweep as a first-class job.
 
         The sweep replays the scanner oracles over every stored
@@ -558,7 +571,9 @@ class ScanService:
             job = Job(job_id=job_id, client=client,
                       scan_key=f"reverdict:{job_id}", module_hash="",
                       config={"kind": "reverdict", "tool": "wasai",
-                              "oracle_version": oracle_version},
+                              "oracle_version": oracle_version,
+                              "oracles": (oracles if oracles is not None
+                                          else self.config.oracles)},
                       priority=priority, submitted_s=time.time())
             self.queue.put(job)          # may raise QueueFull (typed)
             self._jobs[job.job_id] = job
@@ -684,7 +699,8 @@ class ScanService:
         """Worker-side execution of one queued re-verdict sweep."""
         try:
             report = self.reverdict(
-                oracle_version=job.config.get("oracle_version"))
+                oracle_version=job.config.get("oracle_version"),
+                oracles=job.config.get("oracles"))
         except WorkerKill:
             raise  # real worker death: the watchdog heals it
         except BaseException as exc:  # noqa: BLE001 - thread must survive
@@ -704,14 +720,24 @@ class ScanService:
 
     # -- trace IR: re-verdict + drift audit ---------------------------------
     def reverdict(self, oracle_version: int | None = None,
-                  extra_detectors=()):
+                  extra_detectors=(), oracles=None):
         """Replay the oracles over every stored trace and rewrite the
-        verdicts (synchronous; :meth:`submit_reverdict` queues it)."""
+        verdicts (synchronous; :meth:`submit_reverdict` queues it).
+
+        ``oracles`` selects the enabled families; None falls back to
+        the service's configured default set.  A stored pack that
+        cannot satisfy an enabled family's surface is counted
+        ``insufficient`` and re-queued for a fresh scan, never
+        reported as drift.
+        """
         from .reverdict import ReverdictReport, reverdict_store
+        if oracles is None:
+            oracles = self.config.oracles
         report = self._healed(
             lambda: reverdict_store(self.store,
                                     oracle_version=oracle_version,
-                                    extra_detectors=extra_detectors))
+                                    extra_detectors=extra_detectors,
+                                    oracles=oracles))
         if report is None:       # store unrecoverable: empty sweep
             from ..scanner.oracles import ORACLE_VERSION
             report = ReverdictReport(
@@ -728,7 +754,8 @@ class ScanService:
             sample = self.config.drift_audit_sample
         out = self._healed(
             lambda: audit_traces(self.store, sample=sample,
-                                 cursor=self._audit_cursor))
+                                 cursor=self._audit_cursor,
+                                 oracles=self.config.oracles))
         if out is None:          # store unrecoverable: empty round
             from ..scanner.oracles import ORACLE_VERSION
             report = ReverdictReport(oracle_version=ORACLE_VERSION)
@@ -745,6 +772,8 @@ class ScanService:
             self.perf.reverdicts += report.replayed
             self.perf.trace_corruptions += report.corrupt
             self.perf.verdict_drift += report.drift
+            self.perf.insufficient_surface += getattr(
+                report, "insufficient", 0)
             self._drift_incidents.extend(report.incidents)
             del self._drift_incidents[:-32]   # bounded, newest kept
         for incident in report.incidents:
@@ -1164,6 +1193,8 @@ class ScanService:
                     "reverdicts": self.perf.reverdicts,
                     "trace_corruptions": self.perf.trace_corruptions,
                     "verdict_drift": self.perf.verdict_drift,
+                    "insufficient_surface":
+                        self.perf.insufficient_surface,
                     "drift_audits": self._drift_audits,
                     "drift_incidents":
                         list(self._drift_incidents[-8:]),

@@ -20,13 +20,14 @@ defines that form:
 from ..resilience.errors import TraceCorruption
 from .codec import (EventStreamEncoder, TRACEIR_MAGIC, TRACEIR_VERSION,
                     decode_events, encode_events, iter_events)
-from .pack import (PackObservation, TracePack, build_trace_pack,
-                   decode_pack, encode_pack, replay_scan)
+from .pack import (PackObservation, SEC_SEMANTIC, TracePack,
+                   build_trace_pack, decode_pack, encode_pack,
+                   replay_scan)
 
 __all__ = [
     "TRACEIR_VERSION", "TRACEIR_MAGIC", "TraceCorruption",
     "EventStreamEncoder", "encode_events", "decode_events",
     "iter_events",
-    "TracePack", "PackObservation", "build_trace_pack",
-    "encode_pack", "decode_pack", "replay_scan",
+    "TracePack", "PackObservation", "SEC_SEMANTIC",
+    "build_trace_pack", "encode_pack", "decode_pack", "replay_scan",
 ]

@@ -35,7 +35,13 @@ __all__ = ["TRACEIR_VERSION", "TRACEIR_MAGIC", "STREAM_EVENTS",
            "Reader"]
 
 TRACEIR_MAGIC = b"WTIR"
-TRACEIR_VERSION = 1
+# v1: events + classic pack sections.  v2 adds the optional semantic
+# section (pack section 21) carrying the DB read/write surface the
+# semantic oracle families replay over.  Both decode; the version a
+# blob was framed with is returned so pack decoding can gate the new
+# section on it.
+TRACEIR_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 # Stream kinds: what the container holds.
 STREAM_EVENTS = 0        # a bare HookEvent stream
@@ -166,12 +172,16 @@ def pack_sections(stream_kind: int,
 
 
 def unpack_sections(blob: bytes, stream_kind: int,
-                    known_sections: tuple = ()) -> dict[int, bytes]:
-    """Parse and checksum-verify a container; return sections by id.
+                    known_sections: tuple = ()
+                    ) -> tuple[int, dict[int, bytes]]:
+    """Parse and checksum-verify a container.
 
-    ``known_sections`` is the closed set of legal ids for this stream
-    kind — anything else is corruption, not forward compatibility
-    (the version header is what moves the format forward).
+    Returns ``(version, sections-by-id)`` — every supported version
+    decodes, and the caller gates version-specific sections on the
+    returned number.  ``known_sections`` is the closed set of legal
+    ids for this stream kind — anything else is corruption, not
+    forward compatibility (the version header is what moves the
+    format forward).
     """
     blob = bytes(blob)
     reader = Reader(blob, "header")
@@ -179,9 +189,9 @@ def unpack_sections(blob: bytes, stream_kind: int,
         reader.pos = 0
         reader.fail("bad magic: not a trace IR blob")
     version = reader.uvarint()
-    if version != TRACEIR_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         reader.fail(f"unsupported trace IR version {version} "
-                    f"(this build speaks {TRACEIR_VERSION})")
+                    f"(this build speaks up to {TRACEIR_VERSION})")
     kind = reader.u8()
     if kind != stream_kind:
         reader.fail(f"stream kind {kind} where {stream_kind} was "
@@ -204,7 +214,7 @@ def unpack_sections(blob: bytes, stream_kind: int,
             reader.fail(f"section {sec_id} checksum mismatch")
         sections[sec_id] = payload
     reader.done()
-    return sections
+    return version, sections
 
 
 # -- event stream columns --------------------------------------------------
@@ -330,7 +340,7 @@ def decode_event_sections(sections: dict[int, bytes]) -> list[HookEvent]:
 
 def decode_events(blob: bytes) -> list[HookEvent]:
     """Decode a bare event-stream blob, or raise ``TraceCorruption``."""
-    sections = unpack_sections(blob, STREAM_EVENTS, _EVENT_SECTIONS)
+    _, sections = unpack_sections(blob, STREAM_EVENTS, _EVENT_SECTIONS)
     return decode_event_sections(sections)
 
 

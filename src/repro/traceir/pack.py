@@ -37,9 +37,15 @@ SEC_STRINGS = 17
 SEC_SITES = 18
 SEC_OBSERVATIONS = 19
 SEC_DIVERGENCES = 20
+# v2: the semantic surface (host-call args/results, per-record DB
+# writes with row images, end-of-campaign DB state) the semantic
+# oracle families replay over.  Optional — a pack without it still
+# satisfies the paper's five oracles.
+SEC_SEMANTIC = 21
 
-_PACK_SECTIONS = (1, 2, 3, SEC_META, SEC_STRINGS, SEC_SITES,
-                  SEC_OBSERVATIONS, SEC_DIVERGENCES)
+_PACK_SECTIONS_V1 = (1, 2, 3, SEC_META, SEC_STRINGS, SEC_SITES,
+                     SEC_OBSERVATIONS, SEC_DIVERGENCES)
+_PACK_SECTIONS = _PACK_SECTIONS_V1 + (SEC_SEMANTIC,)
 
 _MAX_STRING_BYTES = 1 << 20
 
@@ -58,7 +64,13 @@ class PackObservation:
 
 @dataclass
 class TracePack:
-    """The durable, self-contained input of a replayed scan."""
+    """The durable, self-contained input of a replayed scan.
+
+    ``semantic`` (a :class:`~repro.semoracle.surface.SemanticSurface`,
+    or None) is the v2 extension: without it the pack satisfies only
+    the paper's five oracles; with it the semantic families replay
+    too.
+    """
 
     target_account: int
     apply_index: int | None
@@ -66,10 +78,23 @@ class TracePack:
     sites: list                 # (kind, func_index, pc, op) tuples
     observations: list          # PackObservation
     divergences: list
+    semantic: object | None = None
+
+    def surfaces(self) -> frozenset:
+        """The capability names this pack can serve to oracle families."""
+        from ..semoracle.surface import BASE_SURFACES, SEMANTIC_SURFACES
+        if self.semantic is None:
+            return BASE_SURFACES
+        return BASE_SURFACES | SEMANTIC_SURFACES
 
 
-def build_trace_pack(report, target) -> TracePack:
-    """Distill a finished campaign into its replayable pack."""
+def build_trace_pack(report, target, semantic: bool = True) -> TracePack:
+    """Distill a finished campaign into its replayable pack.
+
+    ``semantic=True`` (the default) additionally captures the
+    semantic surface so stored packs stay re-scannable when new
+    oracle families ship.
+    """
     sites = [(site.kind, site.func_index, site.pc, site.instr.op)
              for site in (target.site_table[i]
                           for i in range(len(target.site_table)))]
@@ -82,13 +107,18 @@ def build_trace_pack(report, target) -> TracePack:
             host_apis=tuple(call.api for call in obs.record.host_calls),
             events=list(obs.events))
         for obs in report.observations]
+    surface = None
+    if semantic:
+        from ..semoracle.surface import build_semantic_surface
+        surface = build_semantic_surface(report)
     return TracePack(
         target_account=int(report.target_account),
         apply_index=getattr(target, "apply_index", None),
         eosponser_id=report.eosponser_id,
         sites=sites,
         observations=observations,
-        divergences=list(report.divergences))
+        divergences=list(report.divergences),
+        semantic=surface)
 
 
 # -- encoding --------------------------------------------------------------
@@ -168,6 +198,11 @@ def encode_pack(pack: TracePack) -> bytes:
                 (SEC_OBSERVATIONS, bytes(observations)),
                 (SEC_DIVERGENCES, bytes(divergences))]
     sections.extend(events.sections())
+    if pack.semantic is not None:
+        from ..semoracle.surface import encode_semantic_section
+        sections.append((SEC_SEMANTIC,
+                         encode_semantic_section(pack.semantic,
+                                                 strings.intern)))
     # The string table is built *while* encoding the other sections,
     # so it is framed last but decoded first.
     sections.insert(0, (SEC_STRINGS, strings.encode()))
@@ -204,11 +239,16 @@ def _lookup(table: list[str], ident: int, section: str) -> str:
 
 def decode_pack(blob: bytes) -> TracePack:
     """Deserialise a pack, or raise :class:`TraceCorruption`."""
-    sections = unpack_sections(blob, STREAM_PACK, _PACK_SECTIONS)
-    for sec_id in _PACK_SECTIONS:
+    version, sections = unpack_sections(blob, STREAM_PACK,
+                                        _PACK_SECTIONS)
+    for sec_id in _PACK_SECTIONS_V1:
         if sec_id not in sections:
             raise TraceCorruption(f"missing pack section {sec_id}",
                                   section="pack")
+    if version < 2 and SEC_SEMANTIC in sections:
+        raise TraceCorruption(
+            "semantic section in a pre-semantic (v1) pack",
+            section="semantic")
     table = _decode_strings(sections[SEC_STRINGS])
 
     meta = Reader(sections[SEC_META], "meta")
@@ -281,13 +321,22 @@ def decode_pack(blob: bytes) -> TracePack:
             events=all_events[cursor:cursor + count]))
         cursor += count
 
+    semantic = None
+    if SEC_SEMANTIC in sections:
+        from ..semoracle.surface import decode_semantic_section
+        semantic = decode_semantic_section(
+            sections[SEC_SEMANTIC],
+            lambda ident: _lookup(table, ident, "semantic"),
+            obs_count)
+
     return TracePack(
         target_account=target_account,
         apply_index=None if apply_raw == 0 else apply_raw - 1,
         eosponser_id=None if eosponser_raw == 0 else eosponser_raw - 1,
         sites=sites,
         observations=observations,
-        divergences=divergences)
+        divergences=divergences,
+        semantic=semantic)
 
 
 # -- replay ----------------------------------------------------------------
@@ -346,7 +395,7 @@ class _ReplayObservation:
 
 class _ReplayReport:
     __slots__ = ("target_account", "eosponser_id", "divergences",
-                 "observations")
+                 "observations", "semantic_surface")
 
     def __init__(self, pack: TracePack):
         self.target_account = pack.target_account
@@ -354,21 +403,40 @@ class _ReplayReport:
         self.divergences = list(pack.divergences)
         self.observations = [_ReplayObservation(obs)
                              for obs in pack.observations]
+        self.semantic_surface = pack.semantic
 
     def observations_of(self, kind: str):
         return [obs for obs in self.observations
                 if obs.payload_kind == kind]
 
 
-def replay_scan(pack: TracePack, extra_detectors=()):
+def replay_scan(pack: TracePack, extra_detectors=(), oracles=None):
     """Re-run the scanner oracles over a stored pack.
 
     Touches no chain, no module bytes, no solver — the pack *is* the
     campaign as far as the oracles are concerned.  Returns the same
     :class:`~repro.scanner.detectors.ScanResult` a fresh campaign
     would have produced.
+
+    ``oracles`` selects the enabled families (see
+    :func:`repro.semoracle.resolve_oracles`; None means the paper's
+    five).  Before replaying, the enabled families' declared
+    ``required_surface`` is checked against what the pack actually
+    carries; a pack that cannot satisfy them raises the typed
+    :class:`~repro.semoracle.InsufficientSurface` — the pack is
+    intact, it just predates the richer capture, and the caller
+    should re-queue a fresh scan instead of reporting drift.
     """
     from ..scanner.detectors import scan_report
+    if oracles is not None:
+        from ..semoracle.registry import (InsufficientSurface,
+                                          required_surfaces,
+                                          resolve_oracles)
+        names = resolve_oracles(oracles)
+        missing = required_surfaces(names) - pack.surfaces()
+        if missing:
+            raise InsufficientSurface(missing)
+        oracles = names
     return scan_report(_ReplayReport(pack),
                        _ReplayTarget(pack.sites, pack.apply_index),
-                       extra_detectors)
+                       extra_detectors, oracles=oracles)

@@ -73,9 +73,30 @@ def test_journal_records_reads_and_writes():
     db.store(CODE, SCOPE, TABLE, 0, 7, b"x")
     db.find(CODE, SCOPE, TABLE, 7)
     ops = db.drain_journal()
-    assert DbOperation("write", CODE, SCOPE, TABLE) in ops
+    assert DbOperation("write", CODE, SCOPE, TABLE,
+                       pkey=7, before=None, after=b"x") in ops
     assert DbOperation("read", CODE, SCOPE, TABLE) in ops
     assert db.drain_journal() == []
+
+
+def test_journal_write_images():
+    db = Database()
+    iterator = db.store(CODE, SCOPE, TABLE, 0, 7, b"a")
+    db.update(iterator, 0, b"bb")
+    db.remove(iterator)
+    writes = [op for op in db.drain_journal() if op.kind == "write"]
+    assert [(op.pkey, op.before, op.after) for op in writes] == [
+        (7, None, b"a"), (7, b"a", b"bb"), (7, b"bb", None)]
+
+
+def test_export_state_plain_bytes():
+    db = Database()
+    db.store(CODE, SCOPE, TABLE, 0, 7, b"x")
+    db.set_row(CODE, 5, TABLE, 0, 9, b"y")
+    assert db.export_state() == {
+        (CODE, SCOPE, TABLE): {7: b"x"},
+        (CODE, 5, TABLE): {9: b"y"},
+    }
 
 
 def test_snapshot_restore():

@@ -1,0 +1,163 @@
+"""Family rules over hand-built surfaces: exact evidence shapes."""
+
+from dataclasses import dataclass
+
+from repro.eosio.name import N
+from repro.semoracle import (DbWrite, HostArgCall, SemanticSurface,
+                             SurfaceRecord, evaluate_data_consistency,
+                             evaluate_notif_chain, evaluate_permission,
+                             evaluate_token_arith)
+
+VICTIM = N("victim")
+
+
+@dataclass
+class FakeObservation:
+    action_name: str = "transfer"
+    payload_kind: str = "legit"
+
+
+@dataclass
+class FakeReport:
+    target_account: int = VICTIM
+    observations: tuple = ()
+    db_state: dict = None
+
+
+def _asset(amount: int, symbol: int = 1_397_703_940) -> bytes:
+    return amount.to_bytes(8, "little", signed=True) \
+        + symbol.to_bytes(8, "little")
+
+
+def _stat(supply: int, symbol: int = 1_397_703_940) -> bytes:
+    return _asset(supply, symbol) + _asset(1 << 60, symbol) \
+        + VICTIM.to_bytes(8, "little")
+
+
+def _surface(records=(), calls=None, db_state=None) -> SemanticSurface:
+    records = list(records)
+    return SemanticSurface(
+        calls=list(calls) if calls is not None
+        else [[] for _ in records],
+        records=records, db_state=dict(db_state or {}))
+
+
+def _write(after, code: int = VICTIM, table: int = N("accounts"),
+           before=None) -> DbWrite:
+    return DbWrite(code=code, scope=code, table=table, pkey=7,
+                   before=before, after=after)
+
+
+# -- token_arith ------------------------------------------------------------
+
+def test_token_arith_fires_on_negative_asset_row():
+    report = FakeReport(observations=(FakeObservation(),))
+    record = SurfaceRecord(receiver=VICTIM, code=VICTIM,
+                           is_notification=True,
+                           writes=[_write(_asset(-5))])
+    finding = evaluate_token_arith(report, None, _surface([record]))
+    assert finding.detected
+    assert "negative" in finding.evidence
+
+
+def test_token_arith_ignores_foreign_and_nonasset_writes():
+    report = FakeReport(observations=(FakeObservation(),))
+    record = SurfaceRecord(
+        receiver=VICTIM, code=VICTIM, is_notification=True,
+        writes=[
+            _write(_asset(-5), code=N("eosio.token")),  # not ours
+            _write(b"\xff" * 8),                        # not asset-sized
+            _write(None),                               # delete
+            _write(_asset(10)),                         # healthy credit
+        ])
+    assert not evaluate_token_arith(report, None,
+                                    _surface([record])).detected
+
+
+# -- permission -------------------------------------------------------------
+
+def test_permission_fires_on_write_after_denied_has_auth():
+    report = FakeReport(observations=(FakeObservation("grantrole"),))
+    calls = [[HostArgCall("has_auth", (N("admin"),), 0),
+              HostArgCall("db_store_i64", (VICTIM, N("roles"), VICTIM,
+                                           3, 0, 8), 1)]]
+    finding = evaluate_permission(
+        report, None, _surface([None], calls=calls))
+    assert finding.detected
+    assert "grantrole" in finding.evidence
+
+
+def test_permission_quiet_when_auth_granted_or_enforced():
+    report = FakeReport(observations=(FakeObservation(),
+                                      FakeObservation()))
+    calls = [
+        # has_auth said yes: the write is authorised.
+        [HostArgCall("has_auth", (N("admin"),), 1),
+         HostArgCall("db_store_i64", (1, 2, 3, 4, 0, 8), 1)],
+        # require_auth succeeded before the write: enforced path.
+        [HostArgCall("has_auth", (N("admin"),), 0),
+         HostArgCall("require_auth", (N("admin"),), None),
+         HostArgCall("db_update_i64", (0, 1, 0, 8), None)],
+    ]
+    assert not evaluate_permission(
+        report, None, _surface([None, None], calls=calls)).detected
+
+
+# -- notif_chain ------------------------------------------------------------
+
+def test_notif_chain_fires_on_forwarded_write():
+    report = FakeReport(observations=(
+        FakeObservation(payload_kind="fake_notif"),))
+    record = SurfaceRecord(receiver=VICTIM, code=N("eosio.token"),
+                           is_notification=True,
+                           writes=[_write(_asset(10))])
+    assert evaluate_notif_chain(report, None,
+                                _surface([record])).detected
+
+
+def test_notif_chain_needs_the_counterfeit_payload_and_a_write():
+    record = SurfaceRecord(receiver=VICTIM, code=N("eosio.token"),
+                           is_notification=True,
+                           writes=[_write(_asset(10))])
+    # Same record under a legitimate payload: quiet.
+    legit = FakeReport(observations=(FakeObservation(),))
+    assert not evaluate_notif_chain(legit, None,
+                                    _surface([record])).detected
+    # Forwarded payload but the guard returned before any write: quiet.
+    guarded = FakeReport(observations=(
+        FakeObservation(payload_kind="fake_notif"),))
+    silent = SurfaceRecord(receiver=VICTIM, code=N("eosio.token"),
+                           is_notification=True, writes=[])
+    assert not evaluate_notif_chain(guarded, None,
+                                    _surface([silent])).detected
+
+
+# -- data_consistency -------------------------------------------------------
+
+def test_data_consistency_fires_on_supply_mismatch():
+    state = {
+        (VICTIM, VICTIM, N("stat")): {1: _stat(0)},
+        (VICTIM, VICTIM, N("accounts")): {7: _asset(25)},
+    }
+    report = FakeReport(observations=())
+    finding = evaluate_data_consistency(
+        report, None, _surface(db_state=state))
+    assert finding.detected
+    assert "supply" in finding.evidence
+
+
+def test_data_consistency_balanced_books_and_no_stat_table():
+    report = FakeReport(observations=())
+    balanced = {
+        (VICTIM, VICTIM, N("stat")): {1: _stat(40)},
+        (VICTIM, VICTIM, N("accounts")): {7: _asset(25),
+                                          8: _asset(15)},
+    }
+    assert not evaluate_data_consistency(
+        report, None, _surface(db_state=balanced)).detected
+    # No stat rows: the invariant does not exist; never fire.
+    ledger_only = {
+        (VICTIM, VICTIM, N("accounts")): {7: _asset(25)},
+    }
+    assert not evaluate_data_consistency(
+        report, None, _surface(db_state=ledger_only)).detected

@@ -1,0 +1,63 @@
+"""The family registry: names, aliases, surfaces, typed errors."""
+
+import pytest
+
+from repro.semoracle import (ALL_FAMILIES, BASE_SURFACES, FAMILIES,
+                             PAPER5, SEMANTIC_FAMILIES,
+                             UnknownOracleFamily, required_surfaces,
+                             resolve_oracles, semantic_names)
+
+
+def test_default_is_paper_five():
+    assert resolve_oracles(None) == PAPER5
+    assert resolve_oracles("") == PAPER5
+    assert resolve_oracles([]) == PAPER5
+
+
+def test_aliases_expand_in_place():
+    assert resolve_oracles("paper5") == PAPER5
+    assert resolve_oracles("semantic") == SEMANTIC_FAMILIES
+    assert resolve_oracles("all") == ALL_FAMILIES
+
+
+def test_comma_string_and_iterable_agree():
+    spec = "token_arith, permission"
+    assert resolve_oracles(spec) == ("token_arith", "permission")
+    assert resolve_oracles(["token_arith", "permission"]) \
+        == ("token_arith", "permission")
+
+
+def test_resolution_dedupes_preserving_order():
+    assert resolve_oracles("permission,all,permission") \
+        == ("permission",) + tuple(n for n in ALL_FAMILIES
+                                   if n != "permission")
+
+
+def test_unknown_family_is_typed():
+    with pytest.raises(UnknownOracleFamily) as excinfo:
+        resolve_oracles("token_arith,bogus")
+    assert excinfo.value.family == "bogus"
+    assert "bogus" in str(excinfo.value)
+    assert isinstance(excinfo.value, ValueError)
+
+
+def test_every_semantic_family_is_registered():
+    assert set(SEMANTIC_FAMILIES) == set(FAMILIES)
+    for name, family in FAMILIES.items():
+        assert family.name == name
+        assert family.required_surface
+        assert callable(family.evaluate)
+
+
+def test_required_surfaces_union():
+    assert required_surfaces(PAPER5) == BASE_SURFACES
+    assert required_surfaces(("permission",)) \
+        == BASE_SURFACES | {"host_args"}
+    assert required_surfaces(ALL_FAMILIES) \
+        == BASE_SURFACES | {"host_args", "db_writes", "record_chain",
+                            "db_state"}
+
+
+def test_semantic_names_filters_in_order():
+    assert semantic_names(ALL_FAMILIES) == SEMANTIC_FAMILIES
+    assert semantic_names(PAPER5) == ()

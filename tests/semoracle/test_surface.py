@@ -1,0 +1,77 @@
+"""Surface section codec: deterministic roundtrip, typed corruption."""
+
+import pytest
+
+from repro.resilience import TraceCorruption
+from repro.semoracle import (DbWrite, HostArgCall, SemanticSurface,
+                             SurfaceRecord)
+from repro.semoracle.surface import (decode_semantic_section,
+                                     encode_semantic_section)
+
+
+def _interner():
+    table: list[str] = []
+
+    def intern(text: str) -> int:
+        if text not in table:
+            table.append(text)
+        return table.index(text)
+
+    return table, intern
+
+
+def _sample_surface() -> SemanticSurface:
+    return SemanticSurface(
+        calls=[
+            [HostArgCall("has_auth", (123,), 0),
+             HostArgCall("db_store_i64", (1, 2, 3, 4, 1024, 16), 5),
+             HostArgCall("eosio_assert", (1, 256), None),
+             HostArgCall("f64ish", (), 2.5)],
+            [],
+        ],
+        records=[
+            SurfaceRecord(receiver=9, code=11, is_notification=True,
+                          writes=[
+                              DbWrite(9, 9, 3, 7, None, b"\x01" * 16),
+                              DbWrite(9, 9, 3, 7, b"\x01" * 16, None),
+                              DbWrite(9, 9, 3, None, None, b""),
+                          ]),
+            None,
+        ],
+        db_state={(9, 9, 3): {7: b"\x02" * 16, 8: b""},
+                  (9, 1, 4): {}})
+
+
+def test_section_roundtrip_exact():
+    surface = _sample_surface()
+    table, intern = _interner()
+    payload = encode_semantic_section(surface, intern)
+    decoded = decode_semantic_section(payload, lambda i: table[i],
+                                      obs_count=2)
+    assert decoded == surface
+
+
+def test_section_encoding_is_deterministic():
+    _, intern_a = _interner()
+    _, intern_b = _interner()
+    a = encode_semantic_section(_sample_surface(), intern_a)
+    b = encode_semantic_section(_sample_surface(), intern_b)
+    assert a == b
+
+
+def test_observation_count_mismatch_is_corruption():
+    surface = _sample_surface()
+    table, intern = _interner()
+    payload = encode_semantic_section(surface, intern)
+    with pytest.raises(TraceCorruption):
+        decode_semantic_section(payload, lambda i: table[i],
+                                obs_count=3)
+
+
+def test_truncated_section_is_corruption():
+    surface = _sample_surface()
+    table, intern = _interner()
+    payload = encode_semantic_section(surface, intern)
+    with pytest.raises(TraceCorruption):
+        decode_semantic_section(payload[:len(payload) // 2],
+                                lambda i: table[i], obs_count=2)

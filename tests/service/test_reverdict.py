@@ -70,10 +70,69 @@ def test_reverdict_reproduces_verdict_modulo_provenance():
         assert after["result"]["provenance"] == {
             "oracle_version": ORACLE_VERSION + 1,
             "traceir_version": TRACEIR_VERSION,
+            "oracles": ["fake_eos", "fake_notif", "missauth",
+                        "blockinfodep", "rollback"],
             "source": "replay",
         }
         assert (_sans_provenance(after["result"])
                 == _sans_provenance(before["result"]))
+    finally:
+        service.drain()
+
+
+def test_insufficient_surface_requeued_not_drift():
+    """A v2 pack stored *without* the semantic surface predates what
+    the semantic families need: the sweep must count it insufficient
+    and re-queue a fresh scan — never report drift, never rewrite."""
+    service = _service()
+    try:
+        key = _scan_one(service, seed=0)
+        row = service.store.get_trace(key)
+        # Strip the semantic surface, as a pack captured before the
+        # surface existed would be.
+        from repro.traceir import decode_pack, encode_pack
+        import dataclasses
+        pack = decode_pack(row["blob"])
+        bare = dataclasses.replace(pack, semantic=None)
+        service.store.put_trace(key, row["module_hash"], row["tool"],
+                                encode_pack(bare),
+                                row["traceir_version"])
+
+        report = service.reverdict(oracles="all")
+        assert report.insufficient == 1
+        assert report.replayed == 0
+        assert report.drift == 0
+        assert report.rewritten == 0
+        incident = report.incidents[0]
+        assert incident["kind"] == "insufficient_surface"
+        assert incident["scan_key"] == key
+
+        # The pack is gone and the verdict dropped, so resubmission
+        # misses the dedup cache and fuzzes fresh.
+        assert service.store.get_trace(key) is None
+        assert service.store.verdict_record(key) is None
+        assert service.stats()["traceir"]["insufficient_surface"] == 1
+        data, abi = contract_bytes(seed=0)
+        resubmission = service.submit_bytes(data, abi)
+        assert resubmission.outcome == "queued"
+        job = _wait_terminal(service, resubmission.job.job_id)
+        assert job.state == "done"
+    finally:
+        service.drain()
+
+
+def test_reverdict_with_semantic_families_rewrites_provenance():
+    service = _service()
+    try:
+        key = _scan_one(service, seed=0)
+        report = service.reverdict(oracles="all")
+        assert report.replayed == 1
+        assert report.insufficient == 0
+        after = service.store.verdict_record(key)
+        provenance = after["result"]["provenance"]
+        assert provenance["source"] == "replay"
+        assert "token_arith" in provenance["oracles"]
+        assert "data_consistency" in provenance["oracles"]
     finally:
         service.drain()
 

@@ -146,6 +146,64 @@ def test_bench_fail_on_quarantine_gates_exit_code(monkeypatch, capsys):
     assert "quarantined" in capsys.readouterr().err
 
 
+def test_unknown_oracle_family_is_usage_error(tmp_path, capsys):
+    out = tmp_path / "victim"
+    main(["gen", "--out", str(out)])
+    capsys.readouterr()
+    with pytest.raises(SystemExit) as excinfo:
+        main(["scan", str(out.with_suffix(".wasm")),
+              "--abi", str(out.with_suffix(".abi.json")),
+              "--oracles", "token_arith,bogus"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown oracle family 'bogus'" in err
+    assert "Traceback" not in err
+
+
+def test_scan_with_semantic_oracles(tmp_path, capsys):
+    out = tmp_path / "safe"
+    main(["gen", "--out", str(out), "--reward", "none",
+          "--maze-depth", "0"])
+    capsys.readouterr()
+    code = main(["scan", str(out.with_suffix(".wasm")),
+                 "--abi", str(out.with_suffix(".abi.json")),
+                 "--timeout-ms", "5000", "--oracles", "all"])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "Token Arithmetic" in output
+    assert "On-Chain Data Consistency" in output
+
+
+def test_bench_semantic_with_family_fp_gate(capsys):
+    code = main(["bench", "semantic", "--scale", "0.02",
+                 "--timeout-ms", "8000", "--fail-on-family-fp"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "token_arith" in output
+    assert "data_consistency" in output
+    assert "eosafe" not in output  # comparison tools sit this one out
+
+
+def test_bench_family_fp_gate_exit_code(monkeypatch, capsys):
+    import repro.cli as cli_mod
+    from repro.metrics import MetricsTable
+
+    def fake_evaluate_corpus(samples, **kwargs):
+        table = MetricsTable("wasai", ("token_arith",))
+        table.record("token_arith", False, True)  # one clean FP
+        return {"wasai": table}
+
+    monkeypatch.setattr(cli_mod, "evaluate_corpus",
+                        fake_evaluate_corpus)
+    code = main(["bench", "semantic", "--scale", "0.02"])
+    assert code == 0  # without the gate the FP only shows in the table
+    capsys.readouterr()
+    code = main(["bench", "semantic", "--scale", "0.02",
+                 "--fail-on-family-fp"])
+    assert code == 6
+    assert "wasai/token_arith: 1" in capsys.readouterr().err
+
+
 def test_submit_against_unreachable_daemon_fails_cleanly(tmp_path,
                                                          capsys):
     out = tmp_path / "victim"

@@ -138,6 +138,7 @@ def test_throughput_traceir_counters():
         "reverdicts": 0,
         "trace_corruptions": 0,
         "verdict_drift": 0,
+        "insufficient_surface": 0,
     }
     assert "trace IR" not in stats.format()
 
@@ -148,9 +149,25 @@ def test_throughput_traceir_counters():
     doc = stats.as_dict()
     assert doc["traceir"]["traces_stored"] == 5
     assert doc["traceir"]["verdict_drift"] == 2
+    stats.insufficient_surface = 4
+    doc = stats.as_dict()
+    assert doc["traceir"]["insufficient_surface"] == 4
     text = stats.format()
     assert "trace IR" in text
     assert "5 traces stored" in text
     assert "3 reverdicts" in text
     assert "1 trace corruptions" in text
     assert "2 verdict drift" in text
+    assert "4 insufficient surface" in text
+
+
+def test_metrics_table_family_fp_query():
+    table = MetricsTable("wasai", ("token_arith", "permission"))
+    table.record("token_arith", True, True)    # TP
+    table.record("token_arith", False, True)   # FP on a clean variant
+    table.record("permission", False, False)   # TN
+    assert table.false_positives() == {"token_arith": 1}
+    assert table.false_positives(("permission",)) == {}
+    assert table.false_positives(("token_arith",)) == {"token_arith": 1}
+    text = table.format()
+    assert "TP=" in text and "FP=" in text and "FN=" in text

@@ -17,8 +17,11 @@ def test_study_flags_majority(study):
 
 def test_study_per_type_counts_complete(study):
     counts = study.per_type_counts()
-    assert set(counts) == {"fake_eos", "fake_notif", "missauth",
-                           "blockinfodep", "rollback"}
+    # The paper's five plus the semantic families (present in every
+    # scan doc; the wild study runs the default paper-five set, so
+    # the semantic rows are simply zero here).
+    assert {"fake_eos", "fake_notif", "missauth",
+            "blockinfodep", "rollback"} <= set(counts)
     assert sum(counts.values()) >= len(study.flagged)
 
 

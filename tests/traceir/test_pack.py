@@ -87,12 +87,69 @@ def test_campaign_task_carries_trace_and_provenance():
                         FAST_TIMEOUT_MS, 1, policy=ResiliencePolicy(),
                         sample_key="pack-test", capture_traces=True)
     result = run_campaign_task(task)
-    assert result.provenance == {"oracle_version": 1,
-                                 "traceir_version": 1,
-                                 "source": "fresh"}
+    from repro.scanner import ORACLE_VERSION
+    from repro.traceir import TRACEIR_VERSION
+    assert result.provenance == {
+        "oracle_version": ORACLE_VERSION,
+        "traceir_version": TRACEIR_VERSION,
+        "oracles": ["fake_eos", "fake_notif", "missauth",
+                    "blockinfodep", "rollback"],
+        "source": "fresh"}
     blob = result.traces["wasai"]
     replayed = replay_scan(decode_pack(blob))
     assert _scan_to_doc(replayed) == _scan_to_doc(result.scans["wasai"])
+
+
+def test_semantic_surface_roundtrips(campaign):
+    _generated, run = campaign
+    pack = build_trace_pack(run.report, run.target)
+    assert pack.semantic is not None
+    decoded = decode_pack(encode_pack(pack))
+    assert decoded.semantic == pack.semantic
+    assert decoded.surfaces() == pack.surfaces()
+    assert {"db_writes", "db_state", "host_args",
+            "record_chain"} <= decoded.surfaces()
+
+
+def test_pack_without_semantic_decodes_and_replays_paper5(campaign):
+    import dataclasses
+    _generated, run = campaign
+    pack = build_trace_pack(run.report, run.target, semantic=False)
+    assert pack.semantic is None
+    decoded = decode_pack(encode_pack(pack))
+    assert decoded.semantic is None
+    replayed = replay_scan(decoded)  # paper five need no surface
+    assert _scan_to_doc(replayed) == _scan_to_doc(run.scan)
+    # Byte-identical to stripping the surface off a full pack.
+    full = build_trace_pack(run.report, run.target)
+    bare = dataclasses.replace(full, semantic=None)
+    assert encode_pack(bare) == encode_pack(pack)
+
+
+def test_semantic_oracles_on_bare_pack_insufficient(campaign):
+    from repro.semoracle import InsufficientSurface
+    _generated, run = campaign
+    pack = build_trace_pack(run.report, run.target, semantic=False)
+    with pytest.raises(InsufficientSurface) as excinfo:
+        replay_scan(decode_pack(encode_pack(pack)), oracles="all")
+    assert "db_writes" in excinfo.value.missing
+    # A single family demands only its own surface.
+    with pytest.raises(InsufficientSurface) as excinfo:
+        replay_scan(pack, oracles="permission")
+    assert excinfo.value.missing == frozenset({"host_args"})
+
+
+def test_replay_with_semantic_families_matches_fresh(campaign):
+    _generated, run = campaign
+    fresh = run_wasai(_generated.module, _generated.abi,
+                      timeout_ms=FAST_TIMEOUT_MS, oracles="all")
+    pack = build_trace_pack(fresh.report, fresh.target)
+    replayed = replay_scan(decode_pack(encode_pack(pack)),
+                           oracles="all")
+    assert _scan_to_doc(replayed) == _scan_to_doc(fresh.scan)
+    assert set(replayed.findings) >= {"token_arith", "permission",
+                                      "notif_chain",
+                                      "data_consistency"}
 
 
 def test_corrupted_pack_raises_typed(campaign):
