@@ -244,6 +244,17 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--oracles", type=_oracles_spec, default=None,
                        help=_ORACLES_HELP + "; applies to every "
                             "submitted job and re-verdict sweep")
+    serve.add_argument("--target-p95-s", type=float, default=None,
+                       help="latency SLO driving adaptive admission "
+                            "control: while observed p95 job latency "
+                            "breaches this, the effective inflight "
+                            "budget shrinks (AIMD) and the brownout "
+                            "ladder engages (default 30)")
+    serve.add_argument("--housekeeping-s", type=float, default=0.25,
+                       help="cadence of the housekeeping tick that "
+                            "sweeps expired jobs off an idle queue "
+                            "and refreshes the pressure level "
+                            "(default 0.25)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
 
@@ -268,6 +279,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="client id for fair scheduling")
     submit.add_argument("--priority", type=int, default=0,
                         help="higher runs sooner (default 0)")
+    submit.add_argument("--deadline-s", type=float, default=None,
+                        help="answer-by budget in seconds: propagated "
+                             "end-to-end as an absolute wall-clock "
+                             "deadline (X-Deadline-Ms); past it the "
+                             "daemon cuts the campaign short with the "
+                             "terminal state deadline_exceeded")
     submit.add_argument("--wait", action="store_true",
                         help="poll until the job is terminal and "
                              "print the verdict")
@@ -305,10 +322,14 @@ def main(argv: list[str] | None = None) -> int:
     chaos = sub.add_parser("chaos",
                            help="chaos-drill a live in-process daemon "
                                 "under a deterministic fault schedule")
-    chaos.add_argument("--schedule", choices=("ci", "quick", "fleet"),
+    chaos.add_argument("--schedule",
+                       choices=("ci", "quick", "fleet", "overload"),
                        default="ci",
                        help="fault schedule: 'ci' runs every phase, "
-                            "'quick' a fast subset (default ci)")
+                            "'quick' a fast subset, 'fleet' the "
+                            "3-node coordinator drill, 'overload' "
+                            "the deadline/brownout burst drill "
+                            "(default ci)")
     chaos.add_argument("--json", action="store_true",
                        help="emit the machine-readable report")
     chaos.add_argument("--keep-dir", type=Path, default=None,
@@ -574,7 +595,9 @@ def _cmd_serve(args) -> int:
                                  capture_traces=args.capture_traces,
                                  drift_audit_s=args.drift_audit_s,
                                  drift_audit_sample=args.drift_audit_sample,
-                                 oracles=args.oracles),
+                                 oracles=args.oracles,
+                                 target_p95_s=args.target_p95_s,
+                                 housekeeping_s=args.housekeeping_s),
         policy=ResiliencePolicy(max_retries=args.max_retries,
                                 quarantine_after=args.quarantine_after),
         journal=CampaignJournal(args.journal) if args.journal else None)
@@ -612,12 +635,17 @@ def _cmd_submit(args) -> int:
     try:
         doc = client.submit(args.wasm.read_bytes(),
                             args.abi.read_text(), config=config or None,
-                            client=args.client, priority=args.priority)
+                            client=args.client, priority=args.priority,
+                            deadline_s=args.deadline_s)
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2 if exc.error == "malformed_module" else 4
     print(f"job {doc['id']}: {doc['state']} "
           f"(outcome: {doc['outcome']})")
+    if doc["state"] == "deadline_exceeded":
+        print(f"error: {doc.get('error', 'deadline exceeded')}",
+              file=sys.stderr)
+        return 4
     if doc["state"] == "done" or args.wait:
         if doc["state"] != "done":
             try:

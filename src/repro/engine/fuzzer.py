@@ -12,6 +12,7 @@ log.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from itertools import cycle
 
@@ -21,8 +22,9 @@ from ..eosio.token import issue_to, token_balance
 from ..instrument import decode_raw_trace
 from ..instrument.hooks import HookEvent
 from ..resilience import faultinject
-from ..resilience.errors import (CampaignError, DivergenceError,
-                                 SolverError, SymbackError)
+from ..resilience.errors import (CampaignError, DeadlineExceeded,
+                                 DivergenceError, SolverError,
+                                 SymbackError)
 from ..smt import SolverStats
 from ..symbolic import (SeedLayout, branch_coverage_ids, flip_queries,
                         locate_action_call, replay_action, solve_flips)
@@ -117,7 +119,9 @@ class WasaiFuzzer:
                  trace_dir: "str | None" = None,
                  trace_format: str = "jsonl",
                  max_feedback_failures: int = 3,
-                 divergence_check: bool = True):
+                 divergence_check: bool = True,
+                 deadline_epoch_s: float | None = None,
+                 wall_clock=time.time):
         self.chain = chain
         self.target = target
         self.rng = rng or random.Random(0)
@@ -152,16 +156,41 @@ class WasaiFuzzer:
         self.max_feedback_failures = max_feedback_failures
         self._feedback_failures = 0
         self.divergence_check = divergence_check
+        # Caller wall-clock deadline (absolute epoch seconds).  The
+        # campaign budget itself is *virtual* time, so an overloaded
+        # host can take arbitrarily long to burn it; the deadline is
+        # the real-time bound the caller actually experiences.  Checked
+        # once per round, never inside one (a round is the atomic unit
+        # of fuzzing work).
+        self.deadline_epoch_s = deadline_epoch_s
+        self._wall_clock = wall_clock
+        self._started_wall_s: float | None = None
 
     # -- campaign ----------------------------------------------------------
     def run(self) -> FuzzReport:
+        self._started_wall_s = self._wall_clock()
+        self._check_deadline()
         self._initiate()
         while not self.clock.expired(self.timeout_ms):
+            self._check_deadline()
             self._iteration()
         self.report.coverage_timeline.append(
             (self.clock.now_ms, len(self.report.covered)))
         self.report.db_state = self.chain.db.export_state()
         return self.report
+
+    def _check_deadline(self) -> None:
+        if self.deadline_epoch_s is None:
+            return
+        now = self._wall_clock()
+        if now >= self.deadline_epoch_s:
+            elapsed = now - (self._started_wall_s
+                             if self._started_wall_s is not None else now)
+            raise DeadlineExceeded(
+                f"caller deadline passed mid-campaign after "
+                f"{self.report.iterations} rounds",
+                deadline_epoch_s=self.deadline_epoch_s,
+                elapsed_s=elapsed)
 
     def _initiate(self) -> None:
         """Algorithm 1 L2: local chain + agents + random seed pool."""

@@ -87,7 +87,8 @@ def run_wasai(module: Module, abi: Abi, account: str = "victim",
               trace_dir: "str | None" = None,
               trace_format: str = "jsonl",
               timings: "dict[str, float] | None" = None,
-              oracles=None) -> WasaiRun:
+              oracles=None,
+              deadline_epoch_s: float | None = None) -> WasaiRun:
     """Fuzz one contract with WASAI and scan the observations.
 
     ``timings``, when given, accumulates real per-stage wall-clock
@@ -103,7 +104,11 @@ def run_wasai(module: Module, abi: Abi, account: str = "victim",
     encoded per ``trace_format`` ("jsonl" or the columnar "ir").
     ``oracles`` selects the enabled oracle families (any spec
     :func:`repro.semoracle.resolve_oracles` accepts; None = the
-    paper's five).
+    paper's five).  ``deadline_epoch_s`` is the caller's absolute
+    wall-clock deadline: the fuzzing loop checks it once per round and
+    raises :class:`~repro.resilience.DeadlineExceeded` the moment it
+    passes, cutting the campaign short instead of finishing its
+    virtual budget for a caller that already gave up.
     """
     started = time.perf_counter()
     chain, target = _deploy(account, module, abi, limits=limits)
@@ -116,7 +121,8 @@ def run_wasai(module: Module, abi: Abi, account: str = "victim",
                          feedback=feedback,
                          trace_dir=trace_dir,
                          trace_format=trace_format,
-                         divergence_check=divergence_check)
+                         divergence_check=divergence_check,
+                         deadline_epoch_s=deadline_epoch_s)
     try:
         report = fuzzer.run()
     except CampaignError:

@@ -135,6 +135,14 @@ class ThroughputStats:
     # p50/p95/max percentiles in ``wasai bench`` output and the
     # daemon's ``GET /stats``.
     latency_samples: dict[str, list[float]] = field(default_factory=dict)
+    # Overload ledger (scan-service daemon): every refusal and cut-off
+    # counted by *why* — "queue" / "inflight" / "deadline" / "quota" /
+    # "disk" / "brownout" / "draining" — plus the brownout pressure
+    # level active right now.  The per-kind split is what makes a 429
+    # storm diagnosable: a wall of "quota" sheds is a hot tenant, a
+    # wall of "brownout" sheds is the daemon protecting its SLO.
+    shed_by_kind: dict[str, int] = field(default_factory=dict)
+    pressure: str = "normal"
 
     @property
     def campaigns_per_sec(self) -> float:
@@ -198,6 +206,13 @@ class ThroughputStats:
         """Add one per-task wall-clock sample for ``stage``."""
         self.latency_samples.setdefault(stage, []).append(seconds)
 
+    def record_shed(self, kind: str) -> None:
+        """Count one shed/cut-off of the given kind."""
+        self.shed_by_kind[kind] = self.shed_by_kind.get(kind, 0) + 1
+
+    def shed_total(self) -> int:
+        return sum(self.shed_by_kind.values())
+
     def latency_percentiles(self) -> dict[str, dict[str, float]]:
         """p50/p95/max (plus sample count) per recorded stage."""
         out: dict[str, dict[str, float]] = {}
@@ -257,6 +272,11 @@ class ThroughputStats:
                 "verdict_drift": self.verdict_drift,
                 "insufficient_surface": self.insufficient_surface,
             },
+            "overload": {
+                "pressure": self.pressure,
+                "shed_by_kind": dict(sorted(self.shed_by_kind.items())),
+                "shed_total": self.shed_total(),
+            },
         }
 
     def format(self) -> str:
@@ -308,6 +328,12 @@ class ThroughputStats:
             if count)
         if traceir:
             lines.append(f"  trace IR      {traceir.lstrip(', ')}")
+        if self.shed_by_kind or self.pressure != "normal":
+            sheds = ", ".join(
+                f"{count} {kind}" for kind, count in
+                sorted(self.shed_by_kind.items()) if count)
+            lines.append(f"  overload      pressure={self.pressure}"
+                         + (f", shed: {sheds}" if sheds else ""))
         for stage in sorted(self.stage_seconds):
             lines.append(f"  stage {stage:<8} "
                          f"{self.stage_seconds[stage]:8.2f}s")

@@ -29,7 +29,8 @@ from dataclasses import dataclass, field
 
 from ..eosio.abi import Abi
 from ..resilience import faultinject
-from ..resilience.errors import CampaignError, ScanError
+from ..resilience.errors import (CampaignError, DeadlineExceeded,
+                                 ScanError)
 from ..resilience.policy import ResiliencePolicy, run_with_retry
 from ..scanner import ScanResult
 from ..wasm.module import Module
@@ -65,6 +66,13 @@ class CampaignTask:
     # and keeps the task key byte-compatible with pre-semantic
     # journals and stores.
     oracles: "tuple | str | None" = None
+    # Caller wall-clock deadline (absolute epoch seconds), propagated
+    # end-to-end from the ``X-Deadline-Ms`` header.  Checked before
+    # each tool run and once per fuzzing round, so an expired campaign
+    # is cut short with a typed DeadlineExceeded instead of burning
+    # the rest of its budget into the void.  Execution policy only —
+    # never task-key material (campaign_task_key ignores it).
+    deadline_epoch_s: float | None = None
 
 
 @dataclass
@@ -153,7 +161,8 @@ def _tool_runner(tool: str, task: CampaignTask,
                 timings=stage_seconds,
                 feedback=feedback,
                 divergence_check=task.divergence_check,
-                oracles=task.oracles)
+                oracles=task.oracles,
+                deadline_epoch_s=task.deadline_epoch_s)
             if coverage is not None:
                 coverage[tool] = _coverage_summary(run_.report)
             if report_cell is not None:
@@ -206,6 +215,17 @@ def run_campaign_task(task: CampaignTask) -> CampaignResult:
         retries = 0
         traces: dict[str, bytes] = {}
         for tool in task.tools:
+            if task.deadline_epoch_s is not None \
+                    and time.time() >= task.deadline_epoch_s:
+                # The caller's deadline passed between tools (or the
+                # job was dispatched already-expired): record the
+                # typed cut-off instead of spending a fresh budget on
+                # an answer nobody is waiting for.
+                errors[tool] = DeadlineExceeded(
+                    "caller deadline passed before the tool ran",
+                    sample_id=task.sample_key or None,
+                    deadline_epoch_s=task.deadline_epoch_s).to_doc()
+                continue
             forced_blackbox = task.blackbox and tool == "wasai"
             report_cell: dict = {}
             runner = _tool_runner(tool, task, stage_seconds, harness,

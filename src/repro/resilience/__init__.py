@@ -21,11 +21,12 @@ This package makes every corpus-scale pipeline survivable:
   containment path.
 """
 
-from .errors import (CampaignError, DEGRADABLE_STAGES, DeployError,
-                     DivergenceError, FuzzError, InstrumentError,
-                     MalformedModule, STAGES, ScanError, SolverError,
-                     SymbackError, TaskTimeout, TraceCorruption, TrapStorm,
-                     WorkerCrash, task_result_error)
+from .errors import (CampaignError, DEGRADABLE_STAGES, DeadlineExceeded,
+                     DeployError, DivergenceError, FuzzError,
+                     InstrumentError, MalformedModule, STAGES, ScanError,
+                     SolverError, SymbackError, TaskTimeout,
+                     TraceCorruption, TrapStorm, WorkerCrash,
+                     task_result_error)
 from .faultinject import (Fault, FaultPlan, WorkerKill,
                           clear_fault_plan, fault_plan, fault_scope,
                           inject, install_fault_plan, set_fault_scope)
@@ -38,7 +39,8 @@ __all__ = [
     "CampaignError", "MalformedModule", "InstrumentError", "DeployError",
     "FuzzError", "TrapStorm", "SymbackError", "SolverError",
     "DivergenceError", "ScanError", "TraceCorruption", "TaskTimeout",
-    "WorkerCrash", "STAGES", "DEGRADABLE_STAGES", "task_result_error",
+    "WorkerCrash", "DeadlineExceeded", "STAGES", "DEGRADABLE_STAGES",
+    "task_result_error",
     "Fault", "FaultPlan", "WorkerKill", "install_fault_plan",
     "clear_fault_plan",
     "fault_plan", "set_fault_scope", "fault_scope", "inject",

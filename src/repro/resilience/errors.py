@@ -22,7 +22,8 @@ __all__ = [
     "CampaignError", "MalformedModule", "InstrumentError", "DeployError",
     "FuzzError", "TrapStorm", "SymbackError", "SolverError",
     "DivergenceError", "ScanError", "TraceCorruption", "TaskTimeout",
-    "WorkerCrash", "STAGES", "DEGRADABLE_STAGES", "task_result_error",
+    "WorkerCrash", "DeadlineExceeded", "STAGES", "DEGRADABLE_STAGES",
+    "task_result_error",
 ]
 
 # Pipeline stages, in execution order, plus the executor envelope.
@@ -34,7 +35,7 @@ __all__ = [
 # durable trace IR layer: decoding a stored/offline trace back into
 # events, which can fail independently of the run that produced it.
 STAGES = ("ingest", "instrument", "deploy", "fuzz", "symback", "solve",
-          "divergence", "trace", "scan", "task")
+          "divergence", "trace", "scan", "deadline", "task")
 
 # Stages whose failure leaves the black-box mutation loop intact: a
 # campaign that cannot replay or solve can still fuzz (ConFuzzius-style
@@ -99,7 +100,7 @@ class CampaignError(Exception):
         # round-trip without each subclass writing its own from_doc.
         for extra in ("offset", "section", "func_index", "pc", "opcode",
                       "shadow", "traced", "elapsed_s", "exitcode",
-                      "path", "line"):
+                      "path", "line", "deadline_epoch_s"):
             if extra in doc and hasattr(error, extra):
                 setattr(error, extra, doc[extra])
         return error
@@ -302,6 +303,38 @@ class TaskTimeout(CampaignError):
         return doc
 
 
+class DeadlineExceeded(CampaignError):
+    """The caller's wall-clock deadline passed before the work finished.
+
+    Unlike :class:`TaskTimeout` (the service's own per-task watchdog,
+    which retries because the *next* attempt may fit the budget), a
+    caller deadline is absolute: once it has passed nobody is waiting
+    for the answer, so the job must terminate with a typed
+    ``deadline_exceeded`` doc and never consume a fresh campaign
+    budget.  Never retryable, never degradable, and ``deadline`` is
+    deliberately absent from the circuit-breaker stages — an impatient
+    caller is not a pipeline fault.  ``deadline_epoch_s`` is the
+    absolute wall-clock deadline; ``elapsed_s`` is how much work (if
+    any) was burned before the cut-off was noticed.
+    """
+
+    stage = "deadline"
+    retryable = False
+
+    def __init__(self, message: str = "", *,
+                 deadline_epoch_s: float | None = None,
+                 elapsed_s: float = 0.0, **kwargs):
+        super().__init__(message, **kwargs)
+        self.deadline_epoch_s = deadline_epoch_s
+        self.elapsed_s = elapsed_s
+
+    def to_doc(self) -> dict:
+        doc = super().to_doc()
+        doc["deadline_epoch_s"] = self.deadline_epoch_s
+        doc["elapsed_s"] = self.elapsed_s
+        return doc
+
+
 class WorkerCrash(CampaignError):
     """A worker process died (segfault, ``os._exit``, OOM kill)."""
 
@@ -322,7 +355,8 @@ class WorkerCrash(CampaignError):
 _REGISTRY = {cls.__name__: cls for cls in (
     CampaignError, MalformedModule, InstrumentError, DeployError,
     FuzzError, TrapStorm, SymbackError, SolverError, DivergenceError,
-    ScanError, TraceCorruption, TaskTimeout, WorkerCrash)}
+    ScanError, TraceCorruption, TaskTimeout, WorkerCrash,
+    DeadlineExceeded)}
 
 
 def task_result_error(result) -> CampaignError | None:

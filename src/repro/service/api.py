@@ -26,6 +26,19 @@ Endpoints
     Optional body field ``ttl_s`` bounds how long the job may wait in
     the queue before expiring with the terminal state ``expired``.
 
+    An ``X-Deadline-Ms`` header (or body field ``deadline_epoch_ms``)
+    carries the caller's absolute wall-clock deadline in epoch
+    milliseconds.  It propagates end-to-end: checked at admission, at
+    dequeue, at claim and once per fuzzing round, so an expired
+    request is cut short with the typed terminal state
+    ``deadline_exceeded`` instead of burning a full campaign budget.
+    An already-expired deadline answers ``200`` with that terminal doc
+    immediately (never a 429 — there is nothing to retry).  Under
+    brownout pressure a submission may also come back ``200`` with
+    ``outcome: "replayed"``: the verdict was re-derived from a stored
+    trace pack by pure oracle replay, with honest ``source: "replay"``
+    provenance.
+
 ``GET /scans/{id}``
     Job lifecycle doc (``queued | running | done | failed |
     quarantined | expired``); terminal jobs include the verdict /
@@ -143,6 +156,23 @@ class ServiceApi:
         key = doc.get("api_key")
         return str(key) if key is not None else None
 
+    @staticmethod
+    def _deadline_epoch_s(doc: dict, headers: dict) -> float | None:
+        """The caller's absolute deadline in epoch *seconds*, from the
+        ``X-Deadline-Ms`` header (epoch milliseconds on the wire —
+        integral, proxy-safe) or the ``deadline_epoch_ms`` body field.
+        Raises ValueError when present but unparseable."""
+        raw = None
+        for name, value in headers.items():
+            if name.lower() == "x-deadline-ms":
+                raw = value
+                break
+        if raw is None:
+            raw = doc.get("deadline_epoch_ms")
+        if raw is None:
+            return None
+        return float(raw) / 1000.0
+
     def _submit(self, body: bytes,
                 headers: dict) -> tuple[int, dict]:
         try:
@@ -196,6 +226,7 @@ class ServiceApi:
             try:
                 tenant = self.tenants.admit(api_key)
             except QuotaExceeded as exc:
+                self.service.perf.record_shed("quota")
                 return 429, {"error": "queue_full",
                              "detail": str(exc), "kind": exc.kind,
                              "depth": exc.depth, "limit": exc.limit,
@@ -206,11 +237,18 @@ class ServiceApi:
                              "detail": str(exc)}
         ttl_s = doc.get("ttl_s")
         try:
+            deadline_epoch_s = self._deadline_epoch_s(doc, headers)
+        except (TypeError, ValueError):
+            return 400, {"error": "bad_request",
+                         "detail": "X-Deadline-Ms / deadline_epoch_ms "
+                                   "must be epoch milliseconds"}
+        try:
             submission = self.service.submit_bytes(
                 data, doc["abi"], config=doc.get("config"),
                 client=str(doc.get("client", "anon")),
                 priority=int(doc.get("priority", 0)),
-                ttl_s=float(ttl_s) if ttl_s is not None else None)
+                ttl_s=float(ttl_s) if ttl_s is not None else None,
+                deadline_epoch_s=deadline_epoch_s)
         except MalformedModule as exc:
             # Hostile upload rejected at admission — it never reached
             # a worker; the diagnostic names the offending byte range.
@@ -233,9 +271,11 @@ class ServiceApi:
         job_doc["outcome"] = submission.outcome
         if tenant is not None:
             job_doc["tenant"] = tenant
-        if submission.cached:
-            # "409-style" dedup: the verdict already exists, so the
-            # reply carries it immediately instead of a pending job.
+        if submission.cached or submission.outcome in (
+                "replayed", "deadline_exceeded"):
+            # Terminal at admission: a dedup hit or brownout replay
+            # already carries the verdict; an expired deadline carries
+            # its typed terminal doc — nothing is pending either way.
             return 200, job_doc
         return 202, job_doc
 

@@ -172,7 +172,8 @@ class CoordinatorBackend(ABC):
     def submit(self, data: bytes, abi_json: "str | dict",
                config: dict | None = None, client: str = "anon",
                priority: int = 0,
-               ttl_s: float | None = None) -> dict: ...
+               ttl_s: float | None = None,
+               deadline_epoch_s: float | None = None) -> dict: ...
 
     @abstractmethod
     def job(self, job_id: str) -> dict | None: ...
@@ -231,10 +232,12 @@ class InProcessBackend(CoordinatorBackend):
 
     def submit(self, data: bytes, abi_json: "str | dict",
                config: dict | None = None, client: str = "anon",
-               priority: int = 0, ttl_s: float | None = None) -> dict:
+               priority: int = 0, ttl_s: float | None = None,
+               deadline_epoch_s: float | None = None) -> dict:
         submission = self._check().submit_bytes(
             data, abi_json, config=config, client=client,
-            priority=priority, ttl_s=ttl_s)
+            priority=priority, ttl_s=ttl_s,
+            deadline_epoch_s=deadline_epoch_s)
         doc = submission.job.to_doc()
         doc["outcome"] = submission.outcome
         if submission.job.result_doc is not None:
@@ -324,10 +327,12 @@ class RemoteBackend(CoordinatorBackend):
 
     def submit(self, data: bytes, abi_json: "str | dict",
                config: dict | None = None, client: str = "anon",
-               priority: int = 0, ttl_s: float | None = None) -> dict:
+               priority: int = 0, ttl_s: float | None = None,
+               deadline_epoch_s: float | None = None) -> dict:
         return self._call(self.client.submit, data, abi_json,
                           config=config, client=client,
-                          priority=priority, ttl_s=ttl_s)
+                          priority=priority, ttl_s=ttl_s,
+                          deadline_epoch_s=deadline_epoch_s)
 
     def job(self, job_id: str) -> dict | None:
         try:

@@ -23,15 +23,21 @@ invariants the self-healing machinery promises:
 
 Faults come from the same deterministic
 :mod:`~repro.resilience.faultinject` plans the test suite uses, so a
-failing drill reproduces exactly under the same schedule.  Three
+failing drill reproduces exactly under the same schedule.  Four
 schedules: ``ci`` (every single-daemon phase; the chaos-drill CI job
 runs this), ``quick`` (a subset for fast local runs and the unit
-test) and ``fleet`` — a 3-node in-process fleet marched through
+test), ``fleet`` — a 3-node in-process fleet marched through
 consistent-hash routing, tenant quotas, work stealing, a network
 partition (minority refuses writes, serves stale-marked reads, heals
 by journal replay) and a node kill mid-scan (every orphaned job fails
 over to a surviving shard owner exactly once), asserting fleet-wide:
-no lost job, no duplicate or changed verdict, truthful health.
+no lost job, no duplicate or changed verdict, truthful health — and
+``overload``, which bursts a small daemon at 5x its capacity with
+mixed caller deadlines and clients, asserting the overload machinery:
+no deadline-exceeded job ever runs a full campaign, every refusal is
+a typed 429 carrying a measured Retry-After, the brownout pressure
+ladder engages under the burst and returns to ``normal`` after it
+drains, and the ``/stats`` shed counters match what clients saw.
 """
 
 from __future__ import annotations
@@ -48,8 +54,10 @@ from ..resilience import (CampaignJournal, Fault, clear_fault_plan,
                           install_fault_plan)
 from ..wasm import encode_module
 from .backend import InProcessBackend
-from .client import ServiceClient
+from .client import ServiceClient, ServiceError
 from .fleet import FleetConfig, ScanFleet
+from .health import pressure_rank
+from .overload import SHED_KINDS
 from .scheduler import NodePartitioned, ScanService, ScanServiceConfig
 from .server import make_server
 from .tenants import QuotaExceeded, TenantBook, UnknownApiKey
@@ -65,6 +73,8 @@ CHAOS_SCHEDULES = {
               "breaker_cycle", "final_invariants"),
     "fleet": ("fleet_baseline", "fleet_work_stealing",
               "network_partition", "node_kill", "fleet_final"),
+    "overload": ("overload_baseline", "deadline_cutoff",
+                 "overload_burst", "brownout_recovery"),
 }
 
 # Small virtual budget: one campaign lands well under a second of real
@@ -122,10 +132,11 @@ class ChaosReport:
 class _Drill:
     """One live daemon plus the helpers the phases share."""
 
-    def __init__(self, root: Path, verbose: bool = False):
+    def __init__(self, root: Path, verbose: bool = False,
+                 config: "ScanServiceConfig | None" = None):
         self.root = root
         self.verbose = verbose
-        self.config = ScanServiceConfig(
+        self.config = config or ScanServiceConfig(
             workers=2, max_depth=32, poll_s=0.02,
             default_timeout_ms=_DRILL_TIMEOUT_MS,
             task_deadline_s=1.25, watchdog_poll_s=0.05,
@@ -484,6 +495,256 @@ class _Drill:
                 "health ok, baseline verdict unchanged")
 
 
+class _OverloadDrill(_Drill):
+    """A deliberately small daemon burst at 5x its capacity.
+
+    Two workers behind an 8-deep queue meet a rapid burst of five
+    times their admission capacity, with mixed caller deadlines,
+    clients and priorities.  The phases assert the overload contract
+    end to end: deadlines are honored at every hand-off (never a full
+    campaign for a caller whose clock ran out), every refusal is a
+    typed 429 with a measured Retry-After, the brownout ladder climbs
+    under the burst and walks back down to ``normal`` once it drains,
+    and the shed books in ``/stats`` match what clients actually saw.
+
+    The AIMD target SLO starts at its generous default so the
+    baseline phase runs at pressure ``normal``; the burst phase then
+    tightens it to half the measured baseline job latency, which
+    guarantees a breach under load without hard-coding any
+    machine-dependent timing.
+    """
+
+    def __init__(self, root: Path, verbose: bool = False):
+        super().__init__(root, verbose=verbose, config=ScanServiceConfig(
+            workers=2, max_depth=8, max_inflight=12, poll_s=0.02,
+            default_timeout_ms=_DRILL_TIMEOUT_MS,
+            task_deadline_s=6.0, watchdog_poll_s=0.05,
+            max_restarts=64, restart_window_s=300.0,
+            restart_backoff_s=0.01,
+            breaker_threshold=8, breaker_cooldown_s=0.75,
+            capture_traces=True,
+            housekeeping_s=0.02, overload_window_s=1.5,
+            adjust_interval_s=0.05))
+        self.baseline_exec_s = 0.1
+        self.observed_sheds: dict[str, int] = {}
+        self.peak = "normal"
+
+    def _note_pressure(self) -> str:
+        level = self.service.overload.pressure
+        if pressure_rank(level) > pressure_rank(self.peak):
+            self.peak = level
+        return level
+
+    # -- phases ------------------------------------------------------------
+    def overload_baseline(self) -> str:
+        """Unloaded daemon: pressure normal, full verdicts untagged."""
+        first = self.submit_and_wait(0, "baseline")
+        _expect(first.get("result") is not None,
+                "baseline job completed without a result doc")
+        self.results[0] = first["result"]
+        prov = first["result"].get("provenance") or {}
+        _expect("pressure" not in prov,
+                "a normal-pressure verdict carries a brownout tag: "
+                f"{prov}")
+        # The controller's only latency sample so far *is* one job's
+        # execution time; the burst phase sizes its SLO from it.
+        self.baseline_exec_s = max(
+            self.service.overload.observed_p95_s(), 0.02)
+        stats = self.stats()
+        _expect(stats["pressure"] == "normal",
+                f"idle daemon reports pressure {stats['pressure']!r}")
+        health = self.client.health()
+        _expect(health["status"] == "ok"
+                and health["pressure"] == "normal",
+                f"unloaded daemon not nominal: {health}")
+        return (f"full verdict in {self.baseline_exec_s:.2f}s at "
+                "pressure normal, result untagged")
+
+    def deadline_cutoff(self) -> str:
+        """Caller deadlines cut work at admission and mid-campaign —
+        an expired clock never buys a fresh campaign budget."""
+        data, abi = self.contract(20)
+        dead = self.client.submit(data, abi, client="deadline-dead",
+                                  deadline_epoch_s=time.time() - 5.0)
+        _expect(dead["state"] == "deadline_exceeded"
+                and dead["outcome"] == "deadline_exceeded",
+                f"already-expired submission was admitted: "
+                f"state={dead['state']!r} outcome={dead['outcome']!r}")
+        _expect(dead.get("result") is None,
+                "an expired-at-admission job still produced a verdict")
+        # A live but unmeetable deadline: admitted, then cut while
+        # queued or between fuzz rounds — never run to completion.
+        data2, abi2 = self.contract(21)
+        started = time.monotonic()
+        queued = self.client.submit(data2, abi2,
+                                    client="deadline-tight",
+                                    deadline_s=0.02)
+        final = queued if queued["state"] == "deadline_exceeded" else \
+            self.client.wait(queued["id"], timeout_s=_WAIT_S,
+                             poll_s=0.02)
+        took = time.monotonic() - started
+        _expect(final["state"] == "deadline_exceeded",
+                f"20 ms-deadline job ended {final['state']!r} "
+                f"(error={final.get('error')!r})")
+        _expect(final.get("result") is None,
+                "a deadline-cut job still produced a full verdict")
+        _expect(final.get("error"),
+                "deadline_exceeded job carries no typed error message")
+        stats = self.stats()
+        _expect(stats["deadline_exceeded"] >= 2,
+                f"/stats counts {stats['deadline_exceeded']} "
+                "deadline_exceeded jobs, expected both")
+        _expect(stats["shed_by_kind"].get("deadline", 0) >= 2,
+                f"per-kind shed books miss the deadline cuts: "
+                f"{stats['shed_by_kind']}")
+        return ("expired submit refused at admission, 20 ms deadline "
+                f"cut after {took:.2f}s, neither got a campaign")
+
+    def overload_burst(self) -> str:
+        """5x capacity, mixed deadlines/clients/priorities: typed
+        sheds with measured Retry-After, ladder engages, deadline
+        victims never run full campaigns."""
+        overload = self.service.overload
+        # Half the measured baseline latency: a guaranteed SLO breach
+        # under load, with no machine-dependent constant.
+        overload.target_p95_s = max(self.baseline_exec_s * 0.5, 0.02)
+        capacity = overload.base_inflight + overload.base_depth
+        total = 5 * capacity
+        # ~2 job-times of caller patience: generous for an unloaded
+        # daemon, hopeless behind a 5x backlog (whose queue wait is
+        # several job-times) — so deadline cuts are load-dependent,
+        # not machine-dependent.
+        patience_s = min(max(2.0 * self.baseline_exec_s, 0.02), 0.5)
+        # Pre-generate contracts so the submit loop outruns the drain.
+        batch = [(seed, *self.contract(seed))
+                 for seed in range(100, 100 + total)]
+        fast = ServiceClient(self.client.base_url, timeout_s=30.0,
+                             max_retries=0)
+        admitted: list[tuple[str, bool]] = []
+        cut_at_admission = 0
+        for index, (seed, data, abi) in enumerate(batch):
+            had_deadline = index % 3 == 0
+            kwargs = {"client": f"tenant-{index % 4}",
+                      "priority": -1 if index % 5 == 0 else 0}
+            if had_deadline:
+                kwargs["deadline_s"] = patience_s
+            try:
+                doc = fast.submit(data, abi, **kwargs)
+            except ServiceError as exc:
+                _expect(exc.status == 429,
+                        f"burst submit died with HTTP {exc.status}: "
+                        f"{exc.doc}")
+                kind = exc.doc.get("kind")
+                _expect(kind in SHED_KINDS,
+                        f"shed carries unknown kind {kind!r}")
+                _expect(float(exc.doc.get("retry_after_s") or 0) > 0,
+                        f"{kind!r} shed carries no measured "
+                        f"Retry-After: {exc.doc}")
+                self.observed_sheds[kind] = \
+                    self.observed_sheds.get(kind, 0) + 1
+            else:
+                if doc["state"] == "deadline_exceeded":
+                    cut_at_admission += 1
+                    _expect(doc.get("result") is None,
+                            "an admission-expired burst job produced "
+                            "a verdict")
+                else:
+                    admitted.append((doc["id"], had_deadline))
+            self._note_pressure()
+        _expect(sum(self.observed_sheds.values()) >= 1,
+                f"a 5x burst of {total} was fully admitted past "
+                f"capacity {capacity} — nothing was shed")
+        done = cut = 0
+        for job_id, had_deadline in admitted:
+            final = self.client.wait(job_id, timeout_s=_WAIT_S,
+                                     poll_s=0.02)
+            self._note_pressure()
+            if final["state"] == "deadline_exceeded":
+                _expect(had_deadline,
+                        f"job {job_id} had no caller deadline yet "
+                        "ended deadline_exceeded")
+                _expect(final.get("result") is None,
+                        f"deadline-exceeded job {job_id} ran a full "
+                        "campaign and produced a verdict")
+                cut += 1
+            else:
+                _expect(final["state"] == "done",
+                        f"burst job {job_id} ended "
+                        f"{final['state']!r}: {final.get('error')!r}")
+                done += 1
+        _expect(cut + cut_at_admission >= 1,
+                f"no {patience_s * 1000:.0f} ms-deadline job was cut "
+                "under a 5x burst")
+        _expect(pressure_rank(self.peak) >= pressure_rank("elevated"),
+                f"the burst never moved pressure past {self.peak!r}")
+        snap = self.service.overload.snapshot()
+        _expect(snap["adjustments"] >= 1,
+                f"the AIMD controller never adjusted its limit: "
+                f"{snap}")
+        shed_total = sum(self.observed_sheds.values())
+        return (f"{total} submits: {done} done, "
+                f"{cut + cut_at_admission} deadline-cut, {shed_total} "
+                f"shed {self.observed_sheds}, peak pressure "
+                f"{self.peak}")
+
+    def brownout_recovery(self) -> str:
+        """The burst drains: ladder back to normal, AIMD limit back
+        to its ceiling, shed books truthful, verdicts untagged."""
+        horizon = time.monotonic() + 60.0
+        stats = self.stats()
+        while time.monotonic() < horizon:
+            stats = self.stats()
+            overload = stats["overload"]
+            if (stats["pressure"] == "normal"
+                    and overload["effective_inflight"]
+                    == overload["base_inflight"]):
+                break
+            time.sleep(0.05)
+        _expect(stats["pressure"] == "normal",
+                f"pressure stuck at {stats['pressure']!r} after the "
+                f"burst drained: {stats['overload']}")
+        _expect(stats["overload"]["effective_inflight"]
+                == stats["overload"]["base_inflight"],
+                "the AIMD inflight limit never recovered to its "
+                f"ceiling: {stats['overload']}")
+        by_kind = dict(stats["shed_by_kind"])
+        admission_kinds = ("queue", "inflight", "brownout", "disk")
+        _expect(stats["shed"] == sum(by_kind.get(k, 0)
+                                     for k in admission_kinds),
+                f"shed aggregate disagrees with its per-kind split: "
+                f"shed={stats['shed']} by_kind={by_kind}")
+        for kind, seen in self.observed_sheds.items():
+            _expect(by_kind.get(kind, 0) >= seen,
+                    f"clients saw {seen} {kind!r} shed(s) but /stats "
+                    f"counts {by_kind.get(kind, 0)}")
+        _expect(by_kind.get("deadline", 0)
+                == stats["deadline_exceeded"],
+                f"deadline books disagree: shed_by_kind counts "
+                f"{by_kind.get('deadline', 0)}, terminal jobs "
+                f"{stats['deadline_exceeded']}")
+        # Back at normal: full-size campaigns, no brownout provenance,
+        # and the pre-burst verdict still served byte-identical.
+        self.service.overload.target_p95_s = 30.0
+        fresh = self.submit_and_wait(30, "recovered")
+        prov = fresh["result"].get("provenance") or {}
+        _expect("pressure" not in prov,
+                f"a normal-pressure verdict is still brownout-tagged: "
+                f"{prov}")
+        redo = self.submit_and_wait(0, "recovered-redo")
+        _expect(redo["outcome"] == "cached"
+                and redo["result"] == self.results[0],
+                "the pre-burst baseline verdict changed across the "
+                "overload episode")
+        health = self.client.health()
+        _expect(health["status"] == "ok"
+                and health["pressure"] == "normal",
+                f"daemon not nominal after recovery: {health}")
+        return (f"pressure {self.peak} -> normal, inflight limit "
+                f"restored to {stats['overload']['base_inflight']}, "
+                f"books balanced ({stats['shed']} shed, "
+                f"{stats['deadline_exceeded']} deadline-cut)")
+
+
 class _FleetDrill:
     """Three in-process nodes under one coordinator, plus helpers.
 
@@ -789,7 +1050,8 @@ def run_chaos_drill(schedule: str = "ci", *, verbose: bool = False,
         Path(tempfile.mkdtemp(prefix="wasai-chaos-"))
     root.mkdir(parents=True, exist_ok=True)
     report = ChaosReport(schedule=schedule)
-    drill_cls = _FleetDrill if schedule == "fleet" else _Drill
+    drill_cls = (_OverloadDrill if schedule == "overload"
+                 else _FleetDrill if schedule == "fleet" else _Drill)
     drill = drill_cls(root, verbose=verbose)
     try:
         for name in CHAOS_SCHEDULES[schedule]:

@@ -29,6 +29,16 @@ redirect — is followed in place, bounded by ``max_redirects`` so two
 confused nodes cannot bounce a request forever.  An optional
 ``api_key`` is attached to every request as ``X-Api-Key`` for
 tenant-quota admission.
+
+Backpressure is honored per shed *kind*: every 429 the daemon emits
+carries a measured ``Retry-After`` (how long the backlog actually
+takes to drain) which the client sleeps on, except a ``draining``
+shed against a multi-endpoint fleet, where the right move is to
+rotate to a sibling node immediately instead of waiting out a daemon
+that is shutting down.  Caller deadlines propagate as the
+``X-Deadline-Ms`` header (absolute epoch milliseconds) via
+``submit(deadline_s=...)`` — the daemon then refuses to spend fresh
+campaign budget past that instant.
 """
 
 from __future__ import annotations
@@ -125,7 +135,8 @@ class ServiceClient:
 
     def _request_once(self, method: str, path: str,
                       doc: dict | None = None, *,
-                      url: "str | None" = None
+                      url: "str | None" = None,
+                      extra_headers: dict | None = None
                       ) -> tuple[int, dict, dict]:
         """One attempt: (status, payload, headers)."""
         body = None
@@ -135,6 +146,8 @@ class ServiceClient:
             headers["Content-Type"] = "application/json"
         if self.api_key is not None:
             headers["X-Api-Key"] = self.api_key
+        if extra_headers:
+            headers.update(extra_headers)
         request = urllib.request.Request(url or (self.base_url + path),
                                          data=body, headers=headers,
                                          method=method)
@@ -151,7 +164,8 @@ class ServiceClient:
             return exc.code, payload, dict(exc.headers or {})
 
     def _request(self, method: str, path: str,
-                 doc: dict | None = None) -> tuple[int, dict]:
+                 doc: dict | None = None,
+                 extra_headers: dict | None = None) -> tuple[int, dict]:
         last_connect_error: Exception | None = None
         url: "str | None" = None        # set while following a redirect
         redirects = 0
@@ -160,10 +174,12 @@ class ServiceClient:
             try:
                 if url is None:
                     status, payload, headers = self._request_once(
-                        method, path, doc)
+                        method, path, doc,
+                        extra_headers=extra_headers)
                 else:
                     status, payload, headers = self._request_once(
-                        method, path, doc, url=url)
+                        method, path, doc, url=url,
+                        extra_headers=extra_headers)
             except urllib.error.URLError as exc:
                 reason = getattr(exc, "reason", None)
                 if not isinstance(reason, _TRANSIENT_EXCS):
@@ -203,8 +219,18 @@ class ServiceClient:
                     path, url = location, None
                 continue
             if status == 429 and attempt < self.max_retries:
-                self._sleep(self._retry_delay(
-                    path, attempt, headers.get("Retry-After")))
+                if payload.get("kind") == "draining" \
+                        and len(self.endpoints) > 1:
+                    # A draining node will not recover for this
+                    # request's lifetime; a fleet sibling might take
+                    # it right now — rotate instead of waiting out
+                    # the (long) drain hint.
+                    self._rotate()
+                    url = None
+                    self._sleep(self._retry_delay(path, attempt))
+                else:
+                    self._sleep(self._retry_delay(
+                        path, attempt, headers.get("Retry-After")))
                 attempt += 1
                 continue
             if status >= 500 and len(self.endpoints) > 1 \
@@ -225,8 +251,10 @@ class ServiceClient:
         }) from last_connect_error
 
     def _checked(self, method: str, path: str,
-                 doc: dict | None = None) -> dict:
-        status, payload = self._request(method, path, doc)
+                 doc: dict | None = None,
+                 extra_headers: dict | None = None) -> dict:
+        status, payload = self._request(method, path, doc,
+                                        extra_headers)
         if status >= 400:
             raise ServiceError(status, payload)
         return payload
@@ -245,9 +273,19 @@ class ServiceClient:
     def submit(self, wasm_bytes: bytes, abi_json: "str | dict",
                config: dict | None = None, client: str = "cli",
                priority: int = 0,
-               ttl_s: float | None = None) -> dict:
+               ttl_s: float | None = None,
+               deadline_s: float | None = None,
+               deadline_epoch_s: float | None = None) -> dict:
         """Submit one module; returns the job doc (``outcome`` is
-        ``cached`` / ``coalesced`` / ``queued``)."""
+        ``cached`` / ``coalesced`` / ``queued`` / ``replayed`` /
+        ``deadline_exceeded``).
+
+        ``deadline_s`` is a relative wall-clock budget ("answer within
+        N seconds"), resolved against this host's clock;
+        ``deadline_epoch_s`` is the absolute instant directly.  Either
+        way the deadline rides the ``X-Deadline-Ms`` header and
+        propagates through every daemon hand-off.
+        """
         doc = {
             "module_b64": base64.b64encode(wasm_bytes).decode("ascii"),
             "abi": abi_json,
@@ -258,7 +296,14 @@ class ServiceClient:
             doc["config"] = config
         if ttl_s is not None:
             doc["ttl_s"] = ttl_s
-        return self._checked("POST", "/scans", doc)
+        if deadline_epoch_s is None and deadline_s is not None:
+            deadline_epoch_s = time.time() + float(deadline_s)
+        extra_headers = None
+        if deadline_epoch_s is not None:
+            extra_headers = {
+                "X-Deadline-Ms": str(int(deadline_epoch_s * 1000.0))}
+        return self._checked("POST", "/scans", doc,
+                             extra_headers=extra_headers)
 
     def status(self, job_id: str) -> dict:
         return self._checked("GET", f"/scans/{job_id}")
@@ -282,7 +327,8 @@ class ServiceClient:
                               else list(oracles))
         job_doc = self._checked("POST", "/reverdict", doc)
         if wait and job_doc.get("state") not in (
-                "done", "failed", "quarantined", "expired"):
+                "done", "failed", "quarantined", "expired",
+                "deadline_exceeded"):
             return self.wait(job_doc["id"], timeout_s)
         return job_doc
 
@@ -293,7 +339,8 @@ class ServiceClient:
         while True:
             doc = self.status(job_id)
             if doc.get("state") in ("done", "failed", "quarantined",
-                                    "expired", "rejected", "stolen"):
+                                    "expired", "deadline_exceeded",
+                                    "rejected", "stolen"):
                 return doc
             if time.monotonic() >= deadline:
                 raise TimeoutError(

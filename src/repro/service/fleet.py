@@ -57,7 +57,8 @@ from .tenants import TenantBook
 
 __all__ = ["FleetConfig", "FleetJob", "ScanFleet"]
 
-_TERMINAL = ("done", "failed", "quarantined", "expired", "rejected")
+_TERMINAL = ("done", "failed", "quarantined", "expired",
+             "deadline_exceeded", "rejected")
 
 
 @dataclass
@@ -147,9 +148,12 @@ class ScanFleet:
     def submit(self, data: bytes, abi_json: "str | dict",
                config: dict | None = None, client: str = "anon",
                priority: int = 0, ttl_s: float | None = None,
-               api_key: str | None = None) -> dict:
+               api_key: str | None = None,
+               deadline_epoch_s: float | None = None) -> dict:
         """Admit (tenant quota), route (ring), place (with failover
-        to the next live owner if the first choice is unreachable)."""
+        to the next live owner if the first choice is unreachable).
+        ``deadline_epoch_s`` rides the recipe, so a failover or steal
+        re-places the job with its original caller deadline intact."""
         tenant = None
         if self.tenants is not None:
             tenant = self.tenants.admit(api_key)
@@ -157,6 +161,7 @@ class ScanFleet:
         recipe = {"module": data, "abi": abi_json,
                   "config": dict(config or {}), "client": client,
                   "priority": priority, "ttl_s": ttl_s,
+                  "deadline_epoch_s": deadline_epoch_s,
                   "module_hash": key}
         last_error: Exception | None = None
         for name in self.ring.owners(key, count=len(self.ring)):
@@ -164,7 +169,8 @@ class ScanFleet:
             try:
                 doc = backend.submit(
                     data, abi_json, config=config, client=client,
-                    priority=priority, ttl_s=ttl_s)
+                    priority=priority, ttl_s=ttl_s,
+                    deadline_epoch_s=deadline_epoch_s)
             except (BackendUnavailable, NodePartitioned) as exc:
                 last_error = exc
                 continue
@@ -277,13 +283,16 @@ class ScanFleet:
         record that pointed at ``old_node`` (if any — direct node
         submissions have no fleet record and are simply moved)."""
         backend = self.backends[new_node]
+        deadline = recipe.get("deadline_epoch_s")
         try:
             doc = backend.submit(
                 recipe["module"], recipe["abi"],
                 config=recipe.get("config") or None,
                 client=recipe.get("client", "anon"),
                 priority=int(recipe.get("priority", 0)),
-                ttl_s=recipe.get("ttl_s"))
+                ttl_s=recipe.get("ttl_s"),
+                deadline_epoch_s=(float(deadline)
+                                  if deadline is not None else None))
         except (BackendUnavailable, NodePartitioned):
             return 0
         with self._lock:

@@ -32,7 +32,8 @@ import time
 from typing import Callable
 
 __all__ = ["CircuitBreaker", "BreakerBoard", "BREAKER_STAGES",
-           "BLACKBOX_GATED_STAGES"]
+           "BLACKBOX_GATED_STAGES", "PRESSURE_LEVELS", "pressure_rank",
+           "max_pressure"]
 
 # Pipeline stages the service tracks breakers for.  These are the
 # taxonomy's stage names ("symback" is the symbolic-replay stage).
@@ -43,6 +44,34 @@ BREAKER_STAGES = ("ingest", "instrument", "deploy", "fuzz", "symback",
 # scanning (mirrors resilience.DEGRADABLE_STAGES: the mutation loop
 # works without them).
 BLACKBOX_GATED_STAGES = ("symback", "solve")
+
+# The brownout ladder, mildest first.  Breakers guard *stages* (one
+# broken pipeline step); pressure levels guard the *service* (too much
+# work for the whole pipeline).  Each level buys headroom by finishing
+# cheaper scans rather than shedding blindly:
+#
+# ``normal``     full-fidelity campaigns, verdicts byte-identical to an
+#                unloaded daemon.
+# ``elevated``   fuzz budgets shrink (fewer rounds per campaign).
+# ``saturated``  additionally black-box-only — the symbolic side is the
+#                most expensive stage, and degraded verdicts already
+#                carry the PR-5 labeling.
+# ``shedding``   new work is refused with a measured Retry-After;
+#                cache and replay hits are still served.
+PRESSURE_LEVELS = ("normal", "elevated", "saturated", "shedding")
+
+
+def pressure_rank(level: str) -> int:
+    """Position of ``level`` on the ladder (unknown levels rank 0)."""
+    try:
+        return PRESSURE_LEVELS.index(level)
+    except ValueError:
+        return 0
+
+
+def max_pressure(a: str, b: str) -> str:
+    """The more severe of two ladder levels."""
+    return a if pressure_rank(a) >= pressure_rank(b) else b
 
 
 class CircuitBreaker:

@@ -25,10 +25,19 @@ rotation.  Two aging rules temper strict priority:
   a stale answer the submitter stopped waiting for is a wasted
   campaign.
 
+Two clocks govern staleness.  TTLs age on the queue's *monotonic*
+clock (relative budgets must not jump with NTP); caller deadlines
+(``Job.deadline_epoch_s``) are absolute *wall-clock* instants set by
+the client, compared against the injectable ``wall_clock``.  Both are
+policed by the same sweep, which runs on every ``get`` **and** via the
+public :meth:`JobQueue.sweep_expired` so an idle queue — no worker
+polling, daemon quiescent — still expires jobs promptly instead of
+discovering staleness only when demand returns.
+
 Job lifecycle: ``queued → running → done | failed | quarantined |
-expired`` (plus terminal ``rejected`` for jobs shed at admission).
-The :class:`Job` record itself is the single source of truth the HTTP
-layer renders for ``GET /scans/{id}``.
+expired | deadline_exceeded`` (plus terminal ``rejected`` for jobs
+shed at admission).  The :class:`Job` record itself is the single
+source of truth the HTTP layer renders for ``GET /scans/{id}``.
 """
 
 from __future__ import annotations
@@ -42,7 +51,7 @@ from typing import Any, Callable
 __all__ = ["Job", "JobQueue", "QueueFull", "JOB_STATES"]
 
 JOB_STATES = ("queued", "running", "done", "failed", "quarantined",
-              "expired", "rejected", "stolen")
+              "expired", "deadline_exceeded", "rejected", "stolen")
 
 
 class QueueFull(Exception):
@@ -60,6 +69,8 @@ class QueueFull(Exception):
         self.depth = depth
         self.limit = limit
         # "queue" | "inflight" | "draining" | "disk" | "quota"
+        # | "brownout" (pressure ladder refused it: level topped out
+        # or the campaign is too expensive for its priority)
         self.kind = kind
         self.retry_after_s = retry_after_s
 
@@ -86,6 +97,8 @@ class Job:
     waiters: int = 0          # coalesced submissions sharing this job
     queued_s: float = 0.0     # queue clock at first enqueue (for aging)
     ttl_s: float | None = None  # max queue age before "expired"
+    deadline_epoch_s: float | None = None  # caller wall-clock deadline
+    brownout: str | None = None  # pressure level the run degraded under
     claim: str | None = None  # worker token currently owning the run
     requeues: int = 0         # watchdog reap re-queues (exactly-once)
     stolen_by: str | None = None  # fleet thief token once work-stolen
@@ -93,7 +106,17 @@ class Job:
     @property
     def terminal(self) -> bool:
         return self.state in ("done", "failed", "quarantined",
-                              "expired", "rejected", "stolen")
+                              "expired", "deadline_exceeded",
+                              "rejected", "stolen")
+
+    def deadline_remaining_s(self,
+                             now_epoch_s: float | None = None) -> float:
+        """Wall-clock budget left before the caller's deadline; +inf
+        without one (so comparisons read naturally)."""
+        if self.deadline_epoch_s is None:
+            return float("inf")
+        now = time.time() if now_epoch_s is None else now_epoch_s
+        return self.deadline_epoch_s - now
 
     def to_doc(self) -> dict:
         doc = {
@@ -112,6 +135,10 @@ class Job:
             doc["requeues"] = self.requeues
         if self.stolen_by is not None:
             doc["stolen_by"] = self.stolen_by
+        if self.deadline_epoch_s is not None:
+            doc["deadline_epoch_s"] = self.deadline_epoch_s
+        if self.brownout is not None:
+            doc["brownout"] = self.brownout
         if self.started_s and self.finished_s:
             doc["latency_s"] = self.finished_s - self.started_s
         if self.error is not None:
@@ -126,11 +153,13 @@ class JobQueue:
     def __init__(self, max_depth: int = 64, *,
                  promote_after_s: float | None = None,
                  on_expired: "Callable[[Job], None] | None" = None,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 wall_clock: Callable[[], float] = time.time):
         self.max_depth = max_depth
         self.promote_after_s = promote_after_s
         self.on_expired = on_expired
         self._clock = clock
+        self._wall_clock = wall_clock
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
         # priority -> client -> FIFO of jobs; clients rotate per get.
@@ -138,6 +167,7 @@ class JobQueue:
         self._depth = 0
         self.shed = 0
         self.expired = 0
+        self.deadline_expired = 0
         self.promoted = 0
         self.stolen = 0
 
@@ -191,9 +221,24 @@ class JobQueue:
                 self.on_expired(stale)
         return job
 
+    def sweep_expired(self) -> int:
+        """Expire stale queued jobs *now*, without waiting for a
+        ``get``: the scheduler's housekeeping tick calls this so an
+        idle queue (workers busy or daemon quiescent) still emits
+        ``expired`` / ``deadline_exceeded`` terminal docs promptly.
+        Returns the number of jobs expired by this call."""
+        expired: list[Job] = []
+        with self._lock:
+            self._sweep_expired_locked(expired)
+        if self.on_expired is not None:
+            for stale in expired:
+                self.on_expired(stale)
+        return len(expired)
+
     # -- internals (lock held) ---------------------------------------------
     def _sweep_expired_locked(self, out: list[Job]) -> None:
         now = self._clock()
+        wall_now = self._wall_clock()
         for priority in list(self._bands):
             band = self._bands[priority]
             for client in list(band):
@@ -201,14 +246,17 @@ class JobQueue:
                 keep: deque[Job] = deque()
                 stale: list[Job] = []
                 for job in jobs:
-                    if job.ttl_s is not None \
+                    if job.deadline_remaining_s(wall_now) <= 0.0:
+                        stale.append(job)
+                        self.deadline_expired += 1
+                    elif job.ttl_s is not None \
                             and now - job.queued_s >= job.ttl_s:
                         stale.append(job)
+                        self.expired += 1
                     else:
                         keep.append(job)
                 if stale:
                     out.extend(stale)
-                    self.expired += len(stale)
                     self._depth -= len(stale)
                     if keep:
                         band[client] = keep
@@ -258,7 +306,8 @@ class JobQueue:
             return None
         return oldest[1], oldest[2]
 
-    def steal(self, max_jobs: int) -> list[Job]:
+    def steal(self, max_jobs: int, *,
+              min_headroom_s: float = 0.0) -> list[Job]:
         """Remove and return up to ``max_jobs`` queued entries for a
         fleet peer to run instead (work stealing).
 
@@ -267,16 +316,31 @@ class JobQueue:
         in-flight claim by construction.  Stealing takes the youngest
         jobs of the lowest priority band first: those would have run
         last locally, so the donor's latency profile is disturbed the
-        least while the thief gets real backlog off this node."""
+        least while the thief gets real backlog off this node.
+
+        ``min_headroom_s`` makes stealing deadline-aware: a job whose
+        remaining wall-clock deadline budget is below the headroom is
+        skipped — shipping it across the fleet just to have it expire
+        on the thief wastes the transfer and a campaign slot.  Jobs
+        without a deadline are always eligible."""
         out: list[Job] = []
         with self._lock:
+            wall_now = self._wall_clock()
             for priority in sorted(self._bands):
                 band = self._bands[priority]
                 for client in list(reversed(band)):
                     jobs = band[client]
-                    while jobs and len(out) < max_jobs:
-                        out.append(jobs.pop())
-                    if not jobs:
+                    remaining: deque[Job] = deque()
+                    for job in reversed(jobs):
+                        if len(out) < max_jobs \
+                                and job.deadline_remaining_s(wall_now) \
+                                >= min_headroom_s:
+                            out.append(job)
+                        else:
+                            remaining.appendleft(job)
+                    if remaining:
+                        band[client] = remaining
+                    else:
                         del band[client]
                     if len(out) >= max_jobs:
                         break

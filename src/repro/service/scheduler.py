@@ -82,6 +82,7 @@ from ..wasm.hardening import load_untrusted_module
 from .health import (BLACKBOX_GATED_STAGES, BREAKER_STAGES,
                      BreakerBoard)
 from .integrity import StoreBudgetExceeded, StoreCorruption
+from .overload import OverloadController
 from .queue import Job, JobQueue, QueueFull
 from .store import ArtifactStore
 from .supervisor import WorkerRecord, WorkerSupervisor
@@ -141,6 +142,18 @@ class ScanServiceConfig:
     drift_audit_sample: int = 4          # traces replayed per audit round
     # -- semantic oracle knobs ---------------------------------------------
     oracles: "tuple | str | None" = None  # default family set for jobs
+    # -- overload / brownout knobs -----------------------------------------
+    # Job-latency SLO the AIMD controller defends; None = 30 s.  While
+    # the observed p95 breaches it the effective inflight budget and
+    # queue depth shrink (and recover additively once it is met again).
+    target_p95_s: float | None = None
+    min_inflight: int = 1                # AIMD floor
+    # Housekeeping cadence: drives the idle-queue TTL/deadline sweep
+    # and the controller's AIMD tick.  None disables the thread (tests
+    # call housekeeping_once() by hand).
+    housekeeping_s: float | None = 0.25
+    overload_window_s: float = 60.0      # latency-sample horizon
+    adjust_interval_s: float = 1.0       # min spacing of AIMD steps
 
     def inflight_budget(self) -> int:
         if self.max_inflight is not None:
@@ -153,7 +166,10 @@ class Submission:
     """What admission hands back: the job plus how it was satisfied."""
 
     job: Job
-    outcome: str            # "queued" | "cached" | "coalesced"
+    # "queued" | "cached" | "coalesced" | "replayed" (brownout
+    # replay-serve from a stored trace pack) | "deadline_exceeded"
+    # (the caller's deadline had already passed at admission)
+    outcome: str
 
     @property
     def cached(self) -> bool:
@@ -188,6 +204,14 @@ class ScanService:
             max_cooldown_s=self.config.breaker_max_cooldown_s)
         self.supervisor: WorkerSupervisor | None = None
         self.perf = ThroughputStats(jobs=self.config.workers)
+        self.overload = OverloadController(
+            self.config.inflight_budget(), self.config.max_depth,
+            target_p95_s=(self.config.target_p95_s
+                          if self.config.target_p95_s is not None
+                          else 30.0),
+            min_inflight=self.config.min_inflight,
+            latency_window_s=self.config.overload_window_s,
+            adjust_interval_s=self.config.adjust_interval_s)
         self.started_s = time.time()
 
         self._lock = threading.RLock()
@@ -204,6 +228,9 @@ class ScanService:
         self._failed = 0
         self._quarantined = 0
         self._expired = 0
+        self._deadline_exceeded = 0
+        self._replay_served = 0       # brownout replay-serve hits
+        self._browned_out = 0         # jobs run with a shrunk budget
         self._forced_blackbox = 0
         self._store_recoveries = 0
         self._steals = 0              # jobs donated to fleet peers
@@ -214,6 +241,9 @@ class ScanService:
         self._dead = False            # chaos kill(): node is gone
         self._partitioned = False
         self._partition_reason: str | None = None
+        # -- housekeeping (sweeps + AIMD tick) ---------------------------
+        self._housekeeper: threading.Thread | None = None
+        self._housekeeper_stop = threading.Event()
         # -- trace IR / re-verdict state --------------------------------
         self._auditor: threading.Thread | None = None
         self._auditor_stop = threading.Event()
@@ -242,6 +272,12 @@ class ScanService:
                 target=self._auditor_main, name="drift-auditor",
                 daemon=True)
             self._auditor.start()
+        if cfg.housekeeping_s is not None and self._housekeeper is None:
+            self._housekeeper_stop.clear()
+            self._housekeeper = threading.Thread(
+                target=self._housekeeper_main, name="housekeeper",
+                daemon=True)
+            self._housekeeper.start()
 
     def drain(self, wait_s: float = 30.0) -> int:
         """Graceful shutdown: refuse new work, finish running jobs,
@@ -251,15 +287,31 @@ class ScanService:
             self._accepting = False
             self._draining = True
         self._auditor_stop.set()
+        self._housekeeper_stop.set()
         if self._auditor is not None:
             self._auditor.join(wait_s)
             self._auditor = None
+        if self._housekeeper is not None:
+            self._housekeeper.join(wait_s)
+            self._housekeeper = None
         if self.supervisor is not None:
             self.supervisor.stop()
             self.supervisor.join(wait_s)
         checkpointed = 0
+        now = time.time()
         for job in self.queue.drain():
-            if not job.terminal and self._checkpoint(job):
+            if job.terminal:
+                continue
+            if job.deadline_remaining_s(now) <= 0.0:
+                # Checkpointing this job would resurrect work whose
+                # caller deadline already passed: finalize the typed
+                # terminal doc instead, so resume cannot re-run it.
+                with self._lock:
+                    if not job.terminal:
+                        self._deadline_locked(
+                            job, "caller deadline passed during drain")
+                continue
+            if self._checkpoint(job):
                 checkpointed += 1
         return checkpointed
 
@@ -427,13 +479,19 @@ class ScanService:
     def submit_bytes(self, data: bytes, abi_json: "str | dict",
                      config: dict | None = None, client: str = "anon",
                      priority: int = 0,
-                     ttl_s: float | None = None) -> Submission:
+                     ttl_s: float | None = None,
+                     deadline_epoch_s: float | None = None) -> Submission:
         """Admit one scan request from raw (untrusted) contract bytes.
 
         Raises :class:`~repro.resilience.MalformedModule` when the
         bytes fail sandboxed ingestion (the hostile upload never
         reaches a worker) and :class:`QueueFull` when the queue depth,
-        the in-flight budget or the store's disk budget is exceeded.
+        the in-flight budget, the store's disk budget or the brownout
+        ladder refuses it.  ``deadline_epoch_s`` is the caller's
+        absolute wall-clock deadline: an already-expired one returns a
+        terminal ``deadline_exceeded`` job immediately (cache hits are
+        still served — they cost nothing), and a live one rides the
+        job end-to-end so every later hand-off re-checks it.
         """
         with self._lock:
             if self._partitioned:
@@ -442,10 +500,13 @@ class ScanService:
                     f"partition ({self._partition_reason or 'unknown'});"
                     " writes refused until the partition heals")
             if not self._accepting:
+                self.perf.record_shed("draining")
                 raise QueueFull("service is draining",
                                 depth=self.queue.depth,
                                 limit=self.config.max_depth,
-                                kind="draining", retry_after_s=30.0)
+                                kind="draining",
+                                retry_after_s=self._retry_after(
+                                    floor=30.0))
         # Sandboxed ingestion *before* admission: a hostile module is
         # rejected here with a typed MalformedModule diagnostic.
         try:
@@ -474,7 +535,8 @@ class ScanService:
             sample_key=f"{client}:{module_hash[:12]}",
             divergence_check=bool(merged["divergence_check"]),
             capture_traces=self.config.capture_traces,
-            oracles=merged["oracles"])
+            oracles=merged["oracles"],
+            deadline_epoch_s=deadline_epoch_s)
         scan_key = campaign_task_key(task)
         stored_config = {key: merged[key] for key in DEFAULT_SCAN_CONFIG}
         if stored_config["oracles"] is not None:
@@ -491,10 +553,12 @@ class ScanService:
         except StoreBudgetExceeded as exc:
             with self._lock:
                 self.queue.shed += 1
+                self.perf.record_shed("disk")
             raise QueueFull(
                 f"store disk budget exhausted: {exc}",
                 depth=self.queue.depth, limit=self.config.max_depth,
-                kind="disk", retry_after_s=5.0) from exc
+                kind="disk",
+                retry_after_s=self._retry_after(floor=5.0)) from exc
 
         with self._lock:
             self._submissions += 1
@@ -518,26 +582,137 @@ class ScanService:
                 self._coalesce_hits += 1
                 twin.waiters += 1
                 return Submission(twin, "coalesced")
-            # Admission control: bounded queue + in-flight budget.
-            inflight = self.queue.depth + len(self._running_jobs)
-            if inflight >= self.config.inflight_budget():
+            # Caller deadline already passed: a fresh campaign budget
+            # must never be spent on an answer nobody is waiting for.
+            # Terminal typed doc, not a 429 — there is nothing to
+            # retry, the caller's own clock ran out.
+            now = time.time()
+            if deadline_epoch_s is not None and now >= deadline_epoch_s:
+                self.perf.record_shed("deadline")
+                self._deadline_exceeded += 1
+                job = Job(job_id=uuid.uuid4().hex[:12], client=client,
+                          scan_key=scan_key, module_hash=module_hash,
+                          config=stored_config, priority=priority,
+                          state="deadline_exceeded",
+                          outcome="deadline_exceeded",
+                          submitted_s=now,
+                          deadline_epoch_s=deadline_epoch_s,
+                          error="caller deadline passed before "
+                                "admission")
+                job.finished_s = now
+                self._jobs[job.job_id] = job
+                return Submission(job, "deadline_exceeded")
+            # Brownout ladder: under saturation, a stored trace pack
+            # can answer by pure oracle replay — zero fuzzing — before
+            # we consider refusing outright.
+            level = self.overload.pressure
+            if level in ("saturated", "shedding"):
+                replay_doc = self._serve_from_replay_locked(scan_key)
+                if replay_doc is not None:
+                    self._replay_served += 1
+                    job = Job(job_id=uuid.uuid4().hex[:12],
+                              client=client, scan_key=scan_key,
+                              module_hash=module_hash,
+                              config=stored_config, priority=priority,
+                              state="done", outcome="replayed",
+                              submitted_s=now,
+                              deadline_epoch_s=deadline_epoch_s,
+                              result_doc=replay_doc)
+                    job.finished_s = now
+                    self._jobs[job.job_id] = job
+                    return Submission(job, "replayed")
+            if level == "shedding":
                 self.queue.shed += 1
+                self.perf.record_shed("brownout")
                 raise QueueFull(
-                    f"in-flight budget {self.config.inflight_budget()} "
+                    "brownout: pressure level 'shedding' — new "
+                    "campaigns refused until the backlog drains",
+                    depth=self.queue.depth,
+                    limit=self.overload.effective_depth(),
+                    kind="brownout",
+                    retry_after_s=self._retry_after())
+            cost = OverloadController.admission_cost(
+                len(data), len(stored_config["oracles"] or ()) or 5)
+            if self.overload.should_shed_cost(cost, priority):
+                self.queue.shed += 1
+                self.perf.record_shed("brownout")
+                raise QueueFull(
+                    f"brownout: campaign cost {cost:.1f} exceeds the "
+                    f"priority-{priority} allowance at pressure level "
+                    f"'{level}'",
+                    depth=self.queue.depth,
+                    limit=self.overload.effective_depth(),
+                    kind="brownout",
+                    retry_after_s=self._retry_after())
+            # Admission control: adaptive in-flight budget + adaptive
+            # queue depth (both AIMD-sized; never above the static
+            # bounds, which remain the hard backstop).
+            inflight = self.queue.depth + len(self._running_jobs)
+            budget = self.overload.effective_inflight()
+            if inflight >= budget:
+                self.queue.shed += 1
+                self.perf.record_shed("inflight")
+                raise QueueFull(
+                    f"in-flight budget {budget} "
                     f"exhausted ({inflight} admitted)",
                     depth=inflight,
-                    limit=self.config.inflight_budget(),
-                    kind="inflight")
+                    limit=budget,
+                    kind="inflight",
+                    retry_after_s=self._retry_after())
+            depth_bound = self.overload.effective_depth()
+            if self.queue.depth >= depth_bound:
+                self.queue.shed += 1
+                self.perf.record_shed("queue")
+                raise QueueFull(
+                    f"queue depth {self.queue.depth} at effective "
+                    f"bound {depth_bound} (pressure '{level}')",
+                    depth=self.queue.depth, limit=depth_bound,
+                    kind="queue",
+                    retry_after_s=self._retry_after())
             job = Job(job_id=uuid.uuid4().hex[:12], client=client,
                       scan_key=scan_key, module_hash=module_hash,
                       config=stored_config, task=task,
-                      priority=priority, submitted_s=time.time(),
+                      priority=priority, submitted_s=now,
                       ttl_s=(ttl_s if ttl_s is not None
-                             else self.config.job_ttl_s))
+                             else self.config.job_ttl_s),
+                      deadline_epoch_s=deadline_epoch_s)
             self.queue.put(job)          # may raise QueueFull (typed)
             self._jobs[job.job_id] = job
             self._inflight[scan_key] = job
         return Submission(job, "queued")
+
+    def _serve_from_replay_locked(self, scan_key: str) -> "dict | None":
+        """Brownout replay-serve: when a stored trace pack exists for
+        this scan key (but no cached verdict — that was checked
+        first), re-derive the verdict by pure oracle replay.  Costs
+        milliseconds, no fuzzing, and carries honest ``replay``
+        provenance stamped with the pressure level that triggered it.
+        Never persisted — the store only holds verdicts produced by
+        the path the scan key promises."""
+        row = self._healed(lambda: self.store.get_trace(scan_key))
+        if row is None:
+            return None
+        from ..resilience.errors import TraceCorruption
+        from ..resilience.journal import _scan_to_doc
+        from ..scanner.oracles import ORACLE_VERSION
+        from ..semoracle.registry import (InsufficientSurface,
+                                          resolve_oracles)
+        from ..traceir.pack import decode_pack, replay_scan
+        try:
+            pack = decode_pack(row["blob"])
+            scan = replay_scan(pack, oracles=self.config.oracles)
+        except (TraceCorruption, InsufficientSurface):
+            return None     # the reverdict sweep owns cleanup
+        return {
+            "scans": {row["tool"]: _scan_to_doc(scan)},
+            "provenance": {
+                "oracle_version": ORACLE_VERSION,
+                "traceir_version": row["traceir_version"],
+                "oracles": list(resolve_oracles(self.config.oracles)),
+                "source": "replay",
+                "pressure": self.overload.pressure,
+            },
+        }
 
     def job(self, job_id: str) -> Job | None:
         with self._lock:
@@ -602,6 +777,14 @@ class ScanService:
                 if self._draining or record.abandoned:
                     self.queue.put(job, force=True)  # back for drain
                     return
+                if job.deadline_remaining_s() <= 0.0 \
+                        and not job.terminal:
+                    # Expired while queued (the sweep may not have
+                    # seen it yet): terminal typed doc, no claim, no
+                    # campaign budget spent.
+                    self._deadline_locked(
+                        job, "caller deadline passed while queued")
+                    continue
                 record.claim_job(job)
                 job.claim = record.token
                 job.state = "running"
@@ -615,6 +798,25 @@ class ScanService:
                     job.task.blackbox = forced
                 if forced:
                     self._forced_blackbox += 1
+                # Brownout ladder: under pressure, shrink the fuzzing
+                # budget (elevated: x0.5, saturated+: x0.25 and force
+                # black-box — PR 5's degraded labeling applies).  The
+                # base budget is restored from the stored config each
+                # dispatch so a watchdog re-queue under *recovered*
+                # pressure runs at full size again.
+                level = self.overload.pressure
+                job.brownout = None
+                if job.task is not None:
+                    job.task.timeout_ms = float(
+                        job.config.get("timeout_ms",
+                                       job.task.timeout_ms))
+                    if level != "normal":
+                        job.brownout = level
+                        self._browned_out += 1
+                        job.task.timeout_ms *= \
+                            self.overload.timeout_scale()
+                        if level in ("saturated", "shedding"):
+                            job.task.blackbox = True
             # The chaos chokepoint sits AFTER the claim on purpose: an
             # injected kill/hang leaves a claimed job behind, which is
             # exactly the mess the watchdog must be able to heal.
@@ -643,6 +845,16 @@ class ScanService:
                 forced_blackbox=forced_blackbox)
         doc_error = result.errors.get(tool)
         if tool not in result.scans:
+            if (doc_error or {}).get("stage") == "deadline":
+                # The caller's wall-clock budget ran out mid-campaign
+                # (or before the tool started): terminal typed doc,
+                # never the retry/quarantine path — there is nothing
+                # to heal and nobody left waiting.
+                self._job_deadline(
+                    job, token,
+                    (doc_error or {}).get("message",
+                                          "caller deadline passed"))
+                return
             message = (doc_error or {}).get("message", "campaign failed")
             self._job_failed(job, token, message)
             return
@@ -652,10 +864,20 @@ class ScanService:
         # addressed ``traces`` table holds the blob; the verdict doc
         # (and the journal line) must not carry a base64 twin of it.
         result_doc.pop("traces", None)
+        if job.brownout is not None:
+            # Honest provenance: a verdict produced under brownout
+            # says so.  At pressure "normal" the key is absent, so
+            # unpressured verdicts stay byte-identical to the seed's.
+            provenance = dict(result_doc.get("provenance") or {})
+            provenance["pressure"] = job.brownout
+            result_doc["provenance"] = provenance
         with self._lock:
             if job.claim != token or job.terminal:
                 return  # claim revoked: the requeued twin owns the job
-        if not forced_blackbox:
+        # A browned-out run (shrunk budget and/or forced black-box) is
+        # ephemeral exactly like a breaker-forced one: it answers this
+        # caller but must never become the cached verdict for the key.
+        if not forced_blackbox and job.brownout is None:
             # Persist (and journal, for store rebuilds) only full-
             # pipeline verdicts: a breaker-degraded result must never
             # become the cached answer for this scan key.
@@ -694,6 +916,10 @@ class ScanService:
             self._completed += 1
             self._inflight.pop(job.scan_key, None)
             self._record_latency(job, result)
+            self.overload.observe_completion()
+            if job.started_s:
+                self.overload.observe_latency(
+                    job.finished_s - job.started_s)
 
     def _run_reverdict_job(self, job: Job, token: str) -> None:
         """Worker-side execution of one queued re-verdict sweep."""
@@ -790,6 +1016,31 @@ class ScanService:
             except Exception:  # noqa: BLE001 - auditor outlives bad rounds
                 continue
 
+    # -- housekeeping: sweeps + adaptive admission --------------------------
+    def housekeeping_once(self) -> dict:
+        """One housekeeping tick: expire stale queued jobs even while
+        no worker is polling (the TTL sweep used to run only inside
+        ``get``), then feed current load to the overload controller's
+        AIMD step and publish the refreshed pressure level."""
+        swept = self.queue.sweep_expired()
+        with self._lock:
+            level = self.overload.update(self.queue.depth,
+                                         len(self._running_jobs))
+            self.perf.pressure = level
+        return {"swept": swept, "pressure": level}
+
+    def _housekeeper_main(self) -> None:
+        cadence = self.config.housekeeping_s or 0.25
+        while not self._housekeeper_stop.wait(cadence):
+            try:
+                self.housekeeping_once()
+            except Exception:  # noqa: BLE001 - must outlive bad ticks
+                continue
+
+    def _retry_after(self, floor: float = 0.0) -> float:
+        """Measured Retry-After hint for a shed at current backlog."""
+        return max(floor, self.overload.retry_after_s(self.queue.depth))
+
     def _job_failed(self, job: Job, token: "str | None",
                     message: str) -> None:
         with self._lock:
@@ -799,6 +1050,31 @@ class ScanService:
             job.claim = None
             self._running_jobs.discard(job.job_id)
             self._fail_locked(job, message)
+
+    def _job_deadline(self, job: Job, token: "str | None",
+                      message: str) -> None:
+        """Claim-checked wrapper around :meth:`_deadline_locked`."""
+        with self._lock:
+            if token is not None and (job.claim != token
+                                      or job.terminal):
+                return  # claim revoked: outcome already settled
+            job.claim = None
+            self._running_jobs.discard(job.job_id)
+            self._deadline_locked(job, message)
+
+    def _deadline_locked(self, job: Job, message: str) -> None:
+        """Finalize one job whose caller deadline ran out (service
+        lock held).  Terminal and typed — never the retry/quarantine
+        path: the failure is the *caller's* clock, not the sample."""
+        job.state = "deadline_exceeded"
+        job.outcome = "deadline_exceeded"
+        job.error = message
+        job.finished_s = time.time()
+        self._deadline_exceeded += 1
+        self.perf.record_shed("deadline")
+        if self._inflight.get(job.scan_key) is job:
+            self._inflight.pop(job.scan_key, None)
+        self.overload.observe_completion()
 
     def _fail_locked(self, job: Job, message: str) -> None:
         """Retry-or-quarantine one failed attempt (service lock held)."""
@@ -810,6 +1086,7 @@ class ScanService:
             job.finished_s = time.time()
             self._quarantined += 1
             self._inflight.pop(job.scan_key, None)
+            self.overload.observe_completion()
             try:
                 self._healed(lambda: self.store.put_quarantine(
                     job.scan_key, job.module_hash,
@@ -827,6 +1104,7 @@ class ScanService:
         job.finished_s = time.time()
         self._failed += 1
         self._inflight.pop(job.scan_key, None)
+        self.overload.observe_completion()
 
     # -- supervision callbacks ---------------------------------------------
     def _on_reap(self, record: WorkerRecord, reason: str) -> None:
@@ -855,9 +1133,15 @@ class ScanService:
             self._accepting = False
 
     def _job_expired(self, job: Job) -> None:
-        """Queue TTL callback (invoked outside the queue lock)."""
+        """Queue staleness callback (invoked outside the queue lock):
+        either the caller's wall-clock deadline passed or the job's
+        monotonic queue TTL ran out — the queue sweep polices both."""
         with self._lock:
             if job.terminal:
+                return
+            if job.deadline_remaining_s() <= 0.0:
+                self._deadline_locked(
+                    job, "caller deadline passed while queued")
                 return
             job.state = "expired"
             job.error = (f"job exceeded its {job.ttl_s:g}s queue TTL "
@@ -866,6 +1150,7 @@ class ScanService:
             self._expired += 1
             if self._inflight.get(job.scan_key) is job:
                 self._inflight.pop(job.scan_key, None)
+            self.overload.observe_completion()
 
     def _record_stage_outcomes(self, result, *, completed: bool,
                                forced_blackbox: bool) -> None:
@@ -924,13 +1209,19 @@ class ScanService:
         if self.journal is None:
             return False
         abi_json = job.task.abi.to_json() if job.task is not None else ""
-        self._journal_record(job.scan_key, {"pending": {
+        pending = {
             "module_hash": job.module_hash,
             "abi": abi_json,
             "config": dict(job.config),
             "client": job.client,
             "priority": job.priority,
-        }})
+        }
+        if job.deadline_epoch_s is not None:
+            # Absolute wall-clock survives the restart unchanged —
+            # resume re-checks it, so an expired checkpoint is
+            # tombstoned instead of resurrected.
+            pending["deadline_epoch_s"] = job.deadline_epoch_s
+        self._journal_record(job.scan_key, {"pending": pending})
         return True
 
     def resume_from_journal(self) -> int:
@@ -956,12 +1247,24 @@ class ScanService:
             if data is None:
                 self._journal_record(key, {"claimed": "module lost"})
                 continue
+            deadline = pending.get("deadline_epoch_s")
+            if deadline is not None \
+                    and time.time() >= float(deadline):
+                # The caller's deadline passed while the daemon was
+                # down: resurrecting the job would spend a campaign on
+                # an answer nobody is waiting for.  Tombstone it.
+                self._journal_record(key,
+                                     {"claimed": "deadline_exceeded"})
+                continue
             try:
                 submission = self.submit_bytes(
                     data, pending.get("abi", "{}"),
                     config=pending.get("config"),
                     client=pending.get("client", "anon"),
-                    priority=int(pending.get("priority", 0)))
+                    priority=int(pending.get("priority", 0)),
+                    deadline_epoch_s=(float(deadline)
+                                      if deadline is not None
+                                      else None))
             except QueueFull:
                 continue  # stays pending for the next resume
             except MalformedModule:
@@ -990,9 +1293,16 @@ class ScanService:
         workers use: if the job ever reappears here (a zombie worker
         from an earlier hang-requeue cycle waking up late), the claim
         check discards its result exactly like any other revoked
-        claim, so a stolen job resolves exactly once fleet-wide."""
+        claim, so a stolen job resolves exactly once fleet-wide.
+
+        Stealing is deadline-aware: jobs whose remaining wall-clock
+        budget is below the controller's expected per-job latency are
+        left with the donor — shipping them to a peer just to expire
+        there wastes the transfer."""
         with self._lock:
-            jobs = self.queue.steal(max_jobs)
+            jobs = self.queue.steal(
+                max_jobs,
+                min_headroom_s=self.overload.expected_job_s())
             recipes: list[dict] = []
             for job in jobs:
                 self._steals += 1
@@ -1016,7 +1326,7 @@ class ScanService:
                     job.error = "module bytes lost before steal"
                     self._failed += 1
                     continue
-                recipes.append({
+                recipe = {
                     "job_id": job.job_id,
                     "scan_key": job.scan_key,
                     "module_hash": job.module_hash,
@@ -1025,7 +1335,10 @@ class ScanService:
                     "config": dict(job.config),
                     "client": job.client,
                     "priority": job.priority,
-                })
+                }
+                if job.deadline_epoch_s is not None:
+                    recipe["deadline_epoch_s"] = job.deadline_epoch_s
+                recipes.append(recipe)
         return recipes
 
     # -- fleet seam: journal shipping / read replicas ----------------------
@@ -1126,6 +1439,7 @@ class ScanService:
             "accepting": accepting and not partitioned,
             "stale": partitioned,
             "storm": storm,
+            "pressure": self.overload.pressure,
             "breakers": {"open": open_stages},
             "workers": (self.supervisor.stats()
                         if self.supervisor is not None
@@ -1162,9 +1476,15 @@ class ScanService:
                 "failed": self._failed,
                 "quarantined": self._quarantined,
                 "expired": self._expired,
+                "deadline_exceeded": self._deadline_exceeded,
                 "promoted": self.queue.promoted,
                 "admission_rejected": self._admission_rejected,
                 "shed": self.queue.shed,
+                "shed_by_kind": dict(self.perf.shed_by_kind),
+                "pressure": self.overload.pressure,
+                "overload": self.overload.snapshot(),
+                "replay_served": self._replay_served,
+                "browned_out": self._browned_out,
                 "fleet": {
                     "stolen_away": self._steals,
                     "replica_applied": self._replica_applied,

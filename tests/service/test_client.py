@@ -20,7 +20,7 @@ class ScriptedTransport:
         self.calls = 0
         client._request_once = self._step
 
-    def _step(self, method, path, doc=None):
+    def _step(self, method, path, doc=None, extra_headers=None):
         self.calls += 1
         outcome = self.outcomes.pop(0)
         if isinstance(outcome, Exception):
@@ -134,7 +134,8 @@ class FleetScriptedTransport(ScriptedTransport):
         self.client = client
         self.targets = []
 
-    def _step(self, method, path, doc=None, url=None):
+    def _step(self, method, path, doc=None, url=None,
+              extra_headers=None):
         self.targets.append(url or self.client.base_url + path)
         return super()._step(method, path, doc)
 
